@@ -1,0 +1,85 @@
+// Shared fixtures for the experiment benches.
+//
+// The paper's prototype ran against an IMDB dump with "over 34k films" on
+// Oracle 9i; these benches run against the synthetic movies dataset at a
+// comparable scale (override with PRECIS_BENCH_MOVIES).
+
+#ifndef PRECIS_BENCH_BENCH_UTIL_H_
+#define PRECIS_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/movies_dataset.h"
+#include "datagen/workload.h"
+#include "precis/database_generator.h"
+
+namespace precis {
+namespace bench {
+
+inline size_t BenchMovieCount() {
+  const char* env = std::getenv("PRECIS_BENCH_MOVIES");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return 20000;
+}
+
+/// The shared benchmark dataset, built once per process.
+inline const MoviesDataset& SharedDataset() {
+  static const MoviesDataset* dataset = [] {
+    MoviesConfig config;
+    config.num_movies = BenchMovieCount();
+    auto ds = MoviesDataset::Create(config);
+    if (!ds.ok()) {
+      std::fprintf(stderr, "failed to build bench dataset: %s\n",
+                   ds.status().ToString().c_str());
+      std::abort();
+    }
+    return new MoviesDataset(std::move(*ds));
+  }();
+  return *dataset;
+}
+
+/// One Result Database Generator workload case: a result schema over a
+/// connected set of relations plus random seed tuples of its start relation
+/// (the paper's Fig. 8 / Fig. 9 methodology).
+struct DbGenCase {
+  ResultSchema schema;
+  SeedTids seeds;
+};
+
+/// Builds `num_chains * num_seed_sets` cases over connected sets of
+/// `num_relations` relations, with `seeds_per_set` random seed tuples each.
+inline std::vector<DbGenCase> MakeDbGenCases(const MoviesDataset& dataset,
+                                             size_t num_relations,
+                                             uint64_t seed, size_t num_chains,
+                                             size_t num_seed_sets,
+                                             size_t seeds_per_set) {
+  std::vector<DbGenCase> cases;
+  Rng rng(seed);
+  for (size_t c = 0; c < num_chains; ++c) {
+    auto chain = RandomJoinChain(dataset.graph(), &rng, num_relations);
+    if (!chain.ok()) std::abort();
+    auto schema = SchemaForChain(dataset.graph(), *chain);
+    if (!schema.ok()) std::abort();
+    const std::string& start_name =
+        dataset.graph().relation_name(chain->start);
+    for (size_t s = 0; s < num_seed_sets; ++s) {
+      auto tids =
+          RandomSeedTids(dataset.db(), start_name, &rng, seeds_per_set);
+      if (!tids.ok()) std::abort();
+      cases.push_back(DbGenCase{*schema, {{chain->start, *tids}}});
+    }
+  }
+  return cases;
+}
+
+}  // namespace bench
+}  // namespace precis
+
+#endif  // PRECIS_BENCH_BENCH_UTIL_H_

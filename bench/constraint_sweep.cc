@@ -1,0 +1,97 @@
+// Tables 1 and 2: the effect of every degree- and cardinality-constraint
+// form on the result of the same précis query.
+//
+// The paper defines three degree expressions (top-r projections, minimum
+// path weight, maximum path length) and two cardinality expressions (total
+// tuples, tuples per relation), plus conjunctions. This harness prints, for
+// the running query {"Woody Allen"}, the result schema size and result
+// database size each form produces — the "different answers for the same
+// query" behaviour of §3.3.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "precis/engine.h"
+
+namespace precis {
+namespace {
+
+void Report(const char* label, const DegreeConstraint& d,
+            const CardinalityConstraint& c, PrecisEngine* engine) {
+  auto answer = engine->Answer(PrecisQuery{{"Woody Allen"}}, d, c);
+  if (!answer.ok()) {
+    std::printf("%-44s | error: %s\n", label,
+                answer.status().ToString().c_str());
+    return;
+  }
+  size_t relations = answer->schema.relations().size();
+  size_t attributes = answer->schema.TotalProjectedAttributes();
+  size_t tuples = answer->database.TotalTuples();
+  std::printf("%-44s | %9zu %10zu %7zu\n", label, relations, attributes,
+              tuples);
+}
+
+}  // namespace
+}  // namespace precis
+
+int main() {
+  using namespace precis;
+  const MoviesDataset& dataset = bench::SharedDataset();
+  auto engine = PrecisEngine::Create(&dataset.db(), &dataset.graph());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Constraint sweep for Q = {\"Woody Allen\"}, movies = %zu\n\n",
+              bench::BenchMovieCount());
+  std::printf("%-44s | %9s %10s %7s\n", "constraints (degree ; cardinality)",
+              "relations", "attributes", "tuples");
+
+  // Degree forms (Table 1), cardinality fixed.
+  auto c10 = MaxTuplesPerRelation(10);
+  for (size_t r : {1, 3, 5, 8, 12, 20}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "t <= %zu ; card(R') <= 10", r);
+    Report(label, *MaxProjections(r), *c10, &*engine);
+  }
+  for (double w : {0.95, 0.9, 0.8, 0.6, 0.4, 0.2}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "w >= %.2f ; card(R') <= 10", w);
+    Report(label, *MinPathWeight(w), *c10, &*engine);
+  }
+  for (size_t l : {1, 2, 3, 4}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "length <= %zu ; card(R') <= 10", l);
+    Report(label, *MaxPathLength(l), *c10, &*engine);
+  }
+
+  // Cardinality forms (Table 2), degree fixed at the paper's w >= 0.9.
+  auto d09 = MinPathWeight(0.9);
+  for (size_t c : {1, 3, 10, 30, 100}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "w >= 0.9 ; card(R') <= %zu", c);
+    Report(label, *d09, *MaxTuplesPerRelation(c), &*engine);
+  }
+  for (size_t c : {5, 20, 50, 200}) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "w >= 0.9 ; card(D') <= %zu", c);
+    Report(label, *d09, *MaxTotalTuples(c), &*engine);
+  }
+
+  // Conjunctions ("a combination of those is also possible").
+  {
+    std::vector<std::unique_ptr<DegreeConstraint>> dparts;
+    dparts.push_back(MinPathWeight(0.8));
+    dparts.push_back(MaxPathLength(2));
+    auto d = AllOf(std::move(dparts));
+    std::vector<std::unique_ptr<CardinalityConstraint>> cparts;
+    cparts.push_back(MaxTuplesPerRelation(10));
+    cparts.push_back(MaxTotalTuples(25));
+    auto c = AllOf(std::move(cparts));
+    Report("w>=0.8 AND len<=2 ; R'<=10 AND D'<=25", *d, *c, &*engine);
+  }
+  return 0;
+}

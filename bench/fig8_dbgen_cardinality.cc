@@ -1,0 +1,76 @@
+// Figure 8: Result Database Generator (NaiveQ) execution time as a function
+// of the per-relation tuple budget c_R, with n_R = 4 relations.
+//
+// Paper methodology: "We used 10 sets of 4 relations, making sure that there
+// is no relation in any set that does not join with another relation of this
+// set. For each set, we considered [a] relation as the initial relation R0
+// ... and 5 random sets of tuples as the seed ... each point represents the
+// average of 200 different experiment runs."
+//
+// Expected shape: "time increases almost linearly with c_R, which seems to
+// be in agreement with Formula (2)."
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "precis/constraints.h"
+
+namespace precis {
+namespace {
+
+constexpr size_t kNumRelations = 4;
+
+const std::vector<bench::DbGenCase>& Cases() {
+  static const std::vector<bench::DbGenCase>* cases = [] {
+    return new std::vector<bench::DbGenCase>(bench::MakeDbGenCases(
+        bench::SharedDataset(), kNumRelations, /*seed=*/8, /*num_chains=*/10,
+        /*num_seed_sets=*/5, /*seeds_per_set=*/30));
+  }();
+  return *cases;
+}
+
+void BM_DbGenNaiveQ(benchmark::State& state) {
+  const MoviesDataset& dataset = bench::SharedDataset();
+  const std::vector<bench::DbGenCase>& cases = Cases();
+  const size_t c_r = static_cast<size_t>(state.range(0));
+  auto constraint = MaxTuplesPerRelation(c_r);
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kNaiveQ;
+
+  size_t run = 0;
+  size_t total_tuples = 0;
+  size_t runs = 0;
+  AccessStats before = dataset.db().stats();
+  for (auto _ : state) {
+    const bench::DbGenCase& c = cases[run++ % cases.size()];
+    ResultDatabaseGenerator generator(&dataset.db());
+    auto result = generator.Generate(c.schema, c.seeds, *constraint, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+    total_tuples += result->TotalTuples();
+    ++runs;
+  }
+  AccessStats after = dataset.db().stats();
+  if (runs > 0) {
+    state.counters["tuples"] =
+        static_cast<double>(total_tuples) / static_cast<double>(runs);
+    state.counters["fetches"] =
+        static_cast<double>(after.tuple_fetches - before.tuple_fetches) /
+        static_cast<double>(runs);
+    state.counters["probes"] =
+        static_cast<double>(after.index_probes - before.index_probes) /
+        static_cast<double>(runs);
+  }
+}
+
+BENCHMARK(BM_DbGenNaiveQ)
+    ->ArgName("c_R")
+    ->DenseRange(10, 90, 10);
+
+}  // namespace
+}  // namespace precis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Figure 9: NaiveQ vs RoundRobin execution time of the Result Database
+// Generator as the number of relations n_R grows (c_R = 50).
+//
+// Paper: "time increases almost linearly with n_R ... The performance of
+// the generator deteriorates with round-robin" (round-robin is applied to
+// every join here, as in the paper's measurement, to keep the two series
+// comparable).
+//
+// Substrate note: on Oracle the gap comes from per-statement overhead —
+// RoundRobin opens one cursor per joining tuple while NaiveQ submits a
+// single IN-list query per edge. The in-memory engine has no statement
+// cost of its own, so both series run with a simulated per-statement
+// overhead (DbGenOptions::statement_overhead_ns, default 1us here,
+// override with PRECIS_BENCH_STMT_NS). Setting it to 0 shows the two
+// strategies converge, which is itself an ablation of the paper's claim.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "precis/constraints.h"
+
+namespace precis {
+namespace {
+
+constexpr size_t kTuplesPerRelation = 50;
+
+uint64_t StatementOverheadNs() {
+  const char* env = std::getenv("PRECIS_BENCH_STMT_NS");
+  if (env != nullptr) return static_cast<uint64_t>(std::atoll(env));
+  return 1000;
+}
+
+const std::vector<bench::DbGenCase>& CasesFor(size_t n_r) {
+  static std::map<size_t, std::vector<bench::DbGenCase>>* cases =
+      new std::map<size_t, std::vector<bench::DbGenCase>>();
+  auto it = cases->find(n_r);
+  if (it == cases->end()) {
+    it = cases
+             ->emplace(n_r, bench::MakeDbGenCases(
+                                bench::SharedDataset(), n_r,
+                                /*seed=*/9 + n_r, /*num_chains=*/10,
+                                /*num_seed_sets=*/5, /*seeds_per_set=*/30))
+             .first;
+  }
+  return it->second;
+}
+
+void RunGenerator(benchmark::State& state, SubsetStrategy strategy) {
+  const MoviesDataset& dataset = bench::SharedDataset();
+  const size_t n_r = static_cast<size_t>(state.range(0));
+  const std::vector<bench::DbGenCase>& cases = CasesFor(n_r);
+  auto constraint = MaxTuplesPerRelation(kTuplesPerRelation);
+  DbGenOptions options;
+  options.strategy = strategy;
+  options.statement_overhead_ns = StatementOverheadNs();
+
+  size_t run = 0;
+  size_t total_tuples = 0;
+  size_t runs = 0;
+  AccessStats before = dataset.db().stats();
+  for (auto _ : state) {
+    const bench::DbGenCase& c = cases[run++ % cases.size()];
+    ResultDatabaseGenerator generator(&dataset.db());
+    auto result = generator.Generate(c.schema, c.seeds, *constraint, options);
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+    total_tuples += result->TotalTuples();
+    ++runs;
+  }
+  AccessStats after = dataset.db().stats();
+  if (runs > 0) {
+    state.counters["tuples"] =
+        static_cast<double>(total_tuples) / static_cast<double>(runs);
+    state.counters["statements"] =
+        static_cast<double>(after.statements - before.statements) /
+        static_cast<double>(runs);
+  }
+}
+
+void BM_DbGenNaiveQ(benchmark::State& state) {
+  RunGenerator(state, SubsetStrategy::kNaiveQ);
+}
+
+void BM_DbGenRoundRobin(benchmark::State& state) {
+  RunGenerator(state, SubsetStrategy::kRoundRobin);
+}
+
+BENCHMARK(BM_DbGenNaiveQ)->ArgName("n_R")->DenseRange(1, 8, 1);
+BENCHMARK(BM_DbGenRoundRobin)->ArgName("n_R")->DenseRange(1, 8, 1);
+
+}  // namespace
+}  // namespace precis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Supporting component (§4): inverted-index construction and probe cost.
+//
+// The paper treats index lookup as negligible and excludes it from the cost
+// model ("ignoring the initial overhead for finding the tuples that contain
+// the query keywords"); this bench quantifies that assumption at several
+// database scales up to the paper's 34k films.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "datagen/movies_dataset.h"
+#include "datagen/workload.h"
+#include "text/inverted_index.h"
+
+namespace precis {
+namespace {
+
+const MoviesDataset& DatasetFor(size_t movies) {
+  static std::map<size_t, MoviesDataset>* datasets =
+      new std::map<size_t, MoviesDataset>();
+  auto it = datasets->find(movies);
+  if (it == datasets->end()) {
+    MoviesConfig config;
+    config.num_movies = movies;
+    auto ds = MoviesDataset::Create(config);
+    if (!ds.ok()) std::abort();
+    it = datasets->emplace(movies, std::move(*ds)).first;
+  }
+  return it->second;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+  const MoviesDataset& dataset = DatasetFor(state.range(0));
+  size_t words = 0;
+  size_t postings = 0;
+  for (auto _ : state) {
+    auto index = InvertedIndex::Build(dataset.db());
+    if (!index.ok()) {
+      state.SkipWithError(index.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(index);
+    words = index->num_words();
+    postings = index->num_postings();
+  }
+  state.counters["words"] = static_cast<double>(words);
+  state.counters["postings"] = static_cast<double>(postings);
+  state.counters["tuples"] = static_cast<double>(dataset.db().TotalTuples());
+}
+
+void BM_IndexProbe(benchmark::State& state) {
+  const MoviesDataset& dataset = DatasetFor(state.range(0));
+  auto index = InvertedIndex::Build(dataset.db());
+  if (!index.ok()) {
+    state.SkipWithError(index.status().ToString().c_str());
+    return;
+  }
+  Rng rng(5);
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 64; ++i) {
+    tokens.push_back(
+        *RandomToken(dataset.db(), "DIRECTOR", "dname", &rng));
+  }
+  size_t run = 0;
+  for (auto _ : state) {
+    auto occurrences = index->Lookup(tokens[run++ % tokens.size()]);
+    benchmark::DoNotOptimize(occurrences);
+  }
+}
+
+BENCHMARK(BM_IndexBuild)
+    ->ArgName("movies")
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(15000)
+    ->Arg(34000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IndexProbe)
+    ->ArgName("movies")
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(15000)
+    ->Arg(34000);
+
+}  // namespace
+}  // namespace precis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Scalability: end-to-end précis answering as the database grows.
+//
+// The paper fixes its database (the 34k-film IMDB dump) and varies the
+// constraints; a downstream adopter's first question is the complementary
+// one — how does answer latency move with database size? Sweeps 1k..34k
+// movies and reports the full Answer() pipeline (index lookup + schema
+// generation + database generation) plus the one-off engine build cost
+// (dominated by inverted-index construction).
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "datagen/movies_dataset.h"
+#include "datagen/workload.h"
+#include "precis/engine.h"
+
+namespace precis {
+namespace {
+
+struct Sized {
+  std::unique_ptr<MoviesDataset> dataset;
+  std::unique_ptr<PrecisEngine> engine;
+  std::vector<std::string> tokens;
+};
+
+const Sized& SizedFor(size_t movies) {
+  static std::map<size_t, Sized>* cache = new std::map<size_t, Sized>();
+  auto it = cache->find(movies);
+  if (it == cache->end()) {
+    MoviesConfig config;
+    config.num_movies = movies;
+    auto ds = MoviesDataset::Create(config);
+    if (!ds.ok()) std::abort();
+    Sized sized;
+    sized.dataset = std::make_unique<MoviesDataset>(std::move(*ds));
+    auto engine =
+        PrecisEngine::Create(&sized.dataset->db(), &sized.dataset->graph());
+    if (!engine.ok()) std::abort();
+    sized.engine = std::make_unique<PrecisEngine>(std::move(*engine));
+    Rng rng(3);
+    for (int i = 0; i < 32; ++i) {
+      sized.tokens.push_back(
+          *RandomToken(sized.dataset->db(), "DIRECTOR", "dname", &rng));
+    }
+    it = cache->emplace(movies, std::move(sized)).first;
+  }
+  return it->second;
+}
+
+void BM_AnswerLatency(benchmark::State& state) {
+  const Sized& sized = SizedFor(static_cast<size_t>(state.range(0)));
+  auto d = MinPathWeight(0.9);
+  auto c = MaxTuplesPerRelation(5);
+  size_t run = 0;
+  size_t total_tuples = 0;
+  size_t runs = 0;
+  for (auto _ : state) {
+    const std::string& token = sized.tokens[run++ % sized.tokens.size()];
+    auto answer = sized.engine->Answer(PrecisQuery{{token}}, *d, *c);
+    if (!answer.ok()) {
+      state.SkipWithError(answer.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(answer);
+    total_tuples += answer->database.TotalTuples();
+    ++runs;
+  }
+  if (runs > 0) {
+    state.counters["tuples"] =
+        static_cast<double>(total_tuples) / static_cast<double>(runs);
+    state.counters["db_tuples"] =
+        static_cast<double>(sized.dataset->db().TotalTuples());
+  }
+}
+
+void BM_EngineBuild(benchmark::State& state) {
+  const Sized& sized = SizedFor(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto engine =
+        PrecisEngine::Create(&sized.dataset->db(), &sized.dataset->graph());
+    if (!engine.ok()) {
+      state.SkipWithError(engine.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(engine);
+  }
+}
+
+BENCHMARK(BM_AnswerLatency)
+    ->ArgName("movies")
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(15000)
+    ->Arg(34000);
+BENCHMARK(BM_EngineBuild)
+    ->ArgName("movies")
+    ->Arg(1000)
+    ->Arg(5000)
+    ->Arg(15000)
+    ->Arg(34000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace precis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+// DISCOVER/DBXplorer-style keyword search over the relational database —
+// the related-work comparator of the paper's §2.
+//
+// "Based on this graph, the interpretation for a given set of database
+//  tokens is a query that corresponds to a sub-graph connecting their
+//  corresponding nodes. An answer to a keyword search is a set of ranked
+//  tuples based on some criterion (the number of joins)."
+//
+// Unlike a précis, the result is a set of *flattened* joined tuple trees:
+// no surrounding information, no sub-database, no constraints. The
+// comparison benches and the keyword_search_comparison example use this
+// module to contrast the two paradigms.
+//
+// Scope notes relative to the original systems: candidate networks are
+// enumerated as trees over the schema graph (join edges taken as undirected
+// adjacency, as DISCOVER does), each keyword is covered by exactly one
+// tuple-set node, and enumeration/execution are capped by explicit limits
+// rather than by DISCOVER's algebraic plan sharing.
+
+#ifndef PRECIS_BASELINE_KEYWORD_SEARCH_H_
+#define PRECIS_BASELINE_KEYWORD_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+#include "storage/database.h"
+#include "text/inverted_index.h"
+
+namespace precis {
+
+/// \brief One answer: a tree of joined tuples, one per network node, that
+/// together cover all query keywords.
+struct JoinedTupleTree {
+  /// (relation name, tuple) per network node, root first.
+  std::vector<std::pair<std::string, Tuple>> tuples;
+  /// Number of joins in the network (the ranking criterion: fewer is
+  /// better, as in DBXplorer/DISCOVER).
+  size_t num_joins = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Knobs bounding the search.
+struct KeywordSearchOptions {
+  /// Maximum relations per candidate network (DISCOVER's T).
+  size_t max_network_size = 4;
+  /// Keep at most this many answers, best-ranked first.
+  size_t top_k = 20;
+  /// Stop enumerating candidate networks beyond this many.
+  size_t max_networks = 256;
+  /// Stop execution after this many raw answers (pre-ranking).
+  size_t max_results = 4096;
+};
+
+/// \brief Keyword-search engine over one database + schema graph.
+class KeywordSearchBaseline {
+ public:
+  /// Builds the engine (with its own inverted index) over `db` and `graph`,
+  /// which must outlive it.
+  static Result<KeywordSearchBaseline> Create(const Database* db,
+                                              const SchemaGraph* graph);
+
+  /// Answers a keyword query: ranked joined tuple trees covering all
+  /// keywords. Keywords that match nothing yield an empty answer set.
+  Result<std::vector<JoinedTupleTree>> Search(
+      const std::vector<std::string>& keywords,
+      const KeywordSearchOptions& options = KeywordSearchOptions()) const;
+
+  /// Number of candidate networks enumerated by the last Search call.
+  size_t last_num_networks() const { return last_num_networks_; }
+
+ private:
+  KeywordSearchBaseline(const Database* db, const SchemaGraph* graph,
+                        InvertedIndex index);
+
+  struct NetNode {
+    RelationNodeId relation;
+    int parent;                 // -1 for root
+    const JoinEdge* edge;       // edge connecting to parent (null for root)
+    bool edge_forward;          // true: parent --edge--> child
+    int keyword;                // covered keyword index, or -1 (free node)
+  };
+  using Network = std::vector<NetNode>;
+
+  /// Per-keyword tuple sets: relation -> matching tids.
+  struct TupleSet {
+    RelationNodeId relation;
+    std::vector<Tid> tids;
+  };
+
+  Result<std::vector<Network>> EnumerateNetworks(
+      const std::vector<std::vector<TupleSet>>& tuple_sets,
+      const KeywordSearchOptions& options) const;
+
+  Status ExecuteNetwork(const Network& network,
+                        const std::vector<std::vector<TupleSet>>& tuple_sets,
+                        const KeywordSearchOptions& options,
+                        std::vector<JoinedTupleTree>* results) const;
+
+  const Database* db_;
+  const SchemaGraph* graph_;
+  InvertedIndex index_;
+  /// Undirected adjacency derived from the join edges.
+  struct Adjacency {
+    RelationNodeId neighbor;
+    const JoinEdge* edge;
+    bool forward;
+  };
+  std::vector<std::vector<Adjacency>> adjacency_;
+  mutable size_t last_num_networks_ = 0;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_BASELINE_KEYWORD_SEARCH_H_

@@ -1,0 +1,73 @@
+// Deterministic random sources used by the data generator and the benchmarks.
+//
+// All experiments in the paper average over randomly generated weight sets and
+// random seed tuples; reproducibility of those experiments requires every
+// random draw in this codebase to flow through a seeded Rng.
+
+#ifndef PRECIS_COMMON_RANDOM_H_
+#define PRECIS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace precis {
+
+/// \brief Seeded pseudo-random number generator (mt19937_64 based).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p);
+
+  /// Picks a uniformly random element index of a container of size n (n > 0).
+  size_t Index(size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      std::swap((*v)[i], (*v)[Index(i + 1)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Zipf-distributed sampler over ranks {0, ..., n-1}.
+///
+/// Rank r is drawn with probability proportional to 1/(r+1)^s. Used to give
+/// the synthetic movies dataset realistically skewed join fan-outs (a few
+/// prolific directors/actors, a long tail).
+class ZipfSampler {
+ public:
+  /// \param n number of ranks; must be >= 1.
+  /// \param s skew parameter; s = 0 is uniform.
+  ZipfSampler(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_COMMON_RANDOM_H_

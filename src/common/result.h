@@ -1,0 +1,78 @@
+// Result<T>: a value or an error Status (Arrow-style).
+
+#ifndef PRECIS_COMMON_RESULT_H_
+#define PRECIS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace precis {
+
+/// \brief Holds either a successfully computed T or the Status explaining why
+/// it could not be computed.
+///
+/// Usage:
+/// \code
+///   Result<int> r = Parse(text);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors Arrow.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Failure. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access; undefined behaviour if !ok().
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out, or returns `alternative` on error.
+  T ValueOr(T alternative) && {
+    if (ok()) return std::move(*value_);
+    return alternative;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace precis
+
+/// Propagates the error of a Result expression, else assigns its value.
+#define PRECIS_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto PRECIS_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!PRECIS_CONCAT_(_res_, __LINE__).ok())      \
+    return PRECIS_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(*PRECIS_CONCAT_(_res_, __LINE__))
+
+#define PRECIS_CONCAT_IMPL_(a, b) a##b
+#define PRECIS_CONCAT_(a, b) PRECIS_CONCAT_IMPL_(a, b)
+
+#endif  // PRECIS_COMMON_RESULT_H_

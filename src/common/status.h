@@ -1,0 +1,105 @@
+// Status: Arrow/RocksDB-style error propagation without exceptions.
+//
+// All fallible operations in this codebase return Status (or Result<T>,
+// see result.h). Exceptions are not thrown across module boundaries.
+
+#ifndef PRECIS_COMMON_STATUS_H_
+#define PRECIS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace precis {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kConstraintViolation,
+  kOutOfRange,
+  kNotImplemented,
+  kInternal,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or an error code plus message.
+///
+/// Cheap to copy in the OK case (no allocation); error construction pays for
+/// one string. Use the factory methods (Status::InvalidArgument(...) etc.) to
+/// build errors and the PRECIS_RETURN_NOT_OK macro to propagate them.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ConstraintViolation(std::string msg) {
+    return Status(StatusCode::kConstraintViolation, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsConstraintViolation() const {
+    return code_ == StatusCode::kConstraintViolation;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsNotImplemented() const {
+    return code_ == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// \brief "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace precis
+
+/// Propagates a non-OK Status to the caller.
+#define PRECIS_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::precis::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#endif  // PRECIS_COMMON_STATUS_H_

@@ -1,0 +1,304 @@
+#include "datagen/bibliography_dataset.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace precis {
+
+namespace {
+
+constexpr std::array<const char*, 20> kSurnames = {
+    "Codd",    "Gray",     "Stonebraker", "Ullman",  "Widom",
+    "Abiteboul", "Bernstein", "DeWitt",   "Hellerstein", "Selinger",
+    "Chamberlin", "Bayer",  "Mohan",      "Kitsuregawa", "Valduriez",
+    "Ceri",    "Navathe",  "Ioannidis",   "Faloutsos",  "Agrawal"};
+
+constexpr std::array<const char*, 14> kGivenNames = {
+    "Ada",  "Boris", "Carla", "Deniz", "Erik",  "Fatma", "Goran",
+    "Hana", "Ivan",  "Julia", "Kenji", "Leila", "Marco", "Nadia"};
+
+constexpr std::array<const char*, 12> kTopics = {
+    "Transactions",  "Query Optimization", "Indexing",  "Replication",
+    "Data Streams",  "Schema Evolution",   "Views",     "Concurrency",
+    "Data Cleaning", "Keyword Search",     "Histograms", "Caching"};
+
+constexpr std::array<const char*, 10> kTopicAdjectives = {
+    "Adaptive",  "Scalable",   "Incremental", "Distributed", "Robust",
+    "Efficient", "Principled", "Self-Tuning", "Approximate", "Unified"};
+
+constexpr std::array<const char*, 8> kVenueNames = {
+    "SIGMOD", "VLDB", "ICDE", "EDBT", "CIDR", "PODS", "TODS", "DASFAA"};
+
+constexpr std::array<const char*, 8> kCountries = {
+    "USA",    "Germany", "Greece", "Japan",
+    "Canada", "France",  "Italy",  "Brazil"};
+
+constexpr std::array<const char*, 10> kAffiliations = {
+    "MIT",          "Stanford",  "Berkeley",   "ETH Zurich", "U Athens",
+    "U Wisconsin",  "CMU",       "TU Munich",  "U Tokyo",    "EPFL"};
+
+constexpr std::array<const char*, 14> kKeywords = {
+    "btree",      "two-phase-commit", "cost-model", "sampling",
+    "materialized", "parallelism",    "recovery",   "locking",
+    "sketching",  "provenance",       "compression", "partitioning",
+    "benchmark",  "selectivity"};
+
+Status CreateSchema(Database* db) {
+  auto make = [&](const std::string& name,
+                  std::vector<AttributeSchema> attrs,
+                  const std::string& pk) -> Status {
+    RelationSchema schema(name, std::move(attrs));
+    PRECIS_RETURN_NOT_OK(schema.SetPrimaryKey(pk));
+    return db->CreateRelation(std::move(schema));
+  };
+  PRECIS_RETURN_NOT_OK(make("AUTHOR",
+                            {{"auid", DataType::kInt64},
+                             {"name", DataType::kString},
+                             {"affiliation", DataType::kString}},
+                            "auid"));
+  PRECIS_RETURN_NOT_OK(make("PAPER",
+                            {{"pid", DataType::kInt64},
+                             {"title", DataType::kString},
+                             {"pyear", DataType::kInt64},
+                             {"vid", DataType::kInt64}},
+                            "pid"));
+  PRECIS_RETURN_NOT_OK(make("WRITES",
+                            {{"wid", DataType::kInt64},
+                             {"auid", DataType::kInt64},
+                             {"pid", DataType::kInt64}},
+                            "wid"));
+  PRECIS_RETURN_NOT_OK(make("VENUE",
+                            {{"vid", DataType::kInt64},
+                             {"vname", DataType::kString},
+                             {"vtype", DataType::kString},
+                             {"country", DataType::kString}},
+                            "vid"));
+  PRECIS_RETURN_NOT_OK(make("CITES",
+                            {{"ctid", DataType::kInt64},
+                             {"citing", DataType::kInt64},
+                             {"cited", DataType::kInt64}},
+                            "ctid"));
+  PRECIS_RETURN_NOT_OK(make("KEYWORD",
+                            {{"kid", DataType::kInt64},
+                             {"pid", DataType::kInt64},
+                             {"kw", DataType::kString}},
+                            "kid"));
+
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"WRITES", "auid", "AUTHOR", "auid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"WRITES", "pid", "PAPER", "pid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"PAPER", "vid", "VENUE", "vid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"CITES", "citing", "PAPER", "pid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"CITES", "cited", "PAPER", "pid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"KEYWORD", "pid", "PAPER", "pid"}));
+  return Status::OK();
+}
+
+Status AddGraphEdges(SchemaGraph* g) {
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("AUTHOR", "name", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("AUTHOR", "affiliation", 0.8));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("AUTHOR", "auid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PAPER", "title", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PAPER", "pyear", 0.9));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PAPER", "pid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PAPER", "vid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("WRITES", "wid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("WRITES", "auid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("WRITES", "pid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("VENUE", "vname", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("VENUE", "vtype", 0.5));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("VENUE", "country", 0.6));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("VENUE", "vid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("CITES", "ctid", 0.1));
+  // The citation references are themselves the information a citation row
+  // carries; they must be projectable for PAPER -> CITES paths to survive
+  // moderate thresholds.
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("CITES", "citing", 0.6));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("CITES", "cited", 0.6));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("KEYWORD", "kw", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("KEYWORD", "kid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("KEYWORD", "pid", 0.1));
+
+  // Same-name joins.
+  PRECIS_RETURN_NOT_OK(
+      g->AddJoinEdgePair("AUTHOR", "WRITES", "auid", 1.0, 0.8));
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdgePair("WRITES", "PAPER", "pid", 1.0, 0.7));
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdgePair("PAPER", "VENUE", "vid", 0.9, 0.8));
+  PRECIS_RETURN_NOT_OK(
+      g->AddJoinEdgePair("KEYWORD", "PAPER", "pid", 1.0, 0.6));
+  // Citation joins: end-point attributes differ (PAPER.pid vs CITES.citing
+  // / CITES.cited).
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdge("PAPER", "pid", "CITES", "citing", 0.85));
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdge("CITES", "cited", "PAPER", "pid", 0.95));
+  return Status::OK();
+}
+
+Status Populate(Database* db, const BibliographyConfig& config) {
+  Rng rng(config.seed);
+  const size_t num_papers = config.num_papers;
+  const size_t num_authors = std::max<size_t>(5, num_papers / 2);
+  const size_t num_venues =
+      std::min<size_t>(kVenueNames.size(), std::max<size_t>(3, num_papers / 50));
+  ZipfSampler author_pick(num_authors, 0.8);
+
+  auto insert = [&](const std::string& rel, Tuple t) -> Status {
+    auto r = db->GetRelation(rel);
+    if (!r.ok()) return r.status();
+    auto tid = (*r)->Insert(std::move(t));
+    if (!tid.ok()) return tid.status();
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < num_authors; ++i) {
+    std::string name = std::string(kGivenNames[i % kGivenNames.size()]) +
+                       " " + kSurnames[(i / kGivenNames.size()) %
+                                       kSurnames.size()];
+    size_t round = i / (kGivenNames.size() * kSurnames.size());
+    if (round > 0) name += " " + std::to_string(round + 1);
+    PRECIS_RETURN_NOT_OK(insert(
+        "AUTHOR",
+        {static_cast<int64_t>(i + 1), name,
+         std::string(kAffiliations[rng.Index(kAffiliations.size())])}));
+  }
+  for (size_t i = 0; i < num_venues; ++i) {
+    PRECIS_RETURN_NOT_OK(insert(
+        "VENUE", {static_cast<int64_t>(i + 1), std::string(kVenueNames[i]),
+                  i % 3 == 0 ? "journal" : "conference",
+                  std::string(kCountries[rng.Index(kCountries.size())])}));
+  }
+
+  int64_t wid = 1;
+  int64_t ctid = 1;
+  int64_t kid = 1;
+  for (size_t i = 0; i < num_papers; ++i) {
+    int64_t pid = static_cast<int64_t>(i + 1);
+    std::string title =
+        std::string(kTopicAdjectives[i % kTopicAdjectives.size()]) + " " +
+        kTopics[(i / kTopicAdjectives.size()) % kTopics.size()];
+    size_t round = i / (kTopicAdjectives.size() * kTopics.size());
+    if (round > 0) title += " " + std::to_string(round + 1);
+    int64_t vid = static_cast<int64_t>(rng.Index(num_venues)) + 1;
+    PRECIS_RETURN_NOT_OK(
+        insert("PAPER", {pid, title, rng.Uniform(1975, 2026), vid}));
+
+    // 1-3 authors, distinct.
+    size_t n_auth = static_cast<size_t>(rng.Uniform(1, 3));
+    std::vector<int64_t> chosen;
+    for (size_t a = 0; a < n_auth; ++a) {
+      int64_t auid = static_cast<int64_t>(author_pick.Sample(&rng)) + 1;
+      bool dup = false;
+      for (int64_t c : chosen) {
+        if (c == auid) dup = true;
+      }
+      if (dup) continue;
+      chosen.push_back(auid);
+      PRECIS_RETURN_NOT_OK(insert("WRITES", {wid++, auid, pid}));
+    }
+
+    // Citations: up to 3, strictly to older papers (a DAG, like real
+    // bibliographies).
+    if (i > 0) {
+      size_t n_cites = static_cast<size_t>(rng.Uniform(0, 3));
+      for (size_t c = 0; c < n_cites; ++c) {
+        int64_t cited = static_cast<int64_t>(rng.Index(i)) + 1;
+        PRECIS_RETURN_NOT_OK(insert("CITES", {ctid++, pid, cited}));
+      }
+    }
+
+    // 1-3 keywords, distinct.
+    size_t n_kw = static_cast<size_t>(rng.Uniform(1, 3));
+    std::vector<size_t> kw_pick =
+        rng.SampleWithoutReplacement(kKeywords.size(), n_kw);
+    for (size_t k : kw_pick) {
+      PRECIS_RETURN_NOT_OK(
+          insert("KEYWORD", {kid++, pid, std::string(kKeywords[k])}));
+    }
+  }
+  return Status::OK();
+}
+
+Status CreateJoinIndexes(Database* db) {
+  auto index = [&](const std::string& rel, const std::string& attr) -> Status {
+    auto r = db->GetRelation(rel);
+    if (!r.ok()) return r.status();
+    return (*r)->CreateIndex(attr);
+  };
+  PRECIS_RETURN_NOT_OK(index("AUTHOR", "auid"));
+  PRECIS_RETURN_NOT_OK(index("WRITES", "auid"));
+  PRECIS_RETURN_NOT_OK(index("WRITES", "pid"));
+  PRECIS_RETURN_NOT_OK(index("PAPER", "pid"));
+  PRECIS_RETURN_NOT_OK(index("PAPER", "vid"));
+  PRECIS_RETURN_NOT_OK(index("VENUE", "vid"));
+  PRECIS_RETURN_NOT_OK(index("CITES", "citing"));
+  PRECIS_RETURN_NOT_OK(index("CITES", "cited"));
+  PRECIS_RETURN_NOT_OK(index("KEYWORD", "pid"));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SchemaGraph> BuildBibliographyGraph() {
+  Database schema_only("bibliography_schema");
+  PRECIS_RETURN_NOT_OK(CreateSchema(&schema_only));
+  auto graph = SchemaGraph::FromDatabase(schema_only);
+  if (!graph.ok()) return graph.status();
+  PRECIS_RETURN_NOT_OK(AddGraphEdges(&*graph));
+  PRECIS_RETURN_NOT_OK(graph->Validate());
+  return graph;
+}
+
+Result<TemplateCatalog> BuildBibliographyTemplateCatalog() {
+  TemplateCatalog catalog;
+  catalog.SetHeadingAttribute("AUTHOR", "name");
+  catalog.SetHeadingAttribute("PAPER", "title");
+  catalog.SetHeadingAttribute("VENUE", "vname");
+  catalog.SetHeadingAttribute("KEYWORD", "kw");
+
+  PRECIS_RETURN_NOT_OK(catalog.DefineMacro(
+      "PAPER_LIST",
+      "[i<arityof(@TITLE)]{@TITLE[$i$] (@PYEAR[$i$]), }"
+      "[i=arityof(@TITLE)]{@TITLE[$i$] (@PYEAR[$i$]).}"));
+
+  PRECIS_RETURN_NOT_OK(catalog.SetProjectionTemplate(
+      "AUTHOR", "@NAME is affiliated with @AFFILIATION."));
+  PRECIS_RETURN_NOT_OK(catalog.SetProjectionTemplate(
+      "PAPER", "@TITLE (@PYEAR)."));
+  PRECIS_RETURN_NOT_OK(catalog.SetProjectionTemplate(
+      "VENUE", "@VNAME is a @VTYPE held in @COUNTRY."));
+
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "WRITES", "PAPER", "@NAME authored %PAPER_LIST%"));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "PAPER", "VENUE", "@TITLE appeared in @VNAME."));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "VENUE", "PAPER", "@VNAME published %PAPER_LIST%"));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "PAPER", "KEYWORD", "@TITLE is about @KW."));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "KEYWORD", "PAPER", "Work on @KW includes %PAPER_LIST%"));
+  // CITES is a heading-less link relation: its outgoing edge speaks for the
+  // citing paper (the nearest ancestor with a heading attribute).
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "CITES", "PAPER", "@TITLE cites %PAPER_LIST%"));
+  return catalog;
+}
+
+Result<BibliographyDataset> BibliographyDataset::Create(
+    const BibliographyConfig& config) {
+  auto db = std::make_unique<Database>("bibliography");
+  PRECIS_RETURN_NOT_OK(CreateSchema(db.get()));
+  PRECIS_RETURN_NOT_OK(Populate(db.get(), config));
+  if (config.create_indexes) {
+    PRECIS_RETURN_NOT_OK(CreateJoinIndexes(db.get()));
+  }
+  PRECIS_RETURN_NOT_OK(db->ValidateForeignKeys());
+  auto graph = BuildBibliographyGraph();
+  if (!graph.ok()) return graph.status();
+  db->ResetStats();
+  return BibliographyDataset(
+      std::move(db), std::make_unique<SchemaGraph>(std::move(*graph)));
+}
+
+}  // namespace precis

@@ -1,0 +1,486 @@
+#include "datagen/movies_dataset.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace precis {
+
+namespace {
+
+constexpr std::array<const char*, 28> kFirstNames = {
+    "Alice",  "Carlos", "Dmitri",  "Elena",   "Farid",  "Greta",  "Hiro",
+    "Ingrid", "Jorge",  "Katrin",  "Liam",    "Marta",  "Nikos",  "Olga",
+    "Pedro",  "Quinn",  "Rosa",    "Stefan",  "Talia",  "Umberto", "Vera",
+    "Walter", "Ximena", "Yannis",  "Zoe",     "Amara",  "Bruno",  "Chloe"};
+
+constexpr std::array<const char*, 26> kLastNames = {
+    "Anderson",  "Bergman", "Costa",    "Dimitriou", "Eriksson", "Fontaine",
+    "Garcia",    "Hoffman", "Ivanov",   "Jensen",    "Kowalski", "Larsen",
+    "Moreau",    "Nakamura", "Olsen",   "Papadakis", "Quintero", "Rossi",
+    "Schneider", "Takahashi", "Ueda",   "Vasquez",   "Weber",    "Xanthos",
+    "Yamamoto",  "Zimmer"};
+
+constexpr std::array<const char*, 22> kTitleAdjectives = {
+    "Silent",  "Crimson", "Endless", "Hidden",   "Golden", "Broken",
+    "Distant", "Electric", "Frozen", "Gentle",   "Hollow", "Iron",
+    "Jagged",  "Lonely",  "Midnight", "Northern", "Pale",   "Quiet",
+    "Restless", "Scarlet", "Twisted", "Velvet"};
+
+constexpr std::array<const char*, 22> kTitleNouns = {
+    "Horizon", "River",  "Garden",  "Mirror", "Station", "Harbour",
+    "Letter",  "Shadow", "Journey", "Window", "Bridge",  "Orchard",
+    "Empire",  "Winter", "Voyage",  "Echo",   "Carousel", "Lantern",
+    "Meadow",  "Tide",   "Compass", "Sonata"};
+
+constexpr std::array<const char*, 12> kGenres = {
+    "Drama",    "Comedy",  "Thriller", "Romance",     "Crime",  "Adventure",
+    "Fantasy",  "Mystery", "Western",  "Documentary", "Horror", "Musical"};
+
+constexpr std::array<const char*, 10> kRegions = {
+    "Center",  "Plaka",   "Kifisia",  "Glyfada", "Marousi",
+    "Piraeus", "Chalandri", "Pagrati", "Koukaki", "Exarchia"};
+
+constexpr std::array<const char*, 12> kRoles = {
+    "Detective", "Professor", "Pianist",  "Nurse",    "Captain", "Journalist",
+    "Painter",   "Drifter",   "Heiress",  "Gambler",  "Priest",  "Architect"};
+
+constexpr std::array<const char*, 8> kAwardCategories = {
+    "Best Picture",  "Best Director",  "Best Actor",   "Best Actress",
+    "Best Screenplay", "Best Cinematography", "Best Score", "Best Editing"};
+
+constexpr std::array<const char*, 8> kCountries = {
+    "USA",   "France", "Italy", "Japan",
+    "Greece", "Sweden", "Spain", "Germany"};
+
+constexpr std::array<const char*, 10> kCities = {
+    "Paris, France",     "Athens, Greece",   "Rome, Italy",
+    "Tokyo, Japan",      "Stockholm, Sweden", "Madrid, Spain",
+    "Berlin, Germany",   "Vienna, Austria",  "Lisbon, Portugal",
+    "Dublin, Ireland"};
+
+Status CreateSchema(Database* db, bool include_auxiliary) {
+  auto make = [&](const std::string& name,
+                  std::vector<AttributeSchema> attrs,
+                  const std::string& pk) -> Status {
+    RelationSchema schema(name, std::move(attrs));
+    PRECIS_RETURN_NOT_OK(schema.SetPrimaryKey(pk));
+    return db->CreateRelation(std::move(schema));
+  };
+
+  PRECIS_RETURN_NOT_OK(make("THEATRE",
+                            {{"tid", DataType::kInt64},
+                             {"name", DataType::kString},
+                             {"phone", DataType::kString},
+                             {"region", DataType::kString}},
+                            "tid"));
+  PRECIS_RETURN_NOT_OK(make("PLAY",
+                            {{"pid", DataType::kInt64},
+                             {"tid", DataType::kInt64},
+                             {"mid", DataType::kInt64},
+                             {"date", DataType::kString}},
+                            "pid"));
+  PRECIS_RETURN_NOT_OK(make("GENRE",
+                            {{"gid", DataType::kInt64},
+                             {"mid", DataType::kInt64},
+                             {"genre", DataType::kString}},
+                            "gid"));
+  PRECIS_RETURN_NOT_OK(make("MOVIE",
+                            {{"mid", DataType::kInt64},
+                             {"title", DataType::kString},
+                             {"year", DataType::kInt64},
+                             {"did", DataType::kInt64}},
+                            "mid"));
+  PRECIS_RETURN_NOT_OK(make("CAST",
+                            {{"cid", DataType::kInt64},
+                             {"mid", DataType::kInt64},
+                             {"aid", DataType::kInt64},
+                             {"role", DataType::kString}},
+                            "cid"));
+  PRECIS_RETURN_NOT_OK(make("ACTOR",
+                            {{"aid", DataType::kInt64},
+                             {"aname", DataType::kString},
+                             {"blocation", DataType::kString},
+                             {"bdate", DataType::kString}},
+                            "aid"));
+  PRECIS_RETURN_NOT_OK(make("DIRECTOR",
+                            {{"did", DataType::kInt64},
+                             {"dname", DataType::kString},
+                             {"blocation", DataType::kString},
+                             {"bdate", DataType::kString}},
+                            "did"));
+  if (include_auxiliary) {
+    PRECIS_RETURN_NOT_OK(make("AWARD",
+                              {{"awid", DataType::kInt64},
+                               {"mid", DataType::kInt64},
+                               {"category", DataType::kString},
+                               {"ayear", DataType::kInt64}},
+                              "awid"));
+    PRECIS_RETURN_NOT_OK(make("REVIEW",
+                              {{"rvid", DataType::kInt64},
+                               {"mid", DataType::kInt64},
+                               {"score", DataType::kInt64},
+                               {"critic", DataType::kString}},
+                              "rvid"));
+    PRECIS_RETURN_NOT_OK(make("STUDIO",
+                              {{"sid", DataType::kInt64},
+                               {"sname", DataType::kString},
+                               {"country", DataType::kString}},
+                              "sid"));
+    PRECIS_RETURN_NOT_OK(make("PRODUCED_BY",
+                              {{"pbid", DataType::kInt64},
+                               {"mid", DataType::kInt64},
+                               {"sid", DataType::kInt64}},
+                              "pbid"));
+  }
+
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"PLAY", "tid", "THEATRE", "tid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"PLAY", "mid", "MOVIE", "mid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"GENRE", "mid", "MOVIE", "mid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"MOVIE", "did", "DIRECTOR", "did"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"CAST", "mid", "MOVIE", "mid"}));
+  PRECIS_RETURN_NOT_OK(db->AddForeignKey({"CAST", "aid", "ACTOR", "aid"}));
+  if (include_auxiliary) {
+    PRECIS_RETURN_NOT_OK(db->AddForeignKey({"AWARD", "mid", "MOVIE", "mid"}));
+    PRECIS_RETURN_NOT_OK(db->AddForeignKey({"REVIEW", "mid", "MOVIE", "mid"}));
+    PRECIS_RETURN_NOT_OK(
+        db->AddForeignKey({"PRODUCED_BY", "mid", "MOVIE", "mid"}));
+    PRECIS_RETURN_NOT_OK(
+        db->AddForeignKey({"PRODUCED_BY", "sid", "STUDIO", "sid"}));
+  }
+  return Status::OK();
+}
+
+Status AddGraphEdges(SchemaGraph* g, bool include_auxiliary) {
+  // Projection edges. Heading attributes (name, title, genre, aname, dname)
+  // carry weight 1 — "the edge that connects a heading attribute with the
+  // respective relation has a weight 1 and is always present in the result".
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("THEATRE", "name", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("THEATRE", "phone", 0.8));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("THEATRE", "region", 0.7));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("THEATRE", "tid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PLAY", "date", 0.6));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PLAY", "pid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PLAY", "tid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PLAY", "mid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("GENRE", "genre", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("GENRE", "gid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("GENRE", "mid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("MOVIE", "title", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("MOVIE", "year", 0.9));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("MOVIE", "mid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("MOVIE", "did", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("CAST", "role", 0.7));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("CAST", "cid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("CAST", "mid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("CAST", "aid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("ACTOR", "aname", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("ACTOR", "blocation", 0.7));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("ACTOR", "bdate", 0.6));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("ACTOR", "aid", 0.1));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("DIRECTOR", "dname", 1.0));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("DIRECTOR", "blocation", 0.9));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("DIRECTOR", "bdate", 0.9));
+  PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("DIRECTOR", "did", 0.1));
+
+  // Join edges (weights per §3.1's discussion and the §3.2 example).
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdgePair("GENRE", "MOVIE", "mid", 1.0, 0.9));
+  PRECIS_RETURN_NOT_OK(
+      g->AddJoinEdgePair("DIRECTOR", "MOVIE", "did", 1.0, 0.8));
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdgePair("ACTOR", "CAST", "aid", 1.0, 0.6));
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdgePair("CAST", "MOVIE", "mid", 0.9, 0.7));
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdgePair("PLAY", "MOVIE", "mid", 1.0, 0.7));
+  PRECIS_RETURN_NOT_OK(g->AddJoinEdgePair("PLAY", "THEATRE", "tid", 1.0, 0.3));
+
+  if (include_auxiliary) {
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("AWARD", "category", 0.8));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("AWARD", "ayear", 0.5));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("AWARD", "awid", 0.1));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("AWARD", "mid", 0.1));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("REVIEW", "score", 0.6));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("REVIEW", "critic", 0.5));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("REVIEW", "rvid", 0.1));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("REVIEW", "mid", 0.1));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("STUDIO", "sname", 1.0));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("STUDIO", "country", 0.6));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("STUDIO", "sid", 0.1));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PRODUCED_BY", "pbid", 0.1));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PRODUCED_BY", "mid", 0.1));
+    PRECIS_RETURN_NOT_OK(g->AddProjectionEdge("PRODUCED_BY", "sid", 0.1));
+
+    // Auxiliary joins stay below the 0.9 threshold used by the Fig. 4
+    // reproduction so they never perturb the paper's example.
+    PRECIS_RETURN_NOT_OK(g->AddJoinEdgePair("AWARD", "MOVIE", "mid", 1.0, 0.5));
+    PRECIS_RETURN_NOT_OK(
+        g->AddJoinEdgePair("REVIEW", "MOVIE", "mid", 1.0, 0.4));
+    PRECIS_RETURN_NOT_OK(
+        g->AddJoinEdgePair("PRODUCED_BY", "MOVIE", "mid", 1.0, 0.3));
+    PRECIS_RETURN_NOT_OK(
+        g->AddJoinEdgePair("PRODUCED_BY", "STUDIO", "sid", 0.8, 0.6));
+  }
+  return Status::OK();
+}
+
+/// Inserts the paper's §1/§5.3 running-example tuples with ids 1..n.
+Status InsertPaperExample(Database* db) {
+  auto insert = [&](const std::string& rel, Tuple t) -> Status {
+    auto r = db->GetRelation(rel);
+    if (!r.ok()) return r.status();
+    auto tid = (*r)->Insert(std::move(t));
+    if (!tid.ok()) return tid.status();
+    return Status::OK();
+  };
+
+  PRECIS_RETURN_NOT_OK(insert(
+      "DIRECTOR", {int64_t{1}, "Woody Allen", "Brooklyn, New York, USA",
+                   "December 1, 1935"}));
+  PRECIS_RETURN_NOT_OK(insert(
+      "ACTOR", {int64_t{1}, "Woody Allen", "Brooklyn, New York, USA",
+                "December 1, 1935"}));
+  PRECIS_RETURN_NOT_OK(insert(
+      "ACTOR",
+      {int64_t{2}, "Scarlett Johansson", "New York, USA", "November 22, 1984"}));
+
+  PRECIS_RETURN_NOT_OK(
+      insert("MOVIE", {int64_t{1}, "Match Point", int64_t{2005}, int64_t{1}}));
+  PRECIS_RETURN_NOT_OK(insert(
+      "MOVIE", {int64_t{2}, "Melinda and Melinda", int64_t{2004}, int64_t{1}}));
+  PRECIS_RETURN_NOT_OK(insert(
+      "MOVIE", {int64_t{3}, "Anything Else", int64_t{2003}, int64_t{1}}));
+  PRECIS_RETURN_NOT_OK(insert(
+      "MOVIE", {int64_t{4}, "Hollywood Ending", int64_t{2002}, int64_t{1}}));
+  PRECIS_RETURN_NOT_OK(
+      insert("MOVIE", {int64_t{5}, "The Curse of the Jade Scorpion",
+                       int64_t{2001}, int64_t{1}}));
+
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{1}, int64_t{1}, "Drama"}));
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{2}, int64_t{1}, "Thriller"}));
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{3}, int64_t{2}, "Comedy"}));
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{4}, int64_t{2}, "Drama"}));
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{5}, int64_t{3}, "Comedy"}));
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{6}, int64_t{3}, "Romance"}));
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{7}, int64_t{4}, "Comedy"}));
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{8}, int64_t{5}, "Comedy"}));
+  PRECIS_RETURN_NOT_OK(insert("GENRE", {int64_t{9}, int64_t{5}, "Crime"}));
+
+  PRECIS_RETURN_NOT_OK(
+      insert("CAST", {int64_t{1}, int64_t{4}, int64_t{1}, "Val Waxman"}));
+  PRECIS_RETURN_NOT_OK(
+      insert("CAST", {int64_t{2}, int64_t{5}, int64_t{1}, "CW Briggs"}));
+  PRECIS_RETURN_NOT_OK(
+      insert("CAST", {int64_t{3}, int64_t{1}, int64_t{2}, "Nola Rice"}));
+
+  PRECIS_RETURN_NOT_OK(insert(
+      "THEATRE",
+      {int64_t{1}, "Odeon Downtown", "+30-210-3623683", "Center"}));
+  PRECIS_RETURN_NOT_OK(insert(
+      "THEATRE", {int64_t{2}, "Cine Paris", "+30-210-3222071", "Plaka"}));
+  PRECIS_RETURN_NOT_OK(
+      insert("PLAY", {int64_t{1}, int64_t{1}, int64_t{1}, "2006-01-14"}));
+  PRECIS_RETURN_NOT_OK(
+      insert("PLAY", {int64_t{2}, int64_t{2}, int64_t{2}, "2006-01-15"}));
+  PRECIS_RETURN_NOT_OK(
+      insert("PLAY", {int64_t{3}, int64_t{1}, int64_t{3}, "2006-01-16"}));
+  return Status::OK();
+}
+
+/// Synthetic population; all ids start at kBase to stay clear of the
+/// running-example ids.
+Status PopulateSynthetic(Database* db, const MoviesConfig& config) {
+  constexpr int64_t kBase = 1000;
+  Rng rng(config.seed);
+
+  const size_t num_movies = config.num_movies;
+  const size_t num_directors = std::max<size_t>(3, num_movies / 10);
+  const size_t num_actors = std::max<size_t>(10, num_movies / 2);
+  const size_t num_theatres = std::max<size_t>(3, num_movies / 50);
+  const size_t num_studios = std::max<size_t>(2, num_movies / 40);
+
+  ZipfSampler director_pick(num_directors, config.zipf_skew);
+  ZipfSampler actor_pick(num_actors, config.zipf_skew);
+  ZipfSampler studio_pick(num_studios, config.zipf_skew);
+
+  auto person_name = [&](size_t i) {
+    std::string name = std::string(kFirstNames[i % kFirstNames.size()]) + " " +
+                       kLastNames[(i / kFirstNames.size()) % kLastNames.size()];
+    size_t round = i / (kFirstNames.size() * kLastNames.size());
+    if (round > 0) name += " " + std::to_string(round + 1);
+    return name;
+  };
+  auto movie_title = [&](size_t i) {
+    std::string title =
+        std::string("The ") + kTitleAdjectives[i % kTitleAdjectives.size()] +
+        " " + kTitleNouns[(i / kTitleAdjectives.size()) % kTitleNouns.size()];
+    size_t round = i / (kTitleAdjectives.size() * kTitleNouns.size());
+    if (round > 0) title += " " + std::to_string(round + 1);
+    return title;
+  };
+
+  auto insert = [&](const std::string& rel, Tuple t) -> Status {
+    auto r = db->GetRelation(rel);
+    if (!r.ok()) return r.status();
+    auto tid = (*r)->Insert(std::move(t));
+    if (!tid.ok()) return tid.status();
+    return Status::OK();
+  };
+
+  for (size_t i = 0; i < num_directors; ++i) {
+    PRECIS_RETURN_NOT_OK(insert(
+        "DIRECTOR",
+        {kBase + static_cast<int64_t>(i), person_name(i),
+         std::string(kCities[rng.Index(kCities.size())]),
+         "March " + std::to_string(rng.Uniform(1, 28)) + ", " +
+             std::to_string(rng.Uniform(1920, 1990))}));
+  }
+  for (size_t i = 0; i < num_actors; ++i) {
+    PRECIS_RETURN_NOT_OK(insert(
+        "ACTOR",
+        {kBase + static_cast<int64_t>(i), person_name(i + 7),
+         std::string(kCities[rng.Index(kCities.size())]),
+         "June " + std::to_string(rng.Uniform(1, 28)) + ", " +
+             std::to_string(rng.Uniform(1930, 2000))}));
+  }
+  for (size_t i = 0; i < num_theatres; ++i) {
+    PRECIS_RETURN_NOT_OK(insert(
+        "THEATRE",
+        {kBase + static_cast<int64_t>(i),
+         std::string("Cinema ") + kTitleNouns[i % kTitleNouns.size()] + " " +
+             std::to_string(i),
+         "+30-210-" + std::to_string(3000000 + rng.Uniform(0, 999999)),
+         std::string(kRegions[rng.Index(kRegions.size())])}));
+  }
+  if (config.include_auxiliary_relations) {
+    for (size_t i = 0; i < num_studios; ++i) {
+      PRECIS_RETURN_NOT_OK(insert(
+          "STUDIO", {kBase + static_cast<int64_t>(i),
+                     std::string(kTitleNouns[i % kTitleNouns.size()]) +
+                         " Pictures " + std::to_string(i),
+                     std::string(kCountries[rng.Index(kCountries.size())])}));
+    }
+  }
+
+  int64_t gid = kBase;
+  int64_t cid = kBase;
+  int64_t pid = kBase;
+  int64_t pbid = kBase;
+  for (size_t i = 0; i < num_movies; ++i) {
+    int64_t mid = kBase + static_cast<int64_t>(i);
+    int64_t did = kBase + static_cast<int64_t>(director_pick.Sample(&rng));
+    PRECIS_RETURN_NOT_OK(insert(
+        "MOVIE", {mid, movie_title(i), rng.Uniform(1950, 2025), did}));
+
+    // 1-3 genres, distinct.
+    size_t n_genres = static_cast<size_t>(rng.Uniform(1, 3));
+    std::vector<size_t> gpick =
+        rng.SampleWithoutReplacement(kGenres.size(), n_genres);
+    for (size_t gp : gpick) {
+      PRECIS_RETURN_NOT_OK(
+          insert("GENRE", {gid++, mid, std::string(kGenres[gp])}));
+    }
+
+    // 3 cast members (may repeat actors across movies; Zipf-skewed).
+    for (int k = 0; k < 3; ++k) {
+      int64_t aid = kBase + static_cast<int64_t>(actor_pick.Sample(&rng));
+      PRECIS_RETURN_NOT_OK(
+          insert("CAST", {cid++, mid, aid,
+                          std::string(kRoles[rng.Index(kRoles.size())])}));
+    }
+
+    // 0-2 plays.
+    size_t n_plays = static_cast<size_t>(rng.Uniform(0, 2));
+    for (size_t k = 0; k < n_plays; ++k) {
+      int64_t tid = kBase + static_cast<int64_t>(rng.Index(num_theatres));
+      PRECIS_RETURN_NOT_OK(insert(
+          "PLAY", {pid++, tid, mid,
+                   "2026-0" + std::to_string(rng.Uniform(1, 9)) + "-" +
+                       std::to_string(rng.Uniform(10, 28))}));
+    }
+
+    if (config.include_auxiliary_relations) {
+      int64_t sid = kBase + static_cast<int64_t>(studio_pick.Sample(&rng));
+      PRECIS_RETURN_NOT_OK(insert("PRODUCED_BY", {pbid++, mid, sid}));
+    }
+  }
+
+  if (config.include_auxiliary_relations) {
+    size_t num_awards = num_movies / 5;
+    for (size_t i = 0; i < num_awards; ++i) {
+      int64_t mid = kBase + static_cast<int64_t>(rng.Index(num_movies));
+      PRECIS_RETURN_NOT_OK(insert(
+          "AWARD",
+          {kBase + static_cast<int64_t>(i), mid,
+           std::string(kAwardCategories[rng.Index(kAwardCategories.size())]),
+           rng.Uniform(1950, 2026)}));
+    }
+    size_t num_reviews = num_movies / 2;
+    for (size_t i = 0; i < num_reviews; ++i) {
+      int64_t mid = kBase + static_cast<int64_t>(rng.Index(num_movies));
+      PRECIS_RETURN_NOT_OK(
+          insert("REVIEW", {kBase + static_cast<int64_t>(i), mid,
+                            rng.Uniform(1, 10), person_name(rng.Index(200))}));
+    }
+  }
+  return Status::OK();
+}
+
+Status CreateJoinIndexes(Database* db, bool include_auxiliary) {
+  auto index = [&](const std::string& rel, const std::string& attr) -> Status {
+    auto r = db->GetRelation(rel);
+    if (!r.ok()) return r.status();
+    return (*r)->CreateIndex(attr);
+  };
+  PRECIS_RETURN_NOT_OK(index("THEATRE", "tid"));
+  PRECIS_RETURN_NOT_OK(index("PLAY", "tid"));
+  PRECIS_RETURN_NOT_OK(index("PLAY", "mid"));
+  PRECIS_RETURN_NOT_OK(index("GENRE", "mid"));
+  PRECIS_RETURN_NOT_OK(index("MOVIE", "mid"));
+  PRECIS_RETURN_NOT_OK(index("MOVIE", "did"));
+  PRECIS_RETURN_NOT_OK(index("CAST", "mid"));
+  PRECIS_RETURN_NOT_OK(index("CAST", "aid"));
+  PRECIS_RETURN_NOT_OK(index("ACTOR", "aid"));
+  PRECIS_RETURN_NOT_OK(index("DIRECTOR", "did"));
+  if (include_auxiliary) {
+    PRECIS_RETURN_NOT_OK(index("AWARD", "mid"));
+    PRECIS_RETURN_NOT_OK(index("REVIEW", "mid"));
+    PRECIS_RETURN_NOT_OK(index("STUDIO", "sid"));
+    PRECIS_RETURN_NOT_OK(index("PRODUCED_BY", "mid"));
+    PRECIS_RETURN_NOT_OK(index("PRODUCED_BY", "sid"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SchemaGraph> BuildMoviesGraph(bool include_auxiliary_relations) {
+  Database schema_only("movies_schema");
+  PRECIS_RETURN_NOT_OK(
+      CreateSchema(&schema_only, include_auxiliary_relations));
+  auto graph = SchemaGraph::FromDatabase(schema_only);
+  if (!graph.ok()) return graph.status();
+  PRECIS_RETURN_NOT_OK(AddGraphEdges(&*graph, include_auxiliary_relations));
+  PRECIS_RETURN_NOT_OK(graph->Validate());
+  return graph;
+}
+
+Result<MoviesDataset> MoviesDataset::Create(const MoviesConfig& config) {
+  auto db = std::make_unique<Database>("movies");
+  PRECIS_RETURN_NOT_OK(
+      CreateSchema(db.get(), config.include_auxiliary_relations));
+  if (config.include_paper_example) {
+    PRECIS_RETURN_NOT_OK(InsertPaperExample(db.get()));
+  }
+  PRECIS_RETURN_NOT_OK(PopulateSynthetic(db.get(), config));
+  if (config.create_indexes) {
+    PRECIS_RETURN_NOT_OK(
+        CreateJoinIndexes(db.get(), config.include_auxiliary_relations));
+  }
+  PRECIS_RETURN_NOT_OK(db->ValidateForeignKeys());
+
+  auto graph = BuildMoviesGraph(config.include_auxiliary_relations);
+  if (!graph.ok()) return graph.status();
+  auto graph_ptr = std::make_unique<SchemaGraph>(std::move(*graph));
+  db->ResetStats();
+  return MoviesDataset(std::move(db), std::move(graph_ptr), config);
+}
+
+}  // namespace precis

@@ -1,0 +1,66 @@
+#include "datagen/movies_templates.h"
+
+namespace precis {
+
+Result<TemplateCatalog> BuildMoviesTemplateCatalog() {
+  TemplateCatalog catalog;
+
+  // Heading attributes ("MOVIE should have TITLE as its heading attribute";
+  // CAST, PLAY, GENRE and PRODUCED_BY are link relations without one).
+  catalog.SetHeadingAttribute("THEATRE", "name");
+  catalog.SetHeadingAttribute("MOVIE", "title");
+  catalog.SetHeadingAttribute("ACTOR", "aname");
+  catalog.SetHeadingAttribute("DIRECTOR", "dname");
+  catalog.SetHeadingAttribute("GENRE", "genre");
+  catalog.SetHeadingAttribute("STUDIO", "sname");
+
+  // The paper's DEFINE MOVIE_LIST as
+  //   [i<arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]), }
+  //   [i=arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]).}
+  PRECIS_RETURN_NOT_OK(catalog.DefineMacro(
+      "MOVIE_LIST",
+      "[i<arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]), }"
+      "[i=arityof(@TITLE)]{@TITLE[$i$] (@YEAR[$i$]).}"));
+
+  // Clause templates for subject relations (labels of projection edges).
+  PRECIS_RETURN_NOT_OK(catalog.SetProjectionTemplate(
+      "DIRECTOR", "@DNAME was born on @BDATE in @BLOCATION."));
+  PRECIS_RETURN_NOT_OK(catalog.SetProjectionTemplate(
+      "ACTOR", "@ANAME was born on @BDATE in @BLOCATION."));
+  PRECIS_RETURN_NOT_OK(catalog.SetProjectionTemplate(
+      "THEATRE", "@NAME is a theatre in @REGION (phone @PHONE)."));
+  PRECIS_RETURN_NOT_OK(catalog.SetProjectionTemplate(
+      "STUDIO", "@SNAME is a studio based in @COUNTRY."));
+
+  // Template labels of join edges ("expr_1 = 'As a director,'
+  // expr_2 = "'s work includes" in the paper's formula).
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "DIRECTOR", "MOVIE",
+      "As a director, @DNAME's work includes %MOVIE_LIST%"));
+  // "The label of a join edge that involves a relation without a heading
+  // attribute signifies the relationship between the previous and subsequent
+  // relations": CAST -> MOVIE speaks for the ACTOR behind it.
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "CAST", "MOVIE",
+      "As an actor, @ANAME's work includes %MOVIE_LIST%"));
+  PRECIS_RETURN_NOT_OK(
+      catalog.SetJoinTemplate("MOVIE", "GENRE", "@TITLE is @GENRE."));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "GENRE", "MOVIE", "@GENRE movies include %MOVIE_LIST%"));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "MOVIE", "DIRECTOR", "@TITLE was directed by @DNAME."));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "CAST", "ACTOR", "@ANAME appears as @ROLE."));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "PLAY", "THEATRE", "It plays at @NAME (@REGION)."));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "MOVIE", "AWARD", "@TITLE received @CATEGORY."));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "MOVIE", "REVIEW", "@TITLE was scored @SCORE by critics."));
+  PRECIS_RETURN_NOT_OK(catalog.SetJoinTemplate(
+      "PRODUCED_BY", "STUDIO", "@TITLE was produced by @SNAME."));
+
+  return catalog;
+}
+
+}  // namespace precis

@@ -1,0 +1,19 @@
+// The designer annotations for the movies schema (paper §5.3): heading
+// attributes, projection/join templates, and the MOVIE_LIST macro — exactly
+// the running example's vocabulary, so that the précis of {"Woody Allen"}
+// renders as the paragraph printed in the paper.
+
+#ifndef PRECIS_DATAGEN_MOVIES_TEMPLATES_H_
+#define PRECIS_DATAGEN_MOVIES_TEMPLATES_H_
+
+#include "common/result.h"
+#include "translator/catalog.h"
+
+namespace precis {
+
+/// \brief Builds the template catalog for the movies schema.
+Result<TemplateCatalog> BuildMoviesTemplateCatalog();
+
+}  // namespace precis
+
+#endif  // PRECIS_DATAGEN_MOVIES_TEMPLATES_H_

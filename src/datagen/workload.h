@@ -1,0 +1,60 @@
+// Workload helpers for experiments: random weight sets, random join chains,
+// random seed tuples — the methodology of the paper's §6.
+
+#ifndef PRECIS_DATAGEN_WORKLOAD_H_
+#define PRECIS_DATAGEN_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "graph/schema_graph.h"
+#include "storage/database.h"
+#include "precis/result_schema.h"
+
+namespace precis {
+
+/// \brief A connected acyclic set of relations: `start`, then one new
+/// relation per join edge. Each edge departs from a relation already in the
+/// set (so the edges form a tree rooted at `start`, in insertion order).
+/// `edges.size() + 1` relations total.
+struct JoinChain {
+  RelationNodeId start = 0;
+  std::vector<const JoinEdge*> edges;
+
+  size_t num_relations() const { return edges.size() + 1; }
+};
+
+/// \brief Picks a random connected set of `num_relations` distinct relations
+/// joined by edges forming a tree. This realizes the paper's "sets of
+/// relations, making sure that there is no relation in any set that does not
+/// join with another relation of this set".
+///
+/// Fails if the graph admits no such set (after bounded attempts).
+Result<JoinChain> RandomJoinChain(const SchemaGraph& graph, Rng* rng,
+                                  size_t num_relations);
+
+/// \brief Builds a ResultSchema that covers exactly the chain: `start` is
+/// the (single) token relation, every relation of the chain is included,
+/// and every attribute that has a projection edge is projected. Used by the
+/// Fig. 8 / Fig. 9 benches, which drive the Result Database Generator
+/// directly with a known shape.
+Result<ResultSchema> SchemaForChain(const SchemaGraph& graph,
+                                    const JoinChain& chain);
+
+/// \brief `k` distinct random tuple ids from a relation (fewer if the
+/// relation is smaller) — the paper's "random sets of tuples as the seed".
+Result<std::vector<Tid>> RandomSeedTids(const Database& db,
+                                        const std::string& relation, Rng* rng,
+                                        size_t k);
+
+/// \brief A random token value drawn from a string attribute of a relation
+/// (for end-to-end query workloads).
+Result<std::string> RandomToken(const Database& db,
+                                const std::string& relation,
+                                const std::string& attribute, Rng* rng);
+
+}  // namespace precis
+
+#endif  // PRECIS_DATAGEN_WORKLOAD_H_

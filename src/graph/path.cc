@@ -1,0 +1,82 @@
+#include "graph/path.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace precis {
+
+Path Path::Projection(RelationNodeId source, const ProjectionEdge* edge) {
+  assert(edge != nullptr && edge->relation == source);
+  Path p;
+  p.source_ = source;
+  p.projection_ = edge;
+  p.weight_ = edge->weight;
+  return p;
+}
+
+Path Path::Join(RelationNodeId source, const JoinEdge* edge) {
+  assert(edge != nullptr && edge->from == source);
+  Path p;
+  p.source_ = source;
+  p.joins_.push_back(edge);
+  p.weight_ = edge->weight;
+  return p;
+}
+
+Path Path::ExtendedByJoin(const JoinEdge* edge, double length_decay) const {
+  assert(!is_projection_path());
+  assert(edge->from == terminal_relation());
+  assert(length_decay > 0.0 && length_decay <= 1.0);
+  Path p = *this;
+  p.joins_.push_back(edge);
+  p.weight_ *= edge->weight * length_decay;
+  return p;
+}
+
+Path Path::ExtendedByProjection(const ProjectionEdge* edge,
+                                double length_decay) const {
+  assert(!is_projection_path());
+  assert(edge->relation == terminal_relation());
+  assert(length_decay > 0.0 && length_decay <= 1.0);
+  Path p = *this;
+  p.projection_ = edge;
+  p.weight_ *= edge->weight * length_decay;
+  return p;
+}
+
+RelationNodeId Path::terminal_relation() const {
+  if (projection_ != nullptr) return projection_->relation;
+  if (!joins_.empty()) return joins_.back()->to;
+  return source_;
+}
+
+bool Path::ContainsRelation(RelationNodeId relation) const {
+  if (relation == source_) return true;
+  for (const JoinEdge* e : joins_) {
+    if (e->to == relation) return true;
+  }
+  return false;
+}
+
+std::string Path::ToString(const SchemaGraph& graph) const {
+  std::ostringstream os;
+  os << graph.relation_name(source_);
+  for (const JoinEdge* e : joins_) {
+    os << " -(" << e->from_attribute << ")-> " << graph.relation_name(e->to);
+  }
+  if (projection_ != nullptr) {
+    os << " . "
+       << graph.relation_schema(projection_->relation)
+              .attribute(projection_->attribute)
+              .name;
+  }
+  os << " [w=" << weight_ << "]";
+  return os.str();
+}
+
+bool PathPrecedes(const Path& a, const Path& b) {
+  if (a.weight() != b.weight()) return a.weight() > b.weight();
+  return a.length() < b.length();
+}
+
+}  // namespace precis

@@ -1,0 +1,97 @@
+// Transitive join / projection paths and weight transfer (paper §3.2).
+//
+// "A directed path p between two relation nodes, comprising adjacent join
+//  edges, represents the implicit join between these relations. A directed
+//  path between a relation node and an attribute node ... represents the
+//  implicit projection of the attribute on this relation."
+//
+// "The weight of a path is a function of the weight of constituent edges,
+//  and should decrease as the length of the path increases [Collins &
+//  Quillian]. In our implementation, we have chosen multiplication as this
+//  function."
+//
+// This implementation generalizes the choice to  w(p) = (prod_i w_i) *
+// lambda^(len-1)  with a configurable length-decay factor lambda in (0, 1]:
+// lambda = 1 (the default everywhere) is exactly the paper's multiplication;
+// smaller lambdas penalize transitivity itself, a knob the cited semantic-
+// memory work motivates and bench/ablation_weight_transfer explores.
+
+#ifndef PRECIS_GRAPH_PATH_H_
+#define PRECIS_GRAPH_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/schema_graph.h"
+
+namespace precis {
+
+/// \brief A transitive path on the schema graph: a sequence of adjacent join
+/// edges starting at `source`, optionally terminated by a projection edge.
+///
+/// With a terminating projection edge the path is a *transitive projection
+/// path* (it projects one attribute onto `source`); without one it is a
+/// *transitive join path*. Paths hold pointers into the SchemaGraph, which
+/// must outlive them.
+class Path {
+ public:
+  /// A path consisting of a single projection edge on `source` itself.
+  static Path Projection(RelationNodeId source, const ProjectionEdge* edge);
+
+  /// A path consisting of a single join edge out of `source`.
+  static Path Join(RelationNodeId source, const JoinEdge* edge);
+
+  /// This path extended by one more join edge (must depart from
+  /// terminal_relation()). Only valid on join paths. `length_decay` is the
+  /// extra per-hop attenuation lambda (1.0 = pure multiplication).
+  Path ExtendedByJoin(const JoinEdge* edge, double length_decay = 1.0) const;
+
+  /// This path terminated by a projection edge on terminal_relation().
+  /// Only valid on join paths.
+  Path ExtendedByProjection(const ProjectionEdge* edge,
+                            double length_decay = 1.0) const;
+
+  bool is_projection_path() const { return projection_ != nullptr; }
+
+  RelationNodeId source() const { return source_; }
+
+  /// The relation the path currently ends at (the projection edge's
+  /// container relation for projection paths).
+  RelationNodeId terminal_relation() const;
+
+  /// Number of edges, counting the terminal projection edge if present.
+  size_t length() const {
+    return joins_.size() + (projection_ != nullptr ? 1 : 0);
+  }
+
+  /// Product of constituent edge weights.
+  double weight() const { return weight_; }
+
+  const std::vector<const JoinEdge*>& joins() const { return joins_; }
+  const ProjectionEdge* projection() const { return projection_; }
+
+  /// True if extending with a join edge to `relation` would revisit a
+  /// relation already on the path (paths must stay acyclic).
+  bool ContainsRelation(RelationNodeId relation) const;
+
+  /// "DIRECTOR -(did)-> MOVIE . title [w=0.72]" rendering.
+  std::string ToString(const SchemaGraph& graph) const;
+
+ private:
+  RelationNodeId source_ = 0;
+  std::vector<const JoinEdge*> joins_;
+  const ProjectionEdge* projection_ = nullptr;
+  double weight_ = 1.0;
+};
+
+/// \brief Ordering used by the Result Schema Generator's queue: decreasing
+/// weight; among equal weights, increasing length ("shorter paths are
+/// favoured ... based on the intuition that these may connect more closely
+/// related entities").
+///
+/// Returns true if `a` should be dequeued before `b`.
+bool PathPrecedes(const Path& a, const Path& b);
+
+}  // namespace precis
+
+#endif  // PRECIS_GRAPH_PATH_H_

@@ -1,0 +1,227 @@
+#include "graph/schema_graph.h"
+
+#include <sstream>
+
+namespace precis {
+
+Result<SchemaGraph> SchemaGraph::FromDatabase(const Database& db) {
+  std::vector<RelationSchema> schemas;
+  for (const std::string& name : db.RelationNames()) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) return rel.status();
+    schemas.push_back((*rel)->schema());
+  }
+  return FromSchemas(std::move(schemas));
+}
+
+Result<SchemaGraph> SchemaGraph::FromSchemas(
+    std::vector<RelationSchema> schemas) {
+  SchemaGraph g;
+  g.schemas_ = std::move(schemas);
+  for (RelationNodeId id = 0; id < g.schemas_.size(); ++id) {
+    const std::string& name = g.schemas_[id].name();
+    if (!g.relation_ids_.emplace(name, id).second) {
+      return Status::InvalidArgument("duplicate relation name '" + name +
+                                     "' in schema graph");
+    }
+  }
+  g.projections_by_relation_.resize(g.schemas_.size());
+  g.joins_from_.resize(g.schemas_.size());
+  g.joins_to_.resize(g.schemas_.size());
+  return g;
+}
+
+Result<RelationNodeId> SchemaGraph::RelationId(const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  if (it == relation_ids_.end()) {
+    return Status::NotFound("relation '" + name + "' not in schema graph");
+  }
+  return it->second;
+}
+
+Status SchemaGraph::CheckWeight(double weight) const {
+  if (weight < 0.0 || weight > 1.0) {
+    return Status::InvalidArgument("edge weight " + std::to_string(weight) +
+                                   " outside [0, 1]");
+  }
+  return Status::OK();
+}
+
+Status SchemaGraph::AddProjectionEdge(const std::string& relation,
+                                      const std::string& attribute,
+                                      double weight) {
+  PRECIS_RETURN_NOT_OK(CheckWeight(weight));
+  auto rel = RelationId(relation);
+  if (!rel.ok()) return rel.status();
+  auto attr = schemas_[*rel].AttributeIndex(attribute);
+  if (!attr.ok()) return attr.status();
+  for (const ProjectionEdge* e : projections_by_relation_[*rel]) {
+    if (e->attribute == *attr) {
+      return Status::AlreadyExists("projection edge " + relation + "." +
+                                   attribute + " already exists");
+    }
+  }
+  projection_edges_.push_back(ProjectionEdge{
+      *rel, static_cast<uint32_t>(*attr), weight});
+  projections_by_relation_[*rel].push_back(&projection_edges_.back());
+  return Status::OK();
+}
+
+Status SchemaGraph::AddAllProjectionEdges(const std::string& relation,
+                                          double weight) {
+  auto rel = RelationId(relation);
+  if (!rel.ok()) return rel.status();
+  for (const auto& attr : schemas_[*rel].attributes()) {
+    PRECIS_RETURN_NOT_OK(AddProjectionEdge(relation, attr.name, weight));
+  }
+  return Status::OK();
+}
+
+Status SchemaGraph::AddJoinEdge(const std::string& from_relation,
+                                const std::string& from_attribute,
+                                const std::string& to_relation,
+                                const std::string& to_attribute,
+                                double weight) {
+  PRECIS_RETURN_NOT_OK(CheckWeight(weight));
+  auto from = RelationId(from_relation);
+  if (!from.ok()) return from.status();
+  auto to = RelationId(to_relation);
+  if (!to.ok()) return to.status();
+  auto from_attr = schemas_[*from].AttributeIndex(from_attribute);
+  if (!from_attr.ok()) return from_attr.status();
+  auto to_attr = schemas_[*to].AttributeIndex(to_attribute);
+  if (!to_attr.ok()) return to_attr.status();
+  if (schemas_[*from].attribute(*from_attr).type !=
+      schemas_[*to].attribute(*to_attr).type) {
+    return Status::InvalidArgument(
+        "join attribute type mismatch: " + from_relation + "." +
+        from_attribute + " vs " + to_relation + "." + to_attribute);
+  }
+  // Paper simplification: at most one directed edge per (from, to) pair.
+  for (const JoinEdge* e : joins_from_[*from]) {
+    if (e->to == *to) {
+      return Status::AlreadyExists("join edge " + from_relation + " -> " +
+                                   to_relation + " already exists");
+    }
+  }
+  join_edges_.push_back(
+      JoinEdge{*from, *to, from_attribute, to_attribute, weight});
+  joins_from_[*from].push_back(&join_edges_.back());
+  joins_to_[*to].push_back(&join_edges_.back());
+  return Status::OK();
+}
+
+Status SchemaGraph::AddJoinEdgePair(const std::string& relation_a,
+                                    const std::string& relation_b,
+                                    const std::string& attribute,
+                                    double weight_ab, double weight_ba) {
+  if (weight_ab >= 0.0) {
+    PRECIS_RETURN_NOT_OK(
+        AddJoinEdge(relation_a, attribute, relation_b, attribute, weight_ab));
+  }
+  if (weight_ba >= 0.0) {
+    PRECIS_RETURN_NOT_OK(
+        AddJoinEdge(relation_b, attribute, relation_a, attribute, weight_ba));
+  }
+  return Status::OK();
+}
+
+Status SchemaGraph::SetProjectionWeight(const std::string& relation,
+                                        const std::string& attribute,
+                                        double weight) {
+  PRECIS_RETURN_NOT_OK(CheckWeight(weight));
+  auto rel = RelationId(relation);
+  if (!rel.ok()) return rel.status();
+  auto attr = schemas_[*rel].AttributeIndex(attribute);
+  if (!attr.ok()) return attr.status();
+  for (ProjectionEdge& e : projection_edges_) {
+    if (e.relation == *rel && e.attribute == *attr) {
+      e.weight = weight;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no projection edge " + relation + "." + attribute);
+}
+
+Status SchemaGraph::SetJoinWeight(const std::string& from_relation,
+                                  const std::string& to_relation,
+                                  double weight) {
+  PRECIS_RETURN_NOT_OK(CheckWeight(weight));
+  auto from = RelationId(from_relation);
+  if (!from.ok()) return from.status();
+  auto to = RelationId(to_relation);
+  if (!to.ok()) return to.status();
+  for (JoinEdge& e : join_edges_) {
+    if (e.from == *from && e.to == *to) {
+      e.weight = weight;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no join edge " + from_relation + " -> " +
+                          to_relation);
+}
+
+Result<double> SchemaGraph::ProjectionWeight(
+    const std::string& relation, const std::string& attribute) const {
+  auto rel = RelationId(relation);
+  if (!rel.ok()) return rel.status();
+  auto attr = schemas_[*rel].AttributeIndex(attribute);
+  if (!attr.ok()) return attr.status();
+  for (const ProjectionEdge* e : projections_by_relation_[*rel]) {
+    if (e->attribute == *attr) return e->weight;
+  }
+  return Status::NotFound("no projection edge " + relation + "." + attribute);
+}
+
+Result<double> SchemaGraph::JoinWeight(const std::string& from_relation,
+                                       const std::string& to_relation) const {
+  auto from = RelationId(from_relation);
+  if (!from.ok()) return from.status();
+  auto to = RelationId(to_relation);
+  if (!to.ok()) return to.status();
+  for (const JoinEdge* e : joins_from_[*from]) {
+    if (e->to == *to) return e->weight;
+  }
+  return Status::NotFound("no join edge " + from_relation + " -> " +
+                          to_relation);
+}
+
+Status SchemaGraph::Validate() const {
+  for (const ProjectionEdge& e : projection_edges_) {
+    PRECIS_RETURN_NOT_OK(CheckWeight(e.weight));
+  }
+  for (const JoinEdge& e : join_edges_) {
+    PRECIS_RETURN_NOT_OK(CheckWeight(e.weight));
+    const RelationSchema& from_schema = schemas_[e.from];
+    const RelationSchema& to_schema = schemas_[e.to];
+    auto fa = from_schema.AttributeIndex(e.from_attribute);
+    if (!fa.ok()) return fa.status();
+    auto ta = to_schema.AttributeIndex(e.to_attribute);
+    if (!ta.ok()) return ta.status();
+    if (from_schema.attribute(*fa).type != to_schema.attribute(*ta).type) {
+      return Status::InvalidArgument(
+          "join attribute type mismatch on edge " + from_schema.name() +
+          " -> " + to_schema.name());
+    }
+  }
+  return Status::OK();
+}
+
+std::string SchemaGraph::ToString() const {
+  std::ostringstream os;
+  for (RelationNodeId id = 0; id < schemas_.size(); ++id) {
+    os << schemas_[id].ToString() << "\n";
+    for (const ProjectionEdge* e : projections_by_relation_[id]) {
+      os << "  pi " << schemas_[id].attribute(e->attribute).name << "  w="
+         << e->weight << "\n";
+    }
+    for (const JoinEdge* e : joins_from_[id]) {
+      os << "  join -> " << schemas_[e->to].name() << " on ("
+         << e->from_attribute << " = " << e->to_attribute
+         << ")  w=" << e->weight << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace precis

@@ -1,0 +1,170 @@
+// The database schema graph G(V, E) of paper §3.1.
+//
+// V = relation nodes + attribute nodes.
+// E = projection edges (relation -> attribute, "the possible projection of
+//     the attribute in the system's answer") + directed join edges
+//     (relation -> relation, tagged with the joining attributes).
+//
+// Every edge carries a weight in [0, 1] expressing the significance of the
+// bond: 1 = "if one node appears in an answer the other should too",
+// 0 = no implication. Two relations may be connected by two join edges in
+// opposite directions carrying different weights (the paper's MOVIE/GENRE
+// example), but at most one directed edge exists per (source, destination).
+
+#ifndef PRECIS_GRAPH_SCHEMA_GRAPH_H_
+#define PRECIS_GRAPH_SCHEMA_GRAPH_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/schema.h"
+
+namespace precis {
+
+/// Relation node identifier within a SchemaGraph.
+using RelationNodeId = uint32_t;
+
+/// \brief Projection edge: connects an attribute node with its container
+/// relation node.
+struct ProjectionEdge {
+  RelationNodeId relation;
+  uint32_t attribute;  // attribute index within the relation schema
+  double weight;
+};
+
+/// \brief Directed join edge between two relation nodes.
+///
+/// "A directed join edge expresses the dependence of the left part of the
+/// join on the right part": `from` is the relation already considered for
+/// the answer, `to` is the relation that may be included if the join is
+/// taken into account.
+struct JoinEdge {
+  RelationNodeId from;
+  RelationNodeId to;
+  std::string from_attribute;
+  std::string to_attribute;
+  double weight;
+};
+
+/// \brief The database schema graph with weighted projection and join edges.
+///
+/// Edges are stored in std::deque so that pointers to them remain stable as
+/// edges are added; Path objects hold such pointers and require the graph to
+/// outlive them.
+class SchemaGraph {
+ public:
+  // Movable but not copyable: the adjacency lists hold pointers into the
+  // edge deques of this object; moving keeps deque element addresses stable,
+  // copying would leave the copy pointing into the source.
+  SchemaGraph(SchemaGraph&&) = default;
+  SchemaGraph& operator=(SchemaGraph&&) = default;
+  SchemaGraph(const SchemaGraph&) = delete;
+  SchemaGraph& operator=(const SchemaGraph&) = delete;
+
+  /// Builds a graph whose nodes mirror the schema of `db`; no edges yet.
+  static Result<SchemaGraph> FromDatabase(const Database& db);
+
+  /// Builds a graph from bare relation schemas (no data needed).
+  static Result<SchemaGraph> FromSchemas(std::vector<RelationSchema> schemas);
+
+  size_t num_relations() const { return schemas_.size(); }
+  const RelationSchema& relation_schema(RelationNodeId id) const {
+    return schemas_[id];
+  }
+  const std::string& relation_name(RelationNodeId id) const {
+    return schemas_[id].name();
+  }
+  Result<RelationNodeId> RelationId(const std::string& name) const;
+
+  /// Adds a projection edge with the given weight in [0, 1].
+  Status AddProjectionEdge(const std::string& relation,
+                           const std::string& attribute, double weight);
+
+  /// Adds projection edges for every attribute of `relation` at `weight`
+  /// (convenience used by the data generator and tests).
+  Status AddAllProjectionEdges(const std::string& relation, double weight);
+
+  /// Adds a directed join edge. The joining attributes must exist and have
+  /// the same type. At most one edge may exist per (from, to) pair.
+  Status AddJoinEdge(const std::string& from_relation,
+                     const std::string& from_attribute,
+                     const std::string& to_relation,
+                     const std::string& to_attribute, double weight);
+
+  /// Adds the common paper case: both directions over the same attribute
+  /// name, with independent weights (pass a negative weight to skip that
+  /// direction).
+  Status AddJoinEdgePair(const std::string& relation_a,
+                         const std::string& relation_b,
+                         const std::string& attribute, double weight_ab,
+                         double weight_ba);
+
+  /// Projection edges of a relation, in insertion order.
+  const std::vector<const ProjectionEdge*>& ProjectionsOf(
+      RelationNodeId relation) const {
+    return projections_by_relation_[relation];
+  }
+
+  /// Outgoing join edges of a relation, in insertion order.
+  const std::vector<const JoinEdge*>& JoinsFrom(RelationNodeId relation) const {
+    return joins_from_[relation];
+  }
+
+  /// Incoming join edges of a relation.
+  const std::vector<const JoinEdge*>& JoinsTo(RelationNodeId relation) const {
+    return joins_to_[relation];
+  }
+
+  /// All join edges, in insertion order.
+  const std::deque<JoinEdge>& join_edges() const { return join_edges_; }
+  /// All projection edges, in insertion order.
+  const std::deque<ProjectionEdge>& projection_edges() const {
+    return projection_edges_;
+  }
+
+  /// Re-weights an existing projection edge.
+  Status SetProjectionWeight(const std::string& relation,
+                             const std::string& attribute, double weight);
+  /// Re-weights an existing join edge.
+  Status SetJoinWeight(const std::string& from_relation,
+                       const std::string& to_relation, double weight);
+
+  /// Weight of the projection edge, if present.
+  Result<double> ProjectionWeight(const std::string& relation,
+                                  const std::string& attribute) const;
+  /// Weight of the join edge, if present.
+  Result<double> JoinWeight(const std::string& from_relation,
+                            const std::string& to_relation) const;
+
+  /// Sanity checks: all weights in [0,1], join attribute types compatible.
+  Status Validate() const;
+
+  /// Human-readable edge lists.
+  std::string ToString() const;
+
+ private:
+  SchemaGraph() = default;
+
+  Status CheckWeight(double weight) const;
+
+  std::vector<RelationSchema> schemas_;
+  std::map<std::string, RelationNodeId> relation_ids_;
+
+  std::deque<ProjectionEdge> projection_edges_;
+  std::deque<JoinEdge> join_edges_;
+
+  // Adjacency: pointers into the deques above (stable).
+  std::vector<std::vector<const ProjectionEdge*>> projections_by_relation_;
+  std::vector<std::vector<const JoinEdge*>> joins_from_;
+  std::vector<std::vector<const JoinEdge*>> joins_to_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_GRAPH_SCHEMA_GRAPH_H_

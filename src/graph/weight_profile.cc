@@ -1,0 +1,137 @@
+#include "graph/weight_profile.h"
+
+#include <set>
+
+namespace precis {
+
+Result<SchemaGraph> DeriveGraphFromForeignKeys(
+    const Database& db, const DeriveGraphOptions& options) {
+  for (double w :
+       {options.child_to_parent_weight, options.parent_to_child_weight,
+        options.attribute_projection_weight,
+        options.key_projection_weight}) {
+    if (w < 0.0 || w > 1.0) {
+      return Status::InvalidArgument("derive weights must lie in [0, 1]");
+    }
+  }
+  auto graph = SchemaGraph::FromDatabase(db);
+  if (!graph.ok()) return graph.status();
+
+  // Key-like attributes: primary keys plus both end points of foreign keys.
+  std::set<std::pair<std::string, std::string>> key_attrs;
+  for (const std::string& name : db.RelationNames()) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) return rel.status();
+    const RelationSchema& schema = (*rel)->schema();
+    if (schema.primary_key()) {
+      key_attrs.insert({name, schema.attribute(*schema.primary_key()).name});
+    }
+  }
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    key_attrs.insert({fk.child_relation, fk.child_attribute});
+    key_attrs.insert({fk.parent_relation, fk.parent_attribute});
+  }
+
+  for (const std::string& name : db.RelationNames()) {
+    auto rel = db.GetRelation(name);
+    const RelationSchema& schema = (*rel)->schema();
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      const std::string& attr = schema.attribute(i).name;
+      double w = key_attrs.count({name, attr}) > 0
+                     ? options.key_projection_weight
+                     : options.attribute_projection_weight;
+      PRECIS_RETURN_NOT_OK(graph->AddProjectionEdge(name, attr, w));
+    }
+  }
+  for (const ForeignKey& fk : db.foreign_keys()) {
+    // Several FKs may connect the same relation pair (the bibliography's
+    // CITES.citing / CITES.cited); the graph allows one edge per directed
+    // pair, so keep the first and skip the rest.
+    Status forward = graph->AddJoinEdge(
+        fk.child_relation, fk.child_attribute, fk.parent_relation,
+        fk.parent_attribute, options.child_to_parent_weight);
+    if (!forward.ok() && !forward.IsAlreadyExists()) return forward;
+    Status backward = graph->AddJoinEdge(
+        fk.parent_relation, fk.parent_attribute, fk.child_relation,
+        fk.child_attribute, options.parent_to_child_weight);
+    if (!backward.ok() && !backward.IsAlreadyExists()) return backward;
+  }
+  PRECIS_RETURN_NOT_OK(graph->Validate());
+  return graph;
+}
+
+WeightProfile& WeightProfile::SetProjection(const std::string& relation,
+                                            const std::string& attribute,
+                                            double weight) {
+  projection_weights_[{relation, attribute}] = weight;
+  return *this;
+}
+
+WeightProfile& WeightProfile::SetJoin(const std::string& from,
+                                      const std::string& to, double weight) {
+  join_weights_[{from, to}] = weight;
+  return *this;
+}
+
+Status WeightProfile::ApplyTo(SchemaGraph* graph) const {
+  for (const auto& [key, weight] : projection_weights_) {
+    PRECIS_RETURN_NOT_OK(
+        graph->SetProjectionWeight(key.first, key.second, weight));
+  }
+  for (const auto& [key, weight] : join_weights_) {
+    PRECIS_RETURN_NOT_OK(graph->SetJoinWeight(key.first, key.second, weight));
+  }
+  return Status::OK();
+}
+
+Status ProfileRegistry::Register(WeightProfile profile) {
+  if (profile.name().empty()) {
+    return Status::InvalidArgument("profile must have a non-empty name");
+  }
+  const std::string name = profile.name();
+  profiles_.insert_or_assign(name, std::move(profile));
+  return Status::OK();
+}
+
+Result<const WeightProfile*> ProfileRegistry::Get(
+    const std::string& name) const {
+  auto it = profiles_.find(name);
+  if (it == profiles_.end()) {
+    return Status::NotFound("no weight profile named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status ProfileRegistry::Apply(const std::string& name,
+                              SchemaGraph* graph) const {
+  auto profile = Get(name);
+  if (!profile.ok()) return profile.status();
+  return (*profile)->ApplyTo(graph);
+}
+
+std::vector<std::string> ProfileRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(profiles_.size());
+  for (const auto& [name, profile] : profiles_) out.push_back(name);
+  return out;
+}
+
+Status RandomizeWeights(SchemaGraph* graph, Rng* rng, double lo, double hi) {
+  if (lo < 0.0 || hi > 1.0 || lo > hi) {
+    return Status::InvalidArgument("random weight range must be within [0,1]");
+  }
+  for (const ProjectionEdge& e : graph->projection_edges()) {
+    double w = lo + (hi - lo) * rng->NextDouble();
+    PRECIS_RETURN_NOT_OK(graph->SetProjectionWeight(
+        graph->relation_name(e.relation),
+        graph->relation_schema(e.relation).attribute(e.attribute).name, w));
+  }
+  for (const JoinEdge& e : graph->join_edges()) {
+    double w = lo + (hi - lo) * rng->NextDouble();
+    PRECIS_RETURN_NOT_OK(graph->SetJoinWeight(graph->relation_name(e.from),
+                                              graph->relation_name(e.to), w));
+  }
+  return Status::OK();
+}
+
+}  // namespace precis

@@ -1,0 +1,101 @@
+// Degree and cardinality constraints (paper §3.3, Tables 1 and 2).
+//
+// "In order to describe the result of a query Q, a pair of constraints, one
+//  of each category should be provided":
+//    - a degree constraint d determines the attributes and relations of the
+//      result schema D';
+//    - a cardinality constraint c determines the number of tuples in the
+//      result database D'.
+
+#ifndef PRECIS_PRECIS_CONSTRAINTS_H_
+#define PRECIS_PRECIS_CONSTRAINTS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/path.h"
+#include "precis/result_schema.h"
+
+namespace precis {
+
+/// \brief Predicate over the growing result schema G' / ordered set P_d.
+///
+/// The Result Schema Generator consumes candidate paths in decreasing-weight
+/// order and asks, for each, whether d(P_d + {p}) still holds (paper Fig. 3,
+/// steps 2.2 and 2.3). Because candidates arrive weight-sorted, a failed
+/// check is terminal for the traversal (or prunes the expansion branch).
+class DegreeConstraint {
+ public:
+  virtual ~DegreeConstraint() = default;
+
+  /// True if accepting `candidate` on top of the schema built so far keeps
+  /// the constraint satisfied. Join paths are admitted unless the
+  /// constraint bounds a property (weight, length, relation count) that
+  /// extension cannot recover.
+  virtual bool Admits(const ResultSchema& current,
+                      const Path& candidate) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// Table 1, row 1: "t <= r — selects up to r top-weighted projections".
+std::unique_ptr<DegreeConstraint> MaxProjections(size_t r);
+
+/// Table 1, row 2: "w_t >= w_o — selects top-weighted projections with
+/// weight >= w_o". Applies to join paths too: path weight is monotonically
+/// non-increasing under extension, so a join path below the threshold can
+/// never produce an admissible projection.
+std::unique_ptr<DegreeConstraint> MinPathWeight(double w0);
+
+/// Table 1, row 3: "length(p_t) <= l_o — selects top-weighted projections
+/// with path length <= l_o" (length counts all edges, including the
+/// terminal projection edge).
+std::unique_ptr<DegreeConstraint> MaxPathLength(size_t l0);
+
+/// §3.3 also bounds the result schema's breadth directly ("the number of
+/// relations required in D'"): admits a path only while the relations of
+/// G' plus the path's relations stay within r. A join path that would
+/// already exceed r is pruned — none of its extensions can shrink it.
+std::unique_ptr<DegreeConstraint> MaxRelations(size_t r);
+
+/// Conjunction of degree constraints (all must admit).
+std::unique_ptr<DegreeConstraint> AllOf(
+    std::vector<std::unique_ptr<DegreeConstraint>> parts);
+
+/// \brief Bounds the number of tuples in the result database.
+///
+/// The Result Database Generator asks, before fetching into a relation, how
+/// many more tuples it may add given the relation's current tuple count and
+/// the running total ("budget"). std::nullopt means unbounded.
+class CardinalityConstraint {
+ public:
+  virtual ~CardinalityConstraint() = default;
+
+  /// Remaining tuple budget for a relation currently holding
+  /// `relation_count` tuples while the whole result holds `total_count`.
+  virtual std::optional<size_t> Budget(size_t relation_count,
+                                       size_t total_count) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+/// Table 2, row 1: "card(D_t) <= c_o — max. total number of tuples in D'".
+std::unique_ptr<CardinalityConstraint> MaxTotalTuples(size_t c0);
+
+/// Table 2, row 2: "card(R_t) <= c_o — max. number of tuples per relation".
+std::unique_ptr<CardinalityConstraint> MaxTuplesPerRelation(size_t c0);
+
+/// Unbounded cardinality (useful for the test-database use case with the
+/// degree constraint doing the shaping).
+std::unique_ptr<CardinalityConstraint> UnlimitedCardinality();
+
+/// Conjunction of cardinality constraints ("a combination of those is also
+/// possible"): the effective budget is the minimum of the parts' budgets.
+std::unique_ptr<CardinalityConstraint> AllOf(
+    std::vector<std::unique_ptr<CardinalityConstraint>> parts);
+
+}  // namespace precis
+
+#endif  // PRECIS_PRECIS_CONSTRAINTS_H_

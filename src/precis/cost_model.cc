@@ -1,0 +1,44 @@
+#include "precis/cost_model.h"
+
+#include <cmath>
+
+namespace precis {
+
+Result<size_t> CostModel::TuplesPerRelationForBudget(
+    double cost_m_seconds, size_t num_relations) const {
+  if (cost_m_seconds < 0.0) {
+    return Status::InvalidArgument("response-time target must be >= 0");
+  }
+  if (num_relations == 0) {
+    return Status::InvalidArgument("number of relations must be > 0");
+  }
+  double per_tuple = params_.PerTupleCost();
+  if (per_tuple <= 0.0) {
+    return Status::InvalidArgument(
+        "cost parameters must have positive per-tuple cost");
+  }
+  double c_r = cost_m_seconds /
+               (static_cast<double>(num_relations) * per_tuple);
+  return static_cast<size_t>(std::floor(c_r));
+}
+
+Result<std::unique_ptr<CardinalityConstraint>>
+CostModel::CardinalityForResponseTime(double cost_m_seconds,
+                                      size_t num_relations) const {
+  auto c_r = TuplesPerRelationForBudget(cost_m_seconds, num_relations);
+  if (!c_r.ok()) return c_r.status();
+  return MaxTuplesPerRelation(*c_r);
+}
+
+CostParameters CostModel::Calibrate(double measured_seconds,
+                                    const AccessStats& stats) {
+  CostParameters params;
+  uint64_t accesses = stats.index_probes + stats.tuple_fetches;
+  if (accesses == 0 || measured_seconds <= 0.0) return params;
+  double per_access = measured_seconds / static_cast<double>(accesses);
+  params.index_time_seconds = per_access;
+  params.tuple_time_seconds = per_access;
+  return params;
+}
+
+}  // namespace precis

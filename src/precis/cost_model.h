@@ -1,0 +1,71 @@
+// The Result Database Generator cost model (paper §6, Formulas 1-3).
+//
+//   (1)  Cost(D') = sum_i card(R'_i) * (IndexTime + TupleTime)
+//   (2)  Cost(D') = c_R * n_R * (IndexTime + TupleTime)     [per-relation cap]
+//   (3)  c_R = cost_M / (n_R * (IndexTime + TupleTime))     [derived budget]
+//
+// The model considers only I/O overhead: the time to locate a tuple id via
+// an index (IndexTime) and to read a tuple given its id (TupleTime). The
+// initial seed lookup is excluded, as in the paper.
+
+#ifndef PRECIS_PRECIS_COST_MODEL_H_
+#define PRECIS_PRECIS_COST_MODEL_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "storage/access_stats.h"
+#include "precis/constraints.h"
+
+namespace precis {
+
+/// \brief Evaluates the paper's cost formulas for a given set of per-access
+/// latency parameters.
+class CostModel {
+ public:
+  explicit CostModel(CostParameters params) : params_(params) {}
+
+  const CostParameters& params() const { return params_; }
+
+  /// Formula (1) evaluated on observed access counts: predicted seconds for
+  /// the run that produced `stats`.
+  double PredictSeconds(const AccessStats& stats) const {
+    return static_cast<double>(stats.index_probes) *
+               params_.index_time_seconds +
+           static_cast<double>(stats.tuple_fetches) *
+               params_.tuple_time_seconds;
+  }
+
+  /// Formula (2): predicted seconds when a per-relation cardinality cap c_R
+  /// fills n_R relations.
+  double PredictSecondsFormula2(size_t tuples_per_relation,
+                                size_t num_relations) const {
+    return static_cast<double>(tuples_per_relation) *
+           static_cast<double>(num_relations) * params_.PerTupleCost();
+  }
+
+  /// Formula (3): the per-relation tuple budget c_R that meets a response
+  /// time target cost_M over n_R relations. Fails when the parameters make
+  /// the division degenerate.
+  Result<size_t> TuplesPerRelationForBudget(double cost_m_seconds,
+                                            size_t num_relations) const;
+
+  /// Convenience: a MaxTuplesPerRelation constraint derived via Formula (3)
+  /// from a response-time target — "we could define cardinality constraints
+  /// based on the desired response time of a query".
+  Result<std::unique_ptr<CardinalityConstraint>> CardinalityForResponseTime(
+      double cost_m_seconds, size_t num_relations) const;
+
+  /// Calibrates (IndexTime + TupleTime) from a measured run: given the
+  /// observed wall-clock seconds and access counts, apportions the time
+  /// between probes and fetches proportionally to their counts.
+  static CostParameters Calibrate(double measured_seconds,
+                                  const AccessStats& stats);
+
+ private:
+  CostParameters params_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_PRECIS_COST_MODEL_H_

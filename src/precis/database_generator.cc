@@ -1,0 +1,480 @@
+#include "precis/database_generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <chrono>
+
+#include "sql/select.h"
+
+namespace precis {
+
+namespace {
+
+/// Busy-waits for the simulated per-statement overhead (see
+/// DbGenOptions::statement_overhead_ns). A sleep would be descheduled for
+/// far longer than the microsecond scale being modelled.
+void SimulateStatementOverhead(uint64_t total_ns) {
+  if (total_ns == 0) return;
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(total_ns);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+/// Tuples collected so far for one result relation.
+struct Collected {
+  std::vector<Row> rows;          // in retrieval order (full source tuples)
+  std::unordered_set<Tid> seen;   // duplicate elimination by rowid
+  /// Arrival tags per tuple (path-aware propagation): the G' join edges
+  /// that delivered the tuple, nullptr meaning "seeded by the query
+  /// tokens". A tuple reached over several edges carries every tag.
+  std::unordered_map<Tid, std::vector<const JoinEdge*>> arrivals;
+
+  void Tag(Tid tid, const JoinEdge* arrival) {
+    std::vector<const JoinEdge*>& tags = arrivals[tid];
+    for (const JoinEdge* t : tags) {
+      if (t == arrival) return;
+    }
+    tags.push_back(arrival);
+  }
+};
+
+std::vector<size_t> IdentityProjection(const RelationSchema& schema) {
+  std::vector<size_t> out(schema.num_attributes());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+/// Ordered distinct non-NULL values of `attribute` over the collected rows —
+/// the IN-list for the next join query. The order follows the order in which
+/// the source tuples were collected, which is what gives NaiveQ its
+/// "prefix of the source tuples" behaviour on truncation.
+Result<std::vector<Value>> JoinKeys(
+    const Collected& collected, const RelationSchema& schema,
+    const std::string& attribute,
+    const std::set<const JoinEdge*>* allowed_arrivals) {
+  auto idx = schema.AttributeIndex(attribute);
+  if (!idx.ok()) return idx.status();
+  std::vector<Value> keys;
+  std::unordered_set<Value, ValueHash> dedup;
+  for (const Row& row : collected.rows) {
+    if (allowed_arrivals != nullptr) {
+      auto tags = collected.arrivals.find(row.tid);
+      bool feeds = false;
+      if (tags != collected.arrivals.end()) {
+        for (const JoinEdge* t : tags->second) {
+          if (allowed_arrivals->count(t) > 0) {
+            feeds = true;
+            break;
+          }
+        }
+      }
+      if (!feeds) continue;
+    }
+    const Value& v = row.values[*idx];
+    if (v.is_null()) continue;
+    if (dedup.insert(v).second) keys.push_back(v);
+  }
+  return keys;
+}
+
+/// The attribute indices a result relation exposes: the projections of G'
+/// plus (optionally) the join attributes of its incident edges.
+std::vector<size_t> EmittedAttributeIndices(const ResultSchema& schema,
+                                            RelationNodeId rel,
+                                            bool include_join_attributes) {
+  const RelationSchema& src_schema = schema.graph().relation_schema(rel);
+  std::set<uint32_t> attrs = schema.projected_attributes(rel);
+  if (include_join_attributes) {
+    for (const JoinEdge* e : schema.join_edges()) {
+      if (e->from == rel) {
+        auto idx = src_schema.AttributeIndex(e->from_attribute);
+        if (idx.ok()) attrs.insert(static_cast<uint32_t>(*idx));
+      }
+      if (e->to == rel) {
+        auto idx = src_schema.AttributeIndex(e->to_attribute);
+        if (idx.ok()) attrs.insert(static_cast<uint32_t>(*idx));
+      }
+    }
+  }
+  return std::vector<size_t>(attrs.begin(), attrs.end());
+}
+
+/// Renders the sigma_Tids seed query as SQL text for the trace.
+std::string RenderSeedSql(const RelationSchema& schema,
+                          const std::vector<size_t>& projection,
+                          const std::vector<Tid>& tids) {
+  std::string sql = "SELECT ";
+  if (projection.empty()) {
+    sql += "*";
+  } else {
+    for (size_t i = 0; i < projection.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += schema.attribute(projection[i]).name;
+    }
+  }
+  sql += " FROM " + schema.name() + " WHERE rowid IN (";
+  for (size_t i = 0; i < tids.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += std::to_string(tids[i]);
+  }
+  sql += ")";
+  return sql;
+}
+
+/// True if `fk` holds on the (already emitted) data of `db`: every non-NULL
+/// child value appears among the parent values.
+bool ForeignKeyHolds(const Database& db, const ForeignKey& fk) {
+  auto child = db.GetRelation(fk.child_relation);
+  auto parent = db.GetRelation(fk.parent_relation);
+  if (!child.ok() || !parent.ok()) return false;
+  auto child_idx = (*child)->schema().AttributeIndex(fk.child_attribute);
+  auto parent_idx = (*parent)->schema().AttributeIndex(fk.parent_attribute);
+  if (!child_idx.ok() || !parent_idx.ok()) return false;
+  std::unordered_set<Value, ValueHash> parent_values;
+  for (Tid tid = 0; tid < (*parent)->num_tuples(); ++tid) {
+    parent_values.insert((*parent)->tuple(tid)[*parent_idx]);
+  }
+  for (Tid tid = 0; tid < (*child)->num_tuples(); ++tid) {
+    const Value& v = (*child)->tuple(tid)[*child_idx];
+    if (v.is_null()) continue;
+    if (parent_values.count(v) == 0) return false;
+  }
+  return true;
+}
+
+/// True if the join edge is to-1: its destination attribute is the
+/// destination relation's primary key, so each source tuple joins with at
+/// most one destination tuple.
+bool IsToOne(const JoinEdge& edge, const RelationSchema& to_schema) {
+  if (!to_schema.primary_key()) return false;
+  auto idx = to_schema.AttributeIndex(edge.to_attribute);
+  if (!idx.ok()) return false;
+  return *idx == *to_schema.primary_key();
+}
+
+}  // namespace
+
+const char* SubsetStrategyToString(SubsetStrategy s) {
+  switch (s) {
+    case SubsetStrategy::kAuto:
+      return "auto";
+    case SubsetStrategy::kNaiveQ:
+      return "naiveq";
+    case SubsetStrategy::kRoundRobin:
+      return "roundrobin";
+  }
+  return "unknown";
+}
+
+Result<Database> ResultDatabaseGenerator::Generate(
+    const ResultSchema& schema, const SeedTids& seeds,
+    const CardinalityConstraint& c, const DbGenOptions& options) {
+  last_report_ = DbGenReport{};
+  const SchemaGraph& graph = schema.graph();
+
+  // Resolve source relations once.
+  std::map<RelationNodeId, const Relation*> source_relations;
+  for (RelationNodeId rel : schema.relations()) {
+    auto r = source_->GetRelation(graph.relation_name(rel));
+    if (!r.ok()) return r.status();
+    source_relations[rel] = *r;
+  }
+
+  std::map<RelationNodeId, Collected> collected;
+  for (RelationNodeId rel : schema.relations()) collected[rel];
+  size_t total = 0;
+
+  auto mark_truncated = [&](RelationNodeId rel) {
+    const std::string& name = graph.relation_name(rel);
+    auto& t = last_report_.truncated_relations;
+    if (std::find(t.begin(), t.end(), name) == t.end()) t.push_back(name);
+  };
+
+  // Step 1: D' <- tuples involving query tokens (sigma_Tids queries), each
+  // relation's subset limited NaiveQ-style by the cardinality budget.
+  for (const auto& [rel, tids] : seeds) {
+    if (schema.relations().count(rel) == 0) {
+      return Status::InvalidArgument("seed relation '" +
+                                     graph.relation_name(rel) +
+                                     "' is not part of the result schema");
+    }
+    const Relation& source = *source_relations[rel];
+    source.CountStatement();  // one sigma_Tids query per seed relation
+    SimulateStatementOverhead(options.statement_overhead_ns);
+    if (options.trace_sql) {
+      last_report_.sql_trace.push_back(RenderSeedSql(
+          source.schema(),
+          EmittedAttributeIndices(schema, rel,
+                                  options.include_join_attributes),
+          tids));
+    }
+    Collected& col = collected[rel];
+    std::vector<Tid> ordered_tids = tids;
+    if (options.tuple_weights != nullptr) {
+      const std::string& rel_name = graph.relation_name(rel);
+      std::stable_sort(ordered_tids.begin(), ordered_tids.end(),
+                       [&](Tid a, Tid b) {
+                         return options.tuple_weights->Weight(rel_name, a) >
+                                options.tuple_weights->Weight(rel_name, b);
+                       });
+    }
+    for (Tid tid : ordered_tids) {
+      if (col.seen.count(tid) > 0) continue;
+      std::optional<size_t> budget = c.Budget(col.rows.size(), total);
+      if (budget.has_value() && *budget == 0) {
+        mark_truncated(rel);
+        break;
+      }
+      auto tuple = source.Get(tid);  // counted tuple fetch
+      if (!tuple.ok()) return tuple.status();
+      col.seen.insert(tid);
+      col.rows.push_back(Row{tid, **tuple});
+      col.Tag(tid, nullptr);
+      ++total;
+    }
+  }
+
+  // Path-aware propagation: for each G' edge, the arrival tags that may
+  // drive it — nullptr (seed) when a P_d path starts with the edge, and
+  // every edge that immediately precedes it on some P_d path.
+  std::map<const JoinEdge*, std::set<const JoinEdge*>> feeders;
+  if (options.path_aware_propagation) {
+    for (const Path& path : schema.projection_paths()) {
+      const std::vector<const JoinEdge*>& joins = path.joins();
+      for (size_t i = 0; i < joins.size(); ++i) {
+        feeders[joins[i]].insert(i == 0 ? nullptr : joins[i - 1]);
+      }
+    }
+  }
+
+  // Step 2: loop over the join edges of G'. An edge is preferably executed
+  // only when every join arriving at its source relation has already been
+  // executed (in-degree postponement); among applicable edges the one with
+  // the highest weight precedes. If postponement ever blocks all remaining
+  // edges (a cycle among G' relations), the best remaining edge runs anyway
+  // so the algorithm always terminates.
+  std::map<RelationNodeId, int> pending;
+  for (RelationNodeId rel : schema.relations()) {
+    pending[rel] = schema.in_degree(rel);
+  }
+  std::unordered_set<const JoinEdge*> executed;
+
+  while (executed.size() < schema.join_edges().size()) {
+    const JoinEdge* next = nullptr;
+    bool next_applicable = false;
+    for (const JoinEdge* e : schema.join_edges()) {
+      if (executed.count(e) > 0) continue;
+      bool applicable = pending[e->from] == 0;
+      bool better;
+      if (next == nullptr) {
+        better = true;
+      } else if (applicable != next_applicable) {
+        better = applicable;
+      } else {
+        better = e->weight > next->weight;
+      }
+      if (better) {
+        next = e;
+        next_applicable = applicable;
+      }
+    }
+    // next != nullptr by the loop condition.
+    const JoinEdge& edge = *next;
+    const Relation& to_relation = *source_relations[edge.to];
+    const RelationSchema& from_schema =
+        graph.relation_schema(edge.from);
+    const RelationSchema& to_schema = graph.relation_schema(edge.to);
+
+    const std::set<const JoinEdge*>* allowed = nullptr;
+    if (options.path_aware_propagation) {
+      allowed = &feeders[&edge];
+    }
+    auto keys = JoinKeys(collected[edge.from], from_schema,
+                         edge.from_attribute, allowed);
+    if (!keys.ok()) return keys.status();
+
+    SubsetStrategy strategy = options.strategy;
+    if (strategy == SubsetStrategy::kAuto) {
+      strategy = IsToOne(edge, to_schema) ? SubsetStrategy::kNaiveQ
+                                          : SubsetStrategy::kRoundRobin;
+    }
+
+    Collected& col = collected[edge.to];
+    std::vector<size_t> projection = IdentityProjection(to_schema);
+
+    if (options.trace_sql) {
+      std::vector<size_t> display = EmittedAttributeIndices(
+          schema, edge.to, options.include_join_attributes);
+      if (strategy == SubsetStrategy::kRoundRobin &&
+          options.tuple_weights == nullptr) {
+        // One cursor per probe value.
+        for (const Value& key : *keys) {
+          last_report_.sql_trace.push_back(RenderInListSql(
+              to_schema, edge.to_attribute, {key}, display, std::nullopt));
+        }
+      } else {
+        std::optional<size_t> limit;
+        std::optional<size_t> budget = c.Budget(col.rows.size(), total);
+        if (strategy == SubsetStrategy::kNaiveQ &&
+            options.tuple_weights == nullptr && budget.has_value()) {
+          limit = budget;  // NaiveQ pushes the cap down as RowNum
+        }
+        last_report_.sql_trace.push_back(RenderInListSql(
+            to_schema, edge.to_attribute, *keys, display, limit));
+      }
+    }
+
+    auto try_add = [&](Row row) -> bool {
+      // Returns false when the budget is exhausted. Duplicates are skipped
+      // without consuming budget (but still gain this edge's arrival tag).
+      if (col.seen.count(row.tid) > 0) {
+        col.Tag(row.tid, &edge);
+        return true;
+      }
+      std::optional<size_t> budget = c.Budget(col.rows.size(), total);
+      if (budget.has_value() && *budget == 0) {
+        mark_truncated(edge.to);
+        return false;
+      }
+      col.Tag(row.tid, &edge);
+      col.seen.insert(row.tid);
+      col.rows.push_back(std::move(row));
+      ++total;
+      return true;
+    };
+
+    if (options.tuple_weights != nullptr) {
+      // Ranked selection (§7's data-value weights): collect all joining
+      // candidates, order by tuple weight (heaviest first), then fetch up
+      // to the budget.
+      const std::string& to_name = graph.relation_name(edge.to);
+      to_relation.CountStatement();
+      SimulateStatementOverhead(options.statement_overhead_ns);
+      std::vector<Tid> candidates;
+      std::unordered_set<Tid> candidate_seen;
+      for (const Value& key : *keys) {
+        auto tids = to_relation.LookupEquals(edge.to_attribute, key);
+        if (!tids.ok()) return tids.status();
+        for (Tid tid : *tids) {
+          if (col.seen.count(tid) > 0) continue;
+          if (candidate_seen.insert(tid).second) candidates.push_back(tid);
+        }
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](Tid a, Tid b) {
+                         return options.tuple_weights->Weight(to_name, a) >
+                                options.tuple_weights->Weight(to_name, b);
+                       });
+      for (Tid tid : candidates) {
+        auto tuple = to_relation.Get(tid);
+        if (!tuple.ok()) return tuple.status();
+        if (!try_add(Row{tid, **tuple})) break;
+      }
+    } else if (strategy == SubsetStrategy::kNaiveQ) {
+      // One IN-list query, kept up to the budget in retrieval order.
+      to_relation.CountStatement();
+      SimulateStatementOverhead(options.statement_overhead_ns);
+      bool budget_open = true;
+      for (const Value& key : *keys) {
+        if (!budget_open) break;
+        auto tids = to_relation.LookupEquals(edge.to_attribute, key);
+        if (!tids.ok()) return tids.status();
+        for (Tid tid : *tids) {
+          auto tuple = to_relation.Get(tid);
+          if (!tuple.ok()) return tuple.status();
+          if (!try_add(Row{tid, **tuple})) {
+            budget_open = false;
+            break;
+          }
+        }
+      }
+    } else {
+      // RoundRobin: one scan per key; one joining tuple per open scan per
+      // round, while the cardinality constraint holds.
+      auto scans = PerValueScanSet::Open(to_relation, edge.to_attribute,
+                                         *keys, projection);
+      if (!scans.ok()) return scans.status();
+      SimulateStatementOverhead(options.statement_overhead_ns *
+                                static_cast<uint64_t>(keys->size()));
+      bool budget_open = true;
+      while (budget_open && !scans->AllClosed()) {
+        for (size_t i = 0; i < scans->num_scans(); ++i) {
+          std::optional<Row> row = scans->Next(i);
+          if (!row.has_value()) continue;
+          if (!try_add(std::move(*row))) {
+            budget_open = false;
+            break;
+          }
+        }
+      }
+    }
+
+    --pending[edge.to];
+    executed.insert(&edge);
+    last_report_.executed_edges.push_back(graph.relation_name(edge.from) +
+                                          " -> " +
+                                          graph.relation_name(edge.to));
+  }
+
+  // Step 3: emit the result database.
+  Database result("precis_result");
+  std::map<RelationNodeId, std::vector<size_t>> emitted_attrs;
+  for (RelationNodeId rel : schema.relations()) {
+    const RelationSchema& src_schema = graph.relation_schema(rel);
+    std::vector<size_t> ordered = EmittedAttributeIndices(
+        schema, rel, options.include_join_attributes);
+    emitted_attrs[rel] = ordered;
+
+    std::vector<AttributeSchema> out_attrs;
+    out_attrs.reserve(ordered.size());
+    for (size_t idx : ordered) out_attrs.push_back(src_schema.attribute(idx));
+    RelationSchema out_schema(src_schema.name(), std::move(out_attrs));
+    if (src_schema.primary_key()) {
+      const std::string& pk_name =
+          src_schema.attribute(*src_schema.primary_key()).name;
+      if (out_schema.HasAttribute(pk_name)) {
+        PRECIS_RETURN_NOT_OK(out_schema.SetPrimaryKey(pk_name));
+      }
+    }
+    PRECIS_RETURN_NOT_OK(result.CreateRelation(std::move(out_schema)));
+
+    auto out_relation = result.GetRelation(src_schema.name());
+    if (!out_relation.ok()) return out_relation.status();
+    for (const Row& row : collected[rel].rows) {
+      Tuple projected = ProjectTuple(row.values, ordered);
+      auto tid = (*out_relation)->Insert(std::move(projected));
+      if (!tid.ok()) return tid.status();
+    }
+  }
+
+  // Step 4: carry over the source foreign keys that are applicable to the
+  // result schema and actually hold on the emitted data (a cardinality cut
+  // may have removed referenced parents; such constraints are reported and
+  // omitted rather than declared falsely).
+  for (const ForeignKey& fk : source_->foreign_keys()) {
+    if (!result.HasRelation(fk.child_relation) ||
+        !result.HasRelation(fk.parent_relation)) {
+      continue;
+    }
+    auto child = result.GetRelation(fk.child_relation);
+    auto parent = result.GetRelation(fk.parent_relation);
+    if (!(*child)->schema().HasAttribute(fk.child_attribute) ||
+        !(*parent)->schema().HasAttribute(fk.parent_attribute)) {
+      continue;
+    }
+    if (ForeignKeyHolds(result, fk)) {
+      PRECIS_RETURN_NOT_OK(result.AddForeignKey(fk));
+    } else {
+      last_report_.dropped_foreign_keys.push_back(fk.ToString());
+    }
+  }
+
+  last_report_.total_tuples = result.TotalTuples();
+  return result;
+}
+
+}  // namespace precis

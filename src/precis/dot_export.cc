@@ -1,0 +1,93 @@
+#include "precis/dot_export.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "precis/result_schema.h"
+
+namespace precis {
+
+namespace {
+
+/// Escapes a string for use inside a DOT double-quoted value.
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FormatWeight(double w) {
+  std::ostringstream os;
+  os << w;
+  return os.str();
+}
+
+}  // namespace
+
+std::string SchemaGraphToDot(const SchemaGraph& graph) {
+  std::ostringstream os;
+  os << "digraph schema {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=plaintext, fontname=\"Helvetica\"];\n";
+  for (RelationNodeId rel = 0; rel < graph.num_relations(); ++rel) {
+    const RelationSchema& schema = graph.relation_schema(rel);
+    os << "  r" << rel
+       << " [label=<<table border=\"1\" cellborder=\"0\" cellspacing=\"0\">";
+    os << "<tr><td bgcolor=\"lightgrey\"><b>" << DotEscape(schema.name())
+       << "</b></td></tr>";
+    for (const ProjectionEdge* e : graph.ProjectionsOf(rel)) {
+      os << "<tr><td align=\"left\">"
+         << DotEscape(schema.attribute(e->attribute).name) << " ("
+         << FormatWeight(e->weight) << ")</td></tr>";
+    }
+    os << "</table>>];\n";
+  }
+  for (const JoinEdge& e : graph.join_edges()) {
+    os << "  r" << e.from << " -> r" << e.to << " [label=\"("
+       << DotEscape(e.from_attribute) << ") " << FormatWeight(e.weight)
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ResultSchemaToDot(const ResultSchema& schema) {
+  const SchemaGraph& graph = schema.graph();
+  std::ostringstream os;
+  os << "digraph result_schema {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=plaintext, fontname=\"Helvetica\"];\n";
+  for (RelationNodeId rel : schema.relations()) {
+    const RelationSchema& rel_schema = graph.relation_schema(rel);
+    bool is_token =
+        std::find(schema.token_relations().begin(),
+                  schema.token_relations().end(),
+                  rel) != schema.token_relations().end();
+    os << "  r" << rel
+       << " [label=<<table border=\"1\" cellborder=\"0\" cellspacing=\"0\">";
+    os << "<tr><td bgcolor=\"" << (is_token ? "gold" : "lightgrey")
+       << "\"><b>" << DotEscape(rel_schema.name()) << "</b>";
+    if (schema.in_degree(rel) > 0) {
+      os << " [in " << schema.in_degree(rel) << "]";
+    }
+    os << "</td></tr>";
+    for (uint32_t attr : schema.projected_attributes(rel)) {
+      os << "<tr><td align=\"left\">"
+         << DotEscape(rel_schema.attribute(attr).name) << "</td></tr>";
+    }
+    os << "</table>>];\n";
+  }
+  for (const JoinEdge* e : schema.join_edges()) {
+    os << "  r" << e->from << " -> r" << e->to << " [label=\"("
+       << DotEscape(e->from_attribute) << ") " << FormatWeight(e->weight)
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace precis

@@ -1,0 +1,30 @@
+// Graphviz export of schema graphs and result schemas.
+//
+// The paper's §7 plans "a graphical tool intended for use by a domain
+// expert"; the domain expert's raw material is the weighted database graph
+// and the sub-graph a query selected from it. These exporters emit DOT text
+// for both — render with `dot -Tsvg`.
+
+#ifndef PRECIS_PRECIS_DOT_EXPORT_H_
+#define PRECIS_PRECIS_DOT_EXPORT_H_
+
+#include <string>
+
+#include "graph/schema_graph.h"
+#include "precis/result_schema.h"
+
+namespace precis {
+
+/// \brief DOT rendering of the full database schema graph: one node per
+/// relation, one record row per attribute with its projection weight, one
+/// labelled arrow per join edge.
+std::string SchemaGraphToDot(const SchemaGraph& graph);
+
+/// \brief DOT rendering of a result schema G': included relations only,
+/// token relations highlighted, projected attributes listed, join edges
+/// labelled with their weights and each relation's in-degree shown.
+std::string ResultSchemaToDot(const ResultSchema& schema);
+
+}  // namespace precis
+
+#endif  // PRECIS_PRECIS_DOT_EXPORT_H_

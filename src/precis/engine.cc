@@ -1,0 +1,122 @@
+#include "precis/engine.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace precis {
+
+Result<PrecisEngine> PrecisEngine::Create(const Database* db,
+                                          const SchemaGraph* graph) {
+  if (db == nullptr || graph == nullptr) {
+    return Status::InvalidArgument("database and graph must be non-null");
+  }
+  auto index = InvertedIndex::Build(*db);
+  if (!index.ok()) return index.status();
+  return PrecisEngine(db, graph, std::move(*index));
+}
+
+std::vector<TokenMatch> PrecisEngine::MatchTokens(
+    const PrecisQuery& query) const {
+  // Step 1: inverted index — k_i -> {(R_j, A_lj, Tids_lj)} — after synonym
+  // canonicalization where a table is installed.
+  std::vector<TokenMatch> matches;
+  matches.reserve(query.tokens.size());
+  for (const std::string& token : query.tokens) {
+    std::string resolved =
+        synonyms_ != nullptr ? synonyms_->Canonicalize(token) : token;
+    matches.push_back(TokenMatch{token, resolved, index_.Lookup(resolved)});
+  }
+  return matches;
+}
+
+Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
+    std::vector<TokenMatch> matches, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options) {
+  // Input relations (deduplicated, in match order) and seed tuple ids.
+  std::vector<RelationNodeId> token_relations;
+  SeedTids seeds;
+  for (const TokenMatch& match : matches) {
+    for (const TokenOccurrence& occ : match.occurrences) {
+      auto rel = graph_->RelationId(occ.relation);
+      if (!rel.ok()) return rel.status();
+      if (std::find(token_relations.begin(), token_relations.end(), *rel) ==
+          token_relations.end()) {
+        token_relations.push_back(*rel);
+      }
+      std::vector<Tid>& tids = seeds[*rel];
+      for (Tid tid : occ.tids) {
+        if (std::find(tids.begin(), tids.end(), tid) == tids.end()) {
+          tids.push_back(tid);
+        }
+      }
+    }
+  }
+
+  // Step 2: result schema generation (optionally cached by token-relation
+  // set and degree constraint).
+  std::optional<ResultSchema> schema;
+  if (schema_cache_enabled_) {
+    std::vector<RelationNodeId> sorted = token_relations;
+    std::sort(sorted.begin(), sorted.end());
+    std::string key;
+    for (RelationNodeId rel : sorted) {
+      key += std::to_string(rel) + ",";
+    }
+    key += "|" + degree.ToString();
+    {
+      std::lock_guard<std::mutex> lock(schema_cache_->mutex);
+      auto it = schema_cache_->entries.find(key);
+      if (it != schema_cache_->entries.end()) {
+        ++schema_cache_->hits;
+        schema = it->second;
+      }
+    }
+    if (!schema.has_value()) {
+      ResultSchemaGenerator schema_generator(graph_);
+      auto generated = schema_generator.Generate(token_relations, degree);
+      if (!generated.ok()) return generated.status();
+      std::lock_guard<std::mutex> lock(schema_cache_->mutex);
+      ++schema_cache_->misses;
+      schema_cache_->entries.emplace(key, *generated);
+      schema = std::move(*generated);
+    }
+  } else {
+    ResultSchemaGenerator schema_generator(graph_);
+    auto generated = schema_generator.Generate(token_relations, degree);
+    if (!generated.ok()) return generated.status();
+    schema = std::move(*generated);
+  }
+
+  // Step 3: result database generation.
+  ResultDatabaseGenerator db_generator(db_);
+  auto database = db_generator.Generate(*schema, seeds, cardinality, options);
+  if (!database.ok()) return database.status();
+
+  return PrecisAnswer{std::move(matches), std::move(*schema),
+                      std::move(*database), db_generator.last_report()};
+}
+
+Result<PrecisAnswer> PrecisEngine::Answer(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options) {
+  return AnswerFromMatches(MatchTokens(query), degree, cardinality, options);
+}
+
+Result<std::vector<PrecisAnswer>> PrecisEngine::AnswerPerOccurrence(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options) {
+  std::vector<PrecisAnswer> answers;
+  for (const TokenMatch& match : MatchTokens(query)) {
+    for (const TokenOccurrence& occ : match.occurrences) {
+      std::vector<TokenMatch> single = {
+          TokenMatch{match.token, match.resolved_token, {occ}}};
+      auto answer =
+          AnswerFromMatches(std::move(single), degree, cardinality, options);
+      if (!answer.ok()) return answer.status();
+      answers.push_back(std::move(*answer));
+    }
+  }
+  return answers;
+}
+
+}  // namespace precis

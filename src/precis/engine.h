@@ -1,0 +1,161 @@
+// PrecisEngine: end-to-end précis query answering (paper §4, Fig. 2).
+//
+// Wires the pipeline together: inverted-index lookup of the query tokens,
+// result schema generation under a degree constraint, and result database
+// generation under a cardinality constraint. (Rendering the answer as text
+// is the Translator's job — see translator/translator.h — so that the core
+// has no dependency on presentation templates.)
+
+#ifndef PRECIS_PRECIS_ENGINE_H_
+#define PRECIS_PRECIS_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+#include "storage/database.h"
+#include "text/inverted_index.h"
+#include "text/synonyms.h"
+#include "precis/constraints.h"
+#include "precis/database_generator.h"
+#include "precis/result_schema.h"
+#include "precis/schema_generator.h"
+
+namespace precis {
+
+/// \brief A précis query: a set of free-form tokens, Q = {k1, ..., km}.
+struct PrecisQuery {
+  std::vector<std::string> tokens;
+};
+
+/// \brief Where one query token was found.
+struct TokenMatch {
+  std::string token;
+  /// The spelling actually looked up — differs from `token` when a synonym
+  /// table canonicalized it ("W. Allen" -> "Woody Allen", §5.1).
+  std::string resolved_token;
+  std::vector<TokenOccurrence> occurrences;  // may be empty: unknown token
+};
+
+/// \brief The full answer to a précis query: the result schema D', the
+/// result database D' (a genuine Database with constraints), per-token
+/// match information, and the generation report.
+///
+/// A token found in several relations (the paper's homonym case — "Woody
+/// Allen" as a DIRECTOR and as an ACTOR) contributes all its occurrence
+/// relations as input relations of one combined result schema; the
+/// Translator later renders one narrative part per occurrence.
+struct PrecisAnswer {
+  std::vector<TokenMatch> matches;
+  ResultSchema schema;
+  Database database;
+  DbGenReport report;
+
+  /// True if no token matched anywhere (the answer is empty).
+  bool empty() const {
+    for (const TokenMatch& m : matches) {
+      if (!m.occurrences.empty()) return false;
+    }
+    return true;
+  }
+};
+
+/// \brief Orchestrates inverted index, schema generator and database
+/// generator over one source database and schema graph.
+class PrecisEngine {
+ public:
+  /// Builds the engine (including its inverted index) over `db` and `graph`,
+  /// both of which must outlive the engine and any PrecisAnswer it returns.
+  static Result<PrecisEngine> Create(const Database* db,
+                                     const SchemaGraph* graph);
+
+  /// Answers a précis query under the given constraints. A query whose
+  /// tokens match nothing yields an empty (but well-formed) answer.
+  Result<PrecisAnswer> Answer(const PrecisQuery& query,
+                              const DegreeConstraint& degree,
+                              const CardinalityConstraint& cardinality,
+                              const DbGenOptions& options = DbGenOptions());
+
+  /// Homonym handling (§5.1): "in the absence of any additional knowledge
+  /// stored in the system, we may return multiple answers, one for each
+  /// homonym". Produces one complete PrecisAnswer per (token, relation)
+  /// occurrence instead of one combined answer; a single-occurrence query
+  /// yields a one-element vector identical to Answer()'s result.
+  Result<std::vector<PrecisAnswer>> AnswerPerOccurrence(
+      const PrecisQuery& query, const DegreeConstraint& degree,
+      const CardinalityConstraint& cardinality,
+      const DbGenOptions& options = DbGenOptions());
+
+  /// Installs a synonym table applied to every query token before lookup
+  /// (§5.1's "W. Allen" == "Woody Allen"). Pass nullptr to remove. The
+  /// table must outlive the engine while installed.
+  void set_synonyms(const SynonymTable* synonyms) { synonyms_ = synonyms; }
+
+  /// Result-schema caching (§7's "further optimization of the whole
+  /// process"): the result schema depends only on the set of token
+  /// relations and the degree constraint, not on the matched tuples, so
+  /// repeated queries about tokens living in the same relations can reuse
+  /// it. Off by default. Call ClearSchemaCache() after changing any edge
+  /// weight of the schema graph — cached schemas hold the old weights.
+  ///
+  /// Thread-safety: Answer/AnswerPerOccurrence may be called from several
+  /// threads concurrently against one engine (the cache is internally
+  /// locked; access counters are atomic); set_* configuration calls must
+  /// not race with queries.
+  void set_schema_cache_enabled(bool enabled) {
+    schema_cache_enabled_ = enabled;
+    if (!enabled) ClearSchemaCache();
+  }
+  void ClearSchemaCache() {
+    std::lock_guard<std::mutex> lock(schema_cache_->mutex);
+    schema_cache_->entries.clear();
+  }
+  size_t schema_cache_hits() const {
+    std::lock_guard<std::mutex> lock(schema_cache_->mutex);
+    return schema_cache_->hits;
+  }
+  size_t schema_cache_misses() const {
+    std::lock_guard<std::mutex> lock(schema_cache_->mutex);
+    return schema_cache_->misses;
+  }
+
+  const InvertedIndex& index() const { return index_; }
+
+ private:
+  PrecisEngine(const Database* db, const SchemaGraph* graph,
+               InvertedIndex index)
+      : db_(db), graph_(graph), index_(std::move(index)) {}
+
+  /// Lookup + canonicalization shared by Answer and AnswerPerOccurrence.
+  std::vector<TokenMatch> MatchTokens(const PrecisQuery& query) const;
+
+  /// Builds one answer from an explicit set of matches.
+  Result<PrecisAnswer> AnswerFromMatches(std::vector<TokenMatch> matches,
+                                         const DegreeConstraint& degree,
+                                         const CardinalityConstraint& c,
+                                         const DbGenOptions& options);
+
+  const Database* db_;
+  const SchemaGraph* graph_;
+  InvertedIndex index_;
+  const SynonymTable* synonyms_ = nullptr;
+
+  bool schema_cache_enabled_ = false;
+  // Keyed by sorted token-relation ids + the degree constraint rendering.
+  // Behind a unique_ptr so the engine stays movable despite the mutex.
+  struct SchemaCache {
+    std::mutex mutex;
+    std::map<std::string, ResultSchema> entries;
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+  std::unique_ptr<SchemaCache> schema_cache_ =
+      std::make_unique<SchemaCache>();
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_PRECIS_ENGINE_H_

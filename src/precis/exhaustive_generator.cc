@@ -1,0 +1,77 @@
+#include "precis/exhaustive_generator.h"
+
+#include <algorithm>
+
+namespace precis {
+
+namespace {
+
+/// Depth-first enumeration of every acyclic projection path rooted at
+/// `source`.
+void EnumerateFrom(const SchemaGraph& graph, RelationNodeId source,
+                   double length_decay, std::vector<Path>* out) {
+  // Projection paths on the source itself.
+  for (const ProjectionEdge* e : graph.ProjectionsOf(source)) {
+    out->push_back(Path::Projection(source, e));
+  }
+  // Depth-first over join paths; each join path contributes one projection
+  // path per projection edge of its terminal relation.
+  std::vector<Path> stack;
+  for (const JoinEdge* e : graph.JoinsFrom(source)) {
+    stack.push_back(Path::Join(source, e));
+  }
+  while (!stack.empty()) {
+    Path p = std::move(stack.back());
+    stack.pop_back();
+    RelationNodeId terminal = p.terminal_relation();
+    for (const ProjectionEdge* e : graph.ProjectionsOf(terminal)) {
+      out->push_back(p.ExtendedByProjection(e, length_decay));
+    }
+    for (const JoinEdge* e : graph.JoinsFrom(terminal)) {
+      if (p.ContainsRelation(e->to)) continue;  // acyclic
+      stack.push_back(p.ExtendedByJoin(e, length_decay));
+    }
+  }
+}
+
+}  // namespace
+
+Result<ResultSchema> ExhaustiveSchemaGenerator::Generate(
+    const std::vector<RelationNodeId>& token_relations,
+    const DegreeConstraint& d) const {
+  last_paths_enumerated_ = 0;
+  ResultSchema schema(graph_);
+
+  std::vector<Path> all_paths;
+  for (RelationNodeId rel : token_relations) {
+    if (rel >= graph_->num_relations()) {
+      return Status::InvalidArgument("token relation id out of range");
+    }
+    bool already =
+        std::find(schema.token_relations().begin(),
+                  schema.token_relations().end(),
+                  rel) != schema.token_relations().end();
+    if (already) continue;
+    schema.AddTokenRelation(rel);
+    EnumerateFrom(*graph_, rel, length_decay_, &all_paths);
+  }
+  last_paths_enumerated_ = all_paths.size();
+
+  // P_n: decreasing weight, ties towards shorter paths, then enumeration
+  // order (stable) for determinism.
+  std::stable_sort(all_paths.begin(), all_paths.end(), PathPrecedes);
+
+  // Accept in order. Skipping (rather than stopping at) an inadmissible
+  // path reproduces the best-first algorithm's operational semantics: a
+  // weight threshold fails everything after its first failure anyway, a
+  // length bound acts as a filter (the traversal prunes long paths without
+  // stopping), and a top-r bound stays violated once reached.
+  for (const Path& p : all_paths) {
+    if (d.Admits(schema, p)) {
+      schema.AcceptProjectionPath(p);
+    }
+  }
+  return schema;
+}
+
+}  // namespace precis

@@ -1,0 +1,189 @@
+#include "precis/json_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace precis {
+
+namespace {
+
+/// Appends a JSON array of strings.
+void AppendStringArray(std::ostringstream* os,
+                       const std::vector<std::string>& items) {
+  *os << "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) *os << ",";
+    *os << "\"" << JsonEscape(items[i]) << "\"";
+  }
+  *os << "]";
+}
+
+void AppendRelation(std::ostringstream* os, const Relation& relation) {
+  const RelationSchema& schema = relation.schema();
+  *os << "{\"name\":\"" << JsonEscape(schema.name()) << "\",\"attributes\":[";
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) *os << ",";
+    const AttributeSchema& attr = schema.attribute(i);
+    *os << "{\"name\":\"" << JsonEscape(attr.name) << "\",\"type\":\""
+        << DataTypeToString(attr.type) << "\",\"primary_key\":"
+        << ((schema.primary_key() && *schema.primary_key() == i) ? "true"
+                                                                 : "false")
+        << "}";
+  }
+  *os << "],\"tuples\":[";
+  for (Tid tid = 0; tid < relation.num_tuples(); ++tid) {
+    if (tid > 0) *os << ",";
+    *os << "[";
+    const Tuple& tuple = relation.tuple(tid);
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) *os << ",";
+      *os << ValueToJson(tuple[i]);
+    }
+    *os << "]";
+  }
+  *os << "]}";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+std::string ValueToJson(const Value& v) {
+  if (v.is_null()) return "null";
+  if (v.is_int64()) return std::to_string(v.AsInt64());
+  if (v.is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+    return buf;
+  }
+  return "\"" + JsonEscape(v.AsString()) + "\"";
+}
+
+std::string DatabaseToJson(const Database& db) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << JsonEscape(db.name()) << "\",\"relations\":[";
+  bool first = true;
+  for (const std::string& name : db.RelationNames()) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) continue;
+    if (!first) os << ",";
+    first = false;
+    AppendRelation(&os, **rel);
+  }
+  os << "],\"foreign_keys\":[";
+  for (size_t i = 0; i < db.foreign_keys().size(); ++i) {
+    if (i > 0) os << ",";
+    const ForeignKey& fk = db.foreign_keys()[i];
+    os << "{\"child\":\"" << JsonEscape(fk.child_relation)
+       << "\",\"child_attribute\":\"" << JsonEscape(fk.child_attribute)
+       << "\",\"parent\":\"" << JsonEscape(fk.parent_relation)
+       << "\",\"parent_attribute\":\"" << JsonEscape(fk.parent_attribute)
+       << "\"}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string AnswerToJson(const PrecisAnswer& answer) {
+  std::ostringstream os;
+  os << "{\"matches\":[";
+  for (size_t m = 0; m < answer.matches.size(); ++m) {
+    if (m > 0) os << ",";
+    const TokenMatch& match = answer.matches[m];
+    os << "{\"token\":\"" << JsonEscape(match.token)
+       << "\",\"resolved_token\":\"" << JsonEscape(match.resolved_token)
+       << "\",\"occurrences\":[";
+    for (size_t o = 0; o < match.occurrences.size(); ++o) {
+      if (o > 0) os << ",";
+      const TokenOccurrence& occ = match.occurrences[o];
+      os << "{\"relation\":\"" << JsonEscape(occ.relation)
+         << "\",\"attribute\":\"" << JsonEscape(occ.attribute)
+         << "\",\"tids\":[";
+      for (size_t t = 0; t < occ.tids.size(); ++t) {
+        if (t > 0) os << ",";
+        os << occ.tids[t];
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "],\"schema\":{\"relations\":[";
+  const SchemaGraph& graph = answer.schema.graph();
+  bool first = true;
+  for (RelationNodeId rel : answer.schema.relations()) {
+    if (!first) os << ",";
+    first = false;
+    const RelationSchema& rel_schema = graph.relation_schema(rel);
+    bool is_token =
+        std::find(answer.schema.token_relations().begin(),
+                  answer.schema.token_relations().end(),
+                  rel) != answer.schema.token_relations().end();
+    os << "{\"name\":\"" << JsonEscape(rel_schema.name())
+       << "\",\"token_relation\":" << (is_token ? "true" : "false")
+       << ",\"in_degree\":" << answer.schema.in_degree(rel)
+       << ",\"projected_attributes\":";
+    std::vector<std::string> attrs;
+    for (uint32_t a : answer.schema.projected_attributes(rel)) {
+      attrs.push_back(rel_schema.attribute(a).name);
+    }
+    AppendStringArray(&os, attrs);
+    os << "}";
+  }
+  os << "],\"join_edges\":[";
+  for (size_t i = 0; i < answer.schema.join_edges().size(); ++i) {
+    if (i > 0) os << ",";
+    const JoinEdge* e = answer.schema.join_edges()[i];
+    os << "{\"from\":\"" << JsonEscape(graph.relation_name(e->from))
+       << "\",\"to\":\"" << JsonEscape(graph.relation_name(e->to))
+       << "\",\"from_attribute\":\"" << JsonEscape(e->from_attribute)
+       << "\",\"to_attribute\":\"" << JsonEscape(e->to_attribute)
+       << "\",\"weight\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", e->weight);
+    os << buf << "}";
+  }
+  os << "]},\"database\":" << DatabaseToJson(answer.database);
+  os << ",\"report\":{\"total_tuples\":" << answer.report.total_tuples
+     << ",\"executed_edges\":";
+  AppendStringArray(&os, answer.report.executed_edges);
+  os << ",\"truncated_relations\":";
+  AppendStringArray(&os, answer.report.truncated_relations);
+  os << ",\"dropped_foreign_keys\":";
+  AppendStringArray(&os, answer.report.dropped_foreign_keys);
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace precis

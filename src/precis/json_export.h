@@ -1,0 +1,39 @@
+// JSON export of databases and précis answers.
+//
+// Web front-ends are the paper's motivating deployment ("web accessible
+// databases ... as libraries, museums, and other organizations publish
+// their electronic contents on the Web"); this module gives them a
+// machine-readable answer format. Hand-rolled emitter, no dependencies;
+// output is deterministic (relation and attribute order follow the schema).
+
+#ifndef PRECIS_PRECIS_JSON_EXPORT_H_
+#define PRECIS_PRECIS_JSON_EXPORT_H_
+
+#include <string>
+
+#include "precis/engine.h"
+#include "storage/database.h"
+
+namespace precis {
+
+/// \brief Escapes a string for inclusion in a JSON string literal
+/// (quotes, backslashes, control characters).
+std::string JsonEscape(const std::string& raw);
+
+/// \brief One value as a JSON scalar: null, number, or string.
+std::string ValueToJson(const Value& v);
+
+/// \brief A whole database:
+/// {"name": ..., "relations": [{"name", "attributes": [{"name","type",
+/// "primary_key"}], "tuples": [[...]]}], "foreign_keys": [{"child",
+/// "child_attribute", "parent", "parent_attribute"}]}
+std::string DatabaseToJson(const Database& db);
+
+/// \brief A full précis answer: token matches, the result schema D'
+/// (relations, projected attributes, join edges, in-degrees), the result
+/// database, and the generation report.
+std::string AnswerToJson(const PrecisAnswer& answer);
+
+}  // namespace precis
+
+#endif  // PRECIS_PRECIS_JSON_EXPORT_H_

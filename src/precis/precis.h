@@ -1,0 +1,32 @@
+// Umbrella header: the précis library's public API in one include.
+//
+//   #include "precis/precis.h"
+//
+// pulls in the storage engine, schema graph, constraints, engine,
+// translator, baseline, serialization and export surfaces. Individual
+// headers remain includable for finer-grained dependencies.
+
+#ifndef PRECIS_PRECIS_PRECIS_H_
+#define PRECIS_PRECIS_PRECIS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/path.h"
+#include "graph/schema_graph.h"
+#include "graph/weight_profile.h"
+#include "storage/database.h"
+#include "storage/serialization.h"
+#include "text/inverted_index.h"
+#include "text/synonyms.h"
+#include "precis/constraints.h"
+#include "precis/cost_model.h"
+#include "precis/database_generator.h"
+#include "precis/dot_export.h"
+#include "precis/engine.h"
+#include "precis/exhaustive_generator.h"
+#include "precis/json_export.h"
+#include "precis/result_schema.h"
+#include "precis/schema_generator.h"
+#include "precis/tuple_weights.h"
+
+#endif  // PRECIS_PRECIS_PRECIS_H_

@@ -1,0 +1,95 @@
+#include "precis/result_schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace precis {
+
+const std::set<uint32_t> ResultSchema::kNoAttributes;
+
+const std::set<uint32_t>& ResultSchema::projected_attributes(
+    RelationNodeId rel) const {
+  auto it = projected_attributes_.find(rel);
+  if (it == projected_attributes_.end()) return kNoAttributes;
+  return it->second;
+}
+
+int ResultSchema::in_degree(RelationNodeId rel) const {
+  auto it = in_degree_.find(rel);
+  if (it == in_degree_.end()) return 0;
+  return it->second;
+}
+
+bool ResultSchema::ContainsRelation(const std::string& name) const {
+  auto id = graph_->RelationId(name);
+  if (!id.ok()) return false;
+  return relations_.count(*id) > 0;
+}
+
+bool ResultSchema::ContainsAttribute(const std::string& relation,
+                                     const std::string& attribute) const {
+  auto id = graph_->RelationId(relation);
+  if (!id.ok()) return false;
+  auto attr = graph_->relation_schema(*id).AttributeIndex(attribute);
+  if (!attr.ok()) return false;
+  return projected_attributes(*id).count(static_cast<uint32_t>(*attr)) > 0;
+}
+
+size_t ResultSchema::TotalProjectedAttributes() const {
+  size_t n = 0;
+  for (const auto& [rel, attrs] : projected_attributes_) n += attrs.size();
+  return n;
+}
+
+void ResultSchema::AddTokenRelation(RelationNodeId rel) {
+  if (std::find(token_relations_.begin(), token_relations_.end(), rel) !=
+      token_relations_.end()) {
+    return;
+  }
+  token_relations_.push_back(rel);
+  relations_.insert(rel);
+}
+
+void ResultSchema::AcceptProjectionPath(const Path& path) {
+  relations_.insert(path.source());
+  for (const JoinEdge* e : path.joins()) {
+    relations_.insert(e->to);
+    if (join_edge_set_.insert(e).second) {
+      join_edges_.push_back(e);
+      ++in_degree_[e->to];
+    }
+  }
+  const ProjectionEdge* proj = path.projection();
+  projected_attributes_[proj->relation].insert(proj->attribute);
+  projection_paths_.push_back(path);
+}
+
+std::string ResultSchema::ToString() const {
+  std::ostringstream os;
+  for (RelationNodeId rel : relations_) {
+    const RelationSchema& schema = graph_->relation_schema(rel);
+    os << schema.name() << "(";
+    bool first = true;
+    for (uint32_t attr : projected_attributes(rel)) {
+      if (!first) os << ", ";
+      os << schema.attribute(attr).name;
+      first = false;
+    }
+    os << ")";
+    bool is_token_rel =
+        std::find(token_relations_.begin(), token_relations_.end(), rel) !=
+        token_relations_.end();
+    if (is_token_rel) os << "  [token relation]";
+    int deg = in_degree(rel);
+    if (deg > 0) os << "  [in-degree " << deg << "]";
+    os << "\n";
+  }
+  for (const JoinEdge* e : join_edges_) {
+    os << "  " << graph_->relation_name(e->from) << " -("
+       << e->from_attribute << ")-> " << graph_->relation_name(e->to)
+       << "  w=" << e->weight << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace precis

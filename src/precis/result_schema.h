@@ -1,0 +1,97 @@
+// The result schema D' of a précis query: a sub-graph G' of the database
+// schema graph (paper §5.1).
+
+#ifndef PRECIS_PRECIS_RESULT_SCHEMA_H_
+#define PRECIS_PRECIS_RESULT_SCHEMA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "graph/path.h"
+#include "graph/schema_graph.h"
+
+namespace precis {
+
+/// \brief The sub-graph G' selected by the Result Schema Generator.
+///
+/// Contains the relations that hold the query tokens, the relations
+/// transitively joining to them, the subset of attributes to be projected,
+/// the join edges connecting them, and — to steer the Result Database
+/// Generator — each relation's in-degree (the number of distinct join edges
+/// of G' arriving at it; the paper marks relations reached by paths from
+/// more than one input relation, and postpones joins departing from them
+/// until every arriving join has been executed).
+///
+/// Holds pointers into the SchemaGraph it was generated from; the graph must
+/// outlive the ResultSchema.
+class ResultSchema {
+ public:
+  explicit ResultSchema(const SchemaGraph* graph) : graph_(graph) {}
+
+  const SchemaGraph& graph() const { return *graph_; }
+
+  /// The input relations (those containing query tokens), deduplicated, in
+  /// input order.
+  const std::vector<RelationNodeId>& token_relations() const {
+    return token_relations_;
+  }
+
+  /// All relation nodes of G'.
+  const std::set<RelationNodeId>& relations() const { return relations_; }
+
+  /// Projected attribute indices per relation (may be empty for a relation
+  /// that only serves as a join hop).
+  const std::set<uint32_t>& projected_attributes(RelationNodeId rel) const;
+
+  /// Join edges of G', in acceptance order.
+  const std::vector<const JoinEdge*>& join_edges() const {
+    return join_edges_;
+  }
+
+  /// Number of distinct G' join edges arriving at `rel` (0 if absent).
+  int in_degree(RelationNodeId rel) const;
+
+  /// The ordered set P_d of accepted projection paths.
+  const std::vector<Path>& projection_paths() const {
+    return projection_paths_;
+  }
+
+  bool ContainsRelation(const std::string& name) const;
+  bool ContainsAttribute(const std::string& relation,
+                         const std::string& attribute) const;
+
+  /// Total number of projected attributes across relations — the paper's
+  /// degree measure "maximum number of attributes in D'".
+  size_t TotalProjectedAttributes() const;
+
+  /// Multi-line rendering of G' (Fig. 4 style).
+  std::string ToString() const;
+
+  // --- Mutators used by the ResultSchemaGenerator. ---
+
+  /// Registers an input relation (idempotent); it becomes part of G'.
+  void AddTokenRelation(RelationNodeId rel);
+
+  /// Merges an accepted projection path into G': inserts its relations,
+  /// join edges (updating in-degrees for newly inserted edges) and projected
+  /// attribute, and appends it to P_d.
+  void AcceptProjectionPath(const Path& path);
+
+ private:
+  const SchemaGraph* graph_;
+  std::vector<RelationNodeId> token_relations_;
+  std::set<RelationNodeId> relations_;
+  std::map<RelationNodeId, std::set<uint32_t>> projected_attributes_;
+  std::vector<const JoinEdge*> join_edges_;
+  std::set<const JoinEdge*> join_edge_set_;
+  std::map<RelationNodeId, int> in_degree_;
+  std::vector<Path> projection_paths_;
+
+  static const std::set<uint32_t> kNoAttributes;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_PRECIS_RESULT_SCHEMA_H_

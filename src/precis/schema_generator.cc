@@ -1,0 +1,149 @@
+#include "precis/schema_generator.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace precis {
+
+namespace {
+
+/// Queue entry: a candidate path plus a monotonically increasing sequence
+/// number that makes the dequeue order fully deterministic (weight desc,
+/// length asc, insertion order asc).
+struct QueueEntry {
+  Path path;
+  uint64_t seq;
+};
+
+struct QueueOrder {
+  // std::priority_queue pops the *largest* element, so this returns true
+  // when `a` should come out after `b`.
+  bool operator()(const QueueEntry& a, const QueueEntry& b) const {
+    if (a.path.weight() != b.path.weight()) {
+      return a.path.weight() < b.path.weight();
+    }
+    if (a.path.length() != b.path.length()) {
+      return a.path.length() > b.path.length();
+    }
+    return a.seq > b.seq;
+  }
+};
+
+/// Edges attached to a relation, as extension candidates in decreasing
+/// weight order (the paper sorts expansion edges by weight so that the first
+/// pruned extension terminates the expansion of its siblings).
+struct AttachedEdge {
+  const ProjectionEdge* projection = nullptr;  // exactly one of the two set
+  const JoinEdge* join = nullptr;
+  double weight = 0.0;
+};
+
+std::vector<AttachedEdge> AttachedEdgesOf(const SchemaGraph& graph,
+                                          RelationNodeId rel) {
+  std::vector<AttachedEdge> edges;
+  for (const ProjectionEdge* e : graph.ProjectionsOf(rel)) {
+    edges.push_back(AttachedEdge{e, nullptr, e->weight});
+  }
+  for (const JoinEdge* e : graph.JoinsFrom(rel)) {
+    edges.push_back(AttachedEdge{nullptr, e, e->weight});
+  }
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const AttachedEdge& a, const AttachedEdge& b) {
+                     return a.weight > b.weight;
+                   });
+  return edges;
+}
+
+}  // namespace
+
+Result<ResultSchema> ResultSchemaGenerator::Generate(
+    const std::vector<RelationNodeId>& token_relations,
+    const DegreeConstraint& d) const {
+  last_stats_ = SchemaGeneratorStats{};
+  ResultSchema schema(graph_);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, QueueOrder> qp;
+  uint64_t seq = 0;
+
+  // Step 1: initialize QP with every edge attached to an input relation.
+  for (RelationNodeId rel : token_relations) {
+    if (rel >= graph_->num_relations()) {
+      return Status::InvalidArgument("token relation id out of range");
+    }
+    bool already_input =
+        std::find(schema.token_relations().begin(),
+                  schema.token_relations().end(),
+                  rel) != schema.token_relations().end();
+    if (already_input) continue;
+    schema.AddTokenRelation(rel);
+    for (const ProjectionEdge* e : graph_->ProjectionsOf(rel)) {
+      qp.push(QueueEntry{Path::Projection(rel, e), seq++});
+      ++last_stats_.paths_enqueued;
+    }
+    for (const JoinEdge* e : graph_->JoinsFrom(rel)) {
+      qp.push(QueueEntry{Path::Join(rel, e), seq++});
+      ++last_stats_.paths_enqueued;
+    }
+  }
+
+  // Step 2: best-first consumption.
+  while (!qp.empty()) {
+    Path p = qp.top().path;
+    qp.pop();
+    ++last_stats_.paths_dequeued;
+
+    // Step 2.2: the head is the best remaining candidate; if it fails the
+    // degree constraint, so does everything behind it.
+    if (!d.Admits(schema, p)) break;
+
+    if (p.is_projection_path()) {
+      // Step 2.3a: accept, update G'.
+      schema.AcceptProjectionPath(p);
+      continue;
+    }
+
+    // Step 2.3b: expand the join path by each edge attached to its terminal
+    // relation, in decreasing weight order; prune the remaining (weaker)
+    // siblings at the first inadmissible extension.
+    RelationNodeId terminal = p.terminal_relation();
+    for (const AttachedEdge& e : AttachedEdgesOf(*graph_, terminal)) {
+      if (e.join != nullptr && p.ContainsRelation(e.join->to)) {
+        continue;  // acyclic paths only
+      }
+      Path extended = (e.projection != nullptr)
+                          ? p.ExtendedByProjection(e.projection, length_decay_)
+                          : p.ExtendedByJoin(e.join, length_decay_);
+      if (!d.Admits(schema, extended)) {
+        ++last_stats_.paths_pruned;
+        break;
+      }
+      qp.push(QueueEntry{std::move(extended), seq++});
+      ++last_stats_.paths_enqueued;
+    }
+  }
+
+  return schema;
+}
+
+Status ResultSchemaGenerator::set_length_decay(double length_decay) {
+  if (length_decay <= 0.0 || length_decay > 1.0) {
+    return Status::InvalidArgument("length decay must be in (0, 1]");
+  }
+  length_decay_ = length_decay;
+  return Status::OK();
+}
+
+Result<ResultSchema> ResultSchemaGenerator::Generate(
+    const std::vector<std::string>& token_relation_names,
+    const DegreeConstraint& d) const {
+  std::vector<RelationNodeId> ids;
+  ids.reserve(token_relation_names.size());
+  for (const std::string& name : token_relation_names) {
+    auto id = graph_->RelationId(name);
+    if (!id.ok()) return id.status();
+    ids.push_back(*id);
+  }
+  return Generate(ids, d);
+}
+
+}  // namespace precis

@@ -1,0 +1,62 @@
+// Result Schema Generator (paper §5.1, Fig. 3).
+//
+// Finds the part of the database schema that may contain information most
+// related to a query: a best-first traversal of the schema graph that
+// constructs projection paths attached to the relations containing the query
+// tokens, in order of decreasing weight (ties broken towards shorter paths),
+// until the degree constraint stops admitting candidates.
+
+#ifndef PRECIS_PRECIS_SCHEMA_GENERATOR_H_
+#define PRECIS_PRECIS_SCHEMA_GENERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+#include "precis/constraints.h"
+#include "precis/result_schema.h"
+
+namespace precis {
+
+/// \brief Statistics of one schema-generation run (used by the Fig. 7
+/// bench and by tests asserting pruning behaviour).
+struct SchemaGeneratorStats {
+  size_t paths_dequeued = 0;
+  size_t paths_enqueued = 0;
+  size_t paths_pruned = 0;  // expansions rejected by the degree constraint
+};
+
+/// \brief Implements the Result Schema Algorithm of Fig. 3.
+class ResultSchemaGenerator {
+ public:
+  explicit ResultSchemaGenerator(const SchemaGraph* graph) : graph_(graph) {}
+
+  /// Computes the result schema G' for tokens found in `token_relations`
+  /// under degree constraint `d`. Duplicate input relations are collapsed.
+  /// The SchemaGraph must outlive the returned ResultSchema.
+  Result<ResultSchema> Generate(
+      const std::vector<RelationNodeId>& token_relations,
+      const DegreeConstraint& d) const;
+
+  /// Name-based convenience overload.
+  Result<ResultSchema> Generate(
+      const std::vector<std::string>& token_relation_names,
+      const DegreeConstraint& d) const;
+
+  const SchemaGeneratorStats& last_stats() const { return last_stats_; }
+
+  /// Sets the per-hop length-decay factor lambda of the weight-transfer
+  /// function w(p) = (prod w_i) * lambda^(len-1). The default, 1.0, is the
+  /// paper's plain multiplication. Must be in (0, 1].
+  Status set_length_decay(double length_decay);
+  double length_decay() const { return length_decay_; }
+
+ private:
+  const SchemaGraph* graph_;
+  double length_decay_ = 1.0;
+  mutable SchemaGeneratorStats last_stats_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_PRECIS_SCHEMA_GENERATOR_H_

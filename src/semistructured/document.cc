@@ -1,0 +1,244 @@
+#include "semistructured/document.h"
+
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace precis {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<std::unique_ptr<DocumentNode>> ParseRoot() {
+    SkipInterElement();
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected a root element");
+    }
+    auto root = ParseElement();
+    if (!root.ok()) return root.status();
+    SkipInterElement();
+    if (!AtEnd()) {
+      return Error("trailing content after the root element");
+    }
+    return root;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool Lookahead(const char* s) const {
+    return text_.compare(pos_, std::strlen(s), s) == 0;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("document parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  /// Skips whitespace and comments between elements.
+  void SkipInterElement() {
+    while (true) {
+      SkipWhitespace();
+      if (Lookahead("<!--")) {
+        size_t end = text_.find("-->", pos_ + 4);
+        if (end == std::string::npos) {
+          pos_ = text_.size();
+          return;
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      return;
+    }
+  }
+
+  std::string ReadName() {
+    size_t start = pos_;
+    while (!AtEnd() &&
+           (std::isalnum(static_cast<unsigned char>(Peek())) ||
+            Peek() == '_' || Peek() == '-' || Peek() == '.')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  Result<std::string> DecodeEntities(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out.push_back(raw[i]);
+        continue;
+      }
+      if (raw.compare(i, 5, "&amp;") == 0) {
+        out.push_back('&');
+        i += 4;
+      } else if (raw.compare(i, 4, "&lt;") == 0) {
+        out.push_back('<');
+        i += 3;
+      } else if (raw.compare(i, 4, "&gt;") == 0) {
+        out.push_back('>');
+        i += 3;
+      } else if (raw.compare(i, 6, "&quot;") == 0) {
+        out.push_back('"');
+        i += 5;
+      } else {
+        return Status::InvalidArgument("unknown entity in: " + raw);
+      }
+    }
+    return out;
+  }
+
+  Result<std::unique_ptr<DocumentNode>> ParseElement() {
+    // Caller guarantees Peek() == '<'.
+    ++pos_;  // '<'
+    std::string tag = ReadName();
+    if (tag.empty()) return Error("expected a tag name after '<'");
+    auto node = std::make_unique<DocumentNode>();
+    node->tag = tag;
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag <" + tag);
+      if (Peek() == '/' || Peek() == '>') break;
+      std::string attr = ReadName();
+      if (attr.empty()) return Error("expected an attribute name");
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '=') {
+        return Error("expected '=' after attribute '" + attr + "'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') {
+        return Error("expected '\"' opening the value of '" + attr + "'");
+      }
+      ++pos_;
+      size_t close = text_.find('"', pos_);
+      if (close == std::string::npos) {
+        return Error("unterminated attribute value of '" + attr + "'");
+      }
+      auto value = DecodeEntities(text_.substr(pos_, close - pos_));
+      if (!value.ok()) return value.status();
+      if (!node->attributes.emplace(attr, std::move(*value)).second) {
+        return Error("duplicate attribute '" + attr + "'");
+      }
+      pos_ = close + 1;
+    }
+
+    if (Peek() == '/') {
+      ++pos_;
+      if (AtEnd() || Peek() != '>') return Error("expected '>' after '/'");
+      ++pos_;
+      return node;  // self-closing
+    }
+    ++pos_;  // '>'
+
+    // Content: text, children, comments, until </tag>.
+    std::string raw_text;
+    while (true) {
+      if (AtEnd()) return Error("missing </" + tag + ">");
+      if (Lookahead("<!--")) {
+        SkipInterElement();
+        continue;
+      }
+      if (Lookahead("</")) {
+        pos_ += 2;
+        std::string closing = ReadName();
+        if (closing != tag) {
+          return Error("mismatched </" + closing + ">, expected </" + tag +
+                       ">");
+        }
+        SkipWhitespace();
+        if (AtEnd() || Peek() != '>') return Error("expected '>'");
+        ++pos_;
+        break;
+      }
+      if (Peek() == '<') {
+        auto child = ParseElement();
+        if (!child.ok()) return child.status();
+        node->children.push_back(std::move(*child));
+        continue;
+      }
+      raw_text.push_back(Peek());
+      ++pos_;
+    }
+    auto decoded = DecodeEntities(raw_text);
+    if (!decoded.ok()) return decoded.status();
+    node->text = Trim(*decoded);
+    return node;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string EncodeEntities(const std::string& raw) {
+  std::string out;
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t DocumentNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children) n += child->SubtreeSize();
+  return n;
+}
+
+std::string DocumentNode::ToXml(int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  os << pad << "<" << tag;
+  for (const auto& [name, value] : attributes) {
+    os << " " << name << "=\"" << EncodeEntities(value) << "\"";
+  }
+  if (text.empty() && children.empty()) {
+    os << "/>";
+    return os.str();
+  }
+  os << ">";
+  if (!text.empty()) os << EncodeEntities(text);
+  for (const auto& child : children) {
+    os << "\n" << child->ToXml(indent + 1);
+  }
+  if (!children.empty()) os << "\n" << pad;
+  os << "</" << tag << ">";
+  return os.str();
+}
+
+Result<std::unique_ptr<DocumentNode>> ParseDocument(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseRoot();
+}
+
+}  // namespace precis

@@ -1,0 +1,51 @@
+// A minimal semi-structured document model with an XML-like syntax.
+//
+// The paper asserts that the précis framework "is applicable to other types
+// of (semi-)structured data as well"; this module provides the data model
+// that claim needs: element trees with attributes and text, parsed from a
+// compact XML-like syntax (see Parse below), ready for shredding into
+// relations (shredder.h).
+//
+// Supported syntax (deliberately small, no namespaces / DTDs / PIs):
+//   <tag attr="value" ...> text and <child .../> elements </tag>
+//   <tag/>                         self-closing
+//   &amp; &lt; &gt; &quot;         entities in text and attribute values
+//   <!-- ... -->                   comments (skipped)
+
+#ifndef PRECIS_SEMISTRUCTURED_DOCUMENT_H_
+#define PRECIS_SEMISTRUCTURED_DOCUMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace precis {
+
+/// \brief One element of a document tree.
+struct DocumentNode {
+  std::string tag;
+  /// Attribute name -> value, in name order.
+  std::map<std::string, std::string> attributes;
+  /// Concatenated character data directly under this element, trimmed.
+  std::string text;
+  std::vector<std::unique_ptr<DocumentNode>> children;
+
+  /// Number of elements in this subtree (including this one).
+  size_t SubtreeSize() const;
+
+  /// Renders the subtree back to the XML-like syntax (for debugging and
+  /// round-trip tests).
+  std::string ToXml(int indent = 0) const;
+};
+
+/// \brief Parses one document from the XML-like syntax. The input must
+/// contain exactly one root element (plus whitespace/comments around it).
+Result<std::unique_ptr<DocumentNode>> ParseDocument(const std::string& text);
+
+}  // namespace precis
+
+#endif  // PRECIS_SEMISTRUCTURED_DOCUMENT_H_

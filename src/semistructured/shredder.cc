@@ -1,0 +1,181 @@
+#include "semistructured/shredder.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace precis {
+
+namespace {
+
+/// Schema information collected for one tag across the whole document.
+struct TagInfo {
+  std::string parent_tag;       // empty for the root tag
+  bool has_parent = false;
+  bool has_text = false;
+  std::set<std::string> attribute_names;
+  size_t count = 0;
+};
+
+/// First pass: discover the tag structure; verify it forms a tree of tags.
+Status CollectTags(const DocumentNode& node, const std::string& parent_tag,
+                   std::map<std::string, TagInfo>* tags) {
+  TagInfo& info = (*tags)[node.tag];
+  ++info.count;
+  if (parent_tag.empty()) {
+    if (info.has_parent) {
+      return Status::InvalidArgument("tag '" + node.tag +
+                                     "' appears both as root and nested");
+    }
+  } else {
+    if (node.tag == parent_tag) {
+      return Status::InvalidArgument("recursive tag '" + node.tag +
+                                     "' cannot be shredded");
+    }
+    if (info.has_parent && info.parent_tag != parent_tag) {
+      return Status::InvalidArgument(
+          "tag '" + node.tag + "' appears under both '" + info.parent_tag +
+          "' and '" + parent_tag + "'; shredding needs a tag tree");
+    }
+    info.parent_tag = parent_tag;
+    info.has_parent = true;
+  }
+  if (!node.text.empty()) info.has_text = true;
+  for (const auto& [name, value] : node.attributes) {
+    info.attribute_names.insert(name);
+  }
+  for (const auto& child : node.children) {
+    PRECIS_RETURN_NOT_OK(CollectTags(*child, node.tag, tags));
+  }
+  return Status::OK();
+}
+
+constexpr char kIdColumn[] = "id";
+constexpr char kParentColumn[] = "parent";
+constexpr char kContentColumn[] = "content";
+
+Status CheckReservedCollisions(const TagInfo& info, const std::string& tag) {
+  for (const char* reserved : {kIdColumn, kParentColumn, kContentColumn}) {
+    if (info.attribute_names.count(reserved) > 0) {
+      return Status::InvalidArgument("attribute '" + std::string(reserved) +
+                                     "' of tag '" + tag +
+                                     "' collides with a shredder column");
+    }
+  }
+  return Status::OK();
+}
+
+/// Second pass: emit one tuple per element.
+Status InsertElements(const DocumentNode& node,
+                      const std::map<std::string, TagInfo>& tags,
+                      Database* db, int64_t parent_id, int64_t* next_id) {
+  const TagInfo& info = tags.at(node.tag);
+  int64_t id = (*next_id)++;
+  auto rel = db->GetRelation(node.tag);
+  if (!rel.ok()) return rel.status();
+
+  Tuple tuple;
+  tuple.push_back(id);
+  if (info.has_parent) {
+    tuple.push_back(parent_id);
+  }
+  if (info.has_text) {
+    tuple.push_back(node.text.empty() ? Value::Null() : Value(node.text));
+  }
+  for (const std::string& attr : info.attribute_names) {
+    auto it = node.attributes.find(attr);
+    tuple.push_back(it == node.attributes.end() ? Value::Null()
+                                                : Value(it->second));
+  }
+  auto tid = (*rel)->Insert(std::move(tuple));
+  if (!tid.ok()) return tid.status();
+
+  for (const auto& child : node.children) {
+    PRECIS_RETURN_NOT_OK(InsertElements(*child, tags, db, id, next_id));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShreddedDocument> ShreddedDocument::Shred(const DocumentNode& root,
+                                                 const ShredOptions& options) {
+  if (options.parent_to_child_weight < 0.0 ||
+      options.parent_to_child_weight > 1.0 ||
+      options.child_to_parent_weight < 0.0 ||
+      options.child_to_parent_weight > 1.0 ||
+      options.value_projection_weight < 0.0 ||
+      options.value_projection_weight > 1.0) {
+    return Status::InvalidArgument("shred weights must lie in [0, 1]");
+  }
+
+  std::map<std::string, TagInfo> tags;
+  PRECIS_RETURN_NOT_OK(CollectTags(root, "", &tags));
+
+  auto db = std::make_unique<Database>("shredded:" + root.tag);
+  for (const auto& [tag, info] : tags) {
+    PRECIS_RETURN_NOT_OK(CheckReservedCollisions(info, tag));
+    std::vector<AttributeSchema> attrs;
+    attrs.push_back({kIdColumn, DataType::kInt64});
+    if (info.has_parent) attrs.push_back({kParentColumn, DataType::kInt64});
+    if (info.has_text) attrs.push_back({kContentColumn, DataType::kString});
+    for (const std::string& attr : info.attribute_names) {
+      attrs.push_back({attr, DataType::kString});
+    }
+    RelationSchema schema(tag, std::move(attrs));
+    PRECIS_RETURN_NOT_OK(schema.SetPrimaryKey(kIdColumn));
+    PRECIS_RETURN_NOT_OK(db->CreateRelation(std::move(schema)));
+  }
+  for (const auto& [tag, info] : tags) {
+    if (!info.has_parent) continue;
+    PRECIS_RETURN_NOT_OK(db->AddForeignKey(
+        {tag, kParentColumn, info.parent_tag, kIdColumn}));
+  }
+
+  int64_t next_id = 1;
+  PRECIS_RETURN_NOT_OK(
+      InsertElements(root, tags, db.get(), /*parent_id=*/0, &next_id));
+
+  if (options.create_indexes) {
+    for (const auto& [tag, info] : tags) {
+      auto rel = db->GetRelation(tag);
+      PRECIS_RETURN_NOT_OK((*rel)->CreateIndex(kIdColumn));
+      if (info.has_parent) {
+        PRECIS_RETURN_NOT_OK((*rel)->CreateIndex(kParentColumn));
+      }
+    }
+  }
+  PRECIS_RETURN_NOT_OK(db->ValidateForeignKeys());
+
+  auto graph_result = SchemaGraph::FromDatabase(*db);
+  if (!graph_result.ok()) return graph_result.status();
+  auto graph = std::make_unique<SchemaGraph>(std::move(*graph_result));
+  for (const auto& [tag, info] : tags) {
+    PRECIS_RETURN_NOT_OK(graph->AddProjectionEdge(tag, kIdColumn, 0.1));
+    if (info.has_text) {
+      PRECIS_RETURN_NOT_OK(graph->AddProjectionEdge(
+          tag, kContentColumn, options.value_projection_weight));
+    }
+    for (const std::string& attr : info.attribute_names) {
+      PRECIS_RETURN_NOT_OK(graph->AddProjectionEdge(
+          tag, attr, options.value_projection_weight));
+    }
+    if (info.has_parent) {
+      PRECIS_RETURN_NOT_OK(graph->AddProjectionEdge(tag, kParentColumn, 0.1));
+      // child -> parent: an element should carry its context.
+      PRECIS_RETURN_NOT_OK(graph->AddJoinEdge(
+          tag, kParentColumn, info.parent_tag, kIdColumn,
+          options.child_to_parent_weight));
+      // parent -> child: the container may include the contained.
+      PRECIS_RETURN_NOT_OK(graph->AddJoinEdge(
+          info.parent_tag, kIdColumn, tag, kParentColumn,
+          options.parent_to_child_weight));
+    }
+  }
+  PRECIS_RETURN_NOT_OK(graph->Validate());
+
+  db->ResetStats();
+  return ShreddedDocument(std::move(db), std::move(graph));
+}
+
+}  // namespace precis

@@ -1,0 +1,73 @@
+// Shredding documents into a précis-ready database (paper §1/§3: "Our
+// approach is applicable to other types of (semi-)structured data as well.
+// However, for presentation reasons, we focus on relational data here.")
+//
+// The shredder derives, from one document tree:
+//   * a relational schema: one relation per element tag, with a synthetic
+//     key `id`, a `parent` reference, a `content` column when the element
+//     carries text, and one column per attribute name observed on that tag;
+//   * the data: one tuple per element;
+//   * foreign keys parent -> parent-tag id;
+//   * a weighted schema graph: child -> parent join edges at weight 1.0
+//     (an element depends on its context, the paper's "dependence of the
+//     left part on the right"), parent -> child edges at a configurable
+//     default, and projection edges on content/attribute columns.
+//
+// Limitation (checked, not silently mangled): each tag must appear under a
+// single parent tag, i.e. the document's tag structure is a tree. This is
+// the common case for data-centric documents; recursive or multi-parent
+// tags are reported as errors.
+
+#ifndef PRECIS_SEMISTRUCTURED_SHREDDER_H_
+#define PRECIS_SEMISTRUCTURED_SHREDDER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "graph/schema_graph.h"
+#include "semistructured/document.h"
+#include "storage/database.h"
+
+namespace precis {
+
+/// \brief Weight knobs for the derived schema graph.
+struct ShredOptions {
+  /// Weight of parent -> child join edges ("an answer about the container
+  /// may include the contained").
+  double parent_to_child_weight = 0.8;
+  /// Weight of child -> parent join edges ("an answer about an element
+  /// should carry its context").
+  double child_to_parent_weight = 1.0;
+  /// Weight of content / attribute projection edges.
+  double value_projection_weight = 0.9;
+  /// Whether to build hash indexes on the id/parent columns.
+  bool create_indexes = true;
+};
+
+/// \brief A shredded document: the database plus its annotated graph, both
+/// owned (movable, pointer-stable).
+class ShreddedDocument {
+ public:
+  Database& db() { return *db_; }
+  const Database& db() const { return *db_; }
+  SchemaGraph& graph() { return *graph_; }
+  const SchemaGraph& graph() const { return *graph_; }
+
+  /// Shreds `root`. Fails if two distinct parent tags contain the same
+  /// child tag, or if a tag collides with a reserved column name pattern.
+  static Result<ShreddedDocument> Shred(const DocumentNode& root,
+                                        const ShredOptions& options = {});
+
+ private:
+  ShreddedDocument(std::unique_ptr<Database> db,
+                   std::unique_ptr<SchemaGraph> graph)
+      : db_(std::move(db)), graph_(std::move(graph)) {}
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<SchemaGraph> graph_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_SEMISTRUCTURED_SHREDDER_H_

@@ -1,0 +1,136 @@
+#include "sql/select.h"
+
+#include <sstream>
+
+namespace precis {
+
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& projection) {
+  Tuple out;
+  out.reserve(projection.size());
+  for (size_t idx : projection) out.push_back(tuple[idx]);
+  return out;
+}
+
+Result<std::vector<size_t>> ResolveProjection(
+    const RelationSchema& schema, const std::vector<std::string>& attributes) {
+  std::vector<size_t> out;
+  out.reserve(attributes.size());
+  for (const std::string& name : attributes) {
+    auto idx = schema.AttributeIndex(name);
+    if (!idx.ok()) return idx.status();
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+Result<std::vector<Row>> FetchByTids(const Relation& relation,
+                                     const std::vector<Tid>& tids,
+                                     const std::vector<size_t>& projection,
+                                     std::optional<size_t> limit) {
+  relation.CountStatement();
+  std::vector<Row> rows;
+  size_t max_rows = limit.value_or(tids.size());
+  rows.reserve(std::min(max_rows, tids.size()));
+  for (Tid tid : tids) {
+    if (rows.size() >= max_rows) break;
+    auto tuple = relation.Get(tid);
+    if (!tuple.ok()) return tuple.status();
+    rows.push_back(Row{tid, ProjectTuple(**tuple, projection)});
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> FetchByJoinValues(
+    const Relation& relation, const std::string& attribute,
+    const std::vector<Value>& keys, const std::vector<size_t>& projection,
+    std::optional<size_t> limit) {
+  relation.CountStatement();
+  std::vector<Row> rows;
+  size_t max_rows = limit.value_or(SIZE_MAX);
+  for (const Value& key : keys) {
+    if (rows.size() >= max_rows) break;
+    auto tids = relation.LookupEquals(attribute, key);
+    if (!tids.ok()) return tids.status();
+    for (Tid tid : *tids) {
+      if (rows.size() >= max_rows) break;
+      auto tuple = relation.Get(tid);
+      if (!tuple.ok()) return tuple.status();
+      rows.push_back(Row{tid, ProjectTuple(**tuple, projection)});
+    }
+  }
+  return rows;
+}
+
+Result<PerValueScanSet> PerValueScanSet::Open(const Relation& relation,
+                                              const std::string& attribute,
+                                              std::vector<Value> keys,
+                                              std::vector<size_t> projection) {
+  PerValueScanSet set;
+  set.relation_ = &relation;
+  set.attribute_ = attribute;
+  set.keys_ = std::move(keys);
+  set.projection_ = std::move(projection);
+  set.scans_.reserve(set.keys_.size());
+  for (const Value& key : set.keys_) {
+    // Each per-value scan is its own parameterized statement (cursor).
+    relation.CountStatement();
+    auto tids = relation.LookupEquals(attribute, key);
+    if (!tids.ok()) return tids.status();
+    set.scans_.push_back(std::move(*tids));
+  }
+  set.positions_.assign(set.scans_.size(), 0);
+  return set;
+}
+
+bool PerValueScanSet::AllClosed() const {
+  for (size_t i = 0; i < scans_.size(); ++i) {
+    if (IsOpen(i)) return false;
+  }
+  return true;
+}
+
+std::optional<Row> PerValueScanSet::Next(size_t i) {
+  if (!IsOpen(i)) return std::nullopt;
+  Tid tid = scans_[i][positions_[i]++];
+  auto tuple = relation_->Get(tid);
+  if (!tuple.ok()) return std::nullopt;  // cannot happen for valid scans
+  return Row{tid, ProjectTuple(**tuple, projection_)};
+}
+
+std::string PerValueScanSet::ToSql(const Relation& relation) const {
+  std::ostringstream os;
+  for (const Value& key : keys_) {
+    os << RenderInListSql(relation.schema(), attribute_, {key}, projection_,
+                          std::nullopt)
+       << ";\n";
+  }
+  return os.str();
+}
+
+std::string RenderInListSql(const RelationSchema& schema,
+                            const std::string& attribute,
+                            const std::vector<Value>& keys,
+                            const std::vector<size_t>& projection,
+                            std::optional<size_t> limit) {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < projection.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << schema.attribute(projection[i]).name;
+  }
+  if (projection.empty()) os << "*";
+  os << " FROM " << schema.name() << " WHERE " << attribute << " IN (";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) os << ", ";
+    if (keys[i].is_string()) {
+      os << "'" << keys[i].ToString() << "'";
+    } else {
+      os << keys[i].ToString();
+    }
+  }
+  os << ")";
+  if (limit) os << " AND RowNum <= " << *limit;
+  return os.str();
+}
+
+}  // namespace precis

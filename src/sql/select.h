@@ -1,0 +1,118 @@
+// The query layer: the selection shapes the précis generators submit.
+//
+// The paper's Result Database Generator never executes joins inside the
+// database; it issues only two kinds of selection queries (§5.2):
+//
+//   (1)  sigma_{tid in Tids}(R) [pi(R)]      -- seed tuples by rowid
+//   (2)  sigma_{A in Ids}(R)    [pi(R)]      -- parameterized IN-list on a
+//                                               join attribute, via index
+//
+// plus, for the RoundRobin strategy, one open scan per probe value from
+// which tuples are pulled one at a time. This module implements exactly
+// those shapes over the storage engine, instrumented for the cost model,
+// and able to render the equivalent SQL text for debugging.
+
+#ifndef PRECIS_SQL_SELECT_H_
+#define PRECIS_SQL_SELECT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/relation.h"
+
+namespace precis {
+
+/// \brief One fetched row: its rowid plus the (projected) values.
+struct Row {
+  Tid tid;
+  Tuple values;
+};
+
+/// \brief Applies a positional projection to a tuple.
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& projection);
+
+/// \brief Resolves attribute names to positional indices against a schema.
+Result<std::vector<size_t>> ResolveProjection(
+    const RelationSchema& schema, const std::vector<std::string>& attributes);
+
+/// \brief Query shape (1): fetch tuples of `relation` whose tid is in `tids`,
+/// projected on `projection` (attribute indices), keeping at most `limit`
+/// rows if given.
+///
+/// Mirrors Oracle's "WHERE rowid IN (...) AND RowNum <= k" that the paper's
+/// NaiveQ uses for seed tuples: the subset kept under a limit is an
+/// arbitrary prefix, not a semantic top-k.
+Result<std::vector<Row>> FetchByTids(const Relation& relation,
+                                     const std::vector<Tid>& tids,
+                                     const std::vector<size_t>& projection,
+                                     std::optional<size_t> limit);
+
+/// \brief Query shape (2): fetch tuples of `relation` whose `attribute`
+/// value appears in `keys` (an IN-list of join values), projected, limited.
+///
+/// Costs one index probe per key plus one tuple fetch per returned row —
+/// exactly the terms of the paper's cost model (Formula 1).
+Result<std::vector<Row>> FetchByJoinValues(
+    const Relation& relation, const std::string& attribute,
+    const std::vector<Value>& keys, const std::vector<size_t>& projection,
+    std::optional<size_t> limit);
+
+/// \brief RoundRobin support: one open scan of joining tuples per probe
+/// value (paper §5.2).
+///
+/// For each value v in `keys`, a scan over the tuples of `relation` whose
+/// `attribute` equals v is opened. Tuples are then pulled one at a time per
+/// scan; a drained scan reports closed. The précis generator cycles over the
+/// scans to distribute the cardinality budget uniformly across the source
+/// tuples.
+class PerValueScanSet {
+ public:
+  /// Opens one scan per key (one index probe each).
+  static Result<PerValueScanSet> Open(const Relation& relation,
+                                      const std::string& attribute,
+                                      std::vector<Value> keys,
+                                      std::vector<size_t> projection);
+
+  size_t num_scans() const { return scans_.size(); }
+
+  /// True if scan `i` still has tuples.
+  bool IsOpen(size_t i) const { return positions_[i] < scans_[i].size(); }
+
+  /// True if every scan is drained.
+  bool AllClosed() const;
+
+  /// Pulls the next row from scan `i`, or nullopt if the scan is drained.
+  /// Counts one tuple fetch when a row is produced.
+  std::optional<Row> Next(size_t i);
+
+  /// The probe value that scan `i` was opened for.
+  const Value& key(size_t i) const { return keys_[i]; }
+
+  /// SQL-equivalent text of the scans, for logging.
+  std::string ToSql(const Relation& relation) const;
+
+ private:
+  PerValueScanSet() = default;
+
+  const Relation* relation_ = nullptr;
+  std::vector<Value> keys_;
+  std::vector<size_t> projection_;
+  std::vector<std::vector<Tid>> scans_;  // matching tids per key
+  std::vector<size_t> positions_;        // next offset per scan
+  std::string attribute_;
+};
+
+/// \brief Renders query shape (2) as SQL text, e.g.
+/// "SELECT title, year FROM MOVIE WHERE did IN (3, 17)".
+std::string RenderInListSql(const RelationSchema& schema,
+                            const std::string& attribute,
+                            const std::vector<Value>& keys,
+                            const std::vector<size_t>& projection,
+                            std::optional<size_t> limit);
+
+}  // namespace precis
+
+#endif  // PRECIS_SQL_SELECT_H_

@@ -1,0 +1,122 @@
+#include "storage/database.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace precis {
+
+Status Database::CreateRelation(RelationSchema schema) {
+  // Copy, not reference: the schema is moved out below and (since C++17)
+  // the assignment's right side is sequenced before the map subscript.
+  const std::string rel_name = schema.name();
+  if (rel_name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (relations_.count(rel_name) > 0) {
+    return Status::AlreadyExists("relation '" + rel_name + "' already exists");
+  }
+  std::unordered_set<std::string> attr_names;
+  for (const auto& a : schema.attributes()) {
+    if (!attr_names.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + a.name +
+                                     "' in relation '" + rel_name + "'");
+    }
+  }
+  relations_[rel_name] =
+      std::make_unique<Relation>(std::move(schema), stats_.get());
+  return Status::OK();
+}
+
+Status Database::AddForeignKey(ForeignKey fk) {
+  auto child = GetRelation(fk.child_relation);
+  if (!child.ok()) return child.status();
+  auto parent = GetRelation(fk.parent_relation);
+  if (!parent.ok()) return parent.status();
+  auto child_idx = (*child)->schema().AttributeIndex(fk.child_attribute);
+  if (!child_idx.ok()) return child_idx.status();
+  auto parent_idx = (*parent)->schema().AttributeIndex(fk.parent_attribute);
+  if (!parent_idx.ok()) return parent_idx.status();
+  DataType ct = (*child)->schema().attribute(*child_idx).type;
+  DataType pt = (*parent)->schema().attribute(*parent_idx).type;
+  if (ct != pt) {
+    return Status::InvalidArgument(
+        "foreign key type mismatch: " + fk.ToString());
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return relations_.count(name) > 0;
+}
+
+Result<Relation*> Database::GetRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+  return it->second.get();
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("relation '" + name + "' does not exist");
+  }
+  return static_cast<const Relation*>(it->second.get());
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> out;
+  out.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : relations_) n += rel->num_tuples();
+  return n;
+}
+
+Status Database::ValidateForeignKeys() const {
+  for (const ForeignKey& fk : foreign_keys_) {
+    auto child = GetRelation(fk.child_relation);
+    if (!child.ok()) return child.status();
+    auto parent = GetRelation(fk.parent_relation);
+    if (!parent.ok()) return parent.status();
+    auto child_idx = (*child)->schema().AttributeIndex(fk.child_attribute);
+    if (!child_idx.ok()) return child_idx.status();
+    auto parent_idx = (*parent)->schema().AttributeIndex(fk.parent_attribute);
+    if (!parent_idx.ok()) return parent_idx.status();
+
+    std::unordered_set<Value, ValueHash> parent_values;
+    for (Tid tid = 0; tid < (*parent)->num_tuples(); ++tid) {
+      parent_values.insert((*parent)->tuple(tid)[*parent_idx]);
+    }
+    for (Tid tid = 0; tid < (*child)->num_tuples(); ++tid) {
+      const Value& v = (*child)->tuple(tid)[*child_idx];
+      if (v.is_null()) continue;
+      if (parent_values.count(v) == 0) {
+        return Status::ConstraintViolation(
+            "dangling foreign key " + fk.ToString() + ": value " +
+            v.ToString() + " has no parent");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string Database::DescribeSchema() const {
+  std::ostringstream os;
+  for (const auto& [name, rel] : relations_) {
+    os << rel->schema().ToString() << "  [" << rel->num_tuples()
+       << " tuples]\n";
+  }
+  for (const ForeignKey& fk : foreign_keys_) {
+    os << "  FK " << fk.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace precis

@@ -1,0 +1,133 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace precis {
+
+const std::vector<Tid> HashIndex::kEmpty;
+
+const std::vector<Tid>& HashIndex::Lookup(const Value& key) const {
+  auto it = buckets_.find(key);
+  if (it == buckets_.end()) return kEmpty;
+  return it->second;
+}
+
+Result<Tid> Relation::Insert(Tuple tuple) {
+  if (tuple.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != schema arity " +
+        std::to_string(schema_.num_attributes()) + " for relation '" +
+        name() + "'");
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (!tuple[i].TypeMatches(schema_.attribute(i).type)) {
+      return Status::InvalidArgument(
+          "type mismatch for attribute '" + schema_.attribute(i).name +
+          "' of relation '" + name() + "'");
+    }
+  }
+  if (schema_.primary_key()) {
+    size_t pk = *schema_.primary_key();
+    const Value& key = tuple[pk];
+    if (key.is_null()) {
+      return Status::ConstraintViolation("NULL primary key in relation '" +
+                                         name() + "'");
+    }
+    auto idx_it = indexes_.find(pk);
+    if (idx_it != indexes_.end()) {
+      if (!idx_it->second.Lookup(key).empty()) {
+        return Status::ConstraintViolation(
+            "duplicate primary key " + key.ToString() + " in relation '" +
+            name() + "'");
+      }
+    } else {
+      for (const Tuple& t : heap_) {
+        if (t[pk] == key) {
+          return Status::ConstraintViolation(
+              "duplicate primary key " + key.ToString() + " in relation '" +
+              name() + "'");
+        }
+      }
+    }
+  }
+  Tid tid = heap_.size();
+  for (auto& [attr_idx, index] : indexes_) {
+    index.Insert(tuple[attr_idx], tid);
+  }
+  heap_.push_back(std::move(tuple));
+  return tid;
+}
+
+Result<const Tuple*> Relation::Get(Tid tid) const {
+  if (tid >= heap_.size()) {
+    return Status::OutOfRange("tid " + std::to_string(tid) +
+                              " out of range for relation '" + name() +
+                              "' with " + std::to_string(heap_.size()) +
+                              " tuples");
+  }
+  CountTupleFetch();
+  return &heap_[tid];
+}
+
+Status Relation::CreateIndex(const std::string& attribute_name) {
+  auto idx = schema_.AttributeIndex(attribute_name);
+  if (!idx.ok()) return idx.status();
+  HashIndex index;
+  for (Tid tid = 0; tid < heap_.size(); ++tid) {
+    index.Insert(heap_[tid][*idx], tid);
+  }
+  indexes_[*idx] = std::move(index);
+  return Status::OK();
+}
+
+std::vector<std::string> Relation::IndexedAttributes() const {
+  std::vector<std::string> out;
+  for (const auto& [attr_idx, index] : indexes_) {
+    out.push_back(schema_.attribute(attr_idx).name);
+  }
+  return out;
+}
+
+bool Relation::HasIndex(const std::string& attribute_name) const {
+  auto idx = schema_.AttributeIndex(attribute_name);
+  if (!idx.ok()) return false;
+  return indexes_.count(*idx) > 0;
+}
+
+Result<std::vector<Tid>> Relation::LookupEquals(
+    const std::string& attribute_name, const Value& key) const {
+  auto idx = schema_.AttributeIndex(attribute_name);
+  if (!idx.ok()) return idx.status();
+  auto index_it = indexes_.find(*idx);
+  if (index_it != indexes_.end()) {
+    CountIndexProbe();
+    return index_it->second.Lookup(key);
+  }
+  CountSequentialScan();
+  std::vector<Tid> out;
+  for (Tid tid = 0; tid < heap_.size(); ++tid) {
+    if (heap_[tid][*idx] == key) out.push_back(tid);
+  }
+  return out;
+}
+
+std::vector<Tid> Relation::AllTids() const {
+  std::vector<Tid> out(heap_.size());
+  for (Tid tid = 0; tid < heap_.size(); ++tid) out[tid] = tid;
+  return out;
+}
+
+Result<std::vector<Value>> Relation::DistinctValues(
+    const std::string& attribute_name) const {
+  auto idx = schema_.AttributeIndex(attribute_name);
+  if (!idx.ok()) return idx.status();
+  std::unordered_set<Value, ValueHash> seen;
+  std::vector<Value> out;
+  for (const Tuple& t : heap_) {
+    if (seen.insert(t[*idx]).second) out.push_back(t[*idx]);
+  }
+  return out;
+}
+
+}  // namespace precis

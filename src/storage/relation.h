@@ -1,0 +1,127 @@
+// Relation: a rowid-stable in-memory heap of tuples plus hash indexes.
+
+#ifndef PRECIS_STORAGE_RELATION_H_
+#define PRECIS_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/access_stats.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace precis {
+
+/// Tuple identifier: the position of a tuple in its relation's heap.
+/// Tids are stable — the engine is append-only (the précis workload never
+/// deletes from the source database; result databases are built fresh).
+using Tid = uint64_t;
+
+/// \brief A tuple is a vector of values, positionally aligned with the
+/// relation schema's attributes.
+using Tuple = std::vector<Value>;
+
+/// \brief Equality-lookup index from attribute value to the tids holding it.
+class HashIndex {
+ public:
+  void Insert(const Value& key, Tid tid) { buckets_[key].push_back(tid); }
+
+  /// Tids whose indexed attribute equals `key` (empty if none).
+  const std::vector<Tid>& Lookup(const Value& key) const;
+
+  size_t num_keys() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<Value, std::vector<Tid>, ValueHash> buckets_;
+  static const std::vector<Tid> kEmpty;
+};
+
+/// \brief A populated relation: schema + heap + indexes.
+///
+/// All reads that the précis generators perform are instrumented through the
+/// AccessStats of the owning Database (see access_stats.h).
+class Relation {
+ public:
+  explicit Relation(RelationSchema schema, AccessStats* stats = nullptr)
+      : schema_(std::move(schema)), stats_(stats) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name(); }
+  size_t num_tuples() const { return heap_.size(); }
+
+  /// Appends a tuple; validates arity and types, enforces primary-key
+  /// uniqueness if a key is declared, and maintains all indexes.
+  /// Returns the new tuple's tid.
+  Result<Tid> Insert(Tuple tuple);
+
+  /// Fetches a tuple by rowid (counted as one tuple fetch).
+  Result<const Tuple*> Get(Tid tid) const;
+
+  /// Unchecked positional access for iteration in tests/tools; does not
+  /// count as an instrumented fetch.
+  const Tuple& tuple(Tid tid) const { return heap_[tid]; }
+
+  /// Builds (or rebuilds) a hash index on the named attribute.
+  Status CreateIndex(const std::string& attribute_name);
+
+  /// True if an index exists on the attribute.
+  bool HasIndex(const std::string& attribute_name) const;
+
+  /// Names of all indexed attributes, in attribute order.
+  std::vector<std::string> IndexedAttributes() const;
+
+  /// Tids whose `attribute_name` equals `key`. Uses the index when present
+  /// (one index probe); otherwise falls back to a sequential scan (counted).
+  Result<std::vector<Tid>> LookupEquals(const std::string& attribute_name,
+                                        const Value& key) const;
+
+  /// All tids, in heap order.
+  std::vector<Tid> AllTids() const;
+
+  /// Distinct values of the attribute (used by the data generator and tests).
+  Result<std::vector<Value>> DistinctValues(
+      const std::string& attribute_name) const;
+
+  /// Records one submitted statement against this relation (see
+  /// AccessStats::statements). Called by the query layer, not by storage
+  /// primitives.
+  void CountStatement() const {
+    if (stats_ != nullptr) {
+      stats_->statements.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void set_stats(AccessStats* stats) { stats_ = stats; }
+
+ private:
+  void CountIndexProbe() const {
+    if (stats_ != nullptr) {
+      stats_->index_probes.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void CountTupleFetch() const {
+    if (stats_ != nullptr) {
+      stats_->tuple_fetches.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void CountSequentialScan() const {
+    if (stats_ != nullptr) {
+      stats_->sequential_scans.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  RelationSchema schema_;
+  std::vector<Tuple> heap_;
+  // attribute index -> hash index
+  std::map<size_t, HashIndex> indexes_;
+  AccessStats* stats_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_STORAGE_RELATION_H_

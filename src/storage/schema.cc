@@ -1,0 +1,41 @@
+#include "storage/schema.h"
+
+#include <sstream>
+
+namespace precis {
+
+Result<size_t> RelationSchema::AttributeIndex(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("attribute '" + name + "' not in relation '" +
+                          name_ + "'");
+}
+
+bool RelationSchema::HasAttribute(const std::string& name) const {
+  for (const auto& a : attributes_) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+Status RelationSchema::SetPrimaryKey(const std::string& attribute_name) {
+  auto idx = AttributeIndex(attribute_name);
+  if (!idx.ok()) return idx.status();
+  primary_key_ = *idx;
+  return Status::OK();
+}
+
+std::string RelationSchema::ToString() const {
+  std::ostringstream os;
+  os << name_ << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attributes_[i].name;
+    if (primary_key_ && *primary_key_ == i) os << "*";
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace precis

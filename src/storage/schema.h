@@ -1,0 +1,89 @@
+// Relation and database schemas (paper §3.1 data model).
+
+#ifndef PRECIS_STORAGE_SCHEMA_H_
+#define PRECIS_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace precis {
+
+/// \brief One attribute (column) of a relation schema.
+struct AttributeSchema {
+  std::string name;
+  DataType type;
+
+  bool operator==(const AttributeSchema& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// \brief A relation schema R(A1, ..., Ak) with an optional primary key.
+///
+/// Per the paper's simplifying assumption (§3.1), primary keys are not
+/// composite: the key is a single attribute, identified by index.
+class RelationSchema {
+ public:
+  RelationSchema() = default;
+  RelationSchema(std::string name, std::vector<AttributeSchema> attributes)
+      : name_(std::move(name)), attributes_(std::move(attributes)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<AttributeSchema>& attributes() const {
+    return attributes_;
+  }
+  size_t num_attributes() const { return attributes_.size(); }
+
+  const AttributeSchema& attribute(size_t i) const { return attributes_[i]; }
+
+  /// Index of the attribute named `name`, or kNotFound.
+  Result<size_t> AttributeIndex(const std::string& name) const;
+
+  /// True if an attribute with this name exists.
+  bool HasAttribute(const std::string& name) const;
+
+  /// Declares the single-attribute primary key. Fails if the attribute does
+  /// not exist.
+  Status SetPrimaryKey(const std::string& attribute_name);
+
+  /// Index of the primary-key attribute, if one was declared.
+  std::optional<size_t> primary_key() const { return primary_key_; }
+
+  /// "MOVIE(mid, title, year, did)" rendering for logs and docs.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<AttributeSchema> attributes_;
+  std::optional<size_t> primary_key_;
+};
+
+/// \brief A foreign-key constraint: child.attribute references
+/// parent.attribute.
+struct ForeignKey {
+  std::string child_relation;
+  std::string child_attribute;
+  std::string parent_relation;
+  std::string parent_attribute;
+
+  bool operator==(const ForeignKey& o) const {
+    return child_relation == o.child_relation &&
+           child_attribute == o.child_attribute &&
+           parent_relation == o.parent_relation &&
+           parent_attribute == o.parent_attribute;
+  }
+
+  std::string ToString() const {
+    return child_relation + "." + child_attribute + " -> " + parent_relation +
+           "." + parent_attribute;
+  }
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_STORAGE_SCHEMA_H_

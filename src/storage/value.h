@@ -1,0 +1,81 @@
+// Typed values for the in-memory relational engine.
+
+#ifndef PRECIS_STORAGE_VALUE_H_
+#define PRECIS_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace precis {
+
+/// \brief Column data types supported by the engine.
+///
+/// The paper's movie schema only needs integers (ids, years) and strings
+/// (names, titles, dates-as-text); doubles are included for generality.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// \brief Returns "INT64" / "DOUBLE" / "STRING".
+const char* DataTypeToString(DataType t);
+
+/// \brief A single attribute value: NULL, int64, double, or string.
+///
+/// Values order and hash across their own type only; comparing values of
+/// different types orders by type index (NULL sorts first). This gives the
+/// hash indexes and duplicate elimination well-defined total behaviour.
+class Value {
+ public:
+  /// NULL value.
+  Value() : v_(std::monostate{}) {}
+  Value(int64_t v) : v_(v) {}         // NOLINT(google-explicit-constructor)
+  Value(double v) : v_(v) {}          // NOLINT(google-explicit-constructor)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+
+  /// Accessors; undefined behaviour on type mismatch (assert in debug).
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  /// True if this value's dynamic type matches the declared column type.
+  /// NULL is compatible with every type.
+  bool TypeMatches(DataType t) const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return v_ != other.v_; }
+  bool operator<(const Value& other) const { return v_ < other.v_; }
+
+  /// Rendering used by examples and the translator ("1935", "Woody Allen").
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+/// Hash functor for use in unordered containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_STORAGE_VALUE_H_

@@ -1,0 +1,107 @@
+#include "text/inverted_index.h"
+
+#include <algorithm>
+
+namespace precis {
+
+Result<InvertedIndex> InvertedIndex::Build(const Database& db) {
+  InvertedIndex index;
+  index.db_ = &db;
+  index.relation_names_ = db.RelationNames();
+  for (uint32_t r = 0; r < index.relation_names_.size(); ++r) {
+    auto rel = db.GetRelation(index.relation_names_[r]);
+    if (!rel.ok()) return rel.status();
+    const RelationSchema& schema = (*rel)->schema();
+    for (uint32_t a = 0; a < schema.num_attributes(); ++a) {
+      if (schema.attribute(a).type != DataType::kString) continue;
+      for (Tid tid = 0; tid < (*rel)->num_tuples(); ++tid) {
+        const Value& v = (*rel)->tuple(tid)[a];
+        if (v.is_null()) continue;
+        std::vector<std::string> words = TokenizeWords(v.AsString());
+        // De-duplicate words within one value so each location appears at
+        // most once in a word's posting list.
+        std::sort(words.begin(), words.end());
+        words.erase(std::unique(words.begin(), words.end()), words.end());
+        for (const std::string& w : words) {
+          index.postings_[w].push_back(Location{r, a, tid});
+        }
+      }
+    }
+  }
+  for (auto& [word, locs] : index.postings_) {
+    std::sort(locs.begin(), locs.end());
+  }
+  return index;
+}
+
+size_t InvertedIndex::num_postings() const {
+  size_t n = 0;
+  for (const auto& [word, locs] : postings_) n += locs.size();
+  return n;
+}
+
+bool InvertedIndex::ContainsPhrase(
+    const Location& loc, const std::vector<std::string>& words) const {
+  auto rel = db_->GetRelation(relation_names_[loc.relation]);
+  if (!rel.ok()) return false;
+  const Value& v = (*rel)->tuple(loc.tid)[loc.attribute];
+  if (!v.is_string()) return false;
+  return precis::ContainsPhrase(v.AsString(), words);
+}
+
+std::vector<TokenOccurrence> InvertedIndex::Lookup(
+    const std::string& token) const {
+  std::vector<TokenOccurrence> out;
+  std::vector<std::string> words = TokenizeWords(token);
+  if (words.empty()) return out;
+
+  // Intersect the word posting lists; start from the rarest word.
+  const std::vector<Location>* smallest = nullptr;
+  for (const std::string& w : words) {
+    auto it = postings_.find(w);
+    if (it == postings_.end()) return out;  // some word absent: no matches
+    if (smallest == nullptr || it->second.size() < smallest->size()) {
+      smallest = &it->second;
+    }
+  }
+
+  std::vector<Location> candidates;
+  for (const Location& loc : *smallest) {
+    bool in_all = true;
+    for (const std::string& w : words) {
+      const std::vector<Location>& locs = postings_.at(w);
+      if (!std::binary_search(locs.begin(), locs.end(), loc)) {
+        in_all = false;
+        break;
+      }
+    }
+    if (in_all && (words.size() == 1 || ContainsPhrase(loc, words))) {
+      candidates.push_back(loc);
+    }
+  }
+
+  // Group by (relation, attribute); candidates are already sorted.
+  for (const Location& loc : candidates) {
+    auto rel = db_->GetRelation(relation_names_[loc.relation]);
+    const std::string& attr =
+        (*rel)->schema().attribute(loc.attribute).name;
+    if (!out.empty() && out.back().relation == relation_names_[loc.relation] &&
+        out.back().attribute == attr) {
+      out.back().tids.push_back(loc.tid);
+    } else {
+      out.push_back(TokenOccurrence{relation_names_[loc.relation], attr,
+                                    {loc.tid}});
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<TokenOccurrence>> InvertedIndex::LookupAll(
+    const std::vector<std::string>& query) const {
+  std::vector<std::vector<TokenOccurrence>> out;
+  out.reserve(query.size());
+  for (const std::string& token : query) out.push_back(Lookup(token));
+  return out;
+}
+
+}  // namespace precis

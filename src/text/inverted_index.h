@@ -1,0 +1,89 @@
+// Inverted index: token -> {(relation, attribute, tids)} (paper §4).
+//
+// "An inverted index associates each token that appears in the database with
+//  a list of occurrences of the token. Each occurrence is recorded as an
+//  attribute-relation pair (Rj, Alj). For each such pair, the list Tids_lj of
+//  ids of tuples from Rj in which Alj includes the token, is also returned."
+
+#ifndef PRECIS_TEXT_INVERTED_INDEX_H_
+#define PRECIS_TEXT_INVERTED_INDEX_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/database.h"
+#include "text/tokenizer.h"
+
+namespace precis {
+
+/// \brief All tuples of one relation-attribute pair that include a token.
+struct TokenOccurrence {
+  std::string relation;
+  std::string attribute;
+  std::vector<Tid> tids;
+};
+
+/// \brief Full-text inverted index over the string attributes of a Database.
+///
+/// Queries may be multi-word ("Woody Allen"): word postings are intersected
+/// per (relation, attribute, tid) and verified as a contiguous phrase in the
+/// stored value, so "Woody Allen" matches the value "Woody Allen" but not a
+/// value containing only "Allen" or the words in the wrong order.
+class InvertedIndex {
+ public:
+  /// Indexes every string attribute of every relation in `db`. The Database
+  /// must outlive the index. Word extraction is not counted in AccessStats
+  /// (the paper excludes index construction from its measurements).
+  static Result<InvertedIndex> Build(const Database& db);
+
+  /// Occurrences of a (possibly multi-word) token, grouped by
+  /// relation-attribute pair. Empty if the token appears nowhere.
+  std::vector<TokenOccurrence> Lookup(const std::string& token) const;
+
+  /// Occurrences for each token of a query, in query order.
+  std::vector<std::vector<TokenOccurrence>> LookupAll(
+      const std::vector<std::string>& query) const;
+
+  /// Number of distinct indexed words.
+  size_t num_words() const { return postings_.size(); }
+
+  /// Number of posting entries across all words.
+  size_t num_postings() const;
+
+ private:
+  struct Location {
+    uint32_t relation;   // index into relation_names_
+    uint32_t attribute;  // attribute index within the relation
+    Tid tid;
+
+    bool operator==(const Location& o) const {
+      return relation == o.relation && attribute == o.attribute &&
+             o.tid == tid;
+    }
+    bool operator<(const Location& o) const {
+      if (relation != o.relation) return relation < o.relation;
+      if (attribute != o.attribute) return attribute < o.attribute;
+      return tid < o.tid;
+    }
+  };
+
+  InvertedIndex() = default;
+
+  /// True if `words` occurs as a contiguous word sequence in the value at
+  /// `loc`.
+  bool ContainsPhrase(const Location& loc,
+                      const std::vector<std::string>& words) const;
+
+  const Database* db_ = nullptr;
+  std::vector<std::string> relation_names_;
+  // word -> sorted locations containing the word
+  std::unordered_map<std::string, std::vector<Location>> postings_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_TEXT_INVERTED_INDEX_H_

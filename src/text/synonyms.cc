@@ -1,0 +1,57 @@
+#include "text/synonyms.h"
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace precis {
+
+namespace {
+
+/// Whole-token normal form: lowercased words joined by single spaces.
+std::string Normalize(const std::string& token) {
+  return Join(TokenizeWords(token), " ");
+}
+
+constexpr int kMaxChain = 16;
+
+}  // namespace
+
+Status SynonymTable::AddSynonym(const std::string& variant,
+                                const std::string& canonical) {
+  std::string from = Normalize(variant);
+  std::string to = Normalize(canonical);
+  if (from.empty() || to.empty()) {
+    return Status::InvalidArgument("synonym sides must be non-empty tokens");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("synonym maps token to itself: '" +
+                                   variant + "'");
+  }
+  // Reject cycles: walking from `to` must not reach `from`.
+  std::string cursor = to;
+  for (int i = 0; i < kMaxChain; ++i) {
+    auto it = mapping_.find(cursor);
+    if (it == mapping_.end()) break;
+    cursor = it->second.first;
+    if (cursor == from) {
+      return Status::InvalidArgument("synonym cycle: '" + variant +
+                                     "' -> '" + canonical + "'");
+    }
+  }
+  mapping_[from] = {to, canonical};
+  return Status::OK();
+}
+
+std::string SynonymTable::Canonicalize(const std::string& token) const {
+  std::string cursor = Normalize(token);
+  std::string resolved = token;
+  for (int i = 0; i < kMaxChain; ++i) {
+    auto it = mapping_.find(cursor);
+    if (it == mapping_.end()) break;
+    cursor = it->second.first;
+    resolved = it->second.second;
+  }
+  return resolved;
+}
+
+}  // namespace precis

@@ -1,0 +1,47 @@
+// Synonym resolution for query tokens (paper §5.1).
+//
+// "Different values may be used for the same object (synonyms); e.g.,
+//  'W. Allen' and 'Woody Allen' that correspond to the same person. ...
+//  there exist approaches for cleaning and homogenizing string data."
+//
+// The paper treats entity resolution as orthogonal and assumes some
+// mechanism exists; this table is that mechanism's output: a designer- or
+// tool-provided mapping from variant spellings to canonical tokens, applied
+// before the inverted-index lookup.
+
+#ifndef PRECIS_TEXT_SYNONYMS_H_
+#define PRECIS_TEXT_SYNONYMS_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace precis {
+
+/// \brief Maps variant token spellings to canonical tokens.
+///
+/// Matching is on whole tokens, case- and punctuation-insensitive ("w.
+/// allen" == "W Allen"). Chains (a -> b, b -> c) resolve transitively with
+/// a bounded depth; cycles are rejected at insertion time.
+class SynonymTable {
+ public:
+  /// Declares `variant` to mean `canonical`. Fails if the mapping would
+  /// create a cycle or if either side normalizes to the empty token.
+  Status AddSynonym(const std::string& variant, const std::string& canonical);
+
+  /// The canonical spelling for `token`: follows mappings transitively and
+  /// returns the final canonical string as registered, or `token` itself if
+  /// no mapping applies.
+  std::string Canonicalize(const std::string& token) const;
+
+  size_t size() const { return mapping_.size(); }
+
+ private:
+  /// Normalized token -> (normalized canonical, canonical as registered).
+  std::map<std::string, std::pair<std::string, std::string>> mapping_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_TEXT_SYNONYMS_H_

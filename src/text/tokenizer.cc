@@ -1,0 +1,41 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace precis {
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> words;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      words.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(std::move(current));
+  return words;
+}
+
+bool ContainsPhrase(std::string_view text,
+                    const std::vector<std::string>& words) {
+  if (words.empty()) return false;
+  std::vector<std::string> text_words = TokenizeWords(text);
+  if (words.size() > text_words.size()) return false;
+  for (size_t start = 0; start + words.size() <= text_words.size(); ++start) {
+    bool match = true;
+    for (size_t i = 0; i < words.size(); ++i) {
+      if (text_words[start + i] != words[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+}  // namespace precis

@@ -1,0 +1,27 @@
+// Word tokenizer for attribute values and query tokens.
+
+#ifndef PRECIS_TEXT_TOKENIZER_H_
+#define PRECIS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace precis {
+
+/// \brief Splits text into lower-cased alphanumeric words.
+///
+/// "Woody Allen" -> {"woody", "allen"}; "Match Point (2005)" -> {"match",
+/// "point", "2005"}. Both the inverted index (over attribute values) and the
+/// query parser (over user tokens) use this, so a précis query token matches
+/// irrespective of case and punctuation.
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+/// \brief True if `words` occurs as a contiguous word sequence in `text`
+/// (after tokenization). An empty word list never matches.
+bool ContainsPhrase(std::string_view text,
+                    const std::vector<std::string>& words);
+
+}  // namespace precis
+
+#endif  // PRECIS_TEXT_TOKENIZER_H_

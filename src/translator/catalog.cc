@@ -1,0 +1,62 @@
+#include "translator/catalog.h"
+
+namespace precis {
+
+void TemplateCatalog::SetHeadingAttribute(const std::string& relation,
+                                          const std::string& attribute) {
+  heading_attributes_[relation] = attribute;
+}
+
+std::string TemplateCatalog::heading_attribute(
+    const std::string& relation) const {
+  auto it = heading_attributes_.find(relation);
+  if (it == heading_attributes_.end()) return "";
+  return it->second;
+}
+
+Status TemplateCatalog::SetProjectionTemplate(const std::string& relation,
+                                              const std::string& source) {
+  auto t = Template::Parse(source);
+  if (!t.ok()) return t.status();
+  projection_templates_[relation] = std::move(*t);
+  return Status::OK();
+}
+
+Status TemplateCatalog::SetJoinTemplate(const std::string& from,
+                                        const std::string& to,
+                                        const std::string& source) {
+  auto t = Template::Parse(source);
+  if (!t.ok()) return t.status();
+  join_templates_[{from, to}] = std::move(*t);
+  return Status::OK();
+}
+
+Status TemplateCatalog::DefineMacro(const std::string& name,
+                                    const std::string& source) {
+  auto t = Template::Parse(source);
+  if (!t.ok()) return t.status();
+  macros_[name] = std::move(*t);
+  return Status::OK();
+}
+
+const Template* TemplateCatalog::projection_template(
+    const std::string& relation) const {
+  auto it = projection_templates_.find(relation);
+  if (it == projection_templates_.end()) return nullptr;
+  return &it->second;
+}
+
+const Template* TemplateCatalog::join_template(const std::string& from,
+                                               const std::string& to) const {
+  auto it = join_templates_.find({from, to});
+  if (it == join_templates_.end()) return nullptr;
+  return &it->second;
+}
+
+const Template* TemplateCatalog::macro(const std::string& name) const {
+  auto it = macros_.find(name);
+  if (it == macros_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace precis

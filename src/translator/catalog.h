@@ -1,0 +1,66 @@
+// Designer-provided translation metadata (paper §5.3).
+//
+// A domain expert annotates the database graph for translation:
+//  - each relation's *heading attribute* ("the physical meaning represented
+//    by the value of at least one of its attributes"; MOVIE's is title);
+//  - a *template label* per projection edge set, realized here as one
+//    projection template per relation (the paper attaches expressions to
+//    projection edges so that "complex sentences that make sense" are built
+//    instead of repeating the subject per attribute);
+//  - a template label per join edge;
+//  - named macros usable inside templates (the paper's DEFINE ... as).
+
+#ifndef PRECIS_TRANSLATOR_CATALOG_H_
+#define PRECIS_TRANSLATOR_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "translator/template.h"
+
+namespace precis {
+
+/// \brief Registry of heading attributes, templates and macros for one
+/// database schema.
+class TemplateCatalog {
+ public:
+  /// Declares `attribute` as the heading attribute of `relation`.
+  void SetHeadingAttribute(const std::string& relation,
+                           const std::string& attribute);
+
+  /// Heading attribute of a relation, or empty string if undeclared (the
+  /// paper allows relations without one, e.g. CAST).
+  std::string heading_attribute(const std::string& relation) const;
+
+  /// Registers the clause template evaluated once per subject tuple of
+  /// `relation` (the first part of the sentence, built around the heading
+  /// attribute). Parses eagerly and fails on syntax errors.
+  Status SetProjectionTemplate(const std::string& relation,
+                               const std::string& source);
+
+  /// Registers the clause template for the join edge `from` -> `to`.
+  Status SetJoinTemplate(const std::string& from, const std::string& to,
+                         const std::string& source);
+
+  /// DEFINE `name` as `source`.
+  Status DefineMacro(const std::string& name, const std::string& source);
+
+  /// Lookups; nullptr when not registered.
+  const Template* projection_template(const std::string& relation) const;
+  const Template* join_template(const std::string& from,
+                                const std::string& to) const;
+  const Template* macro(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::string> heading_attributes_;
+  std::map<std::string, Template> projection_templates_;
+  std::map<std::pair<std::string, std::string>, Template> join_templates_;
+  std::map<std::string, Template> macros_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_TRANSLATOR_CATALOG_H_

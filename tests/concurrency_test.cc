@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "datagen/movies_dataset.h"
+#include "precis/engine.h"
+
+namespace precis {
+namespace {
+
+/// Concurrent read-path contract: one engine, one source database, many
+/// threads asking queries at once. Access counters are atomic and the
+/// schema cache is locked, so runs must be crash-free, answers identical
+/// to the single-threaded result, and counters exactly accounted.
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 200;
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+    auto engine = PrecisEngine::Create(&dataset_->db(), &dataset_->graph());
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::make_unique<PrecisEngine>(std::move(*engine));
+  }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+  std::unique_ptr<PrecisEngine> engine_;
+};
+
+TEST_F(ConcurrencyTest, ParallelQueriesAgreeWithSerialAnswer) {
+  auto d = MinPathWeight(0.9);
+  auto c = MaxTuplesPerRelation(5);
+  auto reference = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c);
+  ASSERT_TRUE(reference.ok());
+  std::string expected = reference->database.DescribeSchema();
+
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 20;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto answer = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c);
+        if (!answer.ok()) {
+          ++failures[t];
+          continue;
+        }
+        if (answer->database.DescribeSchema() != expected) ++mismatches[t];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+TEST_F(ConcurrencyTest, AtomicCountersAccountForEveryQuery) {
+  auto d = MinPathWeight(0.9);
+  auto c = MaxTuplesPerRelation(3);
+  // Serial baseline for one query's statement count.
+  dataset_->db().ResetStats();
+  ASSERT_TRUE(engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c).ok());
+  uint64_t per_query = dataset_->db().stats().statements;
+  ASSERT_GT(per_query, 0u);
+
+  constexpr int kThreads = 6;
+  constexpr int kQueriesPerThread = 10;
+  dataset_->db().ResetStats();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto answer = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c);
+        if (!answer.ok()) std::abort();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Relaxed atomics lose no increments: the totals add up exactly.
+  EXPECT_EQ(dataset_->db().stats().statements,
+            per_query * kThreads * kQueriesPerThread);
+}
+
+TEST_F(ConcurrencyTest, SchemaCacheUnderContention) {
+  engine_->set_schema_cache_enabled(true);
+  auto d = MinPathWeight(0.9);
+  auto c = MaxTuplesPerRelation(3);
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 25;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto answer = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c);
+        if (!answer.ok()) std::abort();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Every query either hit or missed; the sum is exact. (Several threads
+  // may race to fill the same key, so misses can exceed 1 but stay small.)
+  EXPECT_EQ(engine_->schema_cache_hits() + engine_->schema_cache_misses(),
+            static_cast<size_t>(kThreads * kQueriesPerThread));
+  EXPECT_LE(engine_->schema_cache_misses(), static_cast<size_t>(kThreads));
+  EXPECT_GE(engine_->schema_cache_hits(),
+            static_cast<size_t>(kThreads * kQueriesPerThread - kThreads));
+}
+
+TEST_F(ConcurrencyTest, MixedQueriesInParallel) {
+  auto d = MinPathWeight(0.8);
+  auto c = MaxTuplesPerRelation(4);
+  const std::vector<std::string> tokens = {"Woody Allen", "Match Point",
+                                           "Comedy", "Drama",
+                                           "Scarlett Johansson"};
+  constexpr int kThreads = 5;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < 15; ++q) {
+        const std::string& token = tokens[(t + q) % tokens.size()];
+        auto answer = engine_->Answer(PrecisQuery{{token}}, *d, *c);
+        if (!answer.ok() || !answer->database.ValidateForeignKeys().ok()) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+}
+
+}  // namespace
+}  // namespace precis

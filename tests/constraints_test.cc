@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "datagen/movies_dataset.h"
+#include "precis/constraints.h"
+#include "precis/cost_model.h"
+#include "precis/schema_generator.h"
+
+namespace precis {
+namespace {
+
+class ConstraintsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = BuildMoviesGraph();
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<SchemaGraph>(std::move(*g));
+    RelationNodeId director = *graph_->RelationId("DIRECTOR");
+    // A projection path of weight 1 and length 1.
+    proj_short_ = std::make_unique<Path>(
+        Path::Projection(director, graph_->ProjectionsOf(director)[0]));
+    // A join path DIRECTOR -> MOVIE (weight 1, length 1).
+    join_path_ = std::make_unique<Path>(
+        Path::Join(director, graph_->JoinsFrom(director)[0]));
+    // A longer projection path DIRECTOR -> MOVIE . title (weight 1, len 2).
+    RelationNodeId movie = *graph_->RelationId("MOVIE");
+    const ProjectionEdge* title = nullptr;
+    for (const ProjectionEdge* e : graph_->ProjectionsOf(movie)) {
+      if (graph_->relation_schema(movie).attribute(e->attribute).name ==
+          "title") {
+        title = e;
+      }
+    }
+    proj_long_ =
+        std::make_unique<Path>(join_path_->ExtendedByProjection(title));
+  }
+
+  /// A result schema holding `n` accepted projection paths (repeats of the
+  /// short DIRECTOR projection; P_d counts every acceptance).
+  ResultSchema SchemaWith(size_t n) {
+    ResultSchema s(graph_.get());
+    for (size_t i = 0; i < n; ++i) s.AcceptProjectionPath(*proj_short_);
+    return s;
+  }
+
+  std::unique_ptr<SchemaGraph> graph_;
+  std::unique_ptr<Path> proj_short_, proj_long_, join_path_;
+};
+
+TEST_F(ConstraintsTest, MaxProjectionsCountsOnlyProjectionPaths) {
+  auto d = MaxProjections(2);
+  EXPECT_TRUE(d->Admits(SchemaWith(0), *proj_short_));
+  EXPECT_TRUE(d->Admits(SchemaWith(1), *proj_short_));
+  EXPECT_FALSE(d->Admits(SchemaWith(2), *proj_short_));
+  // Join paths are always admitted by a top-r constraint.
+  EXPECT_TRUE(d->Admits(SchemaWith(2), *join_path_));
+  EXPECT_TRUE(d->Admits(SchemaWith(100), *join_path_));
+}
+
+TEST_F(ConstraintsTest, MaxProjectionsZeroAdmitsNothingProjected) {
+  auto d = MaxProjections(0);
+  EXPECT_FALSE(d->Admits(SchemaWith(0), *proj_short_));
+  EXPECT_TRUE(d->Admits(SchemaWith(0), *join_path_));
+}
+
+TEST_F(ConstraintsTest, MinPathWeightAppliesToBothKinds) {
+  auto d = MinPathWeight(0.95);
+  EXPECT_TRUE(d->Admits(SchemaWith(0), *proj_short_));  // weight 1.0
+  EXPECT_TRUE(d->Admits(SchemaWith(0), *join_path_));   // weight 1.0
+  // A path with weight 0.9 fails the 0.95 threshold.
+  RelationNodeId movie = *graph_->RelationId("MOVIE");
+  const JoinEdge* to_genre = nullptr;
+  for (const JoinEdge* e : graph_->JoinsFrom(movie)) {
+    if (graph_->relation_name(e->to) == "GENRE") to_genre = e;
+  }
+  Path weak = Path::Join(movie, to_genre);
+  EXPECT_DOUBLE_EQ(weak.weight(), 0.9);
+  EXPECT_FALSE(d->Admits(SchemaWith(0), weak));
+}
+
+TEST_F(ConstraintsTest, MinPathWeightBoundaryInclusive) {
+  auto d = MinPathWeight(1.0);
+  EXPECT_TRUE(d->Admits(SchemaWith(0), *proj_short_));
+}
+
+TEST_F(ConstraintsTest, MaxPathLength) {
+  auto d = MaxPathLength(1);
+  EXPECT_TRUE(d->Admits(SchemaWith(0), *proj_short_));  // length 1
+  EXPECT_FALSE(d->Admits(SchemaWith(0), *proj_long_));  // length 2
+  auto d2 = MaxPathLength(2);
+  EXPECT_TRUE(d2->Admits(SchemaWith(0), *proj_long_));
+}
+
+TEST_F(ConstraintsTest, MaxRelationsBoundsSchemaBreadth) {
+  // proj_short_ touches only DIRECTOR; proj_long_ adds MOVIE.
+  auto d1 = MaxRelations(1);
+  EXPECT_TRUE(d1->Admits(SchemaWith(0), *proj_short_));
+  EXPECT_FALSE(d1->Admits(SchemaWith(0), *proj_long_));
+  EXPECT_FALSE(d1->Admits(SchemaWith(0), *join_path_));  // join adds MOVIE
+  auto d2 = MaxRelations(2);
+  EXPECT_TRUE(d2->Admits(SchemaWith(0), *proj_long_));
+  EXPECT_TRUE(d2->Admits(SchemaWith(0), *join_path_));
+  // Relations already in the schema are free.
+  ResultSchema with_director = SchemaWith(1);
+  EXPECT_TRUE(d2->Admits(with_director, *proj_long_));
+  EXPECT_EQ(MaxRelations(3)->ToString(), "relations <= 3");
+}
+
+TEST_F(ConstraintsTest, MaxRelationsEndToEnd) {
+  ResultSchemaGenerator generator(graph_.get());
+  auto schema = generator.Generate({std::string("DIRECTOR"), "ACTOR"},
+                                   *MaxRelations(3));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_LE(schema->relations().size(), 3u);
+  auto wide = generator.Generate({std::string("DIRECTOR"), "ACTOR"},
+                                 *MaxRelations(8));
+  ASSERT_TRUE(wide.ok());
+  EXPECT_LE(wide->relations().size(), 8u);
+  EXPECT_GE(wide->relations().size(), schema->relations().size());
+}
+
+TEST_F(ConstraintsTest, ConjunctionRequiresAll) {
+  std::vector<std::unique_ptr<DegreeConstraint>> parts;
+  parts.push_back(MaxProjections(1));
+  parts.push_back(MaxPathLength(1));
+  auto d = AllOf(std::move(parts));
+  EXPECT_TRUE(d->Admits(SchemaWith(0), *proj_short_));
+  EXPECT_FALSE(d->Admits(SchemaWith(1), *proj_short_));  // too many
+  EXPECT_FALSE(d->Admits(SchemaWith(0), *proj_long_));   // too long
+}
+
+TEST_F(ConstraintsTest, DegreeToString) {
+  EXPECT_EQ(MaxProjections(5)->ToString(), "t <= 5");
+  EXPECT_EQ(MaxPathLength(3)->ToString(), "length <= 3");
+  EXPECT_NE(MinPathWeight(0.9)->ToString().find("w >="), std::string::npos);
+}
+
+// --- Cardinality ---
+
+TEST(CardinalityTest, MaxTotalTuplesBudget) {
+  auto c = MaxTotalTuples(10);
+  EXPECT_EQ(*c->Budget(0, 0), 10u);
+  EXPECT_EQ(*c->Budget(5, 7), 3u);
+  EXPECT_EQ(*c->Budget(0, 10), 0u);
+  EXPECT_EQ(*c->Budget(0, 15), 0u);  // never negative
+}
+
+TEST(CardinalityTest, MaxTuplesPerRelationBudget) {
+  auto c = MaxTuplesPerRelation(3);
+  EXPECT_EQ(*c->Budget(0, 100), 3u);
+  EXPECT_EQ(*c->Budget(2, 100), 1u);
+  EXPECT_EQ(*c->Budget(3, 0), 0u);
+}
+
+TEST(CardinalityTest, UnlimitedHasNoBudget) {
+  auto c = UnlimitedCardinality();
+  EXPECT_FALSE(c->Budget(1000000, 1000000).has_value());
+}
+
+TEST(CardinalityTest, ConjunctionTakesMinimum) {
+  std::vector<std::unique_ptr<CardinalityConstraint>> parts;
+  parts.push_back(MaxTotalTuples(10));
+  parts.push_back(MaxTuplesPerRelation(3));
+  auto c = AllOf(std::move(parts));
+  EXPECT_EQ(*c->Budget(0, 0), 3u);   // per-relation binds
+  EXPECT_EQ(*c->Budget(1, 9), 1u);   // total binds
+  EXPECT_EQ(*c->Budget(0, 10), 0u);
+}
+
+TEST(CardinalityTest, ConjunctionWithUnlimitedPart) {
+  std::vector<std::unique_ptr<CardinalityConstraint>> parts;
+  parts.push_back(UnlimitedCardinality());
+  parts.push_back(MaxTuplesPerRelation(5));
+  auto c = AllOf(std::move(parts));
+  EXPECT_EQ(*c->Budget(2, 0), 3u);
+}
+
+TEST(CardinalityTest, ToStringDescribesForm) {
+  EXPECT_EQ(MaxTotalTuples(7)->ToString(), "card(D') <= 7");
+  EXPECT_EQ(MaxTuplesPerRelation(7)->ToString(), "card(R') <= 7");
+  EXPECT_EQ(UnlimitedCardinality()->ToString(), "unlimited");
+}
+
+// --- Cost model ---
+
+TEST(CostModelTest, PredictSecondsFromCounts) {
+  CostModel model(CostParameters{1e-4, 2e-4});
+  AccessStats stats;
+  stats.index_probes = 10;
+  stats.tuple_fetches = 100;
+  EXPECT_NEAR(model.PredictSeconds(stats), 10 * 1e-4 + 100 * 2e-4, 1e-12);
+}
+
+TEST(CostModelTest, Formula2IsLinearInBothFactors) {
+  CostModel model(CostParameters{1e-4, 2e-4});
+  double base = model.PredictSecondsFormula2(10, 4);
+  EXPECT_NEAR(model.PredictSecondsFormula2(20, 4), 2 * base, 1e-12);
+  EXPECT_NEAR(model.PredictSecondsFormula2(10, 8), 2 * base, 1e-12);
+}
+
+TEST(CostModelTest, Formula3InvertsFormula2) {
+  CostModel model(CostParameters{1e-4, 2e-4});
+  // cost target achievable with exactly c_R = 50 over 4 relations.
+  double target = model.PredictSecondsFormula2(50, 4);
+  auto c_r = model.TuplesPerRelationForBudget(target, 4);
+  ASSERT_TRUE(c_r.ok());
+  EXPECT_EQ(*c_r, 50u);
+}
+
+TEST(CostModelTest, Formula3Validation) {
+  CostModel model(CostParameters{1e-4, 2e-4});
+  EXPECT_TRUE(model.TuplesPerRelationForBudget(-1.0, 4)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(model.TuplesPerRelationForBudget(1.0, 0)
+                  .status()
+                  .IsInvalidArgument());
+  CostModel degenerate(CostParameters{0.0, 0.0});
+  EXPECT_TRUE(degenerate.TuplesPerRelationForBudget(1.0, 4)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(CostModelTest, CardinalityForResponseTimeBuildsConstraint) {
+  CostModel model(CostParameters{1e-4, 2e-4});
+  auto c = model.CardinalityForResponseTime(
+      model.PredictSecondsFormula2(20, 4), 4);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*(*c)->Budget(0, 0), 20u);
+}
+
+TEST(CostModelTest, CalibrateSplitsTimeAcrossAccesses) {
+  AccessStats stats;
+  stats.index_probes = 30;
+  stats.tuple_fetches = 70;
+  CostParameters p = CostModel::Calibrate(1.0, stats);
+  EXPECT_NEAR(p.index_time_seconds, 0.01, 1e-12);
+  EXPECT_NEAR(p.tuple_time_seconds, 0.01, 1e-12);
+  // Degenerate inputs give zero parameters rather than NaN.
+  CostParameters zero = CostModel::Calibrate(0.0, stats);
+  EXPECT_EQ(zero.PerTupleCost(), 0.0);
+  AccessStats empty;
+  CostParameters zero2 = CostModel::Calibrate(1.0, empty);
+  EXPECT_EQ(zero2.PerTupleCost(), 0.0);
+}
+
+}  // namespace
+}  // namespace precis

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "datagen/movies_dataset.h"
+#include "datagen/workload.h"
+
+namespace precis {
+namespace {
+
+TEST(MoviesDatasetTest, CreatesAllRelations) {
+  MoviesConfig config;
+  config.num_movies = 20;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  for (const char* name :
+       {"THEATRE", "PLAY", "GENRE", "MOVIE", "CAST", "ACTOR", "DIRECTOR",
+        "AWARD", "REVIEW", "STUDIO", "PRODUCED_BY"}) {
+    EXPECT_TRUE(ds->db().HasRelation(name)) << name;
+  }
+  EXPECT_EQ(ds->db().num_relations(), 11u);
+}
+
+TEST(MoviesDatasetTest, AuxiliaryRelationsCanBeExcluded) {
+  MoviesConfig config;
+  config.num_movies = 10;
+  config.include_auxiliary_relations = false;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->db().num_relations(), 7u);
+  EXPECT_FALSE(ds->db().HasRelation("AWARD"));
+  EXPECT_EQ(ds->graph().num_relations(), 7u);
+}
+
+TEST(MoviesDatasetTest, ScalesWithConfiguredMovieCount) {
+  MoviesConfig config;
+  config.num_movies = 100;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto movie = ds->db().GetRelation("MOVIE");
+  // 100 synthetic + 5 paper-example movies.
+  EXPECT_EQ((*movie)->num_tuples(), 105u);
+  auto genre = ds->db().GetRelation("GENRE");
+  EXPECT_GE((*genre)->num_tuples(), 100u);  // >= 1 genre per movie
+  auto cast = ds->db().GetRelation("CAST");
+  EXPECT_EQ((*cast)->num_tuples(), 3u + 300u);  // 3 example + 3 per movie
+}
+
+TEST(MoviesDatasetTest, PaperExampleCanBeExcluded) {
+  MoviesConfig config;
+  config.num_movies = 10;
+  config.include_paper_example = false;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto movie = ds->db().GetRelation("MOVIE");
+  EXPECT_EQ((*movie)->num_tuples(), 10u);
+}
+
+TEST(MoviesDatasetTest, ForeignKeysHoldOnGeneratedData) {
+  MoviesConfig config;
+  config.num_movies = 200;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE(ds->db().ValidateForeignKeys().ok());
+}
+
+TEST(MoviesDatasetTest, DeterministicForSameSeed) {
+  MoviesConfig config;
+  config.num_movies = 50;
+  config.seed = 123;
+  auto a = MoviesDataset::Create(config);
+  auto b = MoviesDataset::Create(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->db().DescribeSchema(), b->db().DescribeSchema());
+  auto ra = a->db().GetRelation("MOVIE");
+  auto rb = b->db().GetRelation("MOVIE");
+  for (Tid tid = 0; tid < (*ra)->num_tuples(); ++tid) {
+    EXPECT_EQ((*ra)->tuple(tid), (*rb)->tuple(tid));
+  }
+}
+
+TEST(MoviesDatasetTest, DifferentSeedsDiffer) {
+  MoviesConfig config;
+  config.num_movies = 50;
+  config.seed = 1;
+  auto a = MoviesDataset::Create(config);
+  config.seed = 2;
+  auto b = MoviesDataset::Create(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto ra = a->db().GetRelation("MOVIE");
+  auto rb = b->db().GetRelation("MOVIE");
+  bool any_diff = false;
+  for (Tid tid = 0; tid < (*ra)->num_tuples(); ++tid) {
+    if (!((*ra)->tuple(tid) == (*rb)->tuple(tid))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MoviesDatasetTest, IndexesOnJoinAttributes) {
+  MoviesConfig config;
+  config.num_movies = 10;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_TRUE((*ds->db().GetRelation("MOVIE"))->HasIndex("did"));
+  EXPECT_TRUE((*ds->db().GetRelation("GENRE"))->HasIndex("mid"));
+  EXPECT_TRUE((*ds->db().GetRelation("CAST"))->HasIndex("aid"));
+}
+
+TEST(MoviesDatasetTest, ZipfSkewConcentratesDirectors) {
+  MoviesConfig config;
+  config.num_movies = 500;
+  config.zipf_skew = 1.2;
+  config.include_paper_example = false;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto movie = ds->db().GetRelation("MOVIE");
+  std::map<Value, int> fanout;
+  auto did_idx = (*movie)->schema().AttributeIndex("did");
+  for (Tid tid = 0; tid < (*movie)->num_tuples(); ++tid) {
+    ++fanout[(*movie)->tuple(tid)[*did_idx]];
+  }
+  int max_fanout = 0;
+  for (const auto& [did, n] : fanout) max_fanout = std::max(max_fanout, n);
+  double avg = static_cast<double>((*movie)->num_tuples()) / fanout.size();
+  EXPECT_GT(max_fanout, 2 * avg);
+}
+
+TEST(MoviesDatasetTest, GraphMatchesPaperWeights) {
+  auto g = BuildMoviesGraph();
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(*g->JoinWeight("GENRE", "MOVIE"), 1.0);
+  EXPECT_DOUBLE_EQ(*g->JoinWeight("MOVIE", "GENRE"), 0.9);
+  EXPECT_DOUBLE_EQ(*g->ProjectionWeight("THEATRE", "phone"), 0.8);
+  EXPECT_TRUE(g->Validate().ok());
+}
+
+// --- workload helpers ---
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 30;
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+  }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+};
+
+TEST_F(WorkloadTest, RandomJoinChainHasRequestedSize) {
+  Rng rng(42);
+  for (size_t n = 1; n <= 8; ++n) {
+    auto chain = RandomJoinChain(dataset_->graph(), &rng, n);
+    ASSERT_TRUE(chain.ok()) << "n=" << n;
+    EXPECT_EQ(chain->num_relations(), n);
+    // Relations are distinct and every edge departs from a relation already
+    // in the set (the edges form a tree rooted at start).
+    std::set<RelationNodeId> seen = {chain->start};
+    for (const JoinEdge* e : chain->edges) {
+      EXPECT_TRUE(seen.count(e->from) > 0);
+      EXPECT_TRUE(seen.insert(e->to).second);
+    }
+  }
+}
+
+TEST_F(WorkloadTest, RandomJoinChainRejectsBadSizes) {
+  Rng rng(42);
+  EXPECT_TRUE(RandomJoinChain(dataset_->graph(), &rng, 0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RandomJoinChain(dataset_->graph(), &rng, 100)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(WorkloadTest, SchemaForChainCoversChain) {
+  Rng rng(7);
+  auto chain = RandomJoinChain(dataset_->graph(), &rng, 4);
+  ASSERT_TRUE(chain.ok());
+  auto schema = SchemaForChain(dataset_->graph(), *chain);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->relations().size(), 4u);
+  EXPECT_EQ(schema->join_edges().size(), 3u);
+  EXPECT_EQ(schema->token_relations().size(), 1u);
+  EXPECT_EQ(schema->token_relations()[0], chain->start);
+  // Every chain relation projects at least one attribute (the movies graph
+  // gives each relation projection edges).
+  for (RelationNodeId rel : schema->relations()) {
+    EXPECT_FALSE(schema->projected_attributes(rel).empty());
+  }
+  // Each hop has in-degree exactly 1.
+  for (const JoinEdge* e : chain->edges) {
+    EXPECT_EQ(schema->in_degree(e->to), 1);
+  }
+}
+
+TEST_F(WorkloadTest, SchemaForChainSingleRelation) {
+  JoinChain chain;
+  chain.start = *dataset_->graph().RelationId("MOVIE");
+  auto schema = SchemaForChain(dataset_->graph(), chain);
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->relations().size(), 1u);
+  EXPECT_TRUE(schema->join_edges().empty());
+  EXPECT_FALSE(schema->projected_attributes(chain.start).empty());
+}
+
+TEST_F(WorkloadTest, RandomSeedTidsDistinctAndBounded) {
+  Rng rng(9);
+  auto tids = RandomSeedTids(dataset_->db(), "MOVIE", &rng, 10);
+  ASSERT_TRUE(tids.ok());
+  EXPECT_EQ(tids->size(), 10u);
+  std::set<Tid> distinct(tids->begin(), tids->end());
+  EXPECT_EQ(distinct.size(), 10u);
+  auto movie = dataset_->db().GetRelation("MOVIE");
+  for (Tid tid : *tids) EXPECT_LT(tid, (*movie)->num_tuples());
+}
+
+TEST_F(WorkloadTest, RandomSeedTidsClampedToRelationSize) {
+  Rng rng(9);
+  auto tids = RandomSeedTids(dataset_->db(), "THEATRE", &rng, 1000000);
+  ASSERT_TRUE(tids.ok());
+  auto theatre = dataset_->db().GetRelation("THEATRE");
+  EXPECT_EQ(tids->size(), (*theatre)->num_tuples());
+}
+
+TEST_F(WorkloadTest, RandomTokenComesFromRelation) {
+  Rng rng(11);
+  auto token = RandomToken(dataset_->db(), "DIRECTOR", "dname", &rng);
+  ASSERT_TRUE(token.ok());
+  EXPECT_FALSE(token->empty());
+  EXPECT_TRUE(
+      RandomToken(dataset_->db(), "NOPE", "x", &rng).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace precis

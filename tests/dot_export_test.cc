@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datagen/movies_dataset.h"
+#include "precis/dot_export.h"
+#include "precis/schema_generator.h"
+
+namespace precis {
+namespace {
+
+class DotExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = BuildMoviesGraph();
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<SchemaGraph>(std::move(*g));
+  }
+
+  std::unique_ptr<SchemaGraph> graph_;
+};
+
+TEST_F(DotExportTest, SchemaGraphContainsAllRelations) {
+  std::string dot = SchemaGraphToDot(*graph_);
+  EXPECT_EQ(dot.find("digraph schema {"), 0u);
+  for (const char* name : {"MOVIE", "DIRECTOR", "ACTOR", "GENRE", "THEATRE",
+                           "PLAY", "CAST", "AWARD", "REVIEW", "STUDIO",
+                           "PRODUCED_BY"}) {
+    EXPECT_NE(dot.find(std::string("<b>") + name + "</b>"),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("}\n"), std::string::npos);
+}
+
+TEST_F(DotExportTest, SchemaGraphShowsWeightsAndJoinAttributes) {
+  std::string dot = SchemaGraphToDot(*graph_);
+  // The MOVIE -> GENRE edge with its 0.9 weight tagged with (mid).
+  EXPECT_NE(dot.find("(mid) 0.9"), std::string::npos);
+  // Projection weight of THEATRE.phone.
+  EXPECT_NE(dot.find("phone (0.8)"), std::string::npos);
+}
+
+TEST_F(DotExportTest, ResultSchemaHighlightsTokenRelations) {
+  ResultSchemaGenerator generator(graph_.get());
+  auto schema = generator.Generate({std::string("DIRECTOR"), "ACTOR"},
+                                   *MinPathWeight(0.9));
+  ASSERT_TRUE(schema.ok());
+  std::string dot = ResultSchemaToDot(*schema);
+  EXPECT_EQ(dot.find("digraph result_schema {"), 0u);
+  // Token relations get the gold header; hops the grey one.
+  EXPECT_NE(dot.find("bgcolor=\"gold\"><b>DIRECTOR</b>"), std::string::npos);
+  EXPECT_NE(dot.find("bgcolor=\"gold\"><b>ACTOR</b>"), std::string::npos);
+  EXPECT_NE(dot.find("bgcolor=\"lightgrey\"><b>GENRE</b>"),
+            std::string::npos);
+  // MOVIE shows its in-degree 2 annotation.
+  EXPECT_NE(dot.find("<b>MOVIE</b> [in 2]"), std::string::npos);
+  // Excluded relations are absent.
+  EXPECT_EQ(dot.find("THEATRE"), std::string::npos);
+}
+
+TEST_F(DotExportTest, ResultSchemaListsOnlyProjectedAttributes) {
+  ResultSchemaGenerator generator(graph_.get());
+  auto schema =
+      generator.Generate({std::string("DIRECTOR")}, *MinPathWeight(0.9));
+  ASSERT_TRUE(schema.ok());
+  std::string dot = ResultSchemaToDot(*schema);
+  EXPECT_NE(dot.find(">title<"), std::string::npos);
+  EXPECT_EQ(dot.find(">mid<"), std::string::npos);  // join attr, not listed
+}
+
+TEST(DotEscapeTest, QuotesAndBackslashesEscaped) {
+  RelationSchema odd("R", {{"a", DataType::kInt64}});
+  auto g = SchemaGraph::FromSchemas({odd});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->AddProjectionEdge("R", "a", 0.5).ok());
+  // No quotes in this schema, but the exporter must still emit valid DOT.
+  std::string dot = SchemaGraphToDot(*g);
+  EXPECT_NE(dot.find("a (0.5)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace precis

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "datagen/movies_dataset.h"
+#include "datagen/workload.h"
+#include "graph/weight_profile.h"
+#include "precis/engine.h"
+
+namespace precis {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 50;
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+    auto engine = PrecisEngine::Create(&dataset_->db(), &dataset_->graph());
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::make_unique<PrecisEngine>(std::move(*engine));
+  }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+  std::unique_ptr<PrecisEngine> engine_;
+};
+
+TEST_F(EngineTest, CreateRejectsNullInputs) {
+  EXPECT_TRUE(PrecisEngine::Create(nullptr, &dataset_->graph())
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PrecisEngine::Create(&dataset_->db(), nullptr)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(EngineTest, WoodyAllenEndToEnd) {
+  auto answer = engine_->Answer(PrecisQuery{{"Woody Allen"}},
+                                *MinPathWeight(0.9), *MaxTuplesPerRelation(3));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->empty());
+  ASSERT_EQ(answer->matches.size(), 1u);
+  // Homonym: found as both an actor and a director.
+  std::set<std::string> relations;
+  for (const TokenOccurrence& occ : answer->matches[0].occurrences) {
+    relations.insert(occ.relation);
+  }
+  EXPECT_EQ(relations, (std::set<std::string>{"ACTOR", "DIRECTOR"}));
+
+  // Fig. 4 schema and a three-movie database.
+  EXPECT_TRUE(answer->schema.ContainsRelation("MOVIE"));
+  EXPECT_TRUE(answer->schema.ContainsRelation("GENRE"));
+  auto movie = answer->database.GetRelation("MOVIE");
+  ASSERT_TRUE(movie.ok());
+  EXPECT_EQ((*movie)->num_tuples(), 3u);
+  // The result database is a real database: constraints validated.
+  EXPECT_TRUE(answer->database.ValidateForeignKeys().ok());
+}
+
+TEST_F(EngineTest, UnknownTokenGivesEmptyAnswer) {
+  auto answer = engine_->Answer(PrecisQuery{{"zzz-no-such-token"}},
+                                *MinPathWeight(0.9), *MaxTuplesPerRelation(3));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty());
+  EXPECT_EQ(answer->database.TotalTuples(), 0u);
+  EXPECT_TRUE(answer->schema.relations().empty());
+}
+
+TEST_F(EngineTest, EmptyQueryGivesEmptyAnswer) {
+  auto answer = engine_->Answer(PrecisQuery{{}}, *MinPathWeight(0.9),
+                                *MaxTuplesPerRelation(3));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty());
+}
+
+TEST_F(EngineTest, MultiTokenQueryCombinesSeedRelations) {
+  auto answer =
+      engine_->Answer(PrecisQuery{{"Woody Allen", "Match Point"}},
+                      *MinPathWeight(0.9), *MaxTuplesPerRelation(10));
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->matches.size(), 2u);
+  EXPECT_FALSE(answer->matches[1].occurrences.empty());
+  // MOVIE is now a token relation itself.
+  bool movie_is_token = false;
+  for (RelationNodeId rel : answer->schema.token_relations()) {
+    if (answer->schema.graph().relation_name(rel) == "MOVIE") {
+      movie_is_token = true;
+    }
+  }
+  EXPECT_TRUE(movie_is_token);
+}
+
+TEST_F(EngineTest, MixedKnownAndUnknownTokens) {
+  auto answer =
+      engine_->Answer(PrecisQuery{{"no-such-thing", "Woody Allen"}},
+                      *MinPathWeight(0.9), *MaxTuplesPerRelation(3));
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer->empty());
+  EXPECT_TRUE(answer->matches[0].occurrences.empty());
+  EXPECT_FALSE(answer->matches[1].occurrences.empty());
+}
+
+TEST_F(EngineTest, TighterDegreeYieldsSmallerSchema) {
+  auto wide = engine_->Answer(PrecisQuery{{"Woody Allen"}},
+                              *MinPathWeight(0.5), *MaxTuplesPerRelation(3));
+  auto narrow = engine_->Answer(PrecisQuery{{"Woody Allen"}},
+                                *MinPathWeight(0.95), *MaxTuplesPerRelation(3));
+  ASSERT_TRUE(wide.ok());
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_GE(wide->schema.TotalProjectedAttributes(),
+            narrow->schema.TotalProjectedAttributes());
+  EXPECT_GE(wide->schema.relations().size(),
+            narrow->schema.relations().size());
+}
+
+TEST_F(EngineTest, AnswerIsDeterministic) {
+  auto a = engine_->Answer(PrecisQuery{{"Comedy"}}, *MinPathWeight(0.8),
+                           *MaxTuplesPerRelation(5));
+  auto b = engine_->Answer(PrecisQuery{{"Comedy"}}, *MinPathWeight(0.8),
+                           *MaxTuplesPerRelation(5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->database.DescribeSchema(), b->database.DescribeSchema());
+  EXPECT_EQ(a->schema.ToString(), b->schema.ToString());
+}
+
+// ===== Query-model properties (§3.3, conditions 1-4) under random weights =====
+
+struct PropertyCase {
+  uint64_t weight_seed;
+  double threshold;
+  size_t tuples_per_relation;
+};
+
+class QueryModelPropertyTest
+    : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(QueryModelPropertyTest, ResultIsAValidSubDatabase) {
+  const PropertyCase& param = GetParam();
+  MoviesConfig config;
+  config.num_movies = 60;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  Rng rng(param.weight_seed);
+  ASSERT_TRUE(RandomizeWeights(&ds->graph(), &rng).ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+
+  auto answer = engine->Answer(
+      PrecisQuery{{"Woody Allen"}}, *MinPathWeight(param.threshold),
+      *MaxTuplesPerRelation(param.tuples_per_relation));
+  ASSERT_TRUE(answer.ok());
+
+  // Condition 1: result relation names are a subset of the source's.
+  for (const std::string& name : answer->database.RelationNames()) {
+    EXPECT_TRUE(ds->db().HasRelation(name));
+  }
+
+  for (const std::string& name : answer->database.RelationNames()) {
+    auto out_rel = answer->database.GetRelation(name);
+    auto src_rel = ds->db().GetRelation(name);
+    ASSERT_TRUE(out_rel.ok());
+    ASSERT_TRUE(src_rel.ok());
+
+    // Condition 2: attributes are a subset of the source relation's.
+    std::vector<size_t> src_indices;
+    for (const AttributeSchema& attr : (*out_rel)->schema().attributes()) {
+      auto idx = (*src_rel)->schema().AttributeIndex(attr.name);
+      ASSERT_TRUE(idx.ok()) << name << "." << attr.name;
+      src_indices.push_back(*idx);
+    }
+
+    // Condition 3: every result tuple is a source tuple projected on the
+    // surviving attributes.
+    EXPECT_LE((*out_rel)->num_tuples(), (*src_rel)->num_tuples());
+    for (Tid tid = 0; tid < (*out_rel)->num_tuples(); ++tid) {
+      const Tuple& out_tuple = (*out_rel)->tuple(tid);
+      bool found = false;
+      for (Tid src = 0; src < (*src_rel)->num_tuples() && !found; ++src) {
+        const Tuple& src_tuple = (*src_rel)->tuple(src);
+        bool same = true;
+        for (size_t i = 0; i < src_indices.size(); ++i) {
+          if (!(out_tuple[i] == src_tuple[src_indices[i]])) {
+            same = false;
+            break;
+          }
+        }
+        found = same;
+      }
+      EXPECT_TRUE(found) << "tuple " << tid << " of " << name
+                         << " is not a projection of any source tuple";
+    }
+
+    // Cardinality constraint held per relation.
+    EXPECT_LE((*out_rel)->num_tuples(), param.tuples_per_relation);
+  }
+
+  // Condition 4 (+constraints): the declared foreign keys hold.
+  EXPECT_TRUE(answer->database.ValidateForeignKeys().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWeightSweep, QueryModelPropertyTest,
+    ::testing::Values(PropertyCase{1, 0.9, 3}, PropertyCase{2, 0.7, 5},
+                      PropertyCase{3, 0.5, 2}, PropertyCase{4, 0.3, 8},
+                      PropertyCase{5, 0.8, 1}, PropertyCase{6, 0.6, 4},
+                      PropertyCase{7, 0.2, 10}, PropertyCase{8, 0.95, 6},
+                      PropertyCase{9, 0.4, 7}, PropertyCase{10, 0.1, 3}));
+
+// Cardinality monotonicity: a larger per-relation budget never yields fewer
+// tuples anywhere.
+class CardinalityMonotonicityTest
+    : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CardinalityMonotonicityTest, LargerBudgetLargerResult) {
+  MoviesConfig config;
+  config.num_movies = 40;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+  size_t c = GetParam();
+  auto small = engine->Answer(PrecisQuery{{"Woody Allen"}},
+                              *MinPathWeight(0.8), *MaxTuplesPerRelation(c));
+  auto large = engine->Answer(PrecisQuery{{"Woody Allen"}},
+                              *MinPathWeight(0.8),
+                              *MaxTuplesPerRelation(c + 3));
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  for (const std::string& name : small->database.RelationNames()) {
+    auto s = small->database.GetRelation(name);
+    auto l = large->database.GetRelation(name);
+    ASSERT_TRUE(l.ok());
+    EXPECT_GE((*l)->num_tuples(), (*s)->num_tuples()) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, CardinalityMonotonicityTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 12, 20));
+
+}  // namespace
+}  // namespace precis

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "common/random.h"
+#include "datagen/movies_dataset.h"
+#include "graph/weight_profile.h"
+#include "precis/exhaustive_generator.h"
+#include "precis/schema_generator.h"
+
+namespace precis {
+namespace {
+
+/// Order-insensitive comparison of two result schemas: same relations, same
+/// projected attributes, same join-edge set, same in-degrees, same multiset
+/// of accepted path weights (tie order between equal-weight paths may
+/// legitimately differ between the two algorithms).
+void ExpectEquivalent(const ResultSchema& a, const ResultSchema& b) {
+  EXPECT_EQ(a.relations(), b.relations());
+  for (RelationNodeId rel : a.relations()) {
+    EXPECT_EQ(a.projected_attributes(rel), b.projected_attributes(rel))
+        << "relation " << a.graph().relation_name(rel);
+    EXPECT_EQ(a.in_degree(rel), b.in_degree(rel))
+        << "relation " << a.graph().relation_name(rel);
+  }
+  std::set<const JoinEdge*> ea(a.join_edges().begin(), a.join_edges().end());
+  std::set<const JoinEdge*> eb(b.join_edges().begin(), b.join_edges().end());
+  EXPECT_EQ(ea, eb);
+
+  std::multiset<double> wa, wb;
+  for (const Path& p : a.projection_paths()) wa.insert(p.weight());
+  for (const Path& p : b.projection_paths()) wb.insert(p.weight());
+  EXPECT_EQ(wa, wb);
+}
+
+class ExhaustiveGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = BuildMoviesGraph();
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<SchemaGraph>(std::move(*g));
+  }
+
+  std::unique_ptr<SchemaGraph> graph_;
+};
+
+TEST_F(ExhaustiveGeneratorTest, EnumeratesAllPathsOnce) {
+  ExhaustiveSchemaGenerator gen(graph_.get());
+  auto schema = gen.Generate({*graph_->RelationId("DIRECTOR")},
+                             *MinPathWeight(0.0));
+  ASSERT_TRUE(schema.ok());
+  // With no pruning every enumerated path is accepted.
+  EXPECT_EQ(schema->projection_paths().size(), gen.last_paths_enumerated());
+  EXPECT_GT(gen.last_paths_enumerated(), 30u);
+}
+
+TEST_F(ExhaustiveGeneratorTest, PathsAreWeightSorted) {
+  ExhaustiveSchemaGenerator gen(graph_.get());
+  auto schema =
+      gen.Generate({*graph_->RelationId("ACTOR")}, *MinPathWeight(0.3));
+  ASSERT_TRUE(schema.ok());
+  const std::vector<Path>& pd = schema->projection_paths();
+  for (size_t i = 1; i < pd.size(); ++i) {
+    EXPECT_GE(pd[i - 1].weight(), pd[i].weight());
+  }
+}
+
+TEST_F(ExhaustiveGeneratorTest, MatchesBestFirstOnPaperExample) {
+  ResultSchemaGenerator best_first(graph_.get());
+  ExhaustiveSchemaGenerator exhaustive(graph_.get());
+  std::vector<RelationNodeId> tokens = {*graph_->RelationId("DIRECTOR"),
+                                        *graph_->RelationId("ACTOR")};
+  auto a = best_first.Generate(tokens, *MinPathWeight(0.9));
+  auto b = exhaustive.Generate(tokens, *MinPathWeight(0.9));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectEquivalent(*a, *b);
+}
+
+TEST_F(ExhaustiveGeneratorTest, RejectsBadTokenRelation) {
+  ExhaustiveSchemaGenerator gen(graph_.get());
+  EXPECT_TRUE(gen.Generate(std::vector<RelationNodeId>{999},
+                           *MaxProjections(1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+/// Property sweep: best-first and exhaustive agree over random weight sets
+/// and every degree-constraint form.
+struct OracleCase {
+  uint64_t weight_seed;
+  int constraint_kind;  // 0: weight, 1: top-r, 2: length, 3: conjunction
+  double w0;
+  size_t r;
+  size_t l0;
+};
+
+class OracleEquivalenceTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(OracleEquivalenceTest, BestFirstMatchesExhaustive) {
+  const OracleCase& param = GetParam();
+  auto g = BuildMoviesGraph();
+  ASSERT_TRUE(g.ok());
+  Rng rng(param.weight_seed);
+  ASSERT_TRUE(RandomizeWeights(&*g, &rng).ok());
+
+  std::unique_ptr<DegreeConstraint> d;
+  switch (param.constraint_kind) {
+    case 0:
+      d = MinPathWeight(param.w0);
+      break;
+    case 1:
+      d = MaxProjections(param.r);
+      break;
+    case 2:
+      d = MaxPathLength(param.l0);
+      break;
+    default: {
+      std::vector<std::unique_ptr<DegreeConstraint>> parts;
+      parts.push_back(MinPathWeight(param.w0));
+      parts.push_back(MaxPathLength(param.l0));
+      d = AllOf(std::move(parts));
+    }
+  }
+
+  ResultSchemaGenerator best_first(&*g);
+  ExhaustiveSchemaGenerator exhaustive(&*g);
+  for (RelationNodeId r0 = 0; r0 < g->num_relations(); ++r0) {
+    auto a = best_first.Generate(std::vector<RelationNodeId>{r0}, *d);
+    auto b = exhaustive.Generate(std::vector<RelationNodeId>{r0}, *d);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // For top-r constraints, equal-weight ties at the cut boundary can
+    // legitimately select different equally-ranked paths; compare only the
+    // weight multiset then.
+    if (param.constraint_kind == 1) {
+      std::multiset<double> wa, wb;
+      for (const Path& p : a->projection_paths()) wa.insert(p.weight());
+      for (const Path& p : b->projection_paths()) wb.insert(p.weight());
+      EXPECT_EQ(wa, wb) << "R0=" << g->relation_name(r0);
+    } else {
+      ExpectEquivalent(*a, *b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomWeights, OracleEquivalenceTest,
+    ::testing::Values(OracleCase{11, 0, 0.5, 0, 0},
+                      OracleCase{12, 0, 0.2, 0, 0},
+                      OracleCase{13, 0, 0.8, 0, 0},
+                      OracleCase{14, 1, 0, 5, 0},
+                      OracleCase{15, 1, 0, 12, 0},
+                      OracleCase{16, 2, 0, 0, 2},
+                      OracleCase{17, 2, 0, 0, 3},
+                      OracleCase{18, 3, 0.3, 0, 3},
+                      OracleCase{19, 3, 0.6, 0, 2},
+                      OracleCase{20, 0, 0.05, 0, 0}));
+
+}  // namespace
+}  // namespace precis

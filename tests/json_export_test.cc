@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stack>
+
+#include "datagen/movies_dataset.h"
+#include "precis/engine.h"
+#include "precis/json_export.h"
+
+namespace precis {
+namespace {
+
+/// Structural sanity: braces/brackets balance and strings close (a real
+/// parser is out of scope; this catches emitter bracket bugs).
+bool BalancedJson(const std::string& s) {
+  std::stack<char> stack;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        stack.push(c);
+        break;
+      case '}':
+        if (stack.empty() || stack.top() != '{') return false;
+        stack.pop();
+        break;
+      case ']':
+        if (stack.empty() || stack.top() != '[') return false;
+        stack.pop();
+        break;
+      default:
+        break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(ValueToJsonTest, AllScalarKinds) {
+  EXPECT_EQ(ValueToJson(Value::Null()), "null");
+  EXPECT_EQ(ValueToJson(Value(int64_t{-7})), "-7");
+  EXPECT_EQ(ValueToJson(Value("x\"y")), "\"x\\\"y\"");
+  EXPECT_EQ(ValueToJson(Value(0.5)), "0.5");
+}
+
+TEST(DatabaseToJsonTest, StructureAndBalance) {
+  Database db("demo");
+  RelationSchema r("R", {{"id", DataType::kInt64},
+                         {"s", DataType::kString}});
+  ASSERT_TRUE(r.SetPrimaryKey("id").ok());
+  ASSERT_TRUE(db.CreateRelation(std::move(r)).ok());
+  auto rel = db.GetRelation("R");
+  ASSERT_TRUE((*rel)->Insert({int64_t{1}, "hello"}).ok());
+  ASSERT_TRUE((*rel)->Insert({int64_t{2}, Value::Null()}).ok());
+
+  std::string json = DatabaseToJson(db);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"name\":\"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"primary_key\":true"), std::string::npos);
+  EXPECT_NE(json.find("[1,\"hello\"]"), std::string::npos);
+  EXPECT_NE(json.find("[2,null]"), std::string::npos);
+}
+
+TEST(AnswerToJsonTest, FullAnswerSerializes) {
+  MoviesConfig config;
+  config.num_movies = 10;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+  auto answer = engine->Answer(PrecisQuery{{"Woody Allen"}},
+                               *MinPathWeight(0.9), *MaxTuplesPerRelation(3));
+  ASSERT_TRUE(answer.ok());
+
+  std::string json = AnswerToJson(*answer);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"token\":\"Woody Allen\""), std::string::npos);
+  EXPECT_NE(json.find("\"relation\":\"DIRECTOR\""), std::string::npos);
+  EXPECT_NE(json.find("\"token_relation\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"in_degree\":2"), std::string::npos);  // MOVIE
+  EXPECT_NE(json.find("\"from\":\"DIRECTOR\""), std::string::npos);
+  EXPECT_NE(json.find("\"Match Point\""), std::string::npos);
+  EXPECT_NE(json.find("\"executed_edges\""), std::string::npos);
+}
+
+TEST(AnswerToJsonTest, EmptyAnswerSerializes) {
+  MoviesConfig config;
+  config.num_movies = 5;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+  auto answer = engine->Answer(PrecisQuery{{"zzz-nothing"}},
+                               *MinPathWeight(0.9), *MaxTuplesPerRelation(3));
+  ASSERT_TRUE(answer.ok());
+  std::string json = AnswerToJson(*answer);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"occurrences\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace precis

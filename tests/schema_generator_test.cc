@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "datagen/movies_dataset.h"
+#include "precis/schema_generator.h"
+
+namespace precis {
+namespace {
+
+class SchemaGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = BuildMoviesGraph();
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<SchemaGraph>(std::move(*g));
+    generator_ = std::make_unique<ResultSchemaGenerator>(graph_.get());
+  }
+
+  std::set<std::string> ProjectedNames(const ResultSchema& schema,
+                                       const std::string& relation) {
+    RelationNodeId rel = *graph_->RelationId(relation);
+    std::set<std::string> names;
+    for (uint32_t a : schema.projected_attributes(rel)) {
+      names.insert(graph_->relation_schema(rel).attribute(a).name);
+    }
+    return names;
+  }
+
+  std::unique_ptr<SchemaGraph> graph_;
+  std::unique_ptr<ResultSchemaGenerator> generator_;
+};
+
+TEST_F(SchemaGeneratorTest, PaperFigure4WoodyAllenAtThreshold09) {
+  // Tokens found in DIRECTOR and ACTOR; degree constraint: only projections
+  // with weight >= 0.9 (the paper's running example).
+  auto schema = generator_->Generate({std::string("DIRECTOR"), "ACTOR"},
+                                     *MinPathWeight(0.9));
+  ASSERT_TRUE(schema.ok());
+
+  // Relations of Fig. 4: DIRECTOR, ACTOR, MOVIE, GENRE, CAST (join hop).
+  EXPECT_TRUE(schema->ContainsRelation("DIRECTOR"));
+  EXPECT_TRUE(schema->ContainsRelation("ACTOR"));
+  EXPECT_TRUE(schema->ContainsRelation("MOVIE"));
+  EXPECT_TRUE(schema->ContainsRelation("GENRE"));
+  EXPECT_TRUE(schema->ContainsRelation("CAST"));
+  EXPECT_FALSE(schema->ContainsRelation("THEATRE"));
+  EXPECT_FALSE(schema->ContainsRelation("PLAY"));
+  EXPECT_FALSE(schema->ContainsRelation("AWARD"));
+  EXPECT_FALSE(schema->ContainsRelation("REVIEW"));
+
+  // Projected attributes exactly as in the figure.
+  EXPECT_EQ(ProjectedNames(*schema, "DIRECTOR"),
+            (std::set<std::string>{"dname", "blocation", "bdate"}));
+  EXPECT_EQ(ProjectedNames(*schema, "ACTOR"),
+            (std::set<std::string>{"aname"}));
+  EXPECT_EQ(ProjectedNames(*schema, "MOVIE"),
+            (std::set<std::string>{"title", "year"}));
+  EXPECT_EQ(ProjectedNames(*schema, "GENRE"),
+            (std::set<std::string>{"genre"}));
+  EXPECT_TRUE(ProjectedNames(*schema, "CAST").empty());
+
+  // "observe in the result schema of the figure that MOVIE has an in-degree
+  //  equal to 2" (reached from DIRECTOR directly and from ACTOR via CAST).
+  EXPECT_EQ(schema->in_degree(*graph_->RelationId("MOVIE")), 2);
+}
+
+TEST_F(SchemaGeneratorTest, TokenRelationAlwaysInResult) {
+  auto schema = generator_->Generate({std::string("DIRECTOR")},
+                                     *MaxProjections(0));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->ContainsRelation("DIRECTOR"));
+  EXPECT_EQ(schema->TotalProjectedAttributes(), 0u);
+  EXPECT_TRUE(schema->projection_paths().empty());
+}
+
+TEST_F(SchemaGeneratorTest, MaxProjectionsSelectsTopWeighted) {
+  auto schema =
+      generator_->Generate({std::string("DIRECTOR")}, *MaxProjections(1));
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema->projection_paths().size(), 1u);
+  // The single heaviest projection from DIRECTOR is its own heading
+  // attribute dname (weight 1.0, length 1 beats the transitive title at
+  // weight 1.0, length 2).
+  EXPECT_EQ(ProjectedNames(*schema, "DIRECTOR"),
+            (std::set<std::string>{"dname"}));
+}
+
+TEST_F(SchemaGeneratorTest, EqualWeightTieBreaksTowardsShorterPath) {
+  auto schema =
+      generator_->Generate({std::string("DIRECTOR")}, *MaxProjections(2));
+  ASSERT_TRUE(schema.ok());
+  const std::vector<Path>& pd = schema->projection_paths();
+  ASSERT_EQ(pd.size(), 2u);
+  EXPECT_DOUBLE_EQ(pd[0].weight(), 1.0);
+  EXPECT_DOUBLE_EQ(pd[1].weight(), 1.0);
+  EXPECT_LE(pd[0].length(), pd[1].length());
+  // dname (len 1) then MOVIE.title (len 2).
+  EXPECT_EQ(ProjectedNames(*schema, "DIRECTOR"),
+            (std::set<std::string>{"dname"}));
+  EXPECT_EQ(ProjectedNames(*schema, "MOVIE"),
+            (std::set<std::string>{"title"}));
+}
+
+TEST_F(SchemaGeneratorTest, ProjectionPathsAreWeightOrdered) {
+  auto schema =
+      generator_->Generate({std::string("ACTOR")}, *MaxProjections(10));
+  ASSERT_TRUE(schema.ok());
+  const std::vector<Path>& pd = schema->projection_paths();
+  ASSERT_GE(pd.size(), 2u);
+  for (size_t i = 1; i < pd.size(); ++i) {
+    EXPECT_GE(pd[i - 1].weight(), pd[i].weight());
+  }
+}
+
+TEST_F(SchemaGeneratorTest, MaxPathLengthOneKeepsLocalAttributesOnly) {
+  auto schema = generator_->Generate({std::string("THEATRE")},
+                                     *MaxPathLength(1));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(ProjectedNames(*schema, "THEATRE"),
+            (std::set<std::string>{"name", "phone", "region", "tid"}));
+  // Nothing transitive: THEATRE is the only relation.
+  EXPECT_EQ(schema->relations().size(), 1u);
+}
+
+TEST_F(SchemaGeneratorTest, DuplicateTokenRelationsCollapse) {
+  auto once =
+      generator_->Generate({std::string("DIRECTOR")}, *MinPathWeight(0.9));
+  auto twice = generator_->Generate(
+      {std::string("DIRECTOR"), "DIRECTOR"}, *MinPathWeight(0.9));
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once->ToString(), twice->ToString());
+  EXPECT_EQ(twice->token_relations().size(), 1u);
+}
+
+TEST_F(SchemaGeneratorTest, UnknownRelationNameFails) {
+  EXPECT_TRUE(generator_->Generate({std::string("NOPE")}, *MaxProjections(1))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SchemaGeneratorTest, OutOfRangeRelationIdFails) {
+  EXPECT_TRUE(generator_
+                  ->Generate(std::vector<RelationNodeId>{999},
+                             *MaxProjections(1))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SchemaGeneratorTest, DeterministicAcrossRuns) {
+  auto a = generator_->Generate({std::string("DIRECTOR"), "ACTOR"},
+                                *MinPathWeight(0.5));
+  auto b = generator_->Generate({std::string("DIRECTOR"), "ACTOR"},
+                                *MinPathWeight(0.5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToString(), b->ToString());
+}
+
+TEST_F(SchemaGeneratorTest, StatsAreTracked) {
+  ASSERT_TRUE(generator_
+                  ->Generate({std::string("DIRECTOR")}, *MinPathWeight(0.8))
+                  .ok());
+  const SchemaGeneratorStats& stats = generator_->last_stats();
+  EXPECT_GT(stats.paths_enqueued, 0u);
+  EXPECT_GT(stats.paths_dequeued, 0u);
+}
+
+TEST_F(SchemaGeneratorTest, ZeroThresholdCoversConnectedComponent) {
+  // Every relation reachable from MOVIE joins in at threshold 0 (all edges
+  // admit), so the whole connected schema is in G'.
+  auto schema =
+      generator_->Generate({std::string("MOVIE")}, *MinPathWeight(0.0));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->relations().size(), graph_->num_relations());
+}
+
+TEST_F(SchemaGeneratorTest, InDegreeCountsDistinctArrivingEdges) {
+  auto schema = generator_->Generate({std::string("DIRECTOR"), "ACTOR"},
+                                     *MinPathWeight(0.9));
+  ASSERT_TRUE(schema.ok());
+  // GENRE is reached only through MOVIE -> GENRE: in-degree 1.
+  EXPECT_EQ(schema->in_degree(*graph_->RelationId("GENRE")), 1);
+  // Token relations with no arriving edges have in-degree 0.
+  EXPECT_EQ(schema->in_degree(*graph_->RelationId("DIRECTOR")), 0);
+}
+
+TEST_F(SchemaGeneratorTest, ContainsAttributeHelpers) {
+  auto schema = generator_->Generate({std::string("DIRECTOR")},
+                                     *MinPathWeight(0.9));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_TRUE(schema->ContainsAttribute("MOVIE", "title"));
+  EXPECT_FALSE(schema->ContainsAttribute("MOVIE", "mid"));
+  EXPECT_FALSE(schema->ContainsAttribute("NOPE", "x"));
+  EXPECT_FALSE(schema->ContainsAttribute("MOVIE", "nope"));
+}
+
+TEST_F(SchemaGeneratorTest, LengthDecayValidation) {
+  ResultSchemaGenerator generator(graph_.get());
+  EXPECT_TRUE(generator.set_length_decay(0.0).IsInvalidArgument());
+  EXPECT_TRUE(generator.set_length_decay(-0.5).IsInvalidArgument());
+  EXPECT_TRUE(generator.set_length_decay(1.5).IsInvalidArgument());
+  EXPECT_TRUE(generator.set_length_decay(1.0).ok());
+  EXPECT_TRUE(generator.set_length_decay(0.3).ok());
+  EXPECT_DOUBLE_EQ(generator.length_decay(), 0.3);
+}
+
+TEST_F(SchemaGeneratorTest, DefaultDecayIsPureMultiplication) {
+  ResultSchemaGenerator generator(graph_.get());
+  auto plain = generator.Generate({std::string("DIRECTOR"), "ACTOR"},
+                                  *MinPathWeight(0.9));
+  ASSERT_TRUE(generator.set_length_decay(1.0).ok());
+  auto explicit_one = generator.Generate({std::string("DIRECTOR"), "ACTOR"},
+                                         *MinPathWeight(0.9));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(explicit_one.ok());
+  EXPECT_EQ(plain->ToString(), explicit_one->ToString());
+}
+
+TEST_F(SchemaGeneratorTest, LengthDecayPenalizesTransitiveProjections) {
+  ResultSchemaGenerator generator(graph_.get());
+  // lambda = 0.85: DIRECTOR's own attributes survive w >= 0.9 untouched
+  // (length 1 pays no decay), but DIRECTOR -> MOVIE . title drops to
+  // 1 * 0.85 * 1 * 0.85 = 0.7225 and falls out of the schema.
+  ASSERT_TRUE(generator.set_length_decay(0.85).ok());
+  auto schema =
+      generator.Generate({std::string("DIRECTOR")}, *MinPathWeight(0.9));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(ProjectedNames(*schema, "DIRECTOR"),
+            (std::set<std::string>{"dname", "blocation", "bdate"}));
+  EXPECT_FALSE(schema->ContainsRelation("MOVIE"));
+}
+
+TEST_F(SchemaGeneratorTest, SmallerDecayNeverGrowsSchema) {
+  ResultSchemaGenerator generator(graph_.get());
+  auto baseline =
+      generator.Generate({std::string("ACTOR")}, *MinPathWeight(0.5));
+  ASSERT_TRUE(baseline.ok());
+  for (double lambda : {0.9, 0.7, 0.5}) {
+    ASSERT_TRUE(generator.set_length_decay(lambda).ok());
+    auto decayed =
+        generator.Generate({std::string("ACTOR")}, *MinPathWeight(0.5));
+    ASSERT_TRUE(decayed.ok());
+    EXPECT_LE(decayed->TotalProjectedAttributes(),
+              baseline->TotalProjectedAttributes())
+        << "lambda=" << lambda;
+    for (RelationNodeId rel : decayed->relations()) {
+      EXPECT_TRUE(baseline->relations().count(rel) > 0);
+    }
+  }
+}
+
+// Property sweep: as the weight threshold decreases, the result schema only
+// grows (relations, attributes, and join edges are monotone).
+class ThresholdMonotonicityTest
+    : public SchemaGeneratorTest,
+      public ::testing::WithParamInterface<double> {};
+
+TEST_P(ThresholdMonotonicityTest, LowerThresholdYieldsSupersetSchema) {
+  double high = GetParam();
+  double low = high - 0.2;
+  if (low < 0.0) low = 0.0;
+  auto tight = generator_->Generate({std::string("DIRECTOR"), "ACTOR"},
+                                    *MinPathWeight(high));
+  auto loose = generator_->Generate({std::string("DIRECTOR"), "ACTOR"},
+                                    *MinPathWeight(low));
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  for (RelationNodeId rel : tight->relations()) {
+    EXPECT_TRUE(loose->relations().count(rel) > 0)
+        << "relation " << graph_->relation_name(rel) << " lost at " << low;
+    for (uint32_t attr : tight->projected_attributes(rel)) {
+      EXPECT_TRUE(loose->projected_attributes(rel).count(attr) > 0);
+    }
+  }
+  EXPECT_GE(loose->projection_paths().size(),
+            tight->projection_paths().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdMonotonicityTest,
+                         ::testing::Values(1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4,
+                                           0.3, 0.2));
+
+// Property sweep: top-r degree constraint accepts exactly min(r, available)
+// projection paths and grows monotonically in r.
+class TopRTest : public SchemaGeneratorTest,
+                 public ::testing::WithParamInterface<size_t> {};
+
+TEST_P(TopRTest, AcceptsAtMostRProjections) {
+  size_t r = GetParam();
+  auto schema =
+      generator_->Generate({std::string("MOVIE")}, *MaxProjections(r));
+  ASSERT_TRUE(schema.ok());
+  EXPECT_LE(schema->projection_paths().size(), r);
+  if (r <= 20) {
+    // The movies graph has far more than 20 admissible projection paths
+    // from MOVIE, so small r is always saturated.
+    EXPECT_EQ(schema->projection_paths().size(), r);
+  }
+  auto smaller = generator_->Generate({std::string("MOVIE")},
+                                      *MaxProjections(r > 0 ? r - 1 : 0));
+  ASSERT_TRUE(smaller.ok());
+  EXPECT_LE(smaller->TotalProjectedAttributes(),
+            schema->TotalProjectedAttributes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopRTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 20, 40));
+
+}  // namespace
+}  // namespace precis

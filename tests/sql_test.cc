@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "sql/select.h"
+#include "storage/database.h"
+
+namespace precis {
+namespace {
+
+/// A GENRE-like relation: gid*, mid (to-N join attribute), genre.
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RelationSchema schema("GENRE", {{"gid", DataType::kInt64},
+                                    {"mid", DataType::kInt64},
+                                    {"genre", DataType::kString}});
+    ASSERT_TRUE(schema.SetPrimaryKey("gid").ok());
+    ASSERT_TRUE(db_.CreateRelation(std::move(schema)).ok());
+    auto rel = db_.GetRelation("GENRE");
+    ASSERT_TRUE(rel.ok());
+    rel_ = *rel;
+    // mid 1: Drama, Thriller; mid 2: Comedy; mid 3: Comedy, Romance, Crime.
+    ASSERT_TRUE(rel_->Insert({int64_t{1}, int64_t{1}, "Drama"}).ok());
+    ASSERT_TRUE(rel_->Insert({int64_t{2}, int64_t{1}, "Thriller"}).ok());
+    ASSERT_TRUE(rel_->Insert({int64_t{3}, int64_t{2}, "Comedy"}).ok());
+    ASSERT_TRUE(rel_->Insert({int64_t{4}, int64_t{3}, "Comedy"}).ok());
+    ASSERT_TRUE(rel_->Insert({int64_t{5}, int64_t{3}, "Romance"}).ok());
+    ASSERT_TRUE(rel_->Insert({int64_t{6}, int64_t{3}, "Crime"}).ok());
+    ASSERT_TRUE(rel_->CreateIndex("mid").ok());
+    db_.ResetStats();
+  }
+
+  std::vector<size_t> AllAttrs() const { return {0, 1, 2}; }
+
+  Database db_;
+  Relation* rel_ = nullptr;
+};
+
+TEST_F(SqlTest, ProjectTuple) {
+  Tuple t = {int64_t{1}, int64_t{2}, "Drama"};
+  EXPECT_EQ(ProjectTuple(t, {2}), (Tuple{"Drama"}));
+  EXPECT_EQ(ProjectTuple(t, {2, 0}), (Tuple{"Drama", int64_t{1}}));
+  EXPECT_EQ(ProjectTuple(t, {}), Tuple{});
+}
+
+TEST_F(SqlTest, ResolveProjection) {
+  auto p = ResolveProjection(rel_->schema(), {"genre", "gid"});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, (std::vector<size_t>{2, 0}));
+  EXPECT_TRUE(
+      ResolveProjection(rel_->schema(), {"nope"}).status().IsNotFound());
+}
+
+TEST_F(SqlTest, FetchByTidsReturnsRequestedRows) {
+  auto rows = FetchByTids(*rel_, {0, 2}, {2}, std::nullopt);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0].tid, 0u);
+  EXPECT_EQ((*rows)[0].values, (Tuple{"Drama"}));
+  EXPECT_EQ((*rows)[1].values, (Tuple{"Comedy"}));
+}
+
+TEST_F(SqlTest, FetchByTidsHonoursLimit) {
+  auto rows = FetchByTids(*rel_, {0, 1, 2, 3}, AllAttrs(), 2);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST_F(SqlTest, FetchByTidsBadTid) {
+  EXPECT_TRUE(
+      FetchByTids(*rel_, {99}, AllAttrs(), std::nullopt).status().IsOutOfRange());
+}
+
+TEST_F(SqlTest, FetchByTidsCountsFetches) {
+  ASSERT_TRUE(FetchByTids(*rel_, {0, 1, 2}, AllAttrs(), std::nullopt).ok());
+  EXPECT_EQ(db_.stats().tuple_fetches, 3u);
+}
+
+TEST_F(SqlTest, FetchByJoinValuesProbesPerKey) {
+  auto rows = FetchByJoinValues(*rel_, "mid",
+                                {Value(int64_t{1}), Value(int64_t{3})},
+                                AllAttrs(), std::nullopt);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);  // 2 for mid=1 + 3 for mid=3
+  EXPECT_EQ(db_.stats().index_probes, 2u);
+  EXPECT_EQ(db_.stats().tuple_fetches, 5u);
+}
+
+TEST_F(SqlTest, FetchByJoinValuesLimitStopsEarly) {
+  auto rows = FetchByJoinValues(*rel_, "mid",
+                                {Value(int64_t{1}), Value(int64_t{3})},
+                                AllAttrs(), 3);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+  // Prefix behaviour: mid=1 rows come before mid=3 rows.
+  EXPECT_EQ((*rows)[0].values[2], Value("Drama"));
+  EXPECT_EQ((*rows)[1].values[2], Value("Thriller"));
+  EXPECT_EQ((*rows)[2].values[2], Value("Comedy"));
+}
+
+TEST_F(SqlTest, FetchByJoinValuesMissingKeyYieldsNothing) {
+  auto rows = FetchByJoinValues(*rel_, "mid", {Value(int64_t{42})},
+                                AllAttrs(), std::nullopt);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(SqlTest, PerValueScanSetRoundRobinOrder) {
+  auto scans = PerValueScanSet::Open(
+      *rel_, "mid", {Value(int64_t{1}), Value(int64_t{3})}, AllAttrs());
+  ASSERT_TRUE(scans.ok());
+  EXPECT_EQ(scans->num_scans(), 2u);
+  // Round 1: one tuple from each scan.
+  auto r0 = scans->Next(0);
+  auto r1 = scans->Next(1);
+  ASSERT_TRUE(r0.has_value());
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(r0->values[2], Value("Drama"));
+  EXPECT_EQ(r1->values[2], Value("Comedy"));
+  // Round 2.
+  EXPECT_EQ(scans->Next(0)->values[2], Value("Thriller"));
+  EXPECT_EQ(scans->Next(1)->values[2], Value("Romance"));
+  // Scan 0 now drained.
+  EXPECT_FALSE(scans->IsOpen(0));
+  EXPECT_FALSE(scans->Next(0).has_value());
+  EXPECT_EQ(scans->Next(1)->values[2], Value("Crime"));
+  EXPECT_TRUE(scans->AllClosed());
+}
+
+TEST_F(SqlTest, PerValueScanSetOpenCountsOneProbePerKey) {
+  auto scans = PerValueScanSet::Open(
+      *rel_, "mid",
+      {Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{3})}, AllAttrs());
+  ASSERT_TRUE(scans.ok());
+  EXPECT_EQ(db_.stats().index_probes, 3u);
+  EXPECT_EQ(db_.stats().tuple_fetches, 0u);  // nothing pulled yet
+}
+
+TEST_F(SqlTest, PerValueScanSetEmptyScanIsClosed) {
+  auto scans = PerValueScanSet::Open(*rel_, "mid", {Value(int64_t{42})},
+                                     AllAttrs());
+  ASSERT_TRUE(scans.ok());
+  EXPECT_FALSE(scans->IsOpen(0));
+  EXPECT_TRUE(scans->AllClosed());
+}
+
+TEST_F(SqlTest, PerValueScanSetKeyAccessor) {
+  auto scans = PerValueScanSet::Open(*rel_, "mid", {Value(int64_t{7})},
+                                     AllAttrs());
+  ASSERT_TRUE(scans.ok());
+  EXPECT_EQ(scans->key(0), Value(int64_t{7}));
+}
+
+TEST_F(SqlTest, RenderInListSql) {
+  std::string sql = RenderInListSql(rel_->schema(), "mid",
+                                    {Value(int64_t{1}), Value(int64_t{3})},
+                                    {2, 0}, 5);
+  EXPECT_EQ(sql,
+            "SELECT genre, gid FROM GENRE WHERE mid IN (1, 3)"
+            " AND RowNum <= 5");
+}
+
+TEST_F(SqlTest, RenderInListSqlQuotesStrings) {
+  std::string sql = RenderInListSql(rel_->schema(), "genre",
+                                    {Value("Drama")}, {}, std::nullopt);
+  EXPECT_EQ(sql, "SELECT * FROM GENRE WHERE genre IN ('Drama')");
+}
+
+}  // namespace
+}  // namespace precis

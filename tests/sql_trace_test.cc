@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datagen/movies_dataset.h"
+#include "precis/database_generator.h"
+#include "precis/schema_generator.h"
+
+namespace precis {
+namespace {
+
+class SqlTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 0;  // paper example only
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+    ResultSchemaGenerator schema_gen(&dataset_->graph());
+    auto schema = schema_gen.Generate({std::string("DIRECTOR"), "ACTOR"},
+                                      *MinPathWeight(0.9));
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::make_unique<ResultSchema>(std::move(*schema));
+    seeds_ = {{*dataset_->graph().RelationId("DIRECTOR"), {0}},
+              {*dataset_->graph().RelationId("ACTOR"), {0}}};
+  }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+  std::unique_ptr<ResultSchema> schema_;
+  SeedTids seeds_;
+};
+
+TEST_F(SqlTraceTest, OffByDefault) {
+  ResultDatabaseGenerator gen(&dataset_->db());
+  ASSERT_TRUE(gen.Generate(*schema_, seeds_, *MaxTuplesPerRelation(3)).ok());
+  EXPECT_TRUE(gen.last_report().sql_trace.empty());
+}
+
+TEST_F(SqlTraceTest, SeedQueriesTraceFirst) {
+  ResultDatabaseGenerator gen(&dataset_->db());
+  DbGenOptions options;
+  options.trace_sql = true;
+  ASSERT_TRUE(gen.Generate(*schema_, seeds_, *MaxTuplesPerRelation(100),
+                           options)
+                  .ok());
+  const std::vector<std::string>& trace = gen.last_report().sql_trace;
+  ASSERT_GE(trace.size(), 2u);
+  // Seeds iterate in relation-id order: ACTOR before DIRECTOR.
+  EXPECT_EQ(trace[0],
+            "SELECT aid, aname FROM ACTOR WHERE rowid IN (0)");
+  EXPECT_EQ(trace[1],
+            "SELECT did, dname, blocation, bdate FROM DIRECTOR WHERE rowid "
+            "IN (0)");
+}
+
+TEST_F(SqlTraceTest, RoundRobinEdgeTracesOneStatementPerKey) {
+  ResultDatabaseGenerator gen(&dataset_->db());
+  DbGenOptions options;
+  options.trace_sql = true;
+  options.strategy = SubsetStrategy::kRoundRobin;
+  ASSERT_TRUE(gen.Generate(*schema_, seeds_, *MaxTuplesPerRelation(100),
+                           options)
+                  .ok());
+  const std::vector<std::string>& trace = gen.last_report().sql_trace;
+  // DIRECTOR -> MOVIE executes first after the two seed queries; Woody has
+  // one did key -> one per-key statement.
+  ASSERT_GE(trace.size(), 3u);
+  EXPECT_EQ(trace[2],
+            "SELECT mid, title, year, did FROM MOVIE WHERE did IN (1)");
+  // MOVIE -> GENRE runs last, with one statement per collected movie.
+  size_t genre_statements = 0;
+  for (const std::string& sql : trace) {
+    if (sql.find("FROM GENRE") != std::string::npos) ++genre_statements;
+  }
+  EXPECT_EQ(genre_statements, 5u);  // five movies collected
+}
+
+TEST_F(SqlTraceTest, NaiveQEdgeTracesSingleInListWithRowNum) {
+  ResultDatabaseGenerator gen(&dataset_->db());
+  DbGenOptions options;
+  options.trace_sql = true;
+  options.strategy = SubsetStrategy::kNaiveQ;
+  ASSERT_TRUE(
+      gen.Generate(*schema_, seeds_, *MaxTuplesPerRelation(3), options).ok());
+  const std::vector<std::string>& trace = gen.last_report().sql_trace;
+  bool found = false;
+  for (const std::string& sql : trace) {
+    if (sql == "SELECT mid, title, year, did FROM MOVIE WHERE did IN (1)"
+              " AND RowNum <= 3") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "trace:\n";
+}
+
+TEST_F(SqlTraceTest, TraceCountMatchesStatementCounter) {
+  dataset_->db().ResetStats();
+  ResultDatabaseGenerator gen(&dataset_->db());
+  DbGenOptions options;
+  options.trace_sql = true;
+  ASSERT_TRUE(gen.Generate(*schema_, seeds_, *MaxTuplesPerRelation(100),
+                           options)
+                  .ok());
+  EXPECT_EQ(gen.last_report().sql_trace.size(),
+            dataset_->db().stats().statements);
+}
+
+}  // namespace
+}  // namespace precis

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "storage/database.h"
+#include "text/inverted_index.h"
+#include "text/tokenizer.h"
+
+namespace precis {
+namespace {
+
+// --- Tokenizer ---
+
+TEST(TokenizerTest, LowercasesAndSplits) {
+  EXPECT_EQ(TokenizeWords("Woody Allen"),
+            (std::vector<std::string>{"woody", "allen"}));
+}
+
+TEST(TokenizerTest, StripsPunctuation) {
+  EXPECT_EQ(TokenizeWords("Match Point (2005)!"),
+            (std::vector<std::string>{"match", "point", "2005"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("  \t\n -- ").empty());
+}
+
+TEST(TokenizerTest, DigitsAreWords) {
+  EXPECT_EQ(TokenizeWords("2005"), (std::vector<std::string>{"2005"}));
+}
+
+TEST(TokenizerTest, ContainsPhraseMatchesContiguous) {
+  EXPECT_TRUE(ContainsPhrase("Woody Allen", {"woody", "allen"}));
+  EXPECT_TRUE(ContainsPhrase("the great Woody Allen movie",
+                             {"woody", "allen"}));
+  EXPECT_FALSE(ContainsPhrase("Allen Woody", {"woody", "allen"}));
+  EXPECT_FALSE(ContainsPhrase("Woody x Allen", {"woody", "allen"}));
+}
+
+TEST(TokenizerTest, ContainsPhraseEmptyNeverMatches) {
+  EXPECT_FALSE(ContainsPhrase("anything", {}));
+}
+
+TEST(TokenizerTest, ContainsPhraseCaseAndPunctuationInsensitive) {
+  EXPECT_TRUE(ContainsPhrase("WOODY ALLEN!", {"woody", "allen"}));
+}
+
+// --- InvertedIndex ---
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RelationSchema director("DIRECTOR", {{"did", DataType::kInt64},
+                                         {"dname", DataType::kString}});
+    ASSERT_TRUE(director.SetPrimaryKey("did").ok());
+    ASSERT_TRUE(db_.CreateRelation(std::move(director)).ok());
+    RelationSchema actor("ACTOR", {{"aid", DataType::kInt64},
+                                   {"aname", DataType::kString},
+                                   {"bio", DataType::kString}});
+    ASSERT_TRUE(actor.SetPrimaryKey("aid").ok());
+    ASSERT_TRUE(db_.CreateRelation(std::move(actor)).ok());
+
+    auto director_rel = db_.GetRelation("DIRECTOR");
+    ASSERT_TRUE((*director_rel)->Insert({int64_t{1}, "Woody Allen"}).ok());
+    ASSERT_TRUE((*director_rel)->Insert({int64_t{2}, "Spike Jonze"}).ok());
+    ASSERT_TRUE((*director_rel)->Insert({int64_t{3}, "Allen Hughes"}).ok());
+    auto actor_rel = db_.GetRelation("ACTOR");
+    ASSERT_TRUE((*actor_rel)
+                    ->Insert({int64_t{1}, "Woody Allen",
+                              "Director and actor Woody Allen"})
+                    .ok());
+    ASSERT_TRUE(
+        (*actor_rel)->Insert({int64_t{2}, "Tim Allen", Value::Null()}).ok());
+
+    auto index = InvertedIndex::Build(db_);
+    ASSERT_TRUE(index.ok());
+    index_ = std::make_unique<InvertedIndex>(std::move(*index));
+  }
+
+  Database db_;
+  std::unique_ptr<InvertedIndex> index_;
+};
+
+TEST_F(InvertedIndexTest, SingleWordFindsAllOccurrences) {
+  auto occ = index_->Lookup("allen");
+  // Grouped by (relation, attribute): ACTOR.aname {0,1}, ACTOR.bio {0},
+  // DIRECTOR.dname {0,2}.
+  ASSERT_EQ(occ.size(), 3u);
+  EXPECT_EQ(occ[0].relation, "ACTOR");
+  EXPECT_EQ(occ[0].attribute, "aname");
+  EXPECT_EQ(occ[0].tids, (std::vector<Tid>{0, 1}));
+  EXPECT_EQ(occ[1].relation, "ACTOR");
+  EXPECT_EQ(occ[1].attribute, "bio");
+  EXPECT_EQ(occ[2].relation, "DIRECTOR");
+  EXPECT_EQ(occ[2].tids, (std::vector<Tid>{0, 2}));
+}
+
+TEST_F(InvertedIndexTest, PhraseRequiresContiguousOrder) {
+  auto occ = index_->Lookup("Woody Allen");
+  ASSERT_EQ(occ.size(), 3u);  // ACTOR.aname, ACTOR.bio, DIRECTOR.dname
+  for (const auto& o : occ) {
+    if (o.relation == "DIRECTOR") {
+      EXPECT_EQ(o.tids, (std::vector<Tid>{0}));  // not "Allen Hughes"
+    }
+  }
+  // "Allen Woody" never appears in that order.
+  EXPECT_TRUE(index_->Lookup("Allen Woody").empty());
+}
+
+TEST_F(InvertedIndexTest, LookupIsCaseInsensitive) {
+  EXPECT_EQ(index_->Lookup("WOODY ALLEN").size(),
+            index_->Lookup("woody allen").size());
+}
+
+TEST_F(InvertedIndexTest, UnknownTokenIsEmpty) {
+  EXPECT_TRUE(index_->Lookup("scorsese").empty());
+  EXPECT_TRUE(index_->Lookup("").empty());
+}
+
+TEST_F(InvertedIndexTest, PartiallyUnknownPhraseIsEmpty) {
+  EXPECT_TRUE(index_->Lookup("woody scorsese").empty());
+}
+
+TEST_F(InvertedIndexTest, LookupAllPreservesQueryOrder) {
+  auto all = index_->LookupAll({"jonze", "nosuchtoken", "woody"});
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].size(), 1u);
+  EXPECT_TRUE(all[1].empty());
+  EXPECT_FALSE(all[2].empty());
+}
+
+TEST_F(InvertedIndexTest, NumWordsAndPostings) {
+  EXPECT_GT(index_->num_words(), 0u);
+  EXPECT_GT(index_->num_postings(), index_->num_words() / 2);
+}
+
+TEST_F(InvertedIndexTest, WordRepeatedInOneValueIndexedOnce) {
+  // "Woody Allen" appears twice in the bio value; the posting must hold the
+  // location once (lookup result tid lists stay duplicate-free).
+  auto occ = index_->Lookup("woody");
+  for (const auto& o : occ) {
+    std::set<Tid> dedup(o.tids.begin(), o.tids.end());
+    EXPECT_EQ(dedup.size(), o.tids.size());
+  }
+}
+
+TEST(InvertedIndexEdgeTest, NonStringAttributesIgnored) {
+  Database db;
+  RelationSchema nums("NUMS", {{"id", DataType::kInt64},
+                               {"v", DataType::kDouble}});
+  ASSERT_TRUE(db.CreateRelation(std::move(nums)).ok());
+  auto rel = db.GetRelation("NUMS");
+  ASSERT_TRUE((*rel)->Insert({int64_t{1}, 2.5}).ok());
+  auto index = InvertedIndex::Build(db);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->num_words(), 0u);
+  EXPECT_TRUE(index->Lookup("1").empty());
+}
+
+TEST(InvertedIndexEdgeTest, EmptyDatabase) {
+  Database db;
+  auto index = InvertedIndex::Build(db);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index->Lookup("anything").empty());
+}
+
+}  // namespace
+}  // namespace precis

@@ -1,0 +1,385 @@
+// precis_shell — an interactive précis console.
+//
+// A line-oriented front end over the whole library: load or generate a
+// database, tune edge weights and constraints at query time (§3.1's
+// interactive exploration), ask précis queries, inspect the SQL the
+// generator submits, and export answers (text narrative, JSON, DOT, or a
+// serialized sub-database).
+//
+//   $ precis_shell
+//   precis> dataset movies 1000
+//   precis> set min-weight 0.9
+//   precis> query Woody Allen
+//   precis> set join MOVIE GENRE 0.3
+//   precis> query Woody Allen
+//   precis> json
+//   precis> save /tmp/answer.pdb
+//   precis> quit
+//
+// Also scriptable: `precis_shell < commands.txt`.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/bibliography_dataset.h"
+#include "datagen/movies_dataset.h"
+#include "datagen/movies_templates.h"
+#include "graph/weight_profile.h"
+#include "precis/dot_export.h"
+#include "precis/engine.h"
+#include "precis/json_export.h"
+#include "semistructured/document.h"
+#include "semistructured/shredder.h"
+#include "storage/serialization.h"
+#include "translator/translator.h"
+
+namespace precis {
+namespace {
+
+constexpr const char* kHelp = R"(commands:
+  dataset movies N         build the movies dataset with N synthetic movies
+  dataset bibliography N   build the bibliography dataset with N papers
+  load FILE                load a serialized database (graph derived from FKs)
+  shred FILE               load an XML-like document and shred it
+  query TOKEN...           answer a precis query with the current settings
+  set min-weight W         degree constraint: path weight >= W (default 0.9)
+  set max-attrs R          degree constraint: top-R projections
+  set tuples C             cardinality: at most C tuples per relation
+  set strategy S           auto | naiveq | roundrobin
+  set join FROM TO W       override a join-edge weight
+  set proj REL ATTR W      override a projection-edge weight
+  set trace on|off         record the SQL statements of each query
+  show schema              print the source database schema
+  show graph               print the schema graph with weights
+  show settings            print the current query settings
+  text                     render the last answer as a narrative (movies only)
+  json                     print the last answer as JSON
+  dot FILE                 write the last answer's result schema as DOT
+  save FILE                serialize the last answer's database to FILE
+  help                     this text
+  quit                     exit)";
+
+/// Everything the shell holds between commands.
+struct ShellState {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<SchemaGraph> graph;
+  std::unique_ptr<PrecisEngine> engine;
+  std::unique_ptr<TemplateCatalog> catalog;  // set for the movies dataset
+
+  double min_weight = 0.9;
+  long max_attrs = -1;  // -1: use min_weight instead
+  size_t tuples_per_relation = 5;
+  SubsetStrategy strategy = SubsetStrategy::kAuto;
+  bool trace_sql = false;
+
+  std::optional<PrecisAnswer> last_answer;
+
+  Status RebuildEngine() {
+    last_answer.reset();
+    auto engine_result = PrecisEngine::Create(db.get(), graph.get());
+    if (!engine_result.ok()) return engine_result.status();
+    engine = std::make_unique<PrecisEngine>(std::move(*engine_result));
+    return Status::OK();
+  }
+};
+
+Status CmdDataset(ShellState* state, const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Status::InvalidArgument("usage: dataset movies|bibliography N");
+  }
+  size_t n = static_cast<size_t>(std::atol(args[1].c_str()));
+  if (args[0] == "movies") {
+    MoviesConfig config;
+    config.num_movies = n;
+    auto ds = MoviesDataset::Create(config);
+    if (!ds.ok()) return ds.status();
+    state->db = std::make_unique<Database>(std::move(ds->db()));
+    state->graph = std::make_unique<SchemaGraph>(std::move(ds->graph()));
+    auto catalog = BuildMoviesTemplateCatalog();
+    if (!catalog.ok()) return catalog.status();
+    state->catalog = std::make_unique<TemplateCatalog>(std::move(*catalog));
+  } else if (args[0] == "bibliography") {
+    BibliographyConfig config;
+    config.num_papers = n;
+    auto ds = BibliographyDataset::Create(config);
+    if (!ds.ok()) return ds.status();
+    state->db = std::make_unique<Database>(std::move(ds->db()));
+    state->graph = std::make_unique<SchemaGraph>(std::move(ds->graph()));
+    auto catalog = BuildBibliographyTemplateCatalog();
+    if (!catalog.ok()) return catalog.status();
+    state->catalog = std::make_unique<TemplateCatalog>(std::move(*catalog));
+  } else {
+    return Status::InvalidArgument("unknown dataset '" + args[0] + "'");
+  }
+  PRECIS_RETURN_NOT_OK(state->RebuildEngine());
+  std::printf("dataset ready: %zu relations, %zu tuples\n",
+              state->db->num_relations(), state->db->TotalTuples());
+  return Status::OK();
+}
+
+Status CmdLoad(ShellState* state, const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: load FILE");
+  auto db = LoadDatabaseFromFile(args[0]);
+  if (!db.ok()) return db.status();
+  auto graph = DeriveGraphFromForeignKeys(*db);
+  if (!graph.ok()) return graph.status();
+  state->db = std::make_unique<Database>(std::move(*db));
+  state->graph = std::make_unique<SchemaGraph>(std::move(*graph));
+  state->catalog.reset();
+  PRECIS_RETURN_NOT_OK(state->RebuildEngine());
+  std::printf("loaded %zu relations, %zu tuples; graph derived from %zu "
+              "foreign keys\n",
+              state->db->num_relations(), state->db->TotalTuples(),
+              state->db->foreign_keys().size());
+  return Status::OK();
+}
+
+Status CmdShred(ShellState* state, const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: shred FILE");
+  std::ifstream in(args[0]);
+  if (!in.is_open()) {
+    return Status::InvalidArgument("cannot open '" + args[0] + "'");
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto doc = ParseDocument(buffer.str());
+  if (!doc.ok()) return doc.status();
+  auto shredded = ShreddedDocument::Shred(**doc);
+  if (!shredded.ok()) return shredded.status();
+  state->db = std::make_unique<Database>(std::move(shredded->db()));
+  state->graph = std::make_unique<SchemaGraph>(std::move(shredded->graph()));
+  state->catalog.reset();
+  PRECIS_RETURN_NOT_OK(state->RebuildEngine());
+  std::printf("shredded %zu elements into %zu relations\n",
+              (*doc)->SubtreeSize(), state->db->num_relations());
+  return Status::OK();
+}
+
+Status CmdSet(ShellState* state, const std::vector<std::string>& args) {
+  if (args.empty()) return Status::InvalidArgument("usage: set KEY VALUE...");
+  const std::string& key = args[0];
+  if (key == "min-weight" && args.size() == 2) {
+    state->min_weight = std::atof(args[1].c_str());
+    state->max_attrs = -1;
+  } else if (key == "max-attrs" && args.size() == 2) {
+    state->max_attrs = std::atol(args[1].c_str());
+  } else if (key == "tuples" && args.size() == 2) {
+    state->tuples_per_relation =
+        static_cast<size_t>(std::atol(args[1].c_str()));
+  } else if (key == "strategy" && args.size() == 2) {
+    if (args[1] == "auto") {
+      state->strategy = SubsetStrategy::kAuto;
+    } else if (args[1] == "naiveq") {
+      state->strategy = SubsetStrategy::kNaiveQ;
+    } else if (args[1] == "roundrobin") {
+      state->strategy = SubsetStrategy::kRoundRobin;
+    } else {
+      return Status::InvalidArgument("unknown strategy '" + args[1] + "'");
+    }
+  } else if (key == "trace" && args.size() == 2) {
+    state->trace_sql = (args[1] == "on");
+  } else if (key == "join" && args.size() == 4) {
+    if (state->graph == nullptr) {
+      return Status::InvalidArgument("no dataset loaded");
+    }
+    PRECIS_RETURN_NOT_OK(state->graph->SetJoinWeight(
+        args[1], args[2], std::atof(args[3].c_str())));
+    if (state->engine != nullptr) state->engine->ClearSchemaCache();
+  } else if (key == "proj" && args.size() == 4) {
+    if (state->graph == nullptr) {
+      return Status::InvalidArgument("no dataset loaded");
+    }
+    PRECIS_RETURN_NOT_OK(state->graph->SetProjectionWeight(
+        args[1], args[2], std::atof(args[3].c_str())));
+    if (state->engine != nullptr) state->engine->ClearSchemaCache();
+  } else {
+    return Status::InvalidArgument("unknown setting; see help");
+  }
+  return Status::OK();
+}
+
+Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
+  if (state->engine == nullptr) {
+    return Status::InvalidArgument("no dataset loaded; use 'dataset' first");
+  }
+  if (args.empty()) {
+    return Status::InvalidArgument("usage: query TOKEN...");
+  }
+  // The whole argument list is one token (multi-word values are common);
+  // separate several tokens with '/'.
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const std::string& arg : args) {
+    if (arg == "/") {
+      if (!current.empty()) tokens.push_back(current);
+      current.clear();
+      continue;
+    }
+    if (!current.empty()) current += " ";
+    current += arg;
+  }
+  if (!current.empty()) tokens.push_back(current);
+
+  std::unique_ptr<DegreeConstraint> degree =
+      state->max_attrs >= 0
+          ? MaxProjections(static_cast<size_t>(state->max_attrs))
+          : MinPathWeight(state->min_weight);
+  auto cardinality = MaxTuplesPerRelation(state->tuples_per_relation);
+  DbGenOptions options;
+  options.strategy = state->strategy;
+  options.trace_sql = state->trace_sql;
+
+  auto answer =
+      state->engine->Answer(PrecisQuery{tokens}, *degree, *cardinality,
+                            options);
+  if (!answer.ok()) return answer.status();
+  if (answer->empty()) {
+    std::printf("no occurrences.\n");
+    state->last_answer.reset();
+    return Status::OK();
+  }
+  std::printf("result schema:\n%s\nresult database:\n%s",
+              answer->schema.ToString().c_str(),
+              answer->database.DescribeSchema().c_str());
+  if (state->trace_sql) {
+    std::printf("statements:\n");
+    for (const std::string& sql : answer->report.sql_trace) {
+      std::printf("  %s;\n", sql.c_str());
+    }
+  }
+  state->last_answer = std::move(*answer);
+  return Status::OK();
+}
+
+Status NeedAnswer(const ShellState& state) {
+  if (!state.last_answer.has_value()) {
+    return Status::InvalidArgument("no answer yet; run 'query' first");
+  }
+  return Status::OK();
+}
+
+Status CmdText(ShellState* state) {
+  PRECIS_RETURN_NOT_OK(NeedAnswer(*state));
+  if (state->catalog == nullptr) {
+    return Status::InvalidArgument(
+        "no template catalog for this dataset; 'text' works for generated "
+        "datasets");
+  }
+  Translator translator(state->catalog.get());
+  auto text = translator.Render(*state->last_answer);
+  if (!text.ok()) return text.status();
+  std::printf("%s\n", text->c_str());
+  return Status::OK();
+}
+
+Status CmdJson(ShellState* state) {
+  PRECIS_RETURN_NOT_OK(NeedAnswer(*state));
+  std::printf("%s\n", AnswerToJson(*state->last_answer).c_str());
+  return Status::OK();
+}
+
+Status CmdDot(ShellState* state, const std::vector<std::string>& args) {
+  PRECIS_RETURN_NOT_OK(NeedAnswer(*state));
+  if (args.size() != 1) return Status::InvalidArgument("usage: dot FILE");
+  std::ofstream out(args[0], std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open '" + args[0] + "'");
+  }
+  out << ResultSchemaToDot(state->last_answer->schema);
+  std::printf("wrote %s\n", args[0].c_str());
+  return Status::OK();
+}
+
+Status CmdSave(ShellState* state, const std::vector<std::string>& args) {
+  PRECIS_RETURN_NOT_OK(NeedAnswer(*state));
+  if (args.size() != 1) return Status::InvalidArgument("usage: save FILE");
+  PRECIS_RETURN_NOT_OK(
+      SaveDatabaseToFile(state->last_answer->database, args[0]));
+  std::printf("wrote %s (%zu tuples)\n", args[0].c_str(),
+              state->last_answer->database.TotalTuples());
+  return Status::OK();
+}
+
+int RunShell(std::istream& in, bool interactive) {
+  ShellState state;
+  std::string line;
+  if (interactive) std::printf("precis shell; 'help' lists commands.\n");
+  while (true) {
+    if (interactive) {
+      std::printf("precis> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(in, line)) break;
+    std::vector<std::string> words;
+    for (const std::string& w : Split(Trim(line), ' ')) {
+      if (!w.empty()) words.push_back(w);
+    }
+    if (words.empty()) continue;
+    std::string cmd = words[0];
+    std::vector<std::string> args(words.begin() + 1, words.end());
+
+    Status status = Status::OK();
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    } else if (cmd == "help") {
+      std::printf("%s\n", kHelp);
+    } else if (cmd == "dataset") {
+      status = CmdDataset(&state, args);
+    } else if (cmd == "load") {
+      status = CmdLoad(&state, args);
+    } else if (cmd == "shred") {
+      status = CmdShred(&state, args);
+    } else if (cmd == "set") {
+      status = CmdSet(&state, args);
+    } else if (cmd == "query") {
+      status = CmdQuery(&state, args);
+    } else if (cmd == "show") {
+      if (state.db == nullptr) {
+        status = Status::InvalidArgument("no dataset loaded");
+      } else if (!args.empty() && args[0] == "graph") {
+        std::printf("%s", state.graph->ToString().c_str());
+      } else if (!args.empty() && args[0] == "settings") {
+        std::printf("min-weight=%.2f max-attrs=%ld tuples=%zu strategy=%s "
+                    "trace=%s\n",
+                    state.min_weight, state.max_attrs,
+                    state.tuples_per_relation,
+                    SubsetStrategyToString(state.strategy),
+                    state.trace_sql ? "on" : "off");
+      } else {
+        std::printf("%s", state.db->DescribeSchema().c_str());
+      }
+    } else if (cmd == "text") {
+      status = CmdText(&state);
+    } else if (cmd == "json") {
+      status = CmdJson(&state);
+    } else if (cmd == "dot") {
+      status = CmdDot(&state, args);
+    } else if (cmd == "save") {
+      status = CmdSave(&state, args);
+    } else {
+      status = Status::InvalidArgument("unknown command '" + cmd +
+                                       "'; try 'help'");
+    }
+    if (!status.ok()) std::printf("error: %s\n", status.ToString().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace precis
+
+int main() {
+  // Interactive iff stdin looks like a terminal; piped scripts skip the
+  // prompt noise. isatty is POSIX-only, which this project already assumes.
+  bool interactive = isatty(fileno(stdin)) != 0;
+  return precis::RunShell(std::cin, interactive);
+}
