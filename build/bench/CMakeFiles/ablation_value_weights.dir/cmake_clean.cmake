@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_value_weights.dir/ablation_value_weights.cc.o"
+  "CMakeFiles/ablation_value_weights.dir/ablation_value_weights.cc.o.d"
+  "ablation_value_weights"
+  "ablation_value_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_value_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

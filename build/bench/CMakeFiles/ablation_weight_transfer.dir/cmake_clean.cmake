@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weight_transfer.dir/ablation_weight_transfer.cc.o"
+  "CMakeFiles/ablation_weight_transfer.dir/ablation_weight_transfer.cc.o.d"
+  "ablation_weight_transfer"
+  "ablation_weight_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weight_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_sweep.dir/constraint_sweep.cc.o"
+  "CMakeFiles/constraint_sweep.dir/constraint_sweep.cc.o.d"
+  "constraint_sweep"
+  "constraint_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

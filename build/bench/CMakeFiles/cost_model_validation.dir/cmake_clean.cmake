@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_model_validation.dir/cost_model_validation.cc.o"
+  "CMakeFiles/cost_model_validation.dir/cost_model_validation.cc.o.d"
+  "cost_model_validation"
+  "cost_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_schema_generator.dir/fig7_schema_generator.cc.o"
+  "CMakeFiles/fig7_schema_generator.dir/fig7_schema_generator.cc.o.d"
+  "fig7_schema_generator"
+  "fig7_schema_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_schema_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

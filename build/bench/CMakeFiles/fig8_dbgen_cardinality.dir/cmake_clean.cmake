@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dbgen_cardinality.dir/fig8_dbgen_cardinality.cc.o"
+  "CMakeFiles/fig8_dbgen_cardinality.dir/fig8_dbgen_cardinality.cc.o.d"
+  "fig8_dbgen_cardinality"
+  "fig8_dbgen_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dbgen_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

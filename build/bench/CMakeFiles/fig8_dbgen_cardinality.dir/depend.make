@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_dbgen_cardinality.
+# This may be replaced when dependencies are built.

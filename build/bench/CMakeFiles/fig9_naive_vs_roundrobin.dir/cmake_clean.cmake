@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_naive_vs_roundrobin.dir/fig9_naive_vs_roundrobin.cc.o"
+  "CMakeFiles/fig9_naive_vs_roundrobin.dir/fig9_naive_vs_roundrobin.cc.o.d"
+  "fig9_naive_vs_roundrobin"
+  "fig9_naive_vs_roundrobin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_naive_vs_roundrobin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyword_search_comparison.dir/keyword_search_comparison.cpp.o"
+  "CMakeFiles/keyword_search_comparison.dir/keyword_search_comparison.cpp.o.d"
+  "keyword_search_comparison"
+  "keyword_search_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyword_search_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

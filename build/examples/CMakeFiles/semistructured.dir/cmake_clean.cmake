@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semistructured.dir/semistructured.cpp.o"
+  "CMakeFiles/semistructured.dir/semistructured.cpp.o.d"
+  "semistructured"
+  "semistructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semistructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

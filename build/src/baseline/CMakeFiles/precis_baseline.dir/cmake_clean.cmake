@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_baseline.dir/keyword_search.cc.o"
+  "CMakeFiles/precis_baseline.dir/keyword_search.cc.o.d"
+  "libprecis_baseline.a"
+  "libprecis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_common.dir/random.cc.o"
+  "CMakeFiles/precis_common.dir/random.cc.o.d"
+  "CMakeFiles/precis_common.dir/status.cc.o"
+  "CMakeFiles/precis_common.dir/status.cc.o.d"
+  "CMakeFiles/precis_common.dir/string_util.cc.o"
+  "CMakeFiles/precis_common.dir/string_util.cc.o.d"
+  "libprecis_common.a"
+  "libprecis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_datagen.dir/bibliography_dataset.cc.o"
+  "CMakeFiles/precis_datagen.dir/bibliography_dataset.cc.o.d"
+  "CMakeFiles/precis_datagen.dir/movies_dataset.cc.o"
+  "CMakeFiles/precis_datagen.dir/movies_dataset.cc.o.d"
+  "CMakeFiles/precis_datagen.dir/movies_templates.cc.o"
+  "CMakeFiles/precis_datagen.dir/movies_templates.cc.o.d"
+  "CMakeFiles/precis_datagen.dir/workload.cc.o"
+  "CMakeFiles/precis_datagen.dir/workload.cc.o.d"
+  "libprecis_datagen.a"
+  "libprecis_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_graph.dir/path.cc.o"
+  "CMakeFiles/precis_graph.dir/path.cc.o.d"
+  "CMakeFiles/precis_graph.dir/schema_graph.cc.o"
+  "CMakeFiles/precis_graph.dir/schema_graph.cc.o.d"
+  "CMakeFiles/precis_graph.dir/weight_profile.cc.o"
+  "CMakeFiles/precis_graph.dir/weight_profile.cc.o.d"
+  "libprecis_graph.a"
+  "libprecis_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

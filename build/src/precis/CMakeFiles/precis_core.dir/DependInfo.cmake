@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/precis/constraints.cc" "src/precis/CMakeFiles/precis_core.dir/constraints.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/constraints.cc.o.d"
+  "/root/repo/src/precis/cost_model.cc" "src/precis/CMakeFiles/precis_core.dir/cost_model.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/precis/database_generator.cc" "src/precis/CMakeFiles/precis_core.dir/database_generator.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/database_generator.cc.o.d"
+  "/root/repo/src/precis/dot_export.cc" "src/precis/CMakeFiles/precis_core.dir/dot_export.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/dot_export.cc.o.d"
+  "/root/repo/src/precis/engine.cc" "src/precis/CMakeFiles/precis_core.dir/engine.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/engine.cc.o.d"
+  "/root/repo/src/precis/exhaustive_generator.cc" "src/precis/CMakeFiles/precis_core.dir/exhaustive_generator.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/exhaustive_generator.cc.o.d"
+  "/root/repo/src/precis/json_export.cc" "src/precis/CMakeFiles/precis_core.dir/json_export.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/json_export.cc.o.d"
+  "/root/repo/src/precis/result_schema.cc" "src/precis/CMakeFiles/precis_core.dir/result_schema.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/result_schema.cc.o.d"
+  "/root/repo/src/precis/schema_generator.cc" "src/precis/CMakeFiles/precis_core.dir/schema_generator.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/schema_generator.cc.o.d"
+  "/root/repo/src/precis/tuple_weights.cc" "src/precis/CMakeFiles/precis_core.dir/tuple_weights.cc.o" "gcc" "src/precis/CMakeFiles/precis_core.dir/tuple_weights.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/precis_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/precis_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/precis_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/precis_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/precis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_core.dir/constraints.cc.o"
+  "CMakeFiles/precis_core.dir/constraints.cc.o.d"
+  "CMakeFiles/precis_core.dir/cost_model.cc.o"
+  "CMakeFiles/precis_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/precis_core.dir/database_generator.cc.o"
+  "CMakeFiles/precis_core.dir/database_generator.cc.o.d"
+  "CMakeFiles/precis_core.dir/dot_export.cc.o"
+  "CMakeFiles/precis_core.dir/dot_export.cc.o.d"
+  "CMakeFiles/precis_core.dir/engine.cc.o"
+  "CMakeFiles/precis_core.dir/engine.cc.o.d"
+  "CMakeFiles/precis_core.dir/exhaustive_generator.cc.o"
+  "CMakeFiles/precis_core.dir/exhaustive_generator.cc.o.d"
+  "CMakeFiles/precis_core.dir/json_export.cc.o"
+  "CMakeFiles/precis_core.dir/json_export.cc.o.d"
+  "CMakeFiles/precis_core.dir/result_schema.cc.o"
+  "CMakeFiles/precis_core.dir/result_schema.cc.o.d"
+  "CMakeFiles/precis_core.dir/schema_generator.cc.o"
+  "CMakeFiles/precis_core.dir/schema_generator.cc.o.d"
+  "CMakeFiles/precis_core.dir/tuple_weights.cc.o"
+  "CMakeFiles/precis_core.dir/tuple_weights.cc.o.d"
+  "libprecis_core.a"
+  "libprecis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_semistructured.dir/document.cc.o"
+  "CMakeFiles/precis_semistructured.dir/document.cc.o.d"
+  "CMakeFiles/precis_semistructured.dir/shredder.cc.o"
+  "CMakeFiles/precis_semistructured.dir/shredder.cc.o.d"
+  "libprecis_semistructured.a"
+  "libprecis_semistructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_semistructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for precis_semistructured.
+# This may be replaced when dependencies are built.

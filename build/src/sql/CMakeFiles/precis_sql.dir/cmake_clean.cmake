@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_sql.dir/select.cc.o"
+  "CMakeFiles/precis_sql.dir/select.cc.o.d"
+  "libprecis_sql.a"
+  "libprecis_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_storage.dir/database.cc.o"
+  "CMakeFiles/precis_storage.dir/database.cc.o.d"
+  "CMakeFiles/precis_storage.dir/relation.cc.o"
+  "CMakeFiles/precis_storage.dir/relation.cc.o.d"
+  "CMakeFiles/precis_storage.dir/schema.cc.o"
+  "CMakeFiles/precis_storage.dir/schema.cc.o.d"
+  "CMakeFiles/precis_storage.dir/serialization.cc.o"
+  "CMakeFiles/precis_storage.dir/serialization.cc.o.d"
+  "CMakeFiles/precis_storage.dir/value.cc.o"
+  "CMakeFiles/precis_storage.dir/value.cc.o.d"
+  "libprecis_storage.a"
+  "libprecis_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

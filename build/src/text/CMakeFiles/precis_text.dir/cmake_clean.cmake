@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_text.dir/inverted_index.cc.o"
+  "CMakeFiles/precis_text.dir/inverted_index.cc.o.d"
+  "CMakeFiles/precis_text.dir/synonyms.cc.o"
+  "CMakeFiles/precis_text.dir/synonyms.cc.o.d"
+  "CMakeFiles/precis_text.dir/tokenizer.cc.o"
+  "CMakeFiles/precis_text.dir/tokenizer.cc.o.d"
+  "libprecis_text.a"
+  "libprecis_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

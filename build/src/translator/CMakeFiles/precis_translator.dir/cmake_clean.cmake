@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_translator.dir/catalog.cc.o"
+  "CMakeFiles/precis_translator.dir/catalog.cc.o.d"
+  "CMakeFiles/precis_translator.dir/template.cc.o"
+  "CMakeFiles/precis_translator.dir/template.cc.o.d"
+  "CMakeFiles/precis_translator.dir/translator.cc.o"
+  "CMakeFiles/precis_translator.dir/translator.cc.o.d"
+  "libprecis_translator.a"
+  "libprecis_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

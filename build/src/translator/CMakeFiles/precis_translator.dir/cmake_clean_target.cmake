@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprecis_translator.a"
+)

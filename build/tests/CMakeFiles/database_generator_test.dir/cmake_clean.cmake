@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_generator_test.dir/database_generator_test.cc.o"
+  "CMakeFiles/database_generator_test.dir/database_generator_test.cc.o.d"
+  "database_generator_test"
+  "database_generator_test.pdb"
+  "database_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

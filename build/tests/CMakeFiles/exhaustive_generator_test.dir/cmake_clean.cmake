@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exhaustive_generator_test.dir/exhaustive_generator_test.cc.o"
+  "CMakeFiles/exhaustive_generator_test.dir/exhaustive_generator_test.cc.o.d"
+  "exhaustive_generator_test"
+  "exhaustive_generator_test.pdb"
+  "exhaustive_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exhaustive_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

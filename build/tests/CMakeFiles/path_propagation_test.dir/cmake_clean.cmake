@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_propagation_test.dir/path_propagation_test.cc.o"
+  "CMakeFiles/path_propagation_test.dir/path_propagation_test.cc.o.d"
+  "path_propagation_test"
+  "path_propagation_test.pdb"
+  "path_propagation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

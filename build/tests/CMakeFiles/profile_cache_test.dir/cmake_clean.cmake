@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_cache_test.dir/profile_cache_test.cc.o"
+  "CMakeFiles/profile_cache_test.dir/profile_cache_test.cc.o.d"
+  "profile_cache_test"
+  "profile_cache_test.pdb"
+  "profile_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_generator_test.dir/schema_generator_test.cc.o"
+  "CMakeFiles/schema_generator_test.dir/schema_generator_test.cc.o.d"
+  "schema_generator_test"
+  "schema_generator_test.pdb"
+  "schema_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_trace_test.dir/sql_trace_test.cc.o"
+  "CMakeFiles/sql_trace_test.dir/sql_trace_test.cc.o.d"
+  "sql_trace_test"
+  "sql_trace_test.pdb"
+  "sql_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synonyms_test.dir/synonyms_test.cc.o"
+  "CMakeFiles/synonyms_test.dir/synonyms_test.cc.o.d"
+  "synonyms_test"
+  "synonyms_test.pdb"
+  "synonyms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synonyms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

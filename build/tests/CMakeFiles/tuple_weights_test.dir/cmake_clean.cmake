@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_weights_test.dir/tuple_weights_test.cc.o"
+  "CMakeFiles/tuple_weights_test.dir/tuple_weights_test.cc.o.d"
+  "tuple_weights_test"
+  "tuple_weights_test.pdb"
+  "tuple_weights_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

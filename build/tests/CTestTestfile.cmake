@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/database_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/tuple_weights_test[1]_include.cmake")
+include("/root/repo/build/tests/synonyms_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/path_propagation_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/dot_export_test[1]_include.cmake")
+include("/root/repo/build/tests/profile_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/bibliography_test[1]_include.cmake")
+include("/root/repo/build/tests/semistructured_test[1]_include.cmake")
+include("/root/repo/build/tests/json_export_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_lite_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precis_shell.dir/precis_shell.cc.o"
+  "CMakeFiles/precis_shell.dir/precis_shell.cc.o.d"
+  "precis_shell"
+  "precis_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precis_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

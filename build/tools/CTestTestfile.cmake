@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(shell_query_and_narrative "sh" "-c" "printf 'dataset movies 50\\nset tuples 3\\nquery Woody Allen\\ntext\\nquit\\n' | /root/repo/build/tools/precis_shell | grep -q 'Woody Allen was born on December 1, 1935'")
+set_tests_properties(shell_query_and_narrative PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_save_load_roundtrip "sh" "-c" "printf 'dataset movies 50\\nquery Woody Allen\\nsave /root/repo/build/tools/roundtrip.pdb\\nload /root/repo/build/tools/roundtrip.pdb\\nset min-weight 0.5\\nquery Match Point\\nquit\\n' | /root/repo/build/tools/precis_shell | grep -q 'MOVIE -(did)-> DIRECTOR'")
+set_tests_properties(shell_save_load_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_json_output "sh" "-c" "printf 'dataset movies 50\\nquery Woody Allen\\njson\\nquit\\n' | /root/repo/build/tools/precis_shell | grep -q '\"token\":\"Woody Allen\"'")
+set_tests_properties(shell_json_output PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(shell_rejects_unknown_command "sh" "-c" "printf 'frobnicate\\nquit\\n' | /root/repo/build/tools/precis_shell | grep -q \"unknown command 'frobnicate'\"")
+set_tests_properties(shell_rejects_unknown_command PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
