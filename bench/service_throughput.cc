@@ -1,0 +1,134 @@
+// Service throughput: précis queries per second vs worker-pool size.
+//
+// The paper's cost model (§6) bounds the latency of ONE query; a deployed
+// précis feature also needs aggregate throughput under concurrency. This
+// bench drives PrecisService with a fixed batch of token queries at 1..8
+// workers and reports queries/sec, plus a variant where every query runs
+// under a tight deadline (exercising the early-stop partial-answer path
+// end to end). Worker scaling is bounded by the machine's core count:
+// on a single-core box the curve is flat and only the p99 queueing delay
+// moves; compare CPU time against real time to see how many cores the
+// pool actually kept busy.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "datagen/workload.h"
+#include "precis/engine.h"
+#include "service/precis_service.h"
+
+namespace precis {
+namespace {
+
+struct ServiceFixture {
+  std::unique_ptr<PrecisEngine> engine;
+  std::vector<std::string> tokens;
+};
+
+const ServiceFixture& SharedFixture() {
+  static const ServiceFixture* fixture = [] {
+    const auto& dataset = bench::SharedDataset();
+    auto engine = PrecisEngine::Create(&dataset.db(), &dataset.graph());
+    if (!engine.ok()) std::abort();
+    auto* f = new ServiceFixture;
+    f->engine = std::make_unique<PrecisEngine>(std::move(*engine));
+    Rng rng(17);
+    for (int i = 0; i < 64; ++i) {
+      auto token = RandomToken(dataset.db(), "DIRECTOR", "dname", &rng);
+      if (!token.ok()) std::abort();
+      f->tokens.push_back(std::move(*token));
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+std::vector<ServiceRequest> MakeBatch(const ServiceFixture& fixture,
+                                      size_t count,
+                                      double deadline_seconds) {
+  std::vector<ServiceRequest> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    ServiceRequest request;
+    request.query.tokens = {fixture.tokens[i % fixture.tokens.size()]};
+    // A wide, deep answer per query: worker scaling only shows when each
+    // query carries real generator work, not queue hand-off overhead.
+    request.min_path_weight = 0.5;
+    request.tuples_per_relation = 40;
+    request.deadline_seconds = deadline_seconds;
+    batch.push_back(std::move(request));
+  }
+  return batch;
+}
+
+void RunBatches(benchmark::State& state, double deadline_seconds) {
+  const ServiceFixture& fixture = SharedFixture();
+  const size_t num_workers = static_cast<size_t>(state.range(0));
+  constexpr size_t kBatchSize = 64;
+
+  PrecisService::Options options;
+  options.num_workers = num_workers;
+  auto service = PrecisService::Create(fixture.engine.get(), options);
+  if (!service.ok()) {
+    state.SkipWithError(service.status().ToString().c_str());
+    return;
+  }
+
+  size_t queries = 0;
+  for (auto _ : state) {
+    auto futures = (*service)->SubmitBatch(
+        MakeBatch(fixture, kBatchSize, deadline_seconds));
+    for (auto& future : futures) {
+      ServiceResponse response = future.get();
+      if (!response.status.ok()) {
+        state.SkipWithError(response.status.ToString().c_str());
+        return;
+      }
+      benchmark::DoNotOptimize(response);
+    }
+    queries += kBatchSize;
+  }
+
+  state.counters["queries/s"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+  PrecisService::Metrics metrics = (*service)->metrics();
+  state.counters["deadline_hits"] =
+      static_cast<double>(metrics.deadline_hits);
+  state.counters["p99_ms"] = metrics.p99_latency_seconds * 1e3;
+}
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  RunBatches(state, /*deadline_seconds=*/0.0);
+}
+
+void BM_ServiceThroughputTightDeadline(benchmark::State& state) {
+  RunBatches(state, /*deadline_seconds=*/100e-6);
+}
+
+BENCHMARK(BM_ServiceThroughput)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+BENCHMARK(BM_ServiceThroughputTightDeadline)
+    ->ArgName("workers")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace precis
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+#!/bin/sh
+# CI entry point: builds and tests the tree in two configurations.
+#
+#   1. Release          — the full suite (tier-1 gate).
+#   2. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
+#                         PrecisService, engine concurrency) rebuilt and run
+#                         under TSan, so data races on the shared query path
+#                         fail the build rather than ship.
+#
+# PRECIS_SANITIZE=address ./ci.sh swaps the second configuration to ASan.
+# Both configurations use separate build trees and leave ./build alone.
+
+set -eu
+
+SANITIZER="${PRECIS_SANITIZE:-thread}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+ROOT="$(cd "$(dirname "$0")" && pwd)"
+
+echo "=== [1/2] Release build + full test suite ==="
+cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$ROOT/build-release" -j "$JOBS"
+ctest --test-dir "$ROOT/build-release" --output-on-failure -j "$JOBS"
+
+echo "=== [2/2] ${SANITIZER} sanitizer build + concurrency suite ==="
+cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="$SANITIZER"
+cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
+  --target concurrency_test service_test execution_context_test
+ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
+  -R 'Concurrency|Service|ExecutionContext'
+
+echo "=== CI passed (Release + $SANITIZER) ==="

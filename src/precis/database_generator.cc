@@ -172,9 +172,15 @@ const char* SubsetStrategyToString(SubsetStrategy s) {
 
 Result<Database> ResultDatabaseGenerator::Generate(
     const ResultSchema& schema, const SeedTids& seeds,
-    const CardinalityConstraint& c, const DbGenOptions& options) {
+    const CardinalityConstraint& c, const DbGenOptions& options,
+    ExecutionContext* ctx) {
   last_report_ = DbGenReport{};
   const SchemaGraph& graph = schema.graph();
+
+  // Per-query stop check (deadline / access budget / cancellation). On
+  // stop, fetching ends wherever it is and the algorithm falls through to
+  // the emit steps, so the caller always receives a well-formed database.
+  auto stopped = [&] { return ctx != nullptr && ctx->ShouldStop(); };
 
   // Resolve source relations once.
   std::map<RelationNodeId, const Relation*> source_relations;
@@ -202,8 +208,12 @@ Result<Database> ResultDatabaseGenerator::Generate(
                                      graph.relation_name(rel) +
                                      "' is not part of the result schema");
     }
+    if (stopped()) {
+      mark_truncated(rel);
+      continue;
+    }
     const Relation& source = *source_relations[rel];
-    source.CountStatement();  // one sigma_Tids query per seed relation
+    source.CountStatement(ctx);  // one sigma_Tids query per seed relation
     SimulateStatementOverhead(options.statement_overhead_ns);
     if (options.trace_sql) {
       last_report_.sql_trace.push_back(RenderSeedSql(
@@ -224,12 +234,16 @@ Result<Database> ResultDatabaseGenerator::Generate(
     }
     for (Tid tid : ordered_tids) {
       if (col.seen.count(tid) > 0) continue;
+      if (stopped()) {
+        mark_truncated(rel);
+        break;
+      }
       std::optional<size_t> budget = c.Budget(col.rows.size(), total);
       if (budget.has_value() && *budget == 0) {
         mark_truncated(rel);
         break;
       }
-      auto tuple = source.Get(tid);  // counted tuple fetch
+      auto tuple = source.Get(tid, ctx);  // counted tuple fetch
       if (!tuple.ok()) return tuple.status();
       col.seen.insert(tid);
       col.rows.push_back(Row{tid, **tuple});
@@ -263,7 +277,7 @@ Result<Database> ResultDatabaseGenerator::Generate(
   }
   std::unordered_set<const JoinEdge*> executed;
 
-  while (executed.size() < schema.join_edges().size()) {
+  while (!stopped() && executed.size() < schema.join_edges().size()) {
     const JoinEdge* next = nullptr;
     bool next_applicable = false;
     for (const JoinEdge* e : schema.join_edges()) {
@@ -335,6 +349,10 @@ Result<Database> ResultDatabaseGenerator::Generate(
         col.Tag(row.tid, &edge);
         return true;
       }
+      if (stopped()) {
+        mark_truncated(edge.to);
+        return false;
+      }
       std::optional<size_t> budget = c.Budget(col.rows.size(), total);
       if (budget.has_value() && *budget == 0) {
         mark_truncated(edge.to);
@@ -352,12 +370,13 @@ Result<Database> ResultDatabaseGenerator::Generate(
       // candidates, order by tuple weight (heaviest first), then fetch up
       // to the budget.
       const std::string& to_name = graph.relation_name(edge.to);
-      to_relation.CountStatement();
+      to_relation.CountStatement(ctx);
       SimulateStatementOverhead(options.statement_overhead_ns);
       std::vector<Tid> candidates;
       std::unordered_set<Tid> candidate_seen;
       for (const Value& key : *keys) {
-        auto tids = to_relation.LookupEquals(edge.to_attribute, key);
+        if (stopped()) break;
+        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
         if (!tids.ok()) return tids.status();
         for (Tid tid : *tids) {
           if (col.seen.count(tid) > 0) continue;
@@ -370,21 +389,21 @@ Result<Database> ResultDatabaseGenerator::Generate(
                                 options.tuple_weights->Weight(to_name, b);
                        });
       for (Tid tid : candidates) {
-        auto tuple = to_relation.Get(tid);
+        auto tuple = to_relation.Get(tid, ctx);
         if (!tuple.ok()) return tuple.status();
         if (!try_add(Row{tid, **tuple})) break;
       }
     } else if (strategy == SubsetStrategy::kNaiveQ) {
       // One IN-list query, kept up to the budget in retrieval order.
-      to_relation.CountStatement();
+      to_relation.CountStatement(ctx);
       SimulateStatementOverhead(options.statement_overhead_ns);
       bool budget_open = true;
       for (const Value& key : *keys) {
         if (!budget_open) break;
-        auto tids = to_relation.LookupEquals(edge.to_attribute, key);
+        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
         if (!tids.ok()) return tids.status();
         for (Tid tid : *tids) {
-          auto tuple = to_relation.Get(tid);
+          auto tuple = to_relation.Get(tid, ctx);
           if (!tuple.ok()) return tuple.status();
           if (!try_add(Row{tid, **tuple})) {
             budget_open = false;
@@ -396,7 +415,7 @@ Result<Database> ResultDatabaseGenerator::Generate(
       // RoundRobin: one scan per key; one joining tuple per open scan per
       // round, while the cardinality constraint holds.
       auto scans = PerValueScanSet::Open(to_relation, edge.to_attribute,
-                                         *keys, projection);
+                                         *keys, projection, ctx);
       if (!scans.ok()) return scans.status();
       SimulateStatementOverhead(options.statement_overhead_ns *
                                 static_cast<uint64_t>(keys->size()));
@@ -474,6 +493,7 @@ Result<Database> ResultDatabaseGenerator::Generate(
   }
 
   last_report_.total_tuples = result.TotalTuples();
+  if (ctx != nullptr) last_report_.stop_reason = ctx->stop_reason();
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/result.h"
 #include "storage/database.h"
 #include "precis/constraints.h"
@@ -107,6 +108,14 @@ struct DbGenReport {
   /// SQL text of each submitted statement, in execution order (only when
   /// DbGenOptions::trace_sql is set).
   std::vector<std::string> sql_trace;
+  /// Why generation stopped before completing, when an ExecutionContext cut
+  /// it short (deadline, access budget, or cancellation). kNone for a full
+  /// run. The emitted database is well-formed either way: every declared
+  /// constraint holds on the emitted data.
+  StopReason stop_reason = StopReason::kNone;
+
+  /// True if the run was cut short by its ExecutionContext.
+  bool partial() const { return stop_reason != StopReason::kNone; }
 };
 
 /// \brief Seed tuples: for each token relation, the tuple ids matching the
@@ -125,9 +134,15 @@ class ResultDatabaseGenerator {
   /// preserved where their attribute survives projection, and every source
   /// foreign key that is applicable and actually holds on the emitted data
   /// is declared.
+  ///
+  /// When `ctx` is given, every access is attributed to it and the run
+  /// stops early once the context reports ShouldStop(): the tuples fetched
+  /// so far are emitted as a well-formed (constraint-checked) partial
+  /// database and the cause is recorded in DbGenReport::stop_reason.
   Result<Database> Generate(const ResultSchema& schema, const SeedTids& seeds,
                             const CardinalityConstraint& c,
-                            const DbGenOptions& options = DbGenOptions());
+                            const DbGenOptions& options = DbGenOptions(),
+                            ExecutionContext* ctx = nullptr);
 
   const DbGenReport& last_report() const { return last_report_; }
 

@@ -31,7 +31,8 @@ std::vector<TokenMatch> PrecisEngine::MatchTokens(
 
 Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
     std::vector<TokenMatch> matches, const DegreeConstraint& degree,
-    const CardinalityConstraint& cardinality, const DbGenOptions& options) {
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx) const {
   // Input relations (deduplicated, in match order) and seed tuple ids.
   std::vector<RelationNodeId> token_relations;
   SeedTids seeds;
@@ -53,43 +54,54 @@ Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
   }
 
   // Step 2: result schema generation (optionally cached by token-relation
-  // set and degree constraint).
+  // set and degree constraint). A partial schema produced under an
+  // already-stopped context is NOT cached: it reflects the stop, not the
+  // constraint.
   std::optional<ResultSchema> schema;
-  if (schema_cache_enabled_) {
-    std::vector<RelationNodeId> sorted = token_relations;
-    std::sort(sorted.begin(), sorted.end());
-    std::string key;
-    for (RelationNodeId rel : sorted) {
-      key += std::to_string(rel) + ",";
-    }
-    key += "|" + degree.ToString();
-    {
-      std::lock_guard<std::mutex> lock(schema_cache_->mutex);
-      auto it = schema_cache_->entries.find(key);
-      if (it != schema_cache_->entries.end()) {
-        ++schema_cache_->hits;
-        schema = it->second;
+  {
+    ScopedSpan span(ctx, "schema_gen");
+    if (schema_cache_enabled_.load(std::memory_order_relaxed)) {
+      std::vector<RelationNodeId> sorted = token_relations;
+      std::sort(sorted.begin(), sorted.end());
+      std::string key;
+      for (RelationNodeId rel : sorted) {
+        key += std::to_string(rel) + ",";
       }
-    }
-    if (!schema.has_value()) {
+      key += "|" + degree.ToString();
+      {
+        std::lock_guard<std::mutex> lock(schema_cache_->mutex);
+        auto it = schema_cache_->entries.find(key);
+        if (it != schema_cache_->entries.end()) {
+          ++schema_cache_->hits;
+          schema = it->second;
+        }
+      }
+      if (!schema.has_value()) {
+        ResultSchemaGenerator schema_generator(graph_);
+        auto generated =
+            schema_generator.Generate(token_relations, degree, ctx);
+        if (!generated.ok()) return generated.status();
+        bool partial = ctx != nullptr && ctx->ShouldStop();
+        std::lock_guard<std::mutex> lock(schema_cache_->mutex);
+        ++schema_cache_->misses;
+        if (!partial) schema_cache_->entries.emplace(key, *generated);
+        schema = std::move(*generated);
+      }
+    } else {
       ResultSchemaGenerator schema_generator(graph_);
-      auto generated = schema_generator.Generate(token_relations, degree);
+      auto generated =
+          schema_generator.Generate(token_relations, degree, ctx);
       if (!generated.ok()) return generated.status();
-      std::lock_guard<std::mutex> lock(schema_cache_->mutex);
-      ++schema_cache_->misses;
-      schema_cache_->entries.emplace(key, *generated);
       schema = std::move(*generated);
     }
-  } else {
-    ResultSchemaGenerator schema_generator(graph_);
-    auto generated = schema_generator.Generate(token_relations, degree);
-    if (!generated.ok()) return generated.status();
-    schema = std::move(*generated);
   }
 
   // Step 3: result database generation.
   ResultDatabaseGenerator db_generator(db_);
-  auto database = db_generator.Generate(*schema, seeds, cardinality, options);
+  Result<Database> database = [&] {
+    ScopedSpan span(ctx, "db_gen");
+    return db_generator.Generate(*schema, seeds, cardinality, options, ctx);
+  }();
   if (!database.ok()) return database.status();
 
   return PrecisAnswer{std::move(matches), std::move(*schema),
@@ -98,20 +110,33 @@ Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
 
 Result<PrecisAnswer> PrecisEngine::Answer(
     const PrecisQuery& query, const DegreeConstraint& degree,
-    const CardinalityConstraint& cardinality, const DbGenOptions& options) {
-  return AnswerFromMatches(MatchTokens(query), degree, cardinality, options);
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx) const {
+  std::vector<TokenMatch> matches;
+  {
+    ScopedSpan span(ctx, "match_tokens");
+    matches = MatchTokens(query);
+  }
+  return AnswerFromMatches(std::move(matches), degree, cardinality, options,
+                           ctx);
 }
 
 Result<std::vector<PrecisAnswer>> PrecisEngine::AnswerPerOccurrence(
     const PrecisQuery& query, const DegreeConstraint& degree,
-    const CardinalityConstraint& cardinality, const DbGenOptions& options) {
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx) const {
+  std::vector<TokenMatch> matches;
+  {
+    ScopedSpan span(ctx, "match_tokens");
+    matches = MatchTokens(query);
+  }
   std::vector<PrecisAnswer> answers;
-  for (const TokenMatch& match : MatchTokens(query)) {
+  for (const TokenMatch& match : matches) {
     for (const TokenOccurrence& occ : match.occurrences) {
       std::vector<TokenMatch> single = {
           TokenMatch{match.token, match.resolved_token, {occ}}};
-      auto answer =
-          AnswerFromMatches(std::move(single), degree, cardinality, options);
+      auto answer = AnswerFromMatches(std::move(single), degree, cardinality,
+                                      options, ctx);
       if (!answer.ok()) return answer.status();
       answers.push_back(std::move(*answer));
     }

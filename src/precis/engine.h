@@ -9,11 +9,13 @@
 #ifndef PRECIS_PRECIS_ENGINE_H_
 #define PRECIS_PRECIS_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/result.h"
 #include "graph/schema_graph.h"
 #include "storage/database.h"
@@ -74,10 +76,17 @@ class PrecisEngine {
 
   /// Answers a précis query under the given constraints. A query whose
   /// tokens match nothing yields an empty (but well-formed) answer.
+  ///
+  /// When `ctx` is given, the whole pipeline runs under it: every access is
+  /// attributed to the context, per-stage trace spans ("match_tokens",
+  /// "schema_gen", "db_gen") are recorded, and a deadline / access-budget /
+  /// cancellation stop yields the partial, well-formed answer built so far
+  /// with the cause flagged in PrecisAnswer::report.stop_reason.
   Result<PrecisAnswer> Answer(const PrecisQuery& query,
                               const DegreeConstraint& degree,
                               const CardinalityConstraint& cardinality,
-                              const DbGenOptions& options = DbGenOptions());
+                              const DbGenOptions& options = DbGenOptions(),
+                              ExecutionContext* ctx = nullptr) const;
 
   /// Homonym handling (§5.1): "in the absence of any additional knowledge
   /// stored in the system, we may return multiple answers, one for each
@@ -87,7 +96,8 @@ class PrecisEngine {
   Result<std::vector<PrecisAnswer>> AnswerPerOccurrence(
       const PrecisQuery& query, const DegreeConstraint& degree,
       const CardinalityConstraint& cardinality,
-      const DbGenOptions& options = DbGenOptions());
+      const DbGenOptions& options = DbGenOptions(),
+      ExecutionContext* ctx = nullptr) const;
 
   /// Installs a synonym table applied to every query token before lookup
   /// (§5.1's "W. Allen" == "Woody Allen"). Pass nullptr to remove. The
@@ -106,7 +116,9 @@ class PrecisEngine {
   /// locked; access counters are atomic); set_* configuration calls must
   /// not race with queries.
   void set_schema_cache_enabled(bool enabled) {
-    schema_cache_enabled_ = enabled;
+    // Atomic: the header allows concurrent Answer calls, which read this
+    // flag; a plain bool here would be a data race under TSan.
+    schema_cache_enabled_.store(enabled, std::memory_order_relaxed);
     if (!enabled) ClearSchemaCache();
   }
   void ClearSchemaCache() {
@@ -124,6 +136,27 @@ class PrecisEngine {
 
   const InvertedIndex& index() const { return index_; }
 
+  // Movable (the atomic member needs explicit moves); not copyable.
+  PrecisEngine(PrecisEngine&& o) noexcept
+      : db_(o.db_),
+        graph_(o.graph_),
+        index_(std::move(o.index_)),
+        synonyms_(o.synonyms_),
+        schema_cache_enabled_(
+            o.schema_cache_enabled_.load(std::memory_order_relaxed)),
+        schema_cache_(std::move(o.schema_cache_)) {}
+  PrecisEngine& operator=(PrecisEngine&& o) noexcept {
+    db_ = o.db_;
+    graph_ = o.graph_;
+    index_ = std::move(o.index_);
+    synonyms_ = o.synonyms_;
+    schema_cache_enabled_.store(
+        o.schema_cache_enabled_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    schema_cache_ = std::move(o.schema_cache_);
+    return *this;
+  }
+
  private:
   PrecisEngine(const Database* db, const SchemaGraph* graph,
                InvertedIndex index)
@@ -132,18 +165,21 @@ class PrecisEngine {
   /// Lookup + canonicalization shared by Answer and AnswerPerOccurrence.
   std::vector<TokenMatch> MatchTokens(const PrecisQuery& query) const;
 
-  /// Builds one answer from an explicit set of matches.
+  /// Builds one answer from an explicit set of matches. Const because
+  /// answering does not logically mutate the engine: the only touched state
+  /// is the schema cache, reached through a pointer and internally locked.
   Result<PrecisAnswer> AnswerFromMatches(std::vector<TokenMatch> matches,
                                          const DegreeConstraint& degree,
                                          const CardinalityConstraint& c,
-                                         const DbGenOptions& options);
+                                         const DbGenOptions& options,
+                                         ExecutionContext* ctx) const;
 
   const Database* db_;
   const SchemaGraph* graph_;
   InvertedIndex index_;
   const SynonymTable* synonyms_ = nullptr;
 
-  bool schema_cache_enabled_ = false;
+  std::atomic<bool> schema_cache_enabled_{false};
   // Keyed by sorted token-relation ids + the degree constraint rendering.
   // Behind a unique_ptr so the engine stays movable despite the mutex.
   struct SchemaCache {

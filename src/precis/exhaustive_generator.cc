@@ -7,9 +7,10 @@ namespace precis {
 namespace {
 
 /// Depth-first enumeration of every acyclic projection path rooted at
-/// `source`.
+/// `source`. Stops early (partial enumeration) when `ctx` says so.
 void EnumerateFrom(const SchemaGraph& graph, RelationNodeId source,
-                   double length_decay, std::vector<Path>* out) {
+                   double length_decay, ExecutionContext* ctx,
+                   std::vector<Path>* out) {
   // Projection paths on the source itself.
   for (const ProjectionEdge* e : graph.ProjectionsOf(source)) {
     out->push_back(Path::Projection(source, e));
@@ -21,6 +22,7 @@ void EnumerateFrom(const SchemaGraph& graph, RelationNodeId source,
     stack.push_back(Path::Join(source, e));
   }
   while (!stack.empty()) {
+    if (ctx != nullptr && ctx->ShouldStop()) return;
     Path p = std::move(stack.back());
     stack.pop_back();
     RelationNodeId terminal = p.terminal_relation();
@@ -38,7 +40,7 @@ void EnumerateFrom(const SchemaGraph& graph, RelationNodeId source,
 
 Result<ResultSchema> ExhaustiveSchemaGenerator::Generate(
     const std::vector<RelationNodeId>& token_relations,
-    const DegreeConstraint& d) const {
+    const DegreeConstraint& d, ExecutionContext* ctx) const {
   last_paths_enumerated_ = 0;
   ResultSchema schema(graph_);
 
@@ -53,7 +55,7 @@ Result<ResultSchema> ExhaustiveSchemaGenerator::Generate(
                   rel) != schema.token_relations().end();
     if (already) continue;
     schema.AddTokenRelation(rel);
-    EnumerateFrom(*graph_, rel, length_decay_, &all_paths);
+    EnumerateFrom(*graph_, rel, length_decay_, ctx, &all_paths);
   }
   last_paths_enumerated_ = all_paths.size();
 

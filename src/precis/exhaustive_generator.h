@@ -20,6 +20,7 @@
 
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/result.h"
 #include "graph/schema_graph.h"
 #include "precis/constraints.h"
@@ -33,10 +34,13 @@ class ExhaustiveSchemaGenerator {
   explicit ExhaustiveSchemaGenerator(const SchemaGraph* graph)
       : graph_(graph) {}
 
-  /// Same contract as ResultSchemaGenerator::Generate.
+  /// Same contract as ResultSchemaGenerator::Generate, including the
+  /// early-stop behaviour under an ExecutionContext — though here a stop
+  /// during enumeration yields a prefix of *enumeration* order, not of the
+  /// weight ranking, so a stopped exhaustive run is only useful as a bound.
   Result<ResultSchema> Generate(
       const std::vector<RelationNodeId>& token_relations,
-      const DegreeConstraint& d) const;
+      const DegreeConstraint& d, ExecutionContext* ctx = nullptr) const;
 
   /// Per-hop length-decay lambda (matches
   /// ResultSchemaGenerator::set_length_decay).

@@ -58,7 +58,7 @@ std::vector<AttachedEdge> AttachedEdgesOf(const SchemaGraph& graph,
 
 Result<ResultSchema> ResultSchemaGenerator::Generate(
     const std::vector<RelationNodeId>& token_relations,
-    const DegreeConstraint& d) const {
+    const DegreeConstraint& d, ExecutionContext* ctx) const {
   last_stats_ = SchemaGeneratorStats{};
   ResultSchema schema(graph_);
 
@@ -88,6 +88,7 @@ Result<ResultSchema> ResultSchemaGenerator::Generate(
 
   // Step 2: best-first consumption.
   while (!qp.empty()) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;  // partial schema
     Path p = qp.top().path;
     qp.pop();
     ++last_stats_.paths_dequeued;
@@ -135,7 +136,7 @@ Status ResultSchemaGenerator::set_length_decay(double length_decay) {
 
 Result<ResultSchema> ResultSchemaGenerator::Generate(
     const std::vector<std::string>& token_relation_names,
-    const DegreeConstraint& d) const {
+    const DegreeConstraint& d, ExecutionContext* ctx) const {
   std::vector<RelationNodeId> ids;
   ids.reserve(token_relation_names.size());
   for (const std::string& name : token_relation_names) {
@@ -143,7 +144,7 @@ Result<ResultSchema> ResultSchemaGenerator::Generate(
     if (!id.ok()) return id.status();
     ids.push_back(*id);
   }
-  return Generate(ids, d);
+  return Generate(ids, d, ctx);
 }
 
 }  // namespace precis

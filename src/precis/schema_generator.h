@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/result.h"
 #include "graph/schema_graph.h"
 #include "precis/constraints.h"
@@ -34,14 +35,19 @@ class ResultSchemaGenerator {
   /// Computes the result schema G' for tokens found in `token_relations`
   /// under degree constraint `d`. Duplicate input relations are collapsed.
   /// The SchemaGraph must outlive the returned ResultSchema.
+  ///
+  /// When `ctx` is given and reports ShouldStop() (deadline, budget or
+  /// cancellation), the traversal halts and the schema accepted so far is
+  /// returned — a well-formed prefix of the full result (candidates are
+  /// consumed best-first, so the partial schema is the top of the ranking).
   Result<ResultSchema> Generate(
       const std::vector<RelationNodeId>& token_relations,
-      const DegreeConstraint& d) const;
+      const DegreeConstraint& d, ExecutionContext* ctx = nullptr) const;
 
   /// Name-based convenience overload.
   Result<ResultSchema> Generate(
       const std::vector<std::string>& token_relation_names,
-      const DegreeConstraint& d) const;
+      const DegreeConstraint& d, ExecutionContext* ctx = nullptr) const;
 
   const SchemaGeneratorStats& last_stats() const { return last_stats_; }
 

@@ -1,0 +1,206 @@
+#include "service/precis_service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "precis/constraints.h"
+
+namespace precis {
+
+Result<std::unique_ptr<PrecisService>> PrecisService::Create(
+    const PrecisEngine* engine, Options options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  if (options.response_time_target_seconds > 0 &&
+      options.cost_params.PerTupleCost() <= 0) {
+    return Status::InvalidArgument(
+        "a response-time target needs positive cost parameters "
+        "(Formula 3 divides by IndexTime + TupleTime)");
+  }
+  if (options.num_workers == 0) options.num_workers = 1;
+  return std::unique_ptr<PrecisService>(
+      new PrecisService(engine, std::move(options)));
+}
+
+PrecisService::PrecisService(const PrecisEngine* engine, Options options)
+    : engine_(engine), options_(std::move(options)) {
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+PrecisService::~PrecisService() { Shutdown(); }
+
+std::future<ServiceResponse> PrecisService::Submit(ServiceRequest request) {
+  Job job;
+  job.request = std::move(request);
+  std::future<ServiceResponse> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutting_down_) {
+      ServiceResponse rejected;
+      rejected.status =
+          Status::Internal("service is shut down; submission rejected");
+      job.promise.set_value(std::move(rejected));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<ServiceResponse>> PrecisService::SubmitBatch(
+    std::vector<ServiceRequest> requests) {
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(requests.size());
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (ServiceRequest& request : requests) {
+      Job job;
+      job.request = std::move(request);
+      futures.push_back(job.promise.get_future());
+      if (shutting_down_) {
+        ServiceResponse rejected;
+        rejected.status =
+            Status::Internal("service is shut down; submission rejected");
+        job.promise.set_value(std::move(rejected));
+      } else {
+        queue_.push_back(std::move(job));
+      }
+    }
+  }
+  queue_cv_.notify_all();
+  return futures;
+}
+
+ServiceResponse PrecisService::Execute(ServiceRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void PrecisService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void PrecisService::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain the queue even when shutting down: every accepted future
+      // must resolve with a real answer.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ServiceResponse response = RunOne(job.request);
+    RecordOutcome(response);
+    job.promise.set_value(std::move(response));
+  }
+}
+
+ServiceResponse PrecisService::RunOne(const ServiceRequest& request) {
+  ExecutionContext ctx;
+
+  double deadline = request.deadline_seconds > 0
+                        ? request.deadline_seconds
+                        : options_.default_deadline_seconds;
+  if (deadline > 0) ctx.SetDeadlineAfter(deadline);
+
+  if (request.access_budget > 0) {
+    ctx.SetAccessBudget(request.access_budget);
+  } else if (options_.response_time_target_seconds > 0) {
+    // Create() validated the cost parameters, so this cannot fail.
+    Status derived = ctx.SetBudgetFromResponseTime(
+        options_.cost_params, options_.response_time_target_seconds);
+    (void)derived;
+  } else if (options_.default_access_budget > 0) {
+    ctx.SetAccessBudget(options_.default_access_budget);
+  }
+
+  std::vector<std::unique_ptr<DegreeConstraint>> degree_parts;
+  degree_parts.push_back(MinPathWeight(request.min_path_weight));
+  if (request.max_projections > 0) {
+    degree_parts.push_back(MaxProjections(request.max_projections));
+  }
+  std::unique_ptr<DegreeConstraint> degree =
+      degree_parts.size() == 1 ? std::move(degree_parts.front())
+                               : AllOf(std::move(degree_parts));
+  std::unique_ptr<CardinalityConstraint> cardinality =
+      request.tuples_per_relation > 0
+          ? MaxTuplesPerRelation(request.tuples_per_relation)
+          : UnlimitedCardinality();
+
+  ServiceResponse response;
+  auto start = ExecutionContext::Clock::now();
+  auto answer = engine_->Answer(request.query, *degree, *cardinality,
+                                request.options, &ctx);
+  response.latency_seconds =
+      std::chrono::duration<double>(ExecutionContext::Clock::now() - start)
+          .count();
+  if (answer.ok()) {
+    response.answer = std::move(*answer);
+  } else {
+    response.status = answer.status();
+  }
+  response.stats = ctx.stats();
+  response.stop_reason = ctx.stop_reason();
+  response.spans = ctx.spans();
+  return response;
+}
+
+void PrecisService::RecordOutcome(const ServiceResponse& response) {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  ++metrics_.queries_served;
+  if (!response.status.ok()) ++metrics_.failures;
+  switch (response.stop_reason) {
+    case StopReason::kDeadlineExceeded:
+      ++metrics_.deadline_hits;
+      break;
+    case StopReason::kAccessBudgetExhausted:
+      ++metrics_.budget_truncations;
+      break;
+    case StopReason::kCancelled:
+      ++metrics_.cancellations;
+      break;
+    case StopReason::kNone:
+      break;
+  }
+  metrics_.total_latency_seconds += response.latency_seconds;
+  metrics_.total_stats += response.stats;
+  for (const TraceSpan& span : response.spans) {
+    metrics_.span_seconds[span.name] += span.seconds;
+  }
+  latencies_.push_back(response.latency_seconds);
+}
+
+PrecisService::Metrics PrecisService::metrics() const {
+  std::lock_guard<std::mutex> lock(metrics_mutex_);
+  Metrics snapshot = metrics_;
+  if (!latencies_.empty()) {
+    std::vector<double> sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    auto percentile = [&sorted](double p) {
+      size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+      return sorted[std::min(idx, sorted.size() - 1)];
+    };
+    snapshot.p50_latency_seconds = percentile(0.50);
+    snapshot.p99_latency_seconds = percentile(0.99);
+  }
+  return snapshot;
+}
+
+}  // namespace precis

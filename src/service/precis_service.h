@@ -1,0 +1,172 @@
+// PrecisService: a concurrent front end for PrecisEngine.
+//
+// The paper frames précis queries as an end-user database feature ("a précis
+// of Woody Allen" on a movie site), which implies many queries in flight at
+// once, each with a bounded response time (§6's cost model exists exactly to
+// bound per-query work). This service supplies that operational layer: a
+// fixed-size worker pool executes submitted queries, each under its own
+// ExecutionContext carrying the deadline / access budget derived from the
+// service defaults or per-request overrides, and the service aggregates
+// metrics (throughput, deadline hits, budget truncations, latency
+// percentiles, per-stage span totals) across all queries it served.
+
+#ifndef PRECIS_SERVICE_PRECIS_SERVICE_H_
+#define PRECIS_SERVICE_PRECIS_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "common/result.h"
+#include "precis/engine.h"
+
+namespace precis {
+
+/// \brief One précis query plus its execution knobs. The constraint fields
+/// mirror the paper's Tables 1 and 2 in scalar form so a request is a plain
+/// value (copyable, queueable) rather than a bag of constraint objects.
+struct ServiceRequest {
+  PrecisQuery query;
+
+  /// Degree constraint: keep projection paths of weight >= min_path_weight
+  /// (Table 1, row 2); additionally cap the number of projections when
+  /// max_projections > 0 (Table 1, row 1).
+  double min_path_weight = 0.0;
+  size_t max_projections = 0;  // 0 = no bound
+
+  /// Cardinality constraint: max tuples per result relation (Table 2,
+  /// row 2); 0 = unlimited.
+  size_t tuples_per_relation = 0;
+
+  DbGenOptions options;
+
+  /// Per-request overrides of the service defaults; 0 means "use default".
+  double deadline_seconds = 0.0;
+  uint64_t access_budget = 0;
+};
+
+/// \brief Outcome of one serviced query.
+struct ServiceResponse {
+  Status status;
+  /// Engaged iff status.ok(). (Optional rather than inline because a
+  /// PrecisAnswer has no default state: its schema is bound to a graph.)
+  std::optional<PrecisAnswer> answer;
+  /// The query's own access counters (its ExecutionContext's stats).
+  AccessStats stats;
+  /// Why the pipeline stopped early, kNone for a complete answer.
+  StopReason stop_reason = StopReason::kNone;
+  double latency_seconds = 0.0;
+  /// Per-stage trace spans ("match_tokens", "schema_gen", "db_gen").
+  std::vector<TraceSpan> spans;
+
+  bool partial() const { return stop_reason != StopReason::kNone; }
+};
+
+/// \brief Executes précis queries on a fixed-size worker pool.
+class PrecisService {
+ public:
+  struct Options {
+    /// Worker threads; clamped to >= 1.
+    size_t num_workers = 4;
+    /// Default wall-clock deadline per query; 0 = none.
+    double default_deadline_seconds = 0.0;
+    /// Default access budget per query; 0 = unbounded. Ignored when
+    /// response_time_target_seconds is set.
+    uint64_t default_access_budget = 0;
+    /// When > 0, the default access budget is derived from this target via
+    /// the paper's Formula 3 using cost_params (which must then have a
+    /// positive per-tuple cost).
+    double response_time_target_seconds = 0.0;
+    CostParameters cost_params;
+  };
+
+  /// Aggregate counters across every query the service has finished.
+  struct Metrics {
+    uint64_t queries_served = 0;  // completed, OK or not
+    uint64_t failures = 0;        // non-OK status
+    uint64_t deadline_hits = 0;
+    uint64_t budget_truncations = 0;
+    uint64_t cancellations = 0;
+    double p50_latency_seconds = 0.0;
+    double p99_latency_seconds = 0.0;
+    double total_latency_seconds = 0.0;
+    /// Sum of every query's per-context AccessStats.
+    AccessStats total_stats;
+    /// Total seconds spent per pipeline stage, keyed by span name.
+    std::map<std::string, double> span_seconds;
+  };
+
+  /// `engine` must outlive the service. Workers start immediately.
+  static Result<std::unique_ptr<PrecisService>> Create(
+      const PrecisEngine* engine, Options options);
+  static Result<std::unique_ptr<PrecisService>> Create(
+      const PrecisEngine* engine) {
+    return Create(engine, Options());
+  }
+
+  /// Stops accepting work and joins the workers (equivalent to Shutdown()).
+  ~PrecisService();
+
+  PrecisService(const PrecisService&) = delete;
+  PrecisService& operator=(const PrecisService&) = delete;
+
+  /// Enqueues one query; the future resolves when a worker finishes it.
+  /// After Shutdown() the future resolves immediately with a failed status.
+  std::future<ServiceResponse> Submit(ServiceRequest request);
+
+  /// Enqueues a batch atomically (all requests are queued before any worker
+  /// sees them), one future per request in order.
+  std::vector<std::future<ServiceResponse>> SubmitBatch(
+      std::vector<ServiceRequest> requests);
+
+  /// Convenience: Submit and wait.
+  ServiceResponse Execute(ServiceRequest request);
+
+  /// Drains queued work, then joins the workers. Idempotent; called by the
+  /// destructor.
+  void Shutdown();
+
+  /// Snapshot of the aggregate metrics (percentiles computed on demand).
+  Metrics metrics() const;
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  struct Job {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+  };
+
+  PrecisService(const PrecisEngine* engine, Options options);
+
+  void WorkerLoop();
+  ServiceResponse RunOne(const ServiceRequest& request);
+  void RecordOutcome(const ServiceResponse& response);
+
+  const PrecisEngine* engine_;
+  Options options_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool shutting_down_ = false;
+
+  mutable std::mutex metrics_mutex_;
+  Metrics metrics_;
+  std::vector<double> latencies_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_SERVICE_PRECIS_SERVICE_H_

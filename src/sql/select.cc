@@ -26,14 +26,16 @@ Result<std::vector<size_t>> ResolveProjection(
 Result<std::vector<Row>> FetchByTids(const Relation& relation,
                                      const std::vector<Tid>& tids,
                                      const std::vector<size_t>& projection,
-                                     std::optional<size_t> limit) {
-  relation.CountStatement();
+                                     std::optional<size_t> limit,
+                                     ExecutionContext* ctx) {
+  relation.CountStatement(ctx);
   std::vector<Row> rows;
   size_t max_rows = limit.value_or(tids.size());
   rows.reserve(std::min(max_rows, tids.size()));
   for (Tid tid : tids) {
     if (rows.size() >= max_rows) break;
-    auto tuple = relation.Get(tid);
+    if (ctx != nullptr && ctx->ShouldStop()) break;
+    auto tuple = relation.Get(tid, ctx);
     if (!tuple.ok()) return tuple.status();
     rows.push_back(Row{tid, ProjectTuple(**tuple, projection)});
   }
@@ -43,17 +45,19 @@ Result<std::vector<Row>> FetchByTids(const Relation& relation,
 Result<std::vector<Row>> FetchByJoinValues(
     const Relation& relation, const std::string& attribute,
     const std::vector<Value>& keys, const std::vector<size_t>& projection,
-    std::optional<size_t> limit) {
-  relation.CountStatement();
+    std::optional<size_t> limit, ExecutionContext* ctx) {
+  relation.CountStatement(ctx);
   std::vector<Row> rows;
   size_t max_rows = limit.value_or(SIZE_MAX);
   for (const Value& key : keys) {
     if (rows.size() >= max_rows) break;
-    auto tids = relation.LookupEquals(attribute, key);
+    if (ctx != nullptr && ctx->ShouldStop()) break;
+    auto tids = relation.LookupEquals(attribute, key, ctx);
     if (!tids.ok()) return tids.status();
     for (Tid tid : *tids) {
       if (rows.size() >= max_rows) break;
-      auto tuple = relation.Get(tid);
+      if (ctx != nullptr && ctx->ShouldStop()) break;
+      auto tuple = relation.Get(tid, ctx);
       if (!tuple.ok()) return tuple.status();
       rows.push_back(Row{tid, ProjectTuple(**tuple, projection)});
     }
@@ -64,17 +68,25 @@ Result<std::vector<Row>> FetchByJoinValues(
 Result<PerValueScanSet> PerValueScanSet::Open(const Relation& relation,
                                               const std::string& attribute,
                                               std::vector<Value> keys,
-                                              std::vector<size_t> projection) {
+                                              std::vector<size_t> projection,
+                                              ExecutionContext* ctx) {
   PerValueScanSet set;
   set.relation_ = &relation;
+  set.ctx_ = ctx;
   set.attribute_ = attribute;
   set.keys_ = std::move(keys);
   set.projection_ = std::move(projection);
   set.scans_.reserve(set.keys_.size());
   for (const Value& key : set.keys_) {
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      // Budget/deadline hit mid-open: the remaining scans open drained so
+      // the set stays structurally complete (key(i) etc. remain valid).
+      set.scans_.emplace_back();
+      continue;
+    }
     // Each per-value scan is its own parameterized statement (cursor).
-    relation.CountStatement();
-    auto tids = relation.LookupEquals(attribute, key);
+    relation.CountStatement(ctx);
+    auto tids = relation.LookupEquals(attribute, key, ctx);
     if (!tids.ok()) return tids.status();
     set.scans_.push_back(std::move(*tids));
   }
@@ -92,7 +104,7 @@ bool PerValueScanSet::AllClosed() const {
 std::optional<Row> PerValueScanSet::Next(size_t i) {
   if (!IsOpen(i)) return std::nullopt;
   Tid tid = scans_[i][positions_[i]++];
-  auto tuple = relation_->Get(tid);
+  auto tuple = relation_->Get(tid, ctx_);
   if (!tuple.ok()) return std::nullopt;  // cannot happen for valid scans
   return Row{tid, ProjectTuple(**tuple, projection_)};
 }

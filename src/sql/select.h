@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/relation.h"
@@ -45,20 +46,26 @@ Result<std::vector<size_t>> ResolveProjection(
 /// Mirrors Oracle's "WHERE rowid IN (...) AND RowNum <= k" that the paper's
 /// NaiveQ uses for seed tuples: the subset kept under a limit is an
 /// arbitrary prefix, not a semantic top-k.
+///
+/// When `ctx` is given, accesses are attributed to it and the fetch stops
+/// early (returning the rows collected so far) once the context reports
+/// ShouldStop() — deadline passed, budget exhausted, or cancelled.
 Result<std::vector<Row>> FetchByTids(const Relation& relation,
                                      const std::vector<Tid>& tids,
                                      const std::vector<size_t>& projection,
-                                     std::optional<size_t> limit);
+                                     std::optional<size_t> limit,
+                                     ExecutionContext* ctx = nullptr);
 
 /// \brief Query shape (2): fetch tuples of `relation` whose `attribute`
 /// value appears in `keys` (an IN-list of join values), projected, limited.
 ///
 /// Costs one index probe per key plus one tuple fetch per returned row —
-/// exactly the terms of the paper's cost model (Formula 1).
+/// exactly the terms of the paper's cost model (Formula 1). Honors `ctx`
+/// like FetchByTids: partial rows on early stop.
 Result<std::vector<Row>> FetchByJoinValues(
     const Relation& relation, const std::string& attribute,
     const std::vector<Value>& keys, const std::vector<size_t>& projection,
-    std::optional<size_t> limit);
+    std::optional<size_t> limit, ExecutionContext* ctx = nullptr);
 
 /// \brief RoundRobin support: one open scan of joining tuples per probe
 /// value (paper §5.2).
@@ -70,11 +77,16 @@ Result<std::vector<Row>> FetchByJoinValues(
 /// tuples.
 class PerValueScanSet {
  public:
-  /// Opens one scan per key (one index probe each).
+  /// Opens one scan per key (one index probe each). When `ctx` is given the
+  /// probes are attributed to it; once the context reports ShouldStop() the
+  /// remaining scans open empty (drained), so a budget/deadline hit during
+  /// Open degrades to a partial scan set instead of failing. The context is
+  /// retained for Next()'s fetch accounting and must outlive the set.
   static Result<PerValueScanSet> Open(const Relation& relation,
                                       const std::string& attribute,
                                       std::vector<Value> keys,
-                                      std::vector<size_t> projection);
+                                      std::vector<size_t> projection,
+                                      ExecutionContext* ctx = nullptr);
 
   size_t num_scans() const { return scans_.size(); }
 
@@ -98,6 +110,7 @@ class PerValueScanSet {
   PerValueScanSet() = default;
 
   const Relation* relation_ = nullptr;
+  ExecutionContext* ctx_ = nullptr;
   std::vector<Value> keys_;
   std::vector<size_t> projection_;
   std::vector<std::vector<Tid>> scans_;  // matching tids per key

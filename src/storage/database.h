@@ -64,6 +64,12 @@ class Database {
   Status ValidateForeignKeys() const;
 
   /// Cumulative access counters across all relations of this database.
+  ///
+  /// These are the *global*, cross-query totals. A query that carries a
+  /// per-query ExecutionContext is additionally attributed on its context's
+  /// own AccessStats; the per-query snapshots of all queries sum to the
+  /// deltas observed here (each access is counted once globally and once on
+  /// the owning context).
   const AccessStats& stats() const { return *stats_; }
   AccessStats* mutable_stats() { return stats_.get(); }
   void ResetStats() { stats_->Reset(); }

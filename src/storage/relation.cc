@@ -59,14 +59,14 @@ Result<Tid> Relation::Insert(Tuple tuple) {
   return tid;
 }
 
-Result<const Tuple*> Relation::Get(Tid tid) const {
+Result<const Tuple*> Relation::Get(Tid tid, ExecutionContext* ctx) const {
   if (tid >= heap_.size()) {
     return Status::OutOfRange("tid " + std::to_string(tid) +
                               " out of range for relation '" + name() +
                               "' with " + std::to_string(heap_.size()) +
                               " tuples");
   }
-  CountTupleFetch();
+  CountTupleFetch(ctx);
   return &heap_[tid];
 }
 
@@ -96,15 +96,16 @@ bool Relation::HasIndex(const std::string& attribute_name) const {
 }
 
 Result<std::vector<Tid>> Relation::LookupEquals(
-    const std::string& attribute_name, const Value& key) const {
+    const std::string& attribute_name, const Value& key,
+    ExecutionContext* ctx) const {
   auto idx = schema_.AttributeIndex(attribute_name);
   if (!idx.ok()) return idx.status();
   auto index_it = indexes_.find(*idx);
   if (index_it != indexes_.end()) {
-    CountIndexProbe();
+    CountIndexProbe(ctx);
     return index_it->second.Lookup(key);
   }
-  CountSequentialScan();
+  CountSequentialScan(ctx);
   std::vector<Tid> out;
   for (Tid tid = 0; tid < heap_.size(); ++tid) {
     if (heap_[tid][*idx] == key) out.push_back(tid);

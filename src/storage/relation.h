@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/access_stats.h"
@@ -44,7 +45,12 @@ class HashIndex {
 /// \brief A populated relation: schema + heap + indexes.
 ///
 /// All reads that the précis generators perform are instrumented through the
-/// AccessStats of the owning Database (see access_stats.h).
+/// AccessStats of the owning Database (see access_stats.h). Instrumented
+/// entry points additionally take an optional per-query ExecutionContext:
+/// when one is passed, the same counts are attributed to it (and charged
+/// against its access budget), so concurrent queries sharing one Database
+/// can each be accounted individually while the global counters keep the
+/// cross-query totals.
 class Relation {
  public:
   explicit Relation(RelationSchema schema, AccessStats* stats = nullptr)
@@ -59,8 +65,9 @@ class Relation {
   /// Returns the new tuple's tid.
   Result<Tid> Insert(Tuple tuple);
 
-  /// Fetches a tuple by rowid (counted as one tuple fetch).
-  Result<const Tuple*> Get(Tid tid) const;
+  /// Fetches a tuple by rowid (counted as one tuple fetch, attributed to
+  /// `ctx` when given).
+  Result<const Tuple*> Get(Tid tid, ExecutionContext* ctx = nullptr) const;
 
   /// Unchecked positional access for iteration in tests/tools; does not
   /// count as an instrumented fetch.
@@ -76,9 +83,11 @@ class Relation {
   std::vector<std::string> IndexedAttributes() const;
 
   /// Tids whose `attribute_name` equals `key`. Uses the index when present
-  /// (one index probe); otherwise falls back to a sequential scan (counted).
+  /// (one index probe); otherwise falls back to a sequential scan (counted,
+  /// attributed to `ctx` when given).
   Result<std::vector<Tid>> LookupEquals(const std::string& attribute_name,
-                                        const Value& key) const;
+                                        const Value& key,
+                                        ExecutionContext* ctx = nullptr) const;
 
   /// All tids, in heap order.
   std::vector<Tid> AllTids() const;
@@ -90,29 +99,33 @@ class Relation {
   /// Records one submitted statement against this relation (see
   /// AccessStats::statements). Called by the query layer, not by storage
   /// primitives.
-  void CountStatement() const {
+  void CountStatement(ExecutionContext* ctx = nullptr) const {
     if (stats_ != nullptr) {
       stats_->statements.fetch_add(1, std::memory_order_relaxed);
     }
+    if (ctx != nullptr) ctx->ChargeStatement();
   }
 
   void set_stats(AccessStats* stats) { stats_ = stats; }
 
  private:
-  void CountIndexProbe() const {
+  void CountIndexProbe(ExecutionContext* ctx) const {
     if (stats_ != nullptr) {
       stats_->index_probes.fetch_add(1, std::memory_order_relaxed);
     }
+    if (ctx != nullptr) ctx->ChargeIndexProbe();
   }
-  void CountTupleFetch() const {
+  void CountTupleFetch(ExecutionContext* ctx) const {
     if (stats_ != nullptr) {
       stats_->tuple_fetches.fetch_add(1, std::memory_order_relaxed);
     }
+    if (ctx != nullptr) ctx->ChargeTupleFetch();
   }
-  void CountSequentialScan() const {
+  void CountSequentialScan(ExecutionContext* ctx) const {
     if (stats_ != nullptr) {
       stats_->sequential_scans.fetch_add(1, std::memory_order_relaxed);
     }
+    if (ctx != nullptr) ctx->ChargeSequentialScan();
   }
 
   RelationSchema schema_;

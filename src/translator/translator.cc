@@ -261,7 +261,7 @@ class OccurrenceRenderer {
 
 Result<std::vector<std::string>> Translator::RenderOccurrence(
     const PrecisAnswer& answer, const std::string& token,
-    const TokenOccurrence& occurrence) const {
+    const TokenOccurrence& occurrence, ExecutionContext* ctx) const {
   std::vector<std::string> paragraphs;
   if (!answer.database.HasRelation(occurrence.relation)) return paragraphs;
 
@@ -276,6 +276,7 @@ Result<std::vector<std::string>> Translator::RenderOccurrence(
   std::vector<std::string> words = TokenizeWords(token);
   const RelationSchema& schema = (*rel)->schema();
   for (Tid tid = 0; tid < (*rel)->num_tuples(); ++tid) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;  // partial rendering
     const Tuple& tuple = (*rel)->tuple(tid);
     bool contains = false;
     for (size_t i = 0; i < schema.num_attributes() && !contains; ++i) {
@@ -297,11 +298,14 @@ Result<std::vector<std::string>> Translator::RenderOccurrence(
   return paragraphs;
 }
 
-Result<std::string> Translator::Render(const PrecisAnswer& answer) const {
+Result<std::string> Translator::Render(const PrecisAnswer& answer,
+                                       ExecutionContext* ctx) const {
+  ScopedSpan span(ctx, "translate");
   std::string out;
   for (const TokenMatch& match : answer.matches) {
     for (const TokenOccurrence& occurrence : match.occurrences) {
-      auto paragraphs = RenderOccurrence(answer, match.token, occurrence);
+      if (ctx != nullptr && ctx->ShouldStop()) return out;
+      auto paragraphs = RenderOccurrence(answer, match.token, occurrence, ctx);
       if (!paragraphs.ok()) return paragraphs.status();
       for (const std::string& p : *paragraphs) {
         if (!out.empty()) out += "\n\n";

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/result.h"
 #include "precis/engine.h"
 #include "translator/catalog.h"
@@ -31,13 +32,21 @@ class Translator {
   /// paper's homonym handling — "the answer of the précis query comprises
   /// one part for each token occurrence"), paragraphs separated by blank
   /// lines. An empty answer renders to an empty string.
-  Result<std::string> Render(const PrecisAnswer& answer) const;
+  ///
+  /// When `ctx` is given, the render is recorded as a "translate" trace
+  /// span and stops between occurrences once the context says to; the
+  /// paragraphs produced so far are returned (rendering works off the
+  /// already-materialized answer, so it charges no storage accesses).
+  Result<std::string> Render(const PrecisAnswer& answer,
+                             ExecutionContext* ctx = nullptr) const;
 
   /// Renders the paragraphs for one token occurrence: one paragraph per
   /// subject tuple of the occurrence's relation that contains the token.
+  /// Stops between subject tuples once `ctx` says to.
   Result<std::vector<std::string>> RenderOccurrence(
       const PrecisAnswer& answer, const std::string& token,
-      const TokenOccurrence& occurrence) const;
+      const TokenOccurrence& occurrence,
+      ExecutionContext* ctx = nullptr) const;
 
  private:
   const TemplateCatalog* catalog_;

@@ -114,6 +114,82 @@ TEST_F(ConcurrencyTest, SchemaCacheUnderContention) {
             static_cast<size_t>(kThreads * kQueriesPerThread - kThreads));
 }
 
+TEST_F(ConcurrencyTest, PerContextStatsSumToGlobalCounters) {
+  auto d = MinPathWeight(0.8);
+  auto c = MaxTuplesPerRelation(4);
+  const std::vector<std::string> tokens = {"Woody Allen", "Match Point",
+                                           "Comedy", "Drama",
+                                           "Scarlett Johansson"};
+  constexpr int kThreads = 6;
+  constexpr int kQueriesPerThread = 12;
+
+  dataset_->db().ResetStats();
+  std::vector<AccessStats> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        ExecutionContext ctx;
+        const std::string& token = tokens[(t + q) % tokens.size()];
+        auto answer =
+            engine_->Answer(PrecisQuery{{token}}, *d, *c, DbGenOptions(),
+                            &ctx);
+        if (!answer.ok()) std::abort();
+        per_thread[t] += ctx.stats();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every access was double-booked: once into the query's own context and
+  // once into the database's global counters. With no other activity the
+  // two views must agree exactly.
+  AccessStats sum;
+  for (const AccessStats& s : per_thread) sum += s;
+  const AccessStats& global = dataset_->db().stats();
+  EXPECT_EQ(sum.index_probes.load(std::memory_order_relaxed),
+            global.index_probes.load(std::memory_order_relaxed));
+  EXPECT_EQ(sum.tuple_fetches.load(std::memory_order_relaxed),
+            global.tuple_fetches.load(std::memory_order_relaxed));
+  EXPECT_EQ(sum.sequential_scans.load(std::memory_order_relaxed),
+            global.sequential_scans.load(std::memory_order_relaxed));
+  EXPECT_EQ(sum.statements.load(std::memory_order_relaxed),
+            global.statements.load(std::memory_order_relaxed));
+  EXPECT_GT(sum.tuple_fetches.load(std::memory_order_relaxed), 0u);
+}
+
+TEST_F(ConcurrencyTest, DeadlineStoppedQueriesStayWellFormedUnderLoad) {
+  auto d = MinPathWeight(0.8);
+  auto c = MaxTuplesPerRelation(4);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < 10; ++q) {
+        ExecutionContext ctx;
+        // Alternate between already-expired and generous deadlines so
+        // partial and complete answers interleave on the same engine.
+        ctx.SetDeadlineAfter(q % 2 == 0 ? 1e-9 : 60.0);
+        auto answer = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c,
+                                      DbGenOptions(), &ctx);
+        if (!answer.ok() || !answer->database.ValidateForeignKeys().ok()) {
+          ++failures[t];
+          continue;
+        }
+        // An expired deadline must be flagged; report and context agree.
+        if (q % 2 == 0 &&
+            (answer->report.stop_reason != StopReason::kDeadlineExceeded ||
+             ctx.stop_reason() != StopReason::kDeadlineExceeded)) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+}
+
 TEST_F(ConcurrencyTest, MixedQueriesInParallel) {
   auto d = MinPathWeight(0.8);
   auto c = MaxTuplesPerRelation(4);

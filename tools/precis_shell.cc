@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/execution_context.h"
 #include "common/string_util.h"
 #include "datagen/bibliography_dataset.h"
 #include "datagen/movies_dataset.h"
@@ -58,6 +59,12 @@ constexpr const char* kHelp = R"(commands:
   set join FROM TO W       override a join-edge weight
   set proj REL ATTR W      override a projection-edge weight
   set trace on|off         record the SQL statements of each query
+  deadline MS              per-query wall-clock deadline in ms (0 = off);
+                           an expired query returns its partial answer
+  budget N                 per-query access budget: max index probes + tuple
+                           fetches + scans (0 = unbounded)
+  stats                    access counters of the last query + global totals
+  trace                    per-stage trace spans of the last query
   show schema              print the source database schema
   show graph               print the schema graph with weights
   show settings            print the current query settings
@@ -80,8 +87,12 @@ struct ShellState {
   size_t tuples_per_relation = 5;
   SubsetStrategy strategy = SubsetStrategy::kAuto;
   bool trace_sql = false;
+  double deadline_ms = 0.0;     // 0 = no deadline
+  uint64_t access_budget = 0;   // 0 = unbounded
 
   std::optional<PrecisAnswer> last_answer;
+  /// The context the last query ran under (for 'stats' and 'trace').
+  std::unique_ptr<ExecutionContext> last_context;
 
   Status RebuildEngine() {
     last_answer.reset();
@@ -238,10 +249,20 @@ Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
   options.strategy = state->strategy;
   options.trace_sql = state->trace_sql;
 
-  auto answer =
-      state->engine->Answer(PrecisQuery{tokens}, *degree, *cardinality,
-                            options);
+  auto ctx = std::make_unique<ExecutionContext>();
+  if (state->deadline_ms > 0) {
+    ctx->SetDeadlineAfter(state->deadline_ms / 1e3);
+  }
+  if (state->access_budget > 0) ctx->SetAccessBudget(state->access_budget);
+
+  auto answer = state->engine->Answer(PrecisQuery{tokens}, *degree,
+                                      *cardinality, options, ctx.get());
+  state->last_context = std::move(ctx);
   if (!answer.ok()) return answer.status();
+  if (answer->report.partial()) {
+    std::printf("partial answer (%s)\n",
+                StopReasonToString(answer->report.stop_reason));
+  }
   if (answer->empty()) {
     std::printf("no occurrences.\n");
     state->last_answer.reset();
@@ -257,6 +278,85 @@ Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
     }
   }
   state->last_answer = std::move(*answer);
+  return Status::OK();
+}
+
+Status CmdDeadline(ShellState* state, const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: deadline MS");
+  double ms = std::atof(args[0].c_str());
+  if (ms < 0) return Status::InvalidArgument("deadline must be >= 0");
+  state->deadline_ms = ms;
+  if (ms > 0) {
+    std::printf("deadline: %g ms per query\n", ms);
+  } else {
+    std::printf("deadline: off\n");
+  }
+  return Status::OK();
+}
+
+Status CmdBudget(ShellState* state, const std::vector<std::string>& args) {
+  if (args.size() != 1) return Status::InvalidArgument("usage: budget N");
+  long n = std::atol(args[0].c_str());
+  if (n < 0) return Status::InvalidArgument("budget must be >= 0");
+  state->access_budget = static_cast<uint64_t>(n);
+  if (n > 0) {
+    std::printf("budget: %ld accesses per query\n", n);
+  } else {
+    std::printf("budget: unbounded\n");
+  }
+  return Status::OK();
+}
+
+Status CmdStats(ShellState* state) {
+  if (state->db == nullptr) return Status::InvalidArgument("no dataset loaded");
+  if (state->last_context != nullptr) {
+    const AccessStats& s = state->last_context->stats();
+    std::printf("last query: probes=%llu fetches=%llu scans=%llu "
+                "statements=%llu stop=%s\n",
+                static_cast<unsigned long long>(
+                    s.index_probes.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    s.tuple_fetches.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    s.sequential_scans.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    s.statements.load(std::memory_order_relaxed)),
+                StopReasonToString(state->last_context->stop_reason()));
+  } else {
+    std::printf("last query: none yet\n");
+  }
+  const AccessStats& g = state->db->stats();
+  std::printf("global:     probes=%llu fetches=%llu scans=%llu "
+              "statements=%llu\n",
+              static_cast<unsigned long long>(
+                  g.index_probes.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  g.tuple_fetches.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  g.sequential_scans.load(std::memory_order_relaxed)),
+              static_cast<unsigned long long>(
+                  g.statements.load(std::memory_order_relaxed)));
+  return Status::OK();
+}
+
+Status CmdTrace(ShellState* state) {
+  if (state->last_context == nullptr) {
+    return Status::InvalidArgument("no query traced yet; run 'query' first");
+  }
+  std::vector<TraceSpan> spans = state->last_context->spans();
+  if (spans.empty()) {
+    std::printf("no spans recorded\n");
+    return Status::OK();
+  }
+  for (const TraceSpan& span : spans) {
+    std::printf("%-14s %9.3f ms  probes=%llu fetches=%llu scans=%llu "
+                "statements=%llu\n",
+                span.name.c_str(), span.seconds * 1e3,
+                static_cast<unsigned long long>(span.index_probes),
+                static_cast<unsigned long long>(span.tuple_fetches),
+                static_cast<unsigned long long>(span.sequential_scans),
+                static_cast<unsigned long long>(span.statements));
+  }
   return Status::OK();
 }
 
@@ -342,6 +442,14 @@ int RunShell(std::istream& in, bool interactive) {
       status = CmdSet(&state, args);
     } else if (cmd == "query") {
       status = CmdQuery(&state, args);
+    } else if (cmd == "deadline") {
+      status = CmdDeadline(&state, args);
+    } else if (cmd == "budget") {
+      status = CmdBudget(&state, args);
+    } else if (cmd == "stats") {
+      status = CmdStats(&state);
+    } else if (cmd == "trace" && args.empty()) {
+      status = CmdTrace(&state);
     } else if (cmd == "show") {
       if (state.db == nullptr) {
         status = Status::InvalidArgument("no dataset loaded");
@@ -349,11 +457,12 @@ int RunShell(std::istream& in, bool interactive) {
         std::printf("%s", state.graph->ToString().c_str());
       } else if (!args.empty() && args[0] == "settings") {
         std::printf("min-weight=%.2f max-attrs=%ld tuples=%zu strategy=%s "
-                    "trace=%s\n",
+                    "trace=%s deadline-ms=%.1f budget=%llu\n",
                     state.min_weight, state.max_attrs,
                     state.tuples_per_relation,
                     SubsetStrategyToString(state.strategy),
-                    state.trace_sql ? "on" : "off");
+                    state.trace_sql ? "on" : "off", state.deadline_ms,
+                    static_cast<unsigned long long>(state.access_budget));
       } else {
         std::printf("%s", state.db->DescribeSchema().c_str());
       }
