@@ -1,14 +1,19 @@
 #!/bin/sh
-# CI entry point: builds and tests the tree in two configurations.
+# CI entry point: builds and tests the tree in three steps.
 #
 #   1. Release          — the full suite (tier-1 gate).
-#   2. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
-#                         PrecisService, engine concurrency) rebuilt and run
-#                         under TSan, so data races on the shared query path
-#                         fail the build rather than ship.
+#   2. Cache smoke      — bench/cache_effectiveness on a tiny dataset; fails
+#                         on a zero answer-cache hit rate or any stale
+#                         answer served after an insert (epoch invalidation
+#                         gate).
+#   3. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
+#                         PrecisService, engine concurrency, the sharded LRU
+#                         and the answer cache) rebuilt and run under TSan,
+#                         so data races on the shared query path fail the
+#                         build rather than ship.
 #
-# PRECIS_SANITIZE=address ./ci.sh swaps the second configuration to ASan.
-# Both configurations use separate build trees and leave ./build alone.
+# PRECIS_SANITIZE=address ./ci.sh swaps the third configuration to ASan.
+# All configurations use separate build trees and leave ./build alone.
 
 set -eu
 
@@ -16,17 +21,23 @@ SANITIZER="${PRECIS_SANITIZE:-thread}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 ROOT="$(cd "$(dirname "$0")" && pwd)"
 
-echo "=== [1/2] Release build + full test suite ==="
+echo "=== [1/3] Release build + full test suite ==="
 cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build-release" -j "$JOBS"
 ctest --test-dir "$ROOT/build-release" --output-on-failure -j "$JOBS"
 
-echo "=== [2/2] ${SANITIZER} sanitizer build + concurrency suite ==="
+echo "=== [2/3] Cache effectiveness smoke (hit rate > 0, zero stale) ==="
+PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
+  PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_cache.json" \
+  "$ROOT/build-release/bench/cache_effectiveness"
+
+echo "=== [3/3] ${SANITIZER} sanitizer build + concurrency suite ==="
 cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="$SANITIZER"
 cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
-  --target concurrency_test service_test execution_context_test
+  --target concurrency_test service_test execution_context_test \
+           lru_cache_test answer_cache_test
 ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|Service|ExecutionContext'
+  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache'
 
-echo "=== CI passed (Release + $SANITIZER) ==="
+echo "=== CI passed (Release + cache smoke + $SANITIZER) ==="

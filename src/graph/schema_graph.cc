@@ -64,6 +64,7 @@ Status SchemaGraph::AddProjectionEdge(const std::string& relation,
   projection_edges_.push_back(ProjectionEdge{
       *rel, static_cast<uint32_t>(*attr), weight});
   projections_by_relation_[*rel].push_back(&projection_edges_.back());
+  BumpWeightEpoch();
   return Status::OK();
 }
 
@@ -108,6 +109,7 @@ Status SchemaGraph::AddJoinEdge(const std::string& from_relation,
       JoinEdge{*from, *to, from_attribute, to_attribute, weight});
   joins_from_[*from].push_back(&join_edges_.back());
   joins_to_[*to].push_back(&join_edges_.back());
+  BumpWeightEpoch();
   return Status::OK();
 }
 
@@ -137,6 +139,7 @@ Status SchemaGraph::SetProjectionWeight(const std::string& relation,
   for (ProjectionEdge& e : projection_edges_) {
     if (e.relation == *rel && e.attribute == *attr) {
       e.weight = weight;
+      BumpWeightEpoch();
       return Status::OK();
     }
   }
@@ -154,6 +157,7 @@ Status SchemaGraph::SetJoinWeight(const std::string& from_relation,
   for (JoinEdge& e : join_edges_) {
     if (e.from == *from && e.to == *to) {
       e.weight = weight;
+      BumpWeightEpoch();
       return Status::OK();
     }
   }

@@ -14,9 +14,11 @@
 #ifndef PRECIS_GRAPH_SCHEMA_GRAPH_H_
 #define PRECIS_GRAPH_SCHEMA_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -142,6 +144,15 @@ class SchemaGraph {
   Result<double> JoinWeight(const std::string& from_relation,
                             const std::string& to_relation) const;
 
+  /// Weight epoch: bumped whenever an edge is added or re-weighted
+  /// (AddProjectionEdge, AddJoinEdge, SetProjectionWeight, SetJoinWeight).
+  /// Result schemas and answers cached against a graph carry the epoch in
+  /// their cache key, so a weight change makes every previously cached
+  /// entry unreachable instead of stale (DESIGN.md §10).
+  uint64_t weight_epoch() const {
+    return weight_epoch_->load(std::memory_order_relaxed);
+  }
+
   /// Sanity checks: all weights in [0,1], join attribute types compatible.
   Status Validate() const;
 
@@ -153,6 +164,10 @@ class SchemaGraph {
 
   Status CheckWeight(double weight) const;
 
+  void BumpWeightEpoch() {
+    weight_epoch_->fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::vector<RelationSchema> schemas_;
   std::map<std::string, RelationNodeId> relation_ids_;
 
@@ -163,6 +178,11 @@ class SchemaGraph {
   std::vector<std::vector<const ProjectionEdge*>> projections_by_relation_;
   std::vector<std::vector<const JoinEdge*>> joins_from_;
   std::vector<std::vector<const JoinEdge*>> joins_to_;
+
+  // Behind a unique_ptr so the graph stays movable despite the atomic
+  // (pointer identity also survives moves, matching the cached-key users).
+  std::unique_ptr<std::atomic<uint64_t>> weight_epoch_ =
+      std::make_unique<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace precis

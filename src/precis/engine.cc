@@ -5,6 +5,33 @@
 
 namespace precis {
 
+namespace {
+
+/// Approximate heap footprint of a cached ResultSchema. Schemas are small
+/// (sets of node ids, paths of edge pointers); the estimate only needs to
+/// keep the byte budget meaningful, not be exact.
+size_t EstimateSchemaCharge(const ResultSchema& schema) {
+  return 256 + schema.relations().size() * 64 +
+         schema.projection_paths().size() * 160 +
+         schema.join_edges().size() * 24 +
+         schema.TotalProjectedAttributes() * 16;
+}
+
+}  // namespace
+
+size_t EstimateAnswerCharge(const PrecisAnswer& answer) {
+  size_t charge = sizeof(PrecisAnswer) + 512;
+  for (const TokenMatch& m : answer.matches) {
+    charge += m.token.capacity() + m.resolved_token.capacity() +
+              EstimateOccurrencesCharge(m.occurrences);
+  }
+  // Result databases dominate: charge a rough per-tuple footprint (a Tuple
+  // is a vector of tagged values, typically a few short strings).
+  charge += answer.database.TotalTuples() * 96;
+  charge += EstimateSchemaCharge(answer.schema);
+  return charge;
+}
+
 Result<PrecisEngine> PrecisEngine::Create(const Database* db,
                                           const SchemaGraph* graph) {
   if (db == nullptr || graph == nullptr) {
@@ -54,9 +81,9 @@ Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
   }
 
   // Step 2: result schema generation (optionally cached by token-relation
-  // set and degree constraint). A partial schema produced under an
-  // already-stopped context is NOT cached: it reflects the stop, not the
-  // constraint.
+  // set, degree constraint and graph weight epoch — see DESIGN.md §10).
+  // A partial schema produced under an already-stopped context is NOT
+  // cached: it reflects the stop, not the constraint.
   std::optional<ResultSchema> schema;
   {
     ScopedSpan span(ctx, "schema_gen");
@@ -64,27 +91,29 @@ Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
       std::vector<RelationNodeId> sorted = token_relations;
       std::sort(sorted.begin(), sorted.end());
       std::string key;
+      key.reserve(32 + sorted.size() * 4);
       for (RelationNodeId rel : sorted) {
-        key += std::to_string(rel) + ",";
+        key += std::to_string(rel);
+        key += ',';
       }
-      key += "|" + degree.ToString();
-      {
-        std::lock_guard<std::mutex> lock(schema_cache_->mutex);
-        auto it = schema_cache_->entries.find(key);
-        if (it != schema_cache_->entries.end()) {
-          ++schema_cache_->hits;
-          schema = it->second;
-        }
-      }
-      if (!schema.has_value()) {
+      key += '|';
+      key += degree.ToString();
+      key += '|';
+      key += std::to_string(graph_->weight_epoch());
+      if (std::shared_ptr<const ResultSchema> hit =
+              caches_->schema.Get(key)) {
+        schema = *hit;  // copy out of the immutable cached value
+      } else {
         ResultSchemaGenerator schema_generator(graph_);
         auto generated =
             schema_generator.Generate(token_relations, degree, ctx);
         if (!generated.ok()) return generated.status();
         bool partial = ctx != nullptr && ctx->ShouldStop();
-        std::lock_guard<std::mutex> lock(schema_cache_->mutex);
-        ++schema_cache_->misses;
-        if (!partial) schema_cache_->entries.emplace(key, *generated);
+        if (!partial) {
+          caches_->schema.Put(
+              key, std::make_shared<const ResultSchema>(*generated),
+              EstimateSchemaCharge(*generated));
+        }
         schema = std::move(*generated);
       }
     } else {
@@ -119,6 +148,87 @@ Result<PrecisAnswer> PrecisEngine::Answer(
   }
   return AnswerFromMatches(std::move(matches), degree, cardinality, options,
                            ctx);
+}
+
+std::string PrecisEngine::AnswerFingerprint(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    uint64_t db_epoch, uint64_t weight_epoch) const {
+  std::string key;
+  key.reserve(96 + query.tokens.size() * 24);
+  key += std::to_string(db_epoch);
+  key += '|';
+  key += std::to_string(weight_epoch);
+  key += '|';
+  // Token sequence, synonym-canonicalized. The raw spelling is included
+  // next to the canonical form because the cached answer's TokenMatch
+  // entries carry the original token text: "W. Allen" and "Woody Allen"
+  // produce equal databases but textually different match metadata, so
+  // they fingerprint separately (conservative, never wrong).
+  for (const std::string& token : query.tokens) {
+    key += token;
+    key += '\x1e';
+    key += synonyms_ != nullptr ? synonyms_->Canonicalize(token) : token;
+    key += '\x1f';
+  }
+  key += '|';
+  key += degree.ToString();
+  key += '|';
+  key += cardinality.ToString();
+  key += '|';
+  key += SubsetStrategyToString(options.strategy);
+  key += '|';
+  key += options.include_join_attributes ? '1' : '0';
+  key += options.path_aware_propagation ? '1' : '0';
+  key += '|';
+  key += std::to_string(options.statement_overhead_ns);
+  return key;
+}
+
+Result<std::shared_ptr<const PrecisAnswer>> PrecisEngine::AnswerShared(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx) const {
+  // Options that make answers non-reusable bypass the cache entirely:
+  // a traced run must re-execute to produce its SQL trace, and per-tuple
+  // weight stores can change between calls without an epoch to observe.
+  const bool cacheable =
+      answer_cache_enabled_.load(std::memory_order_relaxed) &&
+      options.tuple_weights == nullptr && !options.trace_sql;
+
+  std::string key;
+  uint64_t db_epoch = 0;
+  uint64_t weight_epoch = 0;
+  if (cacheable) {
+    // Epochs are read BEFORE the lookup/build. If a mutation lands during
+    // the build, the re-read below differs and the answer is not inserted.
+    db_epoch = db_->epoch();
+    weight_epoch = graph_->weight_epoch();
+    key = AnswerFingerprint(query, degree, cardinality, options, db_epoch,
+                            weight_epoch);
+    ScopedSpan span(ctx, "answer_cache");
+    if (std::shared_ptr<const PrecisAnswer> hit =
+            caches_->answer->Get(key)) {
+      return hit;
+    }
+  }
+
+  auto answer = Answer(query, degree, cardinality, options, ctx);
+  if (!answer.ok()) return answer.status();
+  auto shared = std::make_shared<const PrecisAnswer>(std::move(*answer));
+
+  if (cacheable &&
+      // Never cache partial answers: a deadline / budget / cancellation
+      // stop reflects this query's limits, not the data (PR 1's
+      // schema-cache rule, applied at the answer level).
+      !shared->report.partial() &&
+      (ctx == nullptr || !ctx->ShouldStop()) &&
+      // Epochs unchanged across the build: the answer saw one consistent
+      // database + weight state.
+      db_->epoch() == db_epoch && graph_->weight_epoch() == weight_epoch) {
+    caches_->answer->Put(key, shared, EstimateAnswerCharge(*shared));
+  }
+  return shared;
 }
 
 Result<std::vector<PrecisAnswer>> PrecisEngine::AnswerPerOccurrence(

@@ -10,12 +10,13 @@
 #define PRECIS_PRECIS_ENGINE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/execution_context.h"
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "graph/schema_graph.h"
 #include "storage/database.h"
@@ -65,6 +66,10 @@ struct PrecisAnswer {
   }
 };
 
+/// \brief Approximate heap footprint of one answer, used as its LRU charge
+/// in the engine's full-answer cache (exposed for tests and benches).
+size_t EstimateAnswerCharge(const PrecisAnswer& answer);
+
 /// \brief Orchestrates inverted index, schema generator and database
 /// generator over one source database and schema graph.
 class PrecisEngine {
@@ -99,44 +104,98 @@ class PrecisEngine {
       const DbGenOptions& options = DbGenOptions(),
       ExecutionContext* ctx = nullptr) const;
 
+  /// Answer() through the full-answer cache (DESIGN.md §10, level 3).
+  ///
+  /// The answer is returned as an immutable shared value so a cache hit
+  /// hands out the stored answer without copying its result database. When
+  /// the answer cache is enabled, the lookup key fingerprints the
+  /// synonym-canonicalized token sequence, the degree and cardinality
+  /// constraint renderings, the generation options, and two epoch counters:
+  /// the source Database's mutation epoch (bumped by Insert / CreateIndex /
+  /// CreateRelation / AddForeignKey) and the SchemaGraph's weight epoch
+  /// (bumped by every edge addition or re-weighting). Any mutation
+  /// therefore makes previously cached answers unreachable — a hit is never
+  /// stale. Partial answers (deadline / budget / cancellation stops) are
+  /// never inserted, and neither are runs whose epochs moved mid-build or
+  /// whose options make answers non-reusable (trace_sql, tuple_weights).
+  ///
+  /// With the answer cache disabled this builds a fresh answer every call
+  /// (equivalent to Answer(), just shared).
+  Result<std::shared_ptr<const PrecisAnswer>> AnswerShared(
+      const PrecisQuery& query, const DegreeConstraint& degree,
+      const CardinalityConstraint& cardinality,
+      const DbGenOptions& options = DbGenOptions(),
+      ExecutionContext* ctx = nullptr) const;
+
   /// Installs a synonym table applied to every query token before lookup
   /// (§5.1's "W. Allen" == "Woody Allen"). Pass nullptr to remove. The
   /// table must outlive the engine while installed.
   void set_synonyms(const SynonymTable* synonyms) { synonyms_ = synonyms; }
 
   /// Result-schema caching (§7's "further optimization of the whole
-  /// process"): the result schema depends only on the set of token
-  /// relations and the degree constraint, not on the matched tuples, so
-  /// repeated queries about tokens living in the same relations can reuse
-  /// it. Off by default. Call ClearSchemaCache() after changing any edge
-  /// weight of the schema graph — cached schemas hold the old weights.
+  /// process", DESIGN.md §10 level 2): the result schema depends only on
+  /// the set of token relations, the degree constraint, and the graph's
+  /// edge weights — not on the matched tuples — so repeated queries about
+  /// tokens living in the same relations can reuse it. Off by default.
+  /// Backed by the shared byte-bounded LRU; the cache key carries the
+  /// graph's weight epoch, so re-weighting an edge invalidates implicitly
+  /// (ClearSchemaCache() remains for explicit flushes).
   ///
-  /// Thread-safety: Answer/AnswerPerOccurrence may be called from several
-  /// threads concurrently against one engine (the cache is internally
-  /// locked; access counters are atomic); set_* configuration calls must
-  /// not race with queries.
+  /// Thread-safety: Answer/AnswerPerOccurrence/AnswerShared may be called
+  /// from several threads concurrently against one engine (all caches are
+  /// internally locked; access counters are atomic); set_* configuration
+  /// calls must not race with queries.
   void set_schema_cache_enabled(bool enabled) {
     // Atomic: the header allows concurrent Answer calls, which read this
     // flag; a plain bool here would be a data race under TSan.
     schema_cache_enabled_.store(enabled, std::memory_order_relaxed);
     if (!enabled) ClearSchemaCache();
   }
-  void ClearSchemaCache() {
-    std::lock_guard<std::mutex> lock(schema_cache_->mutex);
-    schema_cache_->entries.clear();
-  }
-  size_t schema_cache_hits() const {
-    std::lock_guard<std::mutex> lock(schema_cache_->mutex);
-    return schema_cache_->hits;
-  }
+  void ClearSchemaCache() { caches_->schema.Clear(); }
+  size_t schema_cache_hits() const { return caches_->schema.stats().hits; }
   size_t schema_cache_misses() const {
-    std::lock_guard<std::mutex> lock(schema_cache_->mutex);
-    return schema_cache_->misses;
+    return caches_->schema.stats().misses;
+  }
+  LruCacheStats schema_cache_stats() const {
+    return caches_->schema.stats();
+  }
+
+  /// Full-answer caching (level 3; see AnswerShared). Off by default.
+  void set_answer_cache_enabled(bool enabled) {
+    answer_cache_enabled_.store(enabled, std::memory_order_relaxed);
+    if (!enabled) ClearAnswerCache();
+  }
+  bool answer_cache_enabled() const {
+    return answer_cache_enabled_.load(std::memory_order_relaxed);
+  }
+  void ClearAnswerCache() { caches_->answer->Clear(); }
+  LruCacheStats answer_cache_stats() const {
+    return caches_->answer->stats();
+  }
+  /// Replaces the answer cache with an empty one of `bytes` capacity
+  /// (counters reset). Must not race with in-flight queries.
+  void set_answer_cache_capacity(size_t bytes) {
+    caches_->answer = std::make_unique<AnswerCache>(bytes);
+  }
+
+  /// Token-occurrence caching (level 1; see InvertedIndex). Off by default.
+  void set_token_cache_enabled(bool enabled) {
+    index_.set_lookup_cache_enabled(enabled);
+  }
+  LruCacheStats token_cache_stats() const {
+    return index_.lookup_cache_stats();
+  }
+
+  /// Convenience: flips all three cache levels at once.
+  void set_caches_enabled(bool enabled) {
+    set_token_cache_enabled(enabled);
+    set_schema_cache_enabled(enabled);
+    set_answer_cache_enabled(enabled);
   }
 
   const InvertedIndex& index() const { return index_; }
 
-  // Movable (the atomic member needs explicit moves); not copyable.
+  // Movable (the atomic members need explicit moves); not copyable.
   PrecisEngine(PrecisEngine&& o) noexcept
       : db_(o.db_),
         graph_(o.graph_),
@@ -144,7 +203,9 @@ class PrecisEngine {
         synonyms_(o.synonyms_),
         schema_cache_enabled_(
             o.schema_cache_enabled_.load(std::memory_order_relaxed)),
-        schema_cache_(std::move(o.schema_cache_)) {}
+        answer_cache_enabled_(
+            o.answer_cache_enabled_.load(std::memory_order_relaxed)),
+        caches_(std::move(o.caches_)) {}
   PrecisEngine& operator=(PrecisEngine&& o) noexcept {
     db_ = o.db_;
     graph_ = o.graph_;
@@ -153,7 +214,10 @@ class PrecisEngine {
     schema_cache_enabled_.store(
         o.schema_cache_enabled_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
-    schema_cache_ = std::move(o.schema_cache_);
+    answer_cache_enabled_.store(
+        o.answer_cache_enabled_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    caches_ = std::move(o.caches_);
     return *this;
   }
 
@@ -174,22 +238,37 @@ class PrecisEngine {
                                          const DbGenOptions& options,
                                          ExecutionContext* ctx) const;
 
+  /// Full-answer cache key: canonicalized token sequence + constraint
+  /// renderings + generation options + the two epochs.
+  std::string AnswerFingerprint(const PrecisQuery& query,
+                                const DegreeConstraint& degree,
+                                const CardinalityConstraint& cardinality,
+                                const DbGenOptions& options,
+                                uint64_t db_epoch,
+                                uint64_t weight_epoch) const;
+
   const Database* db_;
   const SchemaGraph* graph_;
   InvertedIndex index_;
   const SynonymTable* synonyms_ = nullptr;
 
   std::atomic<bool> schema_cache_enabled_{false};
-  // Keyed by sorted token-relation ids + the degree constraint rendering.
-  // Behind a unique_ptr so the engine stays movable despite the mutex.
-  struct SchemaCache {
-    std::mutex mutex;
-    std::map<std::string, ResultSchema> entries;
-    size_t hits = 0;
-    size_t misses = 0;
+  std::atomic<bool> answer_cache_enabled_{false};
+
+  using SchemaCache = ShardedLruCache<std::string, ResultSchema>;
+  using AnswerCache = ShardedLruCache<std::string, PrecisAnswer>;
+  // Behind a unique_ptr so the engine stays movable despite the shard
+  // mutexes. Capacity defaults: 8 MiB of schemas (they are small; this is
+  // effectively "all schemas a realistic weight/constraint mix produces"),
+  // 64 MiB of answers (a result database per entry; bounded so a long tail
+  // of one-off queries evicts instead of growing forever — the fix for
+  // PR 1's unbounded schema-cache map).
+  struct Caches {
+    SchemaCache schema{8 << 20};
+    std::unique_ptr<AnswerCache> answer =
+        std::make_unique<AnswerCache>(64 << 20);
   };
-  std::unique_ptr<SchemaCache> schema_cache_ =
-      std::make_unique<SchemaCache>();
+  std::unique_ptr<Caches> caches_ = std::make_unique<Caches>();
 };
 
 }  // namespace precis

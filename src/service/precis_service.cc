@@ -146,8 +146,11 @@ ServiceResponse PrecisService::RunOne(const ServiceRequest& request) {
 
   ServiceResponse response;
   auto start = ExecutionContext::Clock::now();
-  auto answer = engine_->Answer(request.query, *degree, *cardinality,
-                                request.options, &ctx);
+  // AnswerShared routes through the engine's full-answer cache when that is
+  // enabled (a hit shares the stored immutable answer) and degrades to a
+  // plain uncached build otherwise.
+  auto answer = engine_->AnswerShared(request.query, *degree, *cardinality,
+                                      request.options, &ctx);
   response.latency_seconds =
       std::chrono::duration<double>(ExecutionContext::Clock::now() - start)
           .count();
@@ -200,6 +203,12 @@ PrecisService::Metrics PrecisService::metrics() const {
     snapshot.p50_latency_seconds = percentile(0.50);
     snapshot.p99_latency_seconds = percentile(0.99);
   }
+  // Cache counters live in the engine (shared by every caller of it, not
+  // just this service); snapshot them here so one metrics() call tells the
+  // whole serving story.
+  snapshot.token_cache = engine_->token_cache_stats();
+  snapshot.schema_cache = engine_->schema_cache_stats();
+  snapshot.answer_cache = engine_->answer_cache_stats();
   return snapshot;
 }
 

@@ -20,7 +20,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,9 +56,10 @@ struct ServiceRequest {
 /// \brief Outcome of one serviced query.
 struct ServiceResponse {
   Status status;
-  /// Engaged iff status.ok(). (Optional rather than inline because a
-  /// PrecisAnswer has no default state: its schema is bound to a graph.)
-  std::optional<PrecisAnswer> answer;
+  /// Non-null iff status.ok(). Shared and immutable so that a full-answer
+  /// cache hit (engine cache enabled) hands every requester the same stored
+  /// answer without copying its result database.
+  std::shared_ptr<const PrecisAnswer> answer;
   /// The query's own access counters (its ExecutionContext's stats).
   AccessStats stats;
   /// Why the pipeline stopped early, kNone for a complete answer.
@@ -103,6 +103,11 @@ class PrecisService {
     AccessStats total_stats;
     /// Total seconds spent per pipeline stage, keyed by span name.
     std::map<std::string, double> span_seconds;
+    /// Cache counters per level (DESIGN.md §10), snapshotted from the
+    /// engine at metrics() time. All-zero when the level is disabled.
+    LruCacheStats token_cache;
+    LruCacheStats schema_cache;
+    LruCacheStats answer_cache;
   };
 
   /// `engine` must outlive the service. Workers start immediately.

@@ -32,12 +32,17 @@ Result<std::vector<Row>> FetchByTids(const Relation& relation,
   std::vector<Row> rows;
   size_t max_rows = limit.value_or(tids.size());
   rows.reserve(std::min(max_rows, tids.size()));
+  // Identity projections (every attribute, schema order) copy the whole
+  // tuple in one go instead of rebuilding it value by value.
+  const bool identity =
+      IsIdentityProjection(projection, relation.schema().num_attributes());
   for (Tid tid : tids) {
     if (rows.size() >= max_rows) break;
     if (ctx != nullptr && ctx->ShouldStop()) break;
     auto tuple = relation.Get(tid, ctx);
     if (!tuple.ok()) return tuple.status();
-    rows.push_back(Row{tid, ProjectTuple(**tuple, projection)});
+    rows.push_back(
+        Row{tid, identity ? **tuple : ProjectTuple(**tuple, projection)});
   }
   return rows;
 }
@@ -49,6 +54,12 @@ Result<std::vector<Row>> FetchByJoinValues(
   relation.CountStatement(ctx);
   std::vector<Row> rows;
   size_t max_rows = limit.value_or(SIZE_MAX);
+  // Lower-bound guess: at least one row per probed key (the common 1:N
+  // join yields more; growth then doubles from a sensible start instead of
+  // reallocating through the small sizes).
+  rows.reserve(std::min(max_rows, keys.size()));
+  const bool identity =
+      IsIdentityProjection(projection, relation.schema().num_attributes());
   for (const Value& key : keys) {
     if (rows.size() >= max_rows) break;
     if (ctx != nullptr && ctx->ShouldStop()) break;
@@ -59,7 +70,8 @@ Result<std::vector<Row>> FetchByJoinValues(
       if (ctx != nullptr && ctx->ShouldStop()) break;
       auto tuple = relation.Get(tid, ctx);
       if (!tuple.ok()) return tuple.status();
-      rows.push_back(Row{tid, ProjectTuple(**tuple, projection)});
+      rows.push_back(
+          Row{tid, identity ? **tuple : ProjectTuple(**tuple, projection)});
     }
   }
   return rows;

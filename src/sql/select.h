@@ -35,6 +35,19 @@ struct Row {
 /// \brief Applies a positional projection to a tuple.
 Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& projection);
 
+/// \brief True if `projection` selects all `num_attributes` attributes in
+/// schema order — i.e. projecting is the identity. The fetch paths detect
+/// this once per statement and copy whole tuples (one vector copy) instead
+/// of rebuilding them value by value per row.
+inline bool IsIdentityProjection(const std::vector<size_t>& projection,
+                                 size_t num_attributes) {
+  if (projection.size() != num_attributes) return false;
+  for (size_t i = 0; i < projection.size(); ++i) {
+    if (projection[i] != i) return false;
+  }
+  return true;
+}
+
 /// \brief Resolves attribute names to positional indices against a schema.
 Result<std::vector<size_t>> ResolveProjection(
     const RelationSchema& schema, const std::vector<std::string>& attributes);

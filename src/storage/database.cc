@@ -24,6 +24,8 @@ Status Database::CreateRelation(RelationSchema schema) {
   }
   relations_[rel_name] =
       std::make_unique<Relation>(std::move(schema), stats_.get());
+  relations_[rel_name]->set_epoch_counter(epoch_.get());
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -43,6 +45,7 @@ Status Database::AddForeignKey(ForeignKey fk) {
         "foreign key type mismatch: " + fk.ToString());
   }
   foreign_keys_.push_back(std::move(fk));
+  BumpEpoch();
   return Status::OK();
 }
 

@@ -3,6 +3,8 @@
 #ifndef PRECIS_STORAGE_DATABASE_H_
 #define PRECIS_STORAGE_DATABASE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -77,13 +79,26 @@ class Database {
   /// Multi-line schema dump ("MOVIE(mid*, title, year, did)" + FKs).
   std::string DescribeSchema() const;
 
+  /// Mutation epoch: bumped once per structural or data mutation —
+  /// CreateRelation, AddForeignKey, every successful Relation::Insert and
+  /// every CreateIndex on a relation of this database. Caches keyed on
+  /// (query fingerprint, epoch) are therefore never stale: any mutation
+  /// makes previously cached entries unreachable (DESIGN.md §10).
+  uint64_t epoch() const { return epoch_->load(std::memory_order_relaxed); }
+
  private:
+  void BumpEpoch() { epoch_->fetch_add(1, std::memory_order_relaxed); }
+
   std::string name_;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
   std::vector<ForeignKey> foreign_keys_;
   // Held behind a unique_ptr so its address survives moves of the Database
   // (each Relation keeps a raw pointer to it for instrumentation).
   std::unique_ptr<AccessStats> stats_ = std::make_unique<AccessStats>();
+  // Behind a unique_ptr for the same address-stability reason: each
+  // Relation keeps a raw pointer and bumps it on Insert / CreateIndex.
+  std::unique_ptr<std::atomic<uint64_t>> epoch_ =
+      std::make_unique<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace precis

@@ -1,6 +1,7 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <numeric>
 #include <unordered_set>
 
 namespace precis {
@@ -56,6 +57,7 @@ Result<Tid> Relation::Insert(Tuple tuple) {
     index.Insert(tuple[attr_idx], tid);
   }
   heap_.push_back(std::move(tuple));
+  BumpEpoch();
   return tid;
 }
 
@@ -78,6 +80,9 @@ Status Relation::CreateIndex(const std::string& attribute_name) {
     index.Insert(heap_[tid][*idx], tid);
   }
   indexes_[*idx] = std::move(index);
+  // An index changes the access path (probe vs scan counts), so cached
+  // answers fingerprinted on the epoch must not survive it.
+  BumpEpoch();
   return Status::OK();
 }
 
@@ -114,8 +119,9 @@ Result<std::vector<Tid>> Relation::LookupEquals(
 }
 
 std::vector<Tid> Relation::AllTids() const {
+  // Exact-size allocation up front; iota instead of an indexed loop.
   std::vector<Tid> out(heap_.size());
-  for (Tid tid = 0; tid < heap_.size(); ++tid) out[tid] = tid;
+  std::iota(out.begin(), out.end(), Tid{0});
   return out;
 }
 
@@ -124,7 +130,11 @@ Result<std::vector<Value>> Relation::DistinctValues(
   auto idx = schema_.AttributeIndex(attribute_name);
   if (!idx.ok()) return idx.status();
   std::unordered_set<Value, ValueHash> seen;
+  // Reserve for the worst case (all values distinct) so neither the hash
+  // set rehashes nor the output vector reallocates mid-scan.
+  seen.reserve(heap_.size());
   std::vector<Value> out;
+  out.reserve(heap_.size());
   for (const Tuple& t : heap_) {
     if (seen.insert(t[*idx]).second) out.push_back(t[*idx]);
   }

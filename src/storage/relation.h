@@ -3,6 +3,7 @@
 #ifndef PRECIS_STORAGE_RELATION_H_
 #define PRECIS_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -108,7 +109,17 @@ class Relation {
 
   void set_stats(AccessStats* stats) { stats_ = stats; }
 
+  /// Installs the owning database's mutation-epoch counter; Insert and
+  /// CreateIndex bump it so answer caches keyed on the epoch invalidate
+  /// (Database wires this in CreateRelation; standalone relations have
+  /// none). nullptr detaches.
+  void set_epoch_counter(std::atomic<uint64_t>* epoch) { epoch_ = epoch; }
+
  private:
+  void BumpEpoch() const {
+    if (epoch_ != nullptr) epoch_->fetch_add(1, std::memory_order_relaxed);
+  }
+
   void CountIndexProbe(ExecutionContext* ctx) const {
     if (stats_ != nullptr) {
       stats_->index_probes.fetch_add(1, std::memory_order_relaxed);
@@ -133,6 +144,8 @@ class Relation {
   // attribute index -> hash index
   std::map<size_t, HashIndex> indexes_;
   AccessStats* stats_;
+  // Owning database's mutation epoch (see Database::epoch()); may be null.
+  std::atomic<uint64_t>* epoch_ = nullptr;
 };
 
 }  // namespace precis

@@ -49,13 +49,50 @@ bool InvertedIndex::ContainsPhrase(
   return precis::ContainsPhrase(v.AsString(), words);
 }
 
+size_t EstimateOccurrencesCharge(const std::vector<TokenOccurrence>& occs) {
+  size_t charge = sizeof(std::vector<TokenOccurrence>);
+  for (const TokenOccurrence& occ : occs) {
+    charge += sizeof(TokenOccurrence) + occ.relation.capacity() +
+              occ.attribute.capacity() + occ.tids.capacity() * sizeof(Tid);
+  }
+  return charge;
+}
+
 std::vector<TokenOccurrence> InvertedIndex::Lookup(
     const std::string& token) const {
-  std::vector<TokenOccurrence> out;
   std::vector<std::string> words = TokenizeWords(token);
-  if (words.empty()) return out;
+  if (words.empty()) return {};
+  // Multi-word phrases go through the token-occurrence cache when enabled:
+  // they pay posting-list intersection plus per-candidate phrase
+  // verification (a re-scan of the stored string), which repeated popular
+  // queries should not redo. The postings are immutable after Build, so a
+  // cached result can never be stale with respect to this index.
+  if (words.size() >= 2 &&
+      cache_->enabled.load(std::memory_order_relaxed)) {
+    std::string key;
+    for (const std::string& w : words) {
+      if (!key.empty()) key += ' ';
+      key += w;
+    }
+    if (std::shared_ptr<const std::vector<TokenOccurrence>> hit =
+            cache_->lru.Get(key)) {
+      return *hit;  // copy out; the cached value stays immutable
+    }
+    auto value = std::make_shared<const std::vector<TokenOccurrence>>(
+        LookupUncached(words));
+    std::vector<TokenOccurrence> out = *value;
+    cache_->lru.Put(key, std::move(value), EstimateOccurrencesCharge(out));
+    return out;
+  }
+  return LookupUncached(words);
+}
+
+std::vector<TokenOccurrence> InvertedIndex::LookupUncached(
+    const std::vector<std::string>& words) const {
+  std::vector<TokenOccurrence> out;
 
   // Intersect the word posting lists; start from the rarest word.
+  if (words.empty()) return out;
   const std::vector<Location>* smallest = nullptr;
   for (const std::string& w : words) {
     auto it = postings_.find(w);

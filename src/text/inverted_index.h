@@ -8,11 +8,14 @@
 #ifndef PRECIS_TEXT_INVERTED_INDEX_H_
 #define PRECIS_TEXT_INVERTED_INDEX_H_
 
+#include <atomic>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/database.h"
@@ -54,6 +57,28 @@ class InvertedIndex {
   /// Number of posting entries across all words.
   size_t num_postings() const;
 
+  /// Token-occurrence cache (DESIGN.md §10, level 1): memoizes the result
+  /// of multi-word Lookup calls. Intersecting posting lists and re-scanning
+  /// stored strings for contiguous-phrase verification is the most
+  /// expensive part of token matching, and the postings are immutable after
+  /// Build (the source database is append-only and later inserts are not
+  /// indexed), so a memoized lookup can never be stale with respect to this
+  /// index. Single-word lookups are not cached: they do no phrase
+  /// verification and would only thrash the cache. Off by default.
+  ///
+  /// Thread-safety: Lookup may run from many threads; the cache is
+  /// internally locked (sharded LRU). Enabling/disabling must not race
+  /// with lookups (same contract as the engine's set_* configuration).
+  void set_lookup_cache_enabled(bool enabled) {
+    cache_->enabled.store(enabled, std::memory_order_relaxed);
+    if (!enabled) cache_->lru.Clear();
+  }
+  bool lookup_cache_enabled() const {
+    return cache_->enabled.load(std::memory_order_relaxed);
+  }
+  LruCacheStats lookup_cache_stats() const { return cache_->lru.stats(); }
+  void ClearLookupCache() { cache_->lru.Clear(); }
+
  private:
   struct Location {
     uint32_t relation;   // index into relation_names_
@@ -78,11 +103,30 @@ class InvertedIndex {
   bool ContainsPhrase(const Location& loc,
                       const std::vector<std::string>& words) const;
 
+  /// Uncached lookup path shared by Lookup and the cache-miss fill.
+  std::vector<TokenOccurrence> LookupUncached(
+      const std::vector<std::string>& words) const;
+
   const Database* db_ = nullptr;
   std::vector<std::string> relation_names_;
   // word -> sorted locations containing the word
   std::unordered_map<std::string, std::vector<Location>> postings_;
+
+  // Token-occurrence cache, keyed by the normalized (tokenized, joined)
+  // phrase. Behind a unique_ptr so the index stays movable despite the
+  // atomic + shard mutexes; mutable because Lookup is logically const.
+  struct LookupCache {
+    std::atomic<bool> enabled{false};
+    // 4 MiB default capacity: a vocabulary-sized working set of phrase
+    // results, bounded so pathological workloads cannot grow it forever.
+    ShardedLruCache<std::string, std::vector<TokenOccurrence>> lru{4 << 20};
+  };
+  std::unique_ptr<LookupCache> cache_ = std::make_unique<LookupCache>();
 };
+
+/// \brief Approximate heap footprint of a lookup result, used as the LRU
+/// charge (exposed for tests and the engine's answer-cache estimate).
+size_t EstimateOccurrencesCharge(const std::vector<TokenOccurrence>& occs);
 
 }  // namespace precis
 

@@ -214,5 +214,50 @@ TEST_F(ConcurrencyTest, MixedQueriesInParallel) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
 }
 
+TEST_F(ConcurrencyTest, FullyCachedEngineUnderContention) {
+  // All three cache levels on, many threads, a repeating token mix: every
+  // answer a thread receives — cached or freshly built — must equal the
+  // single-threaded reference, and the answer-cache counters must account
+  // for every call exactly (one lookup per AnswerShared).
+  auto d = MinPathWeight(0.9);
+  auto c = MaxTuplesPerRelation(3);
+  const std::vector<std::string> tokens = {"Woody Allen", "Comedy", "Drama"};
+  std::vector<std::string> expected;
+  for (const std::string& token : tokens) {
+    auto reference = engine_->Answer(PrecisQuery{{token}}, *d, *c);
+    ASSERT_TRUE(reference.ok());
+    expected.push_back(reference->database.DescribeSchema());
+  }
+
+  engine_->set_caches_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        size_t pick = static_cast<size_t>(t + q) % tokens.size();
+        auto answer =
+            engine_->AnswerShared(PrecisQuery{{tokens[pick]}}, *d, *c);
+        if (!answer.ok() ||
+            (*answer)->database.DescribeSchema() != expected[pick]) {
+          ++failures[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+
+  LruCacheStats stats = engine_->answer_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads * kQueriesPerThread));
+  // Threads may race to build the same key, but never more than once each
+  // per distinct query.
+  EXPECT_LE(stats.misses, static_cast<uint64_t>(kThreads * tokens.size()));
+  EXPECT_GT(stats.hits, 0u);
+}
+
 }  // namespace
 }  // namespace precis

@@ -61,7 +61,7 @@ TEST_F(ServiceTest, ExecuteMatchesDirectEngineAnswer) {
   ASSERT_TRUE(service.ok());
   ServiceResponse response = (*service)->Execute(MakeRequest("Woody Allen"));
   ASSERT_TRUE(response.status.ok());
-  ASSERT_TRUE(response.answer.has_value());
+  ASSERT_NE(response.answer, nullptr);
   EXPECT_EQ(response.stop_reason, StopReason::kNone);
   EXPECT_EQ(response.answer->database.DescribeSchema(),
             direct->database.DescribeSchema());
@@ -155,7 +155,7 @@ TEST_F(ServiceTest, DeadlineExpiredQueriesReturnWellFormedPartialAnswers) {
     // A deadline is not an error: the query still yields a well-formed
     // (possibly empty) answer, flagged as partial.
     ASSERT_TRUE(response.status.ok()) << response.status.ToString();
-    ASSERT_TRUE(response.answer.has_value());
+    ASSERT_NE(response.answer, nullptr);
     EXPECT_TRUE(response.answer->database.ValidateForeignKeys().ok());
     if (response.stop_reason == StopReason::kDeadlineExceeded) {
       ++deadline_hits;
@@ -178,7 +178,7 @@ TEST_F(ServiceTest, AccessBudgetTruncatesAndIsCounted) {
   request.access_budget = 1;
   ServiceResponse response = (*service)->Execute(std::move(request));
   ASSERT_TRUE(response.status.ok());
-  ASSERT_TRUE(response.answer.has_value());
+  ASSERT_NE(response.answer, nullptr);
   EXPECT_EQ(response.stop_reason, StopReason::kAccessBudgetExhausted);
   EXPECT_TRUE(response.answer->database.ValidateForeignKeys().ok());
   EXPECT_EQ((*service)->metrics().budget_truncations, 1u);
@@ -222,7 +222,7 @@ TEST_F(ServiceTest, BatchResolvesEveryFutureInOrder) {
   for (size_t i = 0; i < futures.size(); ++i) {
     ServiceResponse response = futures[i].get();
     ASSERT_TRUE(response.status.ok()) << "request " << i;
-    ASSERT_TRUE(response.answer.has_value());
+    ASSERT_NE(response.answer, nullptr);
     // Order is preserved: future i answers request i's token.
     EXPECT_EQ(response.answer->matches.at(0).token,
               tokens[i % tokens.size()]);
@@ -246,7 +246,7 @@ TEST_F(ServiceTest, ShutdownDrainsQueuedWorkAndRejectsNewWork) {
   }
   ServiceResponse rejected = (*service)->Execute(MakeRequest("Comedy"));
   EXPECT_FALSE(rejected.status.ok());
-  EXPECT_FALSE(rejected.answer.has_value());
+  EXPECT_EQ(rejected.answer, nullptr);
 }
 
 TEST_F(ServiceTest, MetricsPercentilesAreOrdered) {

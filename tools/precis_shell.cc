@@ -59,11 +59,13 @@ constexpr const char* kHelp = R"(commands:
   set join FROM TO W       override a join-edge weight
   set proj REL ATTR W      override a projection-edge weight
   set trace on|off         record the SQL statements of each query
+  set cache on|off         enable the token / schema / answer caches
   deadline MS              per-query wall-clock deadline in ms (0 = off);
                            an expired query returns its partial answer
   budget N                 per-query access budget: max index probes + tuple
                            fetches + scans (0 = unbounded)
   stats                    access counters of the last query + global totals
+                           (+ per-level cache ratios when caching is on)
   trace                    per-stage trace spans of the last query
   show schema              print the source database schema
   show graph               print the schema graph with weights
@@ -87,10 +89,13 @@ struct ShellState {
   size_t tuples_per_relation = 5;
   SubsetStrategy strategy = SubsetStrategy::kAuto;
   bool trace_sql = false;
+  bool caches_enabled = false;  // token + schema + answer caches
   double deadline_ms = 0.0;     // 0 = no deadline
   uint64_t access_budget = 0;   // 0 = unbounded
 
-  std::optional<PrecisAnswer> last_answer;
+  /// Shared because a cache hit returns the engine's stored answer; the
+  /// shell keeps it alive for 'text' / 'json' / 'dot' / 'save'.
+  std::shared_ptr<const PrecisAnswer> last_answer;
   /// The context the last query ran under (for 'stats' and 'trace').
   std::unique_ptr<ExecutionContext> last_context;
 
@@ -99,6 +104,8 @@ struct ShellState {
     auto engine_result = PrecisEngine::Create(db.get(), graph.get());
     if (!engine_result.ok()) return engine_result.status();
     engine = std::make_unique<PrecisEngine>(std::move(*engine_result));
+    // A fresh engine starts with empty caches; re-apply the setting.
+    engine->set_caches_enabled(caches_enabled);
     return Status::OK();
   }
 };
@@ -198,6 +205,11 @@ Status CmdSet(ShellState* state, const std::vector<std::string>& args) {
     }
   } else if (key == "trace" && args.size() == 2) {
     state->trace_sql = (args[1] == "on");
+  } else if (key == "cache" && args.size() == 2) {
+    state->caches_enabled = (args[1] == "on");
+    if (state->engine != nullptr) {
+      state->engine->set_caches_enabled(state->caches_enabled);
+    }
   } else if (key == "join" && args.size() == 4) {
     if (state->graph == nullptr) {
       return Status::InvalidArgument("no dataset loaded");
@@ -255,10 +267,13 @@ Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
   }
   if (state->access_budget > 0) ctx->SetAccessBudget(state->access_budget);
 
-  auto answer = state->engine->Answer(PrecisQuery{tokens}, *degree,
-                                      *cardinality, options, ctx.get());
+  // AnswerShared serves from the full-answer cache when 'set cache on' is
+  // active (trace runs bypass it); otherwise it builds a fresh answer.
+  auto result = state->engine->AnswerShared(PrecisQuery{tokens}, *degree,
+                                            *cardinality, options, ctx.get());
   state->last_context = std::move(ctx);
-  if (!answer.ok()) return answer.status();
+  if (!result.ok()) return result.status();
+  std::shared_ptr<const PrecisAnswer> answer = std::move(*result);
   if (answer->report.partial()) {
     std::printf("partial answer (%s)\n",
                 StopReasonToString(answer->report.stop_reason));
@@ -277,7 +292,7 @@ Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
       std::printf("  %s;\n", sql.c_str());
     }
   }
-  state->last_answer = std::move(*answer);
+  state->last_answer = std::move(answer);
   return Status::OK();
 }
 
@@ -336,6 +351,21 @@ Status CmdStats(ShellState* state) {
                   g.sequential_scans.load(std::memory_order_relaxed)),
               static_cast<unsigned long long>(
                   g.statements.load(std::memory_order_relaxed)));
+  if (state->caches_enabled && state->engine != nullptr) {
+    auto print_cache = [](const char* level, const LruCacheStats& s) {
+      std::printf("cache %-7s hits=%llu misses=%llu evictions=%llu "
+                  "entries=%llu bytes=%llu hit-rate=%.2f\n",
+                  level, static_cast<unsigned long long>(s.hits),
+                  static_cast<unsigned long long>(s.misses),
+                  static_cast<unsigned long long>(s.evictions),
+                  static_cast<unsigned long long>(s.entries),
+                  static_cast<unsigned long long>(s.charge_bytes),
+                  s.hit_rate());
+    };
+    print_cache("token:", state->engine->token_cache_stats());
+    print_cache("schema:", state->engine->schema_cache_stats());
+    print_cache("answer:", state->engine->answer_cache_stats());
+  }
   return Status::OK();
 }
 
@@ -361,7 +391,7 @@ Status CmdTrace(ShellState* state) {
 }
 
 Status NeedAnswer(const ShellState& state) {
-  if (!state.last_answer.has_value()) {
+  if (state.last_answer == nullptr) {
     return Status::InvalidArgument("no answer yet; run 'query' first");
   }
   return Status::OK();
@@ -457,11 +487,12 @@ int RunShell(std::istream& in, bool interactive) {
         std::printf("%s", state.graph->ToString().c_str());
       } else if (!args.empty() && args[0] == "settings") {
         std::printf("min-weight=%.2f max-attrs=%ld tuples=%zu strategy=%s "
-                    "trace=%s deadline-ms=%.1f budget=%llu\n",
+                    "trace=%s cache=%s deadline-ms=%.1f budget=%llu\n",
                     state.min_weight, state.max_attrs,
                     state.tuples_per_relation,
                     SubsetStrategyToString(state.strategy),
-                    state.trace_sql ? "on" : "off", state.deadline_ms,
+                    state.trace_sql ? "on" : "off",
+                    state.caches_enabled ? "on" : "off", state.deadline_ms,
                     static_cast<unsigned long long>(state.access_budget));
       } else {
         std::printf("%s", state.db->DescribeSchema().c_str());
