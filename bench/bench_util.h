@@ -7,11 +7,15 @@
 #ifndef PRECIS_BENCH_BENCH_UTIL_H_
 #define PRECIS_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/random.h"
 #include "datagen/movies_dataset.h"
 #include "datagen/workload.h"
@@ -20,13 +24,58 @@
 namespace precis {
 namespace bench {
 
-inline size_t BenchMovieCount() {
-  const char* env = std::getenv("PRECIS_BENCH_MOVIES");
+/// Positive-integer environment knob with a fallback (shared by every
+/// standalone bench: PRECIS_BENCH_MOVIES, PRECIS_BENCH_QUERIES, ...).
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
   if (env != nullptr) {
     long v = std::atol(env);
     if (v > 0) return static_cast<size_t>(v);
   }
-  return 20000;
+  return fallback;
+}
+
+/// String environment knob with a fallback (report paths).
+inline std::string EnvString(const char* name, const char* fallback) {
+  const char* env = std::getenv(name);
+  return std::string(env != nullptr ? env : fallback);
+}
+
+inline size_t BenchMovieCount() {
+  return EnvSize("PRECIS_BENCH_MOVIES", 20000);
+}
+
+/// Nearest-rank percentile (the same rounding PrecisService::metrics()
+/// uses); takes samples by value because it must sort them.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(p * (samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+/// Counter deltas between two snapshots of one cache level (entries and
+/// bytes report the 'after' state: they are gauges, not counters).
+inline LruCacheStats CacheStatsDelta(const LruCacheStats& after,
+                                     const LruCacheStats& before) {
+  LruCacheStats d;
+  d.hits = after.hits - before.hits;
+  d.misses = after.misses - before.misses;
+  d.inserts = after.inserts - before.inserts;
+  d.evictions = after.evictions - before.evictions;
+  d.entries = after.entries;
+  d.charge_bytes = after.charge_bytes;
+  return d;
+}
+
+/// One cache level as a JSON object field: `"<level>": {...}` (no trailing
+/// comma or newline; the caller owns the surrounding layout).
+inline void AppendCacheJson(std::ostream* os, const char* level,
+                            const LruCacheStats& s) {
+  *os << "      \"" << level << "\": {\"hits\": " << s.hits
+      << ", \"misses\": " << s.misses << ", \"inserts\": " << s.inserts
+      << ", \"evictions\": " << s.evictions
+      << ", \"hit_rate\": " << s.hit_rate() << "}";
 }
 
 /// The shared benchmark dataset, built once per process.

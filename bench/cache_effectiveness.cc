@@ -43,27 +43,9 @@
 namespace precis {
 namespace {
 
-size_t EnvSize(const char* name, size_t fallback) {
-  const char* env = std::getenv(name);
-  if (env != nullptr) {
-    long v = std::atol(env);
-    if (v > 0) return static_cast<size_t>(v);
-  }
-  return fallback;
-}
-
-/// Counter deltas between two snapshots of one cache level (entries and
-/// bytes report the 'after' state: they are gauges, not counters).
-LruCacheStats Delta(const LruCacheStats& after, const LruCacheStats& before) {
-  LruCacheStats d;
-  d.hits = after.hits - before.hits;
-  d.misses = after.misses - before.misses;
-  d.inserts = after.inserts - before.inserts;
-  d.evictions = after.evictions - before.evictions;
-  d.entries = after.entries;
-  d.charge_bytes = after.charge_bytes;
-  return d;
-}
+using bench::AppendCacheJson;
+using bench::CacheStatsDelta;
+using bench::EnvSize;
 
 struct RunResult {
   double qps = 0.0;
@@ -121,14 +103,6 @@ RunResult RunOnce(const PrecisEngine* engine, size_t workers,
   return result;
 }
 
-void AppendCacheJson(std::ostringstream* os, const char* level,
-                     const LruCacheStats& s) {
-  *os << "      \"" << level << "\": {\"hits\": " << s.hits
-      << ", \"misses\": " << s.misses << ", \"inserts\": " << s.inserts
-      << ", \"evictions\": " << s.evictions
-      << ", \"hit_rate\": " << s.hit_rate() << "}";
-}
-
 /// Interleaves inserts (epoch bumps) with cached queries and compares every
 /// cached-path answer against a from-scratch uncached one. Returns the
 /// number of mismatches (stale answers served); 0 is the only right answer.
@@ -174,10 +148,8 @@ int Main() {
   const bool smoke = std::getenv("PRECIS_BENCH_SMOKE") != nullptr;
   const size_t num_queries =
       EnvSize("PRECIS_BENCH_QUERIES", smoke ? 160 : 1024);
-  const std::string out_path = [] {
-    const char* env = std::getenv("PRECIS_BENCH_OUT");
-    return std::string(env != nullptr ? env : "BENCH_cache.json");
-  }();
+  const std::string out_path =
+      bench::EnvString("PRECIS_BENCH_OUT", "BENCH_cache.json");
 
   // A mutable dataset (the stale check inserts into it), not the shared
   // read-only fixture the google-benchmark experiments use.
@@ -239,11 +211,11 @@ int Main() {
     RunResult on =
         RunOnce(&engine, workers, MakeWorkload(pool, num_queries, 100 + w));
     LruCacheStats token_stats =
-        Delta(engine.token_cache_stats(), token_before);
+        CacheStatsDelta(engine.token_cache_stats(), token_before);
     LruCacheStats schema_stats =
-        Delta(engine.schema_cache_stats(), schema_before);
+        CacheStatsDelta(engine.schema_cache_stats(), schema_before);
     LruCacheStats answer_stats =
-        Delta(engine.answer_cache_stats(), answer_before);
+        CacheStatsDelta(engine.answer_cache_stats(), answer_before);
 
     double speedup = off.qps > 0 ? on.qps / off.qps : 0;
     best_speedup = std::max(best_speedup, speedup);

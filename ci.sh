@@ -1,16 +1,22 @@
 #!/bin/sh
-# CI entry point: builds and tests the tree in three steps.
+# CI entry point: builds and tests the tree in four steps.
 #
 #   1. Release          — the full suite (tier-1 gate).
-#   2. Cache smoke      — bench/cache_effectiveness on a tiny dataset; fails
+#   2. Bench smokes     — bench/cache_effectiveness on a tiny dataset (fails
 #                         on a zero answer-cache hit rate or any stale
-#                         answer served after an insert (epoch invalidation
-#                         gate).
+#                         answer served after an insert — epoch invalidation
+#                         gate) and bench/parallel_dbgen in smoke mode
+#                         (fails if any parallel run emits bytes different
+#                         from the sequential walk — determinism gate,
+#                         DESIGN.md §11).
 #   3. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
-#                         PrecisService, engine concurrency, the sharded LRU
-#                         and the answer cache) rebuilt and run under TSan,
-#                         so data races on the shared query path fail the
-#                         build rather than ship.
+#                         PrecisService, engine concurrency, the sharded LRU,
+#                         the answer cache, the work-stealing TaskPool and
+#                         the parallel database generator) rebuilt and run
+#                         under TSan, so data races on the shared query path
+#                         fail the build rather than ship. The shared pool is
+#                         pinned to >= 4 threads so intra-query parallelism
+#                         really interleaves under the sanitizer.
 #
 # PRECIS_SANITIZE=address ./ci.sh swaps the third configuration to ASan.
 # All configurations use separate build trees and leave ./build alone.
@@ -26,18 +32,25 @@ cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build-release" -j "$JOBS"
 ctest --test-dir "$ROOT/build-release" --output-on-failure -j "$JOBS"
 
-echo "=== [2/3] Cache effectiveness smoke (hit rate > 0, zero stale) ==="
+echo "=== [2/3] Bench smokes (cache + parallel determinism) ==="
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_cache.json" \
   "$ROOT/build-release/bench/cache_effectiveness"
+# Sequential-vs-parallel byte-identity across cardinalities and thread
+# counts; a mismatch exits non-zero and fails CI.
+PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
+  PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_parallel_dbgen.json" \
+  "$ROOT/build-release/bench/parallel_dbgen_bench"
 
 echo "=== [3/3] ${SANITIZER} sanitizer build + concurrency suite ==="
 cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="$SANITIZER"
 cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
   --target concurrency_test service_test execution_context_test \
-           lru_cache_test answer_cache_test
-ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache'
+           lru_cache_test answer_cache_test task_pool_test \
+           parallel_dbgen_test
+PRECIS_TASK_POOL_THREADS=4 \
+  ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
+  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen'
 
-echo "=== CI passed (Release + cache smoke + $SANITIZER) ==="
+echo "=== CI passed (Release + bench smokes + $SANITIZER) ==="

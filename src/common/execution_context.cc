@@ -60,8 +60,7 @@ bool ExecutionContext::ShouldStop() const {
     return true;
   }
   uint64_t budget = access_budget_.load(std::memory_order_relaxed);
-  if (budget != 0 &&
-      budget_charges_.load(std::memory_order_relaxed) >= budget) {
+  if (budget != 0 && accesses_charged() >= budget) {
     LatchStop(StopReason::kAccessBudgetExhausted);
     return true;
   }

@@ -105,8 +105,15 @@ class ExecutionContext {
   uint64_t access_budget() const {
     return access_budget_.load(std::memory_order_relaxed);
   }
+  /// Instrumented accesses charged so far: the sum of the three budgeted
+  /// stat counters. Derived rather than stored so every Charge* is exactly
+  /// one relaxed fetch_add — the counters are what concurrent subtree
+  /// expansion hammers, and a second "budget" counter per charge would
+  /// double the contention for no information.
   uint64_t accesses_charged() const {
-    return budget_charges_.load(std::memory_order_relaxed);
+    return stats_.index_probes.load(std::memory_order_relaxed) +
+           stats_.tuple_fetches.load(std::memory_order_relaxed) +
+           stats_.sequential_scans.load(std::memory_order_relaxed);
   }
 
   // --- Cooperative cancellation -------------------------------------------
@@ -128,19 +135,26 @@ class ExecutionContext {
         stop_reason_.load(std::memory_order_relaxed));
   }
 
+  /// Latches `reason` as the stop reason if none is set yet. Public so a
+  /// deterministic planner can charge budget against a *simulated* access
+  /// sequence and latch kAccessBudgetExhausted itself; the latch is
+  /// monotone — the first reason wins and is never overwritten, so a stop
+  /// observed by one worker stops all.
+  void LatchStop(StopReason reason) const;
+
   // --- Accounting (called by the storage layer) ---------------------------
 
+  // Each charge is a single relaxed fetch_add on its own counter (no
+  // mutex, no shadow budget counter) so concurrent subtree expansion does
+  // not serialize on accounting.
   void ChargeIndexProbe() {
     stats_.index_probes.fetch_add(1, std::memory_order_relaxed);
-    budget_charges_.fetch_add(1, std::memory_order_relaxed);
   }
   void ChargeTupleFetch() {
     stats_.tuple_fetches.fetch_add(1, std::memory_order_relaxed);
-    budget_charges_.fetch_add(1, std::memory_order_relaxed);
   }
   void ChargeSequentialScan() {
     stats_.sequential_scans.fetch_add(1, std::memory_order_relaxed);
-    budget_charges_.fetch_add(1, std::memory_order_relaxed);
   }
   /// Statements carry no I/O of their own in the cost model (Formula 1);
   /// they are attributed but not charged against the budget.
@@ -162,13 +176,9 @@ class ExecutionContext {
   static constexpr int64_t kNoDeadline =
       std::numeric_limits<int64_t>::max();
 
-  /// Latches `reason` as the stop reason if none is set yet.
-  void LatchStop(StopReason reason) const;
-
   void RecordSpan(TraceSpan span);
 
   AccessStats stats_;
-  std::atomic<uint64_t> budget_charges_{0};
   std::atomic<uint64_t> access_budget_{0};  // 0 = unbounded
   std::atomic<int64_t> deadline_ns_{kNoDeadline};
   std::atomic<bool> cancelled_{false};

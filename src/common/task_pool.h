@@ -1,0 +1,157 @@
+// TaskPool: a fixed-size work-stealing thread pool for intra-query
+// parallelism (DESIGN.md §11).
+//
+// Design points:
+//
+//   * Fixed worker threads, each owning a deque of tasks. The owner pushes
+//     and pops at the back (LIFO: hot caches, bounded memory for recursive
+//     fan-out); thieves steal *half* the victim's tasks from the front
+//     (FIFO: the oldest — usually largest — work moves, and one steal
+//     amortizes many future ones).
+//   * Idle workers park on a condition variable; submissions wake one
+//     parked worker. No spinning beyond one steal sweep.
+//   * Nested submission is expected (a subtree task fans out tuple-fetch
+//     chunks). To keep nesting deadlock-free and the stack bounded, task
+//     execution depth is tracked per thread: beyond a cap, Group::Run
+//     executes the task inline instead of queueing, and Group::Wait stops
+//     helping and blocks.
+//   * Waiting *helps*: a thread blocked in Group::Wait executes pool tasks
+//     (its own group's first by LIFO affinity, then stolen ones) instead of
+//     sleeping, so an external caller — e.g. a PrecisService worker — lends
+//     its thread to the pool rather than adding to the runnable set. This
+//     is what lets one process-wide pool serve `service workers × per-query
+//     subtree tasks` without oversubscription.
+//
+// Exceptions thrown by tasks are captured (first one wins) and rethrown
+// from Group::Wait on the waiting thread.
+//
+// The pool is deliberately mutex-per-deque rather than lock-free: tasks in
+// this codebase are hundreds of microseconds and up (tuple-fetch chunks,
+// subtree expansions), so queue transfer cost is noise, and the simple
+// locking discipline is straightforwardly ThreadSanitizer-clean.
+
+#ifndef PRECIS_COMMON_TASK_POOL_H_
+#define PRECIS_COMMON_TASK_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace precis {
+
+/// \brief Fixed-size work-stealing task pool. Thread-safe.
+class TaskPool {
+ public:
+  class Group;
+
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit TaskPool(size_t num_threads);
+
+  /// Drains every queued task, then joins the workers. Groups must not
+  /// outlive the pool they run on.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// The process-wide shared pool, created on first use and never torn
+  /// down (it must outlive any static-destruction-ordered user). Sized by
+  /// PRECIS_TASK_POOL_THREADS when set, else max(2, hardware_concurrency).
+  static TaskPool* Shared();
+
+  /// \brief A set of tasks that can be waited on together (fork-join).
+  ///
+  /// Run() submits a task; Wait() blocks until every task submitted so far
+  /// has finished, executing pool tasks itself while it waits. Nested use —
+  /// a task Run()ning more tasks into its own group — is supported and is
+  /// the intended shape for subtree fan-out.
+  class Group {
+   public:
+    explicit Group(TaskPool* pool) : pool_(pool) {}
+    /// Waits for stragglers; any captured exception is swallowed here (use
+    /// Wait() to observe it).
+    ~Group();
+
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+
+    /// Submits `fn` to the pool. If the calling thread is already `depth
+    /// cap` tasks deep (pathological recursive fan-out), runs `fn` inline
+    /// instead — bounded stack, no queue explosion, no deadlock.
+    void Run(std::function<void()> fn);
+
+    /// Blocks until all submitted tasks completed, helping execute pool
+    /// tasks meanwhile. Rethrows the first exception any task of this
+    /// group threw. May be called multiple times (tasks submitted after a
+    /// Wait are covered by the next Wait).
+    void Wait();
+
+    /// Tasks submitted and not yet finished (approximate; for tests).
+    size_t pending() const { return pending_.load(std::memory_order_acquire); }
+
+   private:
+    friend class TaskPool;
+
+    void TaskDone() noexcept;
+    void CaptureException() noexcept;
+
+    TaskPool* pool_;
+    std::atomic<size_t> pending_{0};
+    std::mutex mutex_;                 // guards error_ and cv waits
+    std::condition_variable done_cv_;  // signalled when pending_ hits 0
+    std::exception_ptr error_;
+  };
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    Group* group;  // never null (all submission goes through groups)
+  };
+
+  /// One worker's deque. `mutex` only guards `tasks`.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void WorkerLoop(size_t index);
+
+  /// Pops a task: the home deque's back first (LIFO), then steal-half from
+  /// the front of the least-recently-tried victim. `home` may be >= the
+  /// worker count for external helper threads (they own no deque and only
+  /// steal). Returns false when every deque is empty.
+  bool TryAcquire(size_t home, Task* out);
+
+  /// Enqueues and wakes a parked worker if any. Called by Group::Run.
+  void Enqueue(Task task);
+
+  void Execute(Task task) noexcept;
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  size_t num_parked_ = 0;
+  bool shutting_down_ = false;
+
+  // Total tasks across all deques; lets the park predicate avoid sweeping
+  // every deque under its own lock.
+  std::atomic<size_t> num_queued_{0};
+
+  // Round-robin cursor for external submitters / helpers.
+  std::atomic<size_t> next_queue_{0};
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_COMMON_TASK_POOL_H_

@@ -5,24 +5,20 @@
 #include <unordered_map>
 #include <unordered_set>
 
-#include <chrono>
-
+#include "precis/dbgen_common.h"
 #include "sql/select.h"
 
 namespace precis {
 
-namespace {
+using dbgen_internal::EmittedAttributeIndices;
+using dbgen_internal::ForeignKeyHolds;
+using dbgen_internal::IdentityProjection;
+using dbgen_internal::IsToOne;
+using dbgen_internal::LatencyDebt;
+using dbgen_internal::RenderSeedSql;
+using dbgen_internal::SimulateStatementOverhead;
 
-/// Busy-waits for the simulated per-statement overhead (see
-/// DbGenOptions::statement_overhead_ns). A sleep would be descheduled for
-/// far longer than the microsecond scale being modelled.
-void SimulateStatementOverhead(uint64_t total_ns) {
-  if (total_ns == 0) return;
-  auto until = std::chrono::steady_clock::now() +
-               std::chrono::nanoseconds(total_ns);
-  while (std::chrono::steady_clock::now() < until) {
-  }
-}
+namespace {
 
 /// Tuples collected so far for one result relation.
 struct Collected {
@@ -41,12 +37,6 @@ struct Collected {
     tags.push_back(arrival);
   }
 };
-
-std::vector<size_t> IdentityProjection(const RelationSchema& schema) {
-  std::vector<size_t> out(schema.num_attributes());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = i;
-  return out;
-}
 
 /// Ordered distinct non-NULL values of `attribute` over the collected rows —
 /// the IN-list for the next join query. The order follows the order in which
@@ -81,81 +71,6 @@ Result<std::vector<Value>> JoinKeys(
   return keys;
 }
 
-/// The attribute indices a result relation exposes: the projections of G'
-/// plus (optionally) the join attributes of its incident edges.
-std::vector<size_t> EmittedAttributeIndices(const ResultSchema& schema,
-                                            RelationNodeId rel,
-                                            bool include_join_attributes) {
-  const RelationSchema& src_schema = schema.graph().relation_schema(rel);
-  std::set<uint32_t> attrs = schema.projected_attributes(rel);
-  if (include_join_attributes) {
-    for (const JoinEdge* e : schema.join_edges()) {
-      if (e->from == rel) {
-        auto idx = src_schema.AttributeIndex(e->from_attribute);
-        if (idx.ok()) attrs.insert(static_cast<uint32_t>(*idx));
-      }
-      if (e->to == rel) {
-        auto idx = src_schema.AttributeIndex(e->to_attribute);
-        if (idx.ok()) attrs.insert(static_cast<uint32_t>(*idx));
-      }
-    }
-  }
-  return std::vector<size_t>(attrs.begin(), attrs.end());
-}
-
-/// Renders the sigma_Tids seed query as SQL text for the trace.
-std::string RenderSeedSql(const RelationSchema& schema,
-                          const std::vector<size_t>& projection,
-                          const std::vector<Tid>& tids) {
-  std::string sql = "SELECT ";
-  if (projection.empty()) {
-    sql += "*";
-  } else {
-    for (size_t i = 0; i < projection.size(); ++i) {
-      if (i > 0) sql += ", ";
-      sql += schema.attribute(projection[i]).name;
-    }
-  }
-  sql += " FROM " + schema.name() + " WHERE rowid IN (";
-  for (size_t i = 0; i < tids.size(); ++i) {
-    if (i > 0) sql += ", ";
-    sql += std::to_string(tids[i]);
-  }
-  sql += ")";
-  return sql;
-}
-
-/// True if `fk` holds on the (already emitted) data of `db`: every non-NULL
-/// child value appears among the parent values.
-bool ForeignKeyHolds(const Database& db, const ForeignKey& fk) {
-  auto child = db.GetRelation(fk.child_relation);
-  auto parent = db.GetRelation(fk.parent_relation);
-  if (!child.ok() || !parent.ok()) return false;
-  auto child_idx = (*child)->schema().AttributeIndex(fk.child_attribute);
-  auto parent_idx = (*parent)->schema().AttributeIndex(fk.parent_attribute);
-  if (!child_idx.ok() || !parent_idx.ok()) return false;
-  std::unordered_set<Value, ValueHash> parent_values;
-  for (Tid tid = 0; tid < (*parent)->num_tuples(); ++tid) {
-    parent_values.insert((*parent)->tuple(tid)[*parent_idx]);
-  }
-  for (Tid tid = 0; tid < (*child)->num_tuples(); ++tid) {
-    const Value& v = (*child)->tuple(tid)[*child_idx];
-    if (v.is_null()) continue;
-    if (parent_values.count(v) == 0) return false;
-  }
-  return true;
-}
-
-/// True if the join edge is to-1: its destination attribute is the
-/// destination relation's primary key, so each source tuple joins with at
-/// most one destination tuple.
-bool IsToOne(const JoinEdge& edge, const RelationSchema& to_schema) {
-  if (!to_schema.primary_key()) return false;
-  auto idx = to_schema.AttributeIndex(edge.to_attribute);
-  if (!idx.ok()) return false;
-  return *idx == *to_schema.primary_key();
-}
-
 }  // namespace
 
 const char* SubsetStrategyToString(SubsetStrategy s) {
@@ -174,8 +89,22 @@ Result<Database> ResultDatabaseGenerator::Generate(
     const ResultSchema& schema, const SeedTids& seeds,
     const CardinalityConstraint& c, const DbGenOptions& options,
     ExecutionContext* ctx) {
+  if (options.parallelism >= 2) {
+    return GenerateParallel(schema, seeds, c, options, ctx);
+  }
+  return GenerateSequential(schema, seeds, c, options, ctx);
+}
+
+Result<Database> ResultDatabaseGenerator::GenerateSequential(
+    const ResultSchema& schema, const SeedTids& seeds,
+    const CardinalityConstraint& c, const DbGenOptions& options,
+    ExecutionContext* ctx) {
   last_report_ = DbGenReport{};
   const SchemaGraph& graph = schema.graph();
+
+  // Simulated per-accepted-tuple I/O wait (cost-model substrate; see
+  // DbGenOptions::simulated_access_latency_ns). Timing-only.
+  LatencyDebt io_debt(options.simulated_access_latency_ns);
 
   // Per-query stop check (deadline / access budget / cancellation). On
   // stop, fetching ends wherever it is and the algorithm falls through to
@@ -249,6 +178,7 @@ Result<Database> ResultDatabaseGenerator::Generate(
       col.rows.push_back(Row{tid, **tuple});
       col.Tag(tid, nullptr);
       ++total;
+      io_debt.Charge();
     }
   }
 
@@ -362,6 +292,7 @@ Result<Database> ResultDatabaseGenerator::Generate(
       col.seen.insert(row.tid);
       col.rows.push_back(std::move(row));
       ++total;
+      io_debt.Charge();
       return true;
     };
 
@@ -438,6 +369,8 @@ Result<Database> ResultDatabaseGenerator::Generate(
                                           " -> " +
                                           graph.relation_name(edge.to));
   }
+
+  io_debt.Flush();
 
   // Step 3: emit the result database.
   Database result("precis_result");

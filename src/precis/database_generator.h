@@ -11,12 +11,14 @@
 #ifndef PRECIS_PRECIS_DATABASE_GENERATOR_H_
 #define PRECIS_PRECIS_DATABASE_GENERATOR_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/execution_context.h"
 #include "common/result.h"
+#include "common/task_pool.h"
 #include "storage/database.h"
 #include "precis/constraints.h"
 #include "precis/result_schema.h"
@@ -91,6 +93,32 @@ struct DbGenOptions {
   /// 0 (the default) disables the simulation. Statements are always
   /// *counted* in AccessStats either way.
   uint64_t statement_overhead_ns = 0;
+
+  /// Intra-query parallelism (DESIGN.md §11). 0 or 1 runs the classic
+  /// sequential Fig. 5 walk; >= 2 plans the walk sequentially (so every
+  /// acceptance / truncation / budget decision is made in exactly the
+  /// sequential order) but fans the expensive per-tuple work — simulated
+  /// I/O waits, tuple materialization and projection, per-relation emit,
+  /// FK validation — out to a work-stealing task pool, keeping at most
+  /// `parallelism` of this query's chunk tasks in flight. The emitted
+  /// database and DbGenReport are byte-identical to the sequential run for
+  /// every value of this knob and any pool size.
+  size_t parallelism = 1;
+
+  /// Pool for parallel generation; nullptr (default) uses the process-wide
+  /// TaskPool::Shared() so `service workers x per-query chunk tasks`
+  /// cannot oversubscribe the machine. Ignored when parallelism <= 1.
+  TaskPool* pool = nullptr;
+
+  /// Simulated per-retrieved-tuple access latency, in nanoseconds — the
+  /// TupleTime term of the paper's §6 cost model on its Oracle substrate,
+  /// where every accepted tuple pays real I/O wait. Paid as batched
+  /// *sleeps* (not busy-waits: it models time the CPU is idle), which is
+  /// exactly the component concurrent subtree expansion overlaps. Both the
+  /// sequential and the parallel path pay it once per accepted tuple, so
+  /// sequential-vs-parallel comparisons under this knob are fair.
+  /// Timing-only: never affects the generated database. 0 disables.
+  uint64_t simulated_access_latency_ns = 0;
 };
 
 /// \brief What happened during one generation run.
@@ -139,6 +167,14 @@ class ResultDatabaseGenerator {
   /// stops early once the context reports ShouldStop(): the tuples fetched
   /// so far are emitted as a well-formed (constraint-checked) partial
   /// database and the cause is recorded in DbGenReport::stop_reason.
+  ///
+  /// With options.parallelism >= 2 the run executes on a task pool
+  /// (DESIGN.md §11) and is guaranteed byte-identical — database and
+  /// report — to the sequential run, including budget-stopped partial
+  /// answers. AccessStats attribution may differ slightly in parallel mode
+  /// (duplicate-tuple re-fetches are planned away), which is why budget
+  /// stops are decided against a simulated charge counter that replays the
+  /// sequential charge sequence exactly.
   Result<Database> Generate(const ResultSchema& schema, const SeedTids& seeds,
                             const CardinalityConstraint& c,
                             const DbGenOptions& options = DbGenOptions(),
@@ -147,6 +183,20 @@ class ResultDatabaseGenerator {
   const DbGenReport& last_report() const { return last_report_; }
 
  private:
+  /// The classic single-threaded Fig. 5 walk (database_generator.cc).
+  Result<Database> GenerateSequential(const ResultSchema& schema,
+                                      const SeedTids& seeds,
+                                      const CardinalityConstraint& c,
+                                      const DbGenOptions& options,
+                                      ExecutionContext* ctx);
+
+  /// Sequential plan + parallel fetch/emit/validate (parallel_dbgen.cc).
+  Result<Database> GenerateParallel(const ResultSchema& schema,
+                                    const SeedTids& seeds,
+                                    const CardinalityConstraint& c,
+                                    const DbGenOptions& options,
+                                    ExecutionContext* ctx);
+
   const Database* source_;
   DbGenReport last_report_;
 };

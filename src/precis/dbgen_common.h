@@ -1,0 +1,167 @@
+// Helpers shared by the sequential and parallel result-database
+// generators (database_generator.cc and parallel_dbgen.cc).
+//
+// Both implementations must agree bit-for-bit on everything in here: the
+// parallel generator's determinism guarantee ("byte-identical output to the
+// single-threaded run") rests on the two paths computing the same emitted
+// attribute sets, the same SQL trace text, the same FK-holds verdicts and
+// the same simulated-cost timing hooks from the same inputs.
+
+#ifndef PRECIS_PRECIS_DBGEN_COMMON_H_
+#define PRECIS_PRECIS_DBGEN_COMMON_H_
+
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "precis/result_schema.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace precis {
+namespace dbgen_internal {
+
+/// Busy-waits for the simulated per-statement overhead (see
+/// DbGenOptions::statement_overhead_ns). A sleep would be descheduled for
+/// far longer than the microsecond scale being modelled.
+inline void SimulateStatementOverhead(uint64_t total_ns) {
+  if (total_ns == 0) return;
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::nanoseconds(total_ns);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+/// Accumulates simulated per-tuple access latency (see
+/// DbGenOptions::simulated_access_latency_ns) and pays it in batched
+/// sleeps. Unlike the statement overhead above, this models *I/O wait* on
+/// the paper's DBMS substrate — time the CPU is idle — so it sleeps
+/// (yielding the core, which is what lets concurrent subtree expansion
+/// overlap the waits) instead of busy-waiting, and batches to
+/// kFlushThresholdNs so scheduler wake-up noise does not swamp the
+/// microsecond-scale debt being modelled. Timing-only: never affects
+/// output.
+class LatencyDebt {
+ public:
+  static constexpr uint64_t kFlushThresholdNs = 100'000;  // 100us
+
+  explicit LatencyDebt(uint64_t per_access_ns) : per_access_ns_(per_access_ns) {}
+
+  /// Records `count` accesses of debt and sleeps it off once the batch
+  /// crosses the flush threshold.
+  void Charge(size_t count = 1) {
+    if (per_access_ns_ == 0) return;
+    owed_ns_ += per_access_ns_ * static_cast<uint64_t>(count);
+    if (owed_ns_ >= kFlushThresholdNs) Flush();
+  }
+
+  /// Sleeps off any remaining debt.
+  void Flush() {
+    if (owed_ns_ == 0) return;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(owed_ns_));
+    owed_ns_ = 0;
+  }
+
+ private:
+  uint64_t per_access_ns_;
+  uint64_t owed_ns_ = 0;
+};
+
+inline std::vector<size_t> IdentityProjection(const RelationSchema& schema) {
+  std::vector<size_t> out(schema.num_attributes());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = i;
+  return out;
+}
+
+/// The attribute indices a result relation exposes: the projections of G'
+/// plus (optionally) the join attributes of its incident edges.
+inline std::vector<size_t> EmittedAttributeIndices(
+    const ResultSchema& schema, RelationNodeId rel,
+    bool include_join_attributes) {
+  const RelationSchema& src_schema = schema.graph().relation_schema(rel);
+  std::set<uint32_t> attrs = schema.projected_attributes(rel);
+  if (include_join_attributes) {
+    for (const JoinEdge* e : schema.join_edges()) {
+      if (e->from == rel) {
+        auto idx = src_schema.AttributeIndex(e->from_attribute);
+        if (idx.ok()) attrs.insert(static_cast<uint32_t>(*idx));
+      }
+      if (e->to == rel) {
+        auto idx = src_schema.AttributeIndex(e->to_attribute);
+        if (idx.ok()) attrs.insert(static_cast<uint32_t>(*idx));
+      }
+    }
+  }
+  return std::vector<size_t>(attrs.begin(), attrs.end());
+}
+
+/// Renders the sigma_Tids seed query as SQL text for the trace.
+inline std::string RenderSeedSql(const RelationSchema& schema,
+                                 const std::vector<size_t>& projection,
+                                 const std::vector<Tid>& tids) {
+  std::string sql = "SELECT ";
+  if (projection.empty()) {
+    sql += "*";
+  } else {
+    for (size_t i = 0; i < projection.size(); ++i) {
+      if (i > 0) sql += ", ";
+      sql += schema.attribute(projection[i]).name;
+    }
+  }
+  sql += " FROM " + schema.name() + " WHERE rowid IN (";
+  for (size_t i = 0; i < tids.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += std::to_string(tids[i]);
+  }
+  sql += ")";
+  return sql;
+}
+
+/// True if `fk` holds on the (already emitted) data of `db`: every non-NULL
+/// child value appears among the parent values.
+inline bool ForeignKeyHolds(const Database& db, const ForeignKey& fk) {
+  auto child = db.GetRelation(fk.child_relation);
+  auto parent = db.GetRelation(fk.parent_relation);
+  if (!child.ok() || !parent.ok()) return false;
+  auto child_idx = (*child)->schema().AttributeIndex(fk.child_attribute);
+  auto parent_idx = (*parent)->schema().AttributeIndex(fk.parent_attribute);
+  if (!child_idx.ok() || !parent_idx.ok()) return false;
+  std::unordered_set<Value, ValueHash> parent_values;
+  for (Tid tid = 0; tid < (*parent)->num_tuples(); ++tid) {
+    parent_values.insert((*parent)->tuple(tid)[*parent_idx]);
+  }
+  for (Tid tid = 0; tid < (*child)->num_tuples(); ++tid) {
+    const Value& v = (*child)->tuple(tid)[*child_idx];
+    if (v.is_null()) continue;
+    if (parent_values.count(v) == 0) return false;
+  }
+  return true;
+}
+
+/// True if the join edge is to-1: its destination attribute is the
+/// destination relation's primary key, so each source tuple joins with at
+/// most one destination tuple.
+inline bool IsToOne(const JoinEdge& edge, const RelationSchema& to_schema) {
+  if (!to_schema.primary_key()) return false;
+  auto idx = to_schema.AttributeIndex(edge.to_attribute);
+  if (!idx.ok()) return false;
+  return *idx == *to_schema.primary_key();
+}
+
+/// The out-of-range message Relation::Get produces, replicated so the
+/// parallel planner (which validates tids without fetching) fails with the
+/// byte-same status text as the sequential generator.
+inline std::string TidOutOfRangeMessage(Tid tid, const Relation& relation) {
+  return "tid " + std::to_string(tid) + " out of range for relation '" +
+         relation.name() + "' with " + std::to_string(relation.num_tuples()) +
+         " tuples";
+}
+
+}  // namespace dbgen_internal
+}  // namespace precis
+
+#endif  // PRECIS_PRECIS_DBGEN_COMMON_H_

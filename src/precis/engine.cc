@@ -182,6 +182,11 @@ std::string PrecisEngine::AnswerFingerprint(
   key += options.path_aware_propagation ? '1' : '0';
   key += '|';
   key += std::to_string(options.statement_overhead_ns);
+  // Deliberately NOT part of the key: parallelism, pool and
+  // simulated_access_latency_ns. Parallel generation is byte-identical to
+  // sequential (DESIGN.md §11) and the latency knob is timing-only, so
+  // answers produced under any of those settings are interchangeable —
+  // fingerprinting them would only fragment the cache.
   return key;
 }
 

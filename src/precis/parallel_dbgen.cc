@@ -1,0 +1,671 @@
+// Intra-query parallel result-database generation (DESIGN.md §11).
+//
+// The sequential Fig. 5 walk (database_generator.cc) makes every decision
+// that shapes the output — which tuple is accepted, in which order, where
+// the cardinality budget truncates, which edge runs next — from *tids and
+// counts only*; tuple values are needed only to drive join keys (readable
+// uncharged from the stable source heap) and to materialize the output.
+// That observation is the whole design:
+//
+//   * PLAN (this thread, sequential): replays the sequential control flow
+//     bit-exactly — same seed order, same edge schedule, same per-edge
+//     RoundRobin rounds, same duplicate handling, same budget checks at
+//     the same points — but records accepted tids instead of fetching
+//     tuples. Budget stops are decided against a *simulated* charge
+//     counter that replays the sequential charge sequence (probe per key,
+//     fetch per processed candidate, duplicates included), because the
+//     parallel run's real AccessStats legitimately differ (planned-away
+//     duplicate re-fetches); the decided reason is latched onto the
+//     ExecutionContext so one observed stop stops all workers.
+//   * FETCH (task pool, overlapped with planning): every kChunkTuples
+//     accepted tids of a relation become one materialization task that
+//     pays the simulated per-tuple I/O wait, charges the real tuple
+//     fetches, and projects the tuples into a chunk-owned buffer. Chunk
+//     boundaries depend only on the accepted sequence, never on thread
+//     count, so the buffers are a deterministic partition of the output.
+//   * MERGE/EMIT (deterministic): after the plan completes and the chunks
+//     drain, chunk buffers are concatenated in acceptance order — exactly
+//     the sequential collection order — and inserted; per-relation emit
+//     and per-FK validation fan out again (disjoint targets).
+//
+// The emitted database and DbGenReport are therefore byte-identical to
+// GenerateSequential for any pool size and parallelism value, including
+// budget-stopped partial runs. Deadline and cancellation stops remain
+// wall-clock-dependent in both modes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/task_pool.h"
+#include "precis/database_generator.h"
+#include "precis/dbgen_common.h"
+#include "sql/select.h"
+
+namespace precis {
+
+using dbgen_internal::EmittedAttributeIndices;
+using dbgen_internal::ForeignKeyHolds;
+using dbgen_internal::IsToOne;
+using dbgen_internal::RenderSeedSql;
+using dbgen_internal::SimulateStatementOverhead;
+using dbgen_internal::TidOutOfRangeMessage;
+
+namespace {
+
+/// Accepted tids per materialization task. Large enough that a chunk's
+/// simulated I/O consolidates into one substantial sleep and the pool
+/// transfer cost is noise; small enough that a large-c query yields many
+/// chunks to steal.
+constexpr size_t kChunkTuples = 256;
+
+/// One materialization task's input (tid snapshot) and output (projected
+/// tuples, index-aligned with `tids`). The task owns `rows` exclusively
+/// until the group Wait establishes the happens-before edge back to the
+/// merging thread — no shared growing vector, no reallocation races.
+struct MaterializedChunk {
+  std::vector<Tid> tids;
+  std::vector<Tuple> rows;
+};
+
+/// Plan-side state of one result relation: what the sequential Collected
+/// tracks, minus the tuple values (deferred to chunk tasks).
+struct PlannedRelation {
+  const Relation* source = nullptr;
+  std::vector<size_t> emitted;  // emitted attribute indices (sorted)
+  bool identity = false;        // emitted == full schema order
+
+  std::vector<Tid> accepted;    // sequential collection order
+  std::unordered_set<Tid> seen;
+  std::unordered_map<Tid, std::vector<const JoinEdge*>> arrivals;
+
+  size_t next_chunk_start = 0;  // first accepted index not yet chunked
+  std::vector<std::unique_ptr<MaterializedChunk>> chunks;
+
+  void Tag(Tid tid, const JoinEdge* arrival) {
+    std::vector<const JoinEdge*>& tags = arrivals[tid];
+    for (const JoinEdge* t : tags) {
+      if (t == arrival) return;
+    }
+    tags.push_back(arrival);
+  }
+};
+
+/// A TaskPool::Group that keeps at most `limit` of its tasks in flight —
+/// the DbGenOptions::parallelism knob. Excess submissions queue locally
+/// and are chained in by completing tasks, so one query cannot flood the
+/// shared pool ahead of its configured share. Destruction waits for
+/// everything (including the deferred chain) before tearing down.
+class ThrottledGroup {
+ public:
+  ThrottledGroup(TaskPool* pool, size_t limit)
+      : group_(pool), limit_(std::max<size_t>(1, limit)) {}
+
+  ~ThrottledGroup() {
+    try {
+      group_.Wait();
+    } catch (...) {
+      // Callers who care about task exceptions call Wait() themselves.
+    }
+  }
+
+  void Run(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (in_flight_ >= limit_) {
+        deferred_.push_back(std::move(fn));
+        return;
+      }
+      ++in_flight_;
+    }
+    Launch(std::move(fn));
+  }
+
+  /// Waits for every submitted task (rethrows the first task exception).
+  /// The group is reusable afterwards — the emit and FK phases reuse it.
+  void Wait() { group_.Wait(); }
+
+ private:
+  void Launch(std::function<void()> fn) {
+    group_.Run([this, fn = std::move(fn)]() mutable {
+      try {
+        fn();
+      } catch (...) {
+        OnDone();  // keep the deferred chain draining even on failure
+        throw;
+      }
+      OnDone();
+    });
+  }
+
+  void OnDone() {
+    std::function<void()> next;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (deferred_.empty()) {
+        --in_flight_;
+        return;
+      }
+      next = std::move(deferred_.front());
+      deferred_.pop_front();
+    }
+    Launch(std::move(next));
+  }
+
+  TaskPool::Group group_;
+  size_t limit_;
+  std::mutex mu_;
+  std::deque<std::function<void()>> deferred_;
+  size_t in_flight_ = 0;
+};
+
+/// Sequential JoinKeys, re-read from the source heap: ordered distinct
+/// non-NULL values of `attribute` over the accepted tuples. The heap is
+/// append-only and tuple(tid) is uncharged, so the values (and their
+/// collection order) are identical to the sequential pass over the
+/// materialized rows.
+Result<std::vector<Value>> PlanJoinKeys(
+    const PlannedRelation& p, const RelationSchema& schema,
+    const std::string& attribute,
+    const std::set<const JoinEdge*>* allowed_arrivals) {
+  auto idx = schema.AttributeIndex(attribute);
+  if (!idx.ok()) return idx.status();
+  std::vector<Value> keys;
+  std::unordered_set<Value, ValueHash> dedup;
+  for (Tid tid : p.accepted) {
+    if (allowed_arrivals != nullptr) {
+      auto tags = p.arrivals.find(tid);
+      bool feeds = false;
+      if (tags != p.arrivals.end()) {
+        for (const JoinEdge* t : tags->second) {
+          if (allowed_arrivals->count(t) > 0) {
+            feeds = true;
+            break;
+          }
+        }
+      }
+      if (!feeds) continue;
+    }
+    const Value& v = p.source->tuple(tid)[*idx];
+    if (v.is_null()) continue;
+    if (dedup.insert(v).second) keys.push_back(v);
+  }
+  return keys;
+}
+
+}  // namespace
+
+Result<Database> ResultDatabaseGenerator::GenerateParallel(
+    const ResultSchema& schema, const SeedTids& seeds,
+    const CardinalityConstraint& c, const DbGenOptions& options,
+    ExecutionContext* ctx) {
+  last_report_ = DbGenReport{};
+  const SchemaGraph& graph = schema.graph();
+
+  // Resolve source relations once (same order and error surface as the
+  // sequential path).
+  std::map<RelationNodeId, const Relation*> source_relations;
+  for (RelationNodeId rel : schema.relations()) {
+    auto r = source_->GetRelation(graph.relation_name(rel));
+    if (!r.ok()) return r.status();
+    source_relations[rel] = *r;
+  }
+
+  std::map<RelationNodeId, PlannedRelation> planned;
+  for (RelationNodeId rel : schema.relations()) {
+    PlannedRelation& p = planned[rel];
+    p.source = source_relations[rel];
+    p.emitted =
+        EmittedAttributeIndices(schema, rel, options.include_join_attributes);
+    p.identity = IsIdentityProjection(p.emitted,
+                                      p.source->schema().num_attributes());
+  }
+  size_t total = 0;
+
+  // The task group outlives nothing it references: everything chunk tasks
+  // touch (planned, source relations, ctx) is declared above, so the
+  // group's destructor — which waits — runs first on every return path.
+  TaskPool* pool = options.pool != nullptr ? options.pool : TaskPool::Shared();
+  ThrottledGroup group(pool, options.parallelism);
+
+  const uint64_t latency_ns = options.simulated_access_latency_ns;
+
+  // --- Stop logic ---------------------------------------------------------
+  //
+  // sim_charges replays the charge sequence the *sequential* run would
+  // produce: one per index probe / sequential scan at the probe sites, one
+  // per tuple Get at the fetch sites — including duplicate fetches the
+  // parallel run never performs. Budget stops are decided against it (and
+  // latched, monotonically, onto the context) so truncation lands on
+  // exactly the sequential tuple. Cancellation and deadline come from the
+  // context as usual; their timing is inherently non-deterministic in both
+  // modes. Check order mirrors ExecutionContext::ShouldStop.
+  const uint64_t budget = ctx != nullptr ? ctx->access_budget() : 0;
+  uint64_t sim_charges = 0;
+  auto plan_stopped = [&]() -> bool {
+    if (ctx == nullptr) return false;
+    if (ctx->stop_reason() != StopReason::kNone) return true;
+    if (ctx->cancelled()) {
+      ctx->LatchStop(StopReason::kCancelled);
+      return true;
+    }
+    if (budget != 0 && sim_charges >= budget) {
+      ctx->LatchStop(StopReason::kAccessBudgetExhausted);
+      return true;
+    }
+    auto remaining = ctx->RemainingSeconds();
+    if (remaining.has_value() && *remaining <= 0.0) {
+      ctx->LatchStop(StopReason::kDeadlineExceeded);
+      return true;
+    }
+    return false;
+  };
+
+  auto mark_truncated = [&](RelationNodeId rel) {
+    const std::string& name = graph.relation_name(rel);
+    auto& t = last_report_.truncated_relations;
+    if (std::find(t.begin(), t.end(), name) == t.end()) t.push_back(name);
+  };
+
+  // Spawns materialization tasks for every completed chunk of `p`'s
+  // accepted tids (`flush` also chunks the residual tail). Boundaries
+  // depend only on the accepted sequence — never on threads or timing —
+  // so the chunk set is a deterministic partition of the output.
+  auto spawn_chunks = [&](PlannedRelation& p, bool flush) {
+    while (p.accepted.size() - p.next_chunk_start >= kChunkTuples ||
+           (flush && p.accepted.size() > p.next_chunk_start)) {
+      size_t begin = p.next_chunk_start;
+      size_t count = std::min(kChunkTuples, p.accepted.size() - begin);
+      p.next_chunk_start = begin + count;
+      auto owned = std::make_unique<MaterializedChunk>();
+      owned->tids.assign(p.accepted.begin() + begin,
+                         p.accepted.begin() + begin + count);
+      MaterializedChunk* chunk = owned.get();
+      const Relation* src = p.source;
+      const std::vector<size_t>* emitted = &p.emitted;  // stable (node map)
+      const bool identity = p.identity;
+      p.chunks.push_back(std::move(owned));
+      group.Run([chunk, src, emitted, identity, latency_ns, ctx] {
+        if (latency_ns != 0) {
+          // The chunk's whole simulated I/O wait in one sleep: same total
+          // as the sequential path's batched debt, but overlappable.
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              latency_ns * static_cast<uint64_t>(chunk->tids.size())));
+        }
+        chunk->rows.reserve(chunk->tids.size());
+        for (Tid tid : chunk->tids) {
+          // Charged fetch. Cannot fail: the planner bounds-checked every
+          // accepted tid and the source heap is append-only.
+          auto tuple = src->Get(tid, ctx);
+          chunk->rows.push_back(identity ? **tuple
+                                         : ProjectTuple(**tuple, *emitted));
+        }
+      });
+    }
+  };
+
+  // Accepts `tid` into `p` (bookkeeping only; materialization is deferred
+  // to a chunk task). Caller has already done the dup/stop/budget checks
+  // in sequential order.
+  auto accept = [&](PlannedRelation& p, Tid tid, const JoinEdge* arrival) {
+    p.Tag(tid, arrival);
+    p.seen.insert(tid);
+    p.accepted.push_back(tid);
+    ++total;
+    spawn_chunks(p, /*flush=*/false);
+  };
+
+  // --- Step 1: seed tuples (sigma_Tids), NaiveQ-limited -------------------
+  for (const auto& [rel, tids] : seeds) {
+    if (schema.relations().count(rel) == 0) {
+      return Status::InvalidArgument("seed relation '" +
+                                     graph.relation_name(rel) +
+                                     "' is not part of the result schema");
+    }
+    if (plan_stopped()) {
+      mark_truncated(rel);
+      continue;
+    }
+    const Relation& source = *source_relations[rel];
+    source.CountStatement(ctx);  // one sigma_Tids query per seed relation
+    SimulateStatementOverhead(options.statement_overhead_ns);
+    PlannedRelation& p = planned[rel];
+    if (options.trace_sql) {
+      last_report_.sql_trace.push_back(
+          RenderSeedSql(source.schema(), p.emitted, tids));
+    }
+    std::vector<Tid> ordered_tids = tids;
+    if (options.tuple_weights != nullptr) {
+      const std::string& rel_name = graph.relation_name(rel);
+      std::stable_sort(ordered_tids.begin(), ordered_tids.end(),
+                       [&](Tid a, Tid b) {
+                         return options.tuple_weights->Weight(rel_name, a) >
+                                options.tuple_weights->Weight(rel_name, b);
+                       });
+    }
+    for (Tid tid : ordered_tids) {
+      if (p.seen.count(tid) > 0) continue;
+      if (plan_stopped()) {
+        mark_truncated(rel);
+        break;
+      }
+      std::optional<size_t> b = c.Budget(p.accepted.size(), total);
+      if (b.has_value() && *b == 0) {
+        mark_truncated(rel);
+        break;
+      }
+      if (tid >= source.num_tuples()) {
+        // The sequential path fails here inside Relation::Get.
+        return Status::OutOfRange(TidOutOfRangeMessage(tid, source));
+      }
+      sim_charges += 1;  // the sequential seed Get
+      accept(p, tid, nullptr);
+    }
+  }
+
+  // Path-aware propagation feeders (identical to the sequential pass).
+  std::map<const JoinEdge*, std::set<const JoinEdge*>> feeders;
+  if (options.path_aware_propagation) {
+    for (const Path& path : schema.projection_paths()) {
+      const std::vector<const JoinEdge*>& joins = path.joins();
+      for (size_t i = 0; i < joins.size(); ++i) {
+        feeders[joins[i]].insert(i == 0 ? nullptr : joins[i - 1]);
+      }
+    }
+  }
+
+  // --- Step 2: weight-ordered edge schedule with postponement -------------
+  std::map<RelationNodeId, int> pending;
+  for (RelationNodeId rel : schema.relations()) {
+    pending[rel] = schema.in_degree(rel);
+  }
+  std::unordered_set<const JoinEdge*> executed;
+
+  while (!plan_stopped() && executed.size() < schema.join_edges().size()) {
+    const JoinEdge* next = nullptr;
+    bool next_applicable = false;
+    for (const JoinEdge* e : schema.join_edges()) {
+      if (executed.count(e) > 0) continue;
+      bool applicable = pending[e->from] == 0;
+      bool better;
+      if (next == nullptr) {
+        better = true;
+      } else if (applicable != next_applicable) {
+        better = applicable;
+      } else {
+        better = e->weight > next->weight;
+      }
+      if (better) {
+        next = e;
+        next_applicable = applicable;
+      }
+    }
+    const JoinEdge& edge = *next;
+    const Relation& to_relation = *source_relations[edge.to];
+    const RelationSchema& from_schema = graph.relation_schema(edge.from);
+    const RelationSchema& to_schema = graph.relation_schema(edge.to);
+
+    const std::set<const JoinEdge*>* allowed = nullptr;
+    if (options.path_aware_propagation) {
+      allowed = &feeders[&edge];
+    }
+    auto keys = PlanJoinKeys(planned[edge.from], from_schema,
+                             edge.from_attribute, allowed);
+    if (!keys.ok()) return keys.status();
+
+    SubsetStrategy strategy = options.strategy;
+    if (strategy == SubsetStrategy::kAuto) {
+      strategy = IsToOne(edge, to_schema) ? SubsetStrategy::kNaiveQ
+                                          : SubsetStrategy::kRoundRobin;
+    }
+
+    PlannedRelation& col = planned[edge.to];
+
+    if (options.trace_sql) {
+      std::vector<size_t> display = EmittedAttributeIndices(
+          schema, edge.to, options.include_join_attributes);
+      if (strategy == SubsetStrategy::kRoundRobin &&
+          options.tuple_weights == nullptr) {
+        for (const Value& key : *keys) {
+          last_report_.sql_trace.push_back(RenderInListSql(
+              to_schema, edge.to_attribute, {key}, display, std::nullopt));
+        }
+      } else {
+        std::optional<size_t> limit;
+        std::optional<size_t> b = c.Budget(col.accepted.size(), total);
+        if (strategy == SubsetStrategy::kNaiveQ &&
+            options.tuple_weights == nullptr && b.has_value()) {
+          limit = b;
+        }
+        last_report_.sql_trace.push_back(RenderInListSql(
+            to_schema, edge.to_attribute, *keys, display, limit));
+      }
+    }
+
+    // Mirror of the sequential try_add, on tids: duplicates gain the
+    // arrival tag without consuming budget; the stop and budget checks sit
+    // at exactly the sequential points.
+    auto plan_try_add = [&](Tid tid) -> bool {
+      if (col.seen.count(tid) > 0) {
+        col.Tag(tid, &edge);
+        return true;
+      }
+      if (plan_stopped()) {
+        mark_truncated(edge.to);
+        return false;
+      }
+      std::optional<size_t> b = c.Budget(col.accepted.size(), total);
+      if (b.has_value() && *b == 0) {
+        mark_truncated(edge.to);
+        return false;
+      }
+      accept(col, tid, &edge);
+      return true;
+    };
+
+    if (options.tuple_weights != nullptr) {
+      // Ranked selection: collect candidates, order by weight, fetch up to
+      // the budget. The sequential path Gets every ordered candidate
+      // (charging a fetch) before its try_add, so sim charges do too.
+      const std::string& to_name = graph.relation_name(edge.to);
+      to_relation.CountStatement(ctx);
+      SimulateStatementOverhead(options.statement_overhead_ns);
+      std::vector<Tid> candidates;
+      std::unordered_set<Tid> candidate_seen;
+      for (const Value& key : *keys) {
+        if (plan_stopped()) break;
+        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
+        if (!tids.ok()) return tids.status();
+        sim_charges += 1;  // the probe (or fallback scan)
+        for (Tid tid : *tids) {
+          if (col.seen.count(tid) > 0) continue;
+          if (candidate_seen.insert(tid).second) candidates.push_back(tid);
+        }
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](Tid a, Tid b) {
+                         return options.tuple_weights->Weight(to_name, a) >
+                                options.tuple_weights->Weight(to_name, b);
+                       });
+      for (Tid tid : candidates) {
+        sim_charges += 1;  // the sequential candidate Get
+        if (!plan_try_add(tid)) break;
+      }
+    } else if (strategy == SubsetStrategy::kNaiveQ) {
+      // One IN-list query, kept up to the budget in retrieval order. The
+      // sequential path has no per-key stop check here (stops surface via
+      // try_add), and Gets duplicates before skipping them: mirrored.
+      to_relation.CountStatement(ctx);
+      SimulateStatementOverhead(options.statement_overhead_ns);
+      bool budget_open = true;
+      for (const Value& key : *keys) {
+        if (!budget_open) break;
+        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
+        if (!tids.ok()) return tids.status();
+        sim_charges += 1;  // the probe (or fallback scan)
+        for (Tid tid : *tids) {
+          sim_charges += 1;  // the sequential Get, duplicates included
+          if (!plan_try_add(tid)) {
+            budget_open = false;
+            break;
+          }
+        }
+      }
+    } else {
+      // RoundRobin: one scan per key (PerValueScanSet::Open parity: scans
+      // opened after a stop are empty and uncharged), then one tuple per
+      // open scan per round — rounds stay per-edge, exactly sequential.
+      std::vector<std::vector<Tid>> scans;
+      scans.reserve(keys->size());
+      for (const Value& key : *keys) {
+        if (plan_stopped()) {
+          scans.emplace_back();
+          continue;
+        }
+        to_relation.CountStatement(ctx);  // one cursor per probe value
+        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
+        if (!tids.ok()) return tids.status();
+        sim_charges += 1;  // the probe (or fallback scan)
+        scans.push_back(std::move(*tids));
+      }
+      SimulateStatementOverhead(options.statement_overhead_ns *
+                                static_cast<uint64_t>(keys->size()));
+      std::vector<size_t> positions(scans.size(), 0);
+      auto all_closed = [&] {
+        for (size_t i = 0; i < scans.size(); ++i) {
+          if (positions[i] < scans[i].size()) return false;
+        }
+        return true;
+      };
+      bool budget_open = true;
+      while (budget_open && !all_closed()) {
+        for (size_t i = 0; i < scans.size(); ++i) {
+          if (positions[i] >= scans[i].size()) continue;
+          Tid tid = scans[i][positions[i]++];
+          sim_charges += 1;  // PerValueScanSet::Next's Get
+          if (!plan_try_add(tid)) {
+            budget_open = false;
+            break;
+          }
+        }
+      }
+    }
+
+    --pending[edge.to];
+    executed.insert(&edge);
+    last_report_.executed_edges.push_back(graph.relation_name(edge.from) +
+                                          " -> " +
+                                          graph.relation_name(edge.to));
+  }
+
+  // --- Merge barrier: flush residual chunks, drain materialization --------
+  for (auto& [rel, p] : planned) {
+    spawn_chunks(p, /*flush=*/true);
+  }
+  group.Wait();
+
+  // --- Step 3: emit (per-relation fan-out, deterministic content) ---------
+  Database result("precis_result");
+  std::vector<RelationNodeId> rel_order(schema.relations().begin(),
+                                        schema.relations().end());
+  std::vector<Relation*> out_relations(rel_order.size(), nullptr);
+  for (size_t i = 0; i < rel_order.size(); ++i) {
+    RelationNodeId rel = rel_order[i];
+    const RelationSchema& src_schema = graph.relation_schema(rel);
+    const PlannedRelation& p = planned[rel];
+
+    std::vector<AttributeSchema> out_attrs;
+    out_attrs.reserve(p.emitted.size());
+    for (size_t idx : p.emitted) out_attrs.push_back(src_schema.attribute(idx));
+    RelationSchema out_schema(src_schema.name(), std::move(out_attrs));
+    if (src_schema.primary_key()) {
+      const std::string& pk_name =
+          src_schema.attribute(*src_schema.primary_key()).name;
+      if (out_schema.HasAttribute(pk_name)) {
+        PRECIS_RETURN_NOT_OK(out_schema.SetPrimaryKey(pk_name));
+      }
+    }
+    PRECIS_RETURN_NOT_OK(result.CreateRelation(std::move(out_schema)));
+    auto out_relation = result.GetRelation(src_schema.name());
+    if (!out_relation.ok()) return out_relation.status();
+    out_relations[i] = *out_relation;
+  }
+
+  // Chunk buffers concatenate in acceptance order == sequential collection
+  // order, so per-relation inserts reproduce the sequential tid sequence.
+  // Relations are disjoint insert targets (the database epoch is atomic),
+  // so one task per relation is race-free.
+  std::vector<Status> insert_status(rel_order.size(), Status::OK());
+  for (size_t i = 0; i < rel_order.size(); ++i) {
+    PlannedRelation* p = &planned[rel_order[i]];
+    Relation* out = out_relations[i];
+    Status* slot = &insert_status[i];
+    group.Run([p, out, slot] {
+      for (const std::unique_ptr<MaterializedChunk>& chunk : p->chunks) {
+        for (Tuple& row : chunk->rows) {
+          auto tid = out->Insert(std::move(row));
+          if (!tid.ok()) {
+            *slot = tid.status();
+            return;
+          }
+        }
+      }
+    });
+  }
+  group.Wait();
+  for (const Status& s : insert_status) {
+    PRECIS_RETURN_NOT_OK(s);
+  }
+
+  // --- Step 4: foreign-key carry-over (per-FK fan-out) --------------------
+  struct FkCheck {
+    const ForeignKey* fk;
+    bool holds = false;
+  };
+  std::vector<FkCheck> checks;
+  for (const ForeignKey& fk : source_->foreign_keys()) {
+    if (!result.HasRelation(fk.child_relation) ||
+        !result.HasRelation(fk.parent_relation)) {
+      continue;
+    }
+    auto child = result.GetRelation(fk.child_relation);
+    auto parent = result.GetRelation(fk.parent_relation);
+    if (!(*child)->schema().HasAttribute(fk.child_attribute) ||
+        !(*parent)->schema().HasAttribute(fk.parent_attribute)) {
+      continue;
+    }
+    checks.push_back(FkCheck{&fk});
+  }
+  for (FkCheck& check : checks) {  // `checks` is fully built: stable refs
+    FkCheck* slot = &check;
+    const Database* res = &result;
+    group.Run([res, slot] { slot->holds = ForeignKeyHolds(*res, *slot->fk); });
+  }
+  group.Wait();
+  for (const FkCheck& check : checks) {
+    if (check.holds) {
+      PRECIS_RETURN_NOT_OK(result.AddForeignKey(*check.fk));
+    } else {
+      last_report_.dropped_foreign_keys.push_back(check.fk->ToString());
+    }
+  }
+
+  last_report_.total_tuples = result.TotalTuples();
+  if (ctx != nullptr) last_report_.stop_reason = ctx->stop_reason();
+  return result;
+}
+
+}  // namespace precis

@@ -144,13 +144,23 @@ ServiceResponse PrecisService::RunOne(const ServiceRequest& request) {
           ? MaxTuplesPerRelation(request.tuples_per_relation)
           : UnlimitedCardinality();
 
+  // Apply the service-wide intra-query parallelism default unless the
+  // request carries an explicit setting. Output is byte-identical either
+  // way (DESIGN.md §11); this only changes cold-generation latency. The
+  // shared process-wide pool (DbGenOptions::pool == nullptr) keeps
+  // `workers x chunk tasks` from oversubscribing the machine.
+  DbGenOptions dbgen_options = request.options;
+  if (options_.dbgen_parallelism >= 2 && dbgen_options.parallelism <= 1) {
+    dbgen_options.parallelism = options_.dbgen_parallelism;
+  }
+
   ServiceResponse response;
   auto start = ExecutionContext::Clock::now();
   // AnswerShared routes through the engine's full-answer cache when that is
   // enabled (a hit shares the stored immutable answer) and degrades to a
   // plain uncached build otherwise.
   auto answer = engine_->AnswerShared(request.query, *degree, *cardinality,
-                                      request.options, &ctx);
+                                      dbgen_options, &ctx);
   response.latency_seconds =
       std::chrono::duration<double>(ExecutionContext::Clock::now() - start)
           .count();

@@ -87,6 +87,14 @@ class PrecisService {
     /// positive per-tuple cost).
     double response_time_target_seconds = 0.0;
     CostParameters cost_params;
+
+    /// Default intra-query parallelism (DbGenOptions::parallelism) applied
+    /// to requests that leave options.parallelism at its default (<= 1):
+    /// >= 2 runs cold database generation on the process-wide shared
+    /// TaskPool (DESIGN.md §11). One pool serves all workers, so `service
+    /// workers x per-query chunk tasks` cannot oversubscribe the machine.
+    /// 0 (default) leaves requests untouched.
+    size_t dbgen_parallelism = 0;
   };
 
   /// Aggregate counters across every query the service has finished.

@@ -35,26 +35,18 @@ Result<Tid> Relation::Insert(Tuple tuple) {
       return Status::ConstraintViolation("NULL primary key in relation '" +
                                          name() + "'");
     }
-    auto idx_it = indexes_.find(pk);
-    if (idx_it != indexes_.end()) {
-      if (!idx_it->second.Lookup(key).empty()) {
-        return Status::ConstraintViolation(
-            "duplicate primary key " + key.ToString() + " in relation '" +
-            name() + "'");
-      }
-    } else {
-      for (const Tuple& t : heap_) {
-        if (t[pk] == key) {
-          return Status::ConstraintViolation(
-              "duplicate primary key " + key.ToString() + " in relation '" +
-              name() + "'");
-        }
-      }
+    // pk_values_ mirrors the heap's key column, so uniqueness is O(1)
+    // whether or not an index exists on the key attribute.
+    if (pk_values_.count(key) > 0) {
+      return Status::ConstraintViolation(
+          "duplicate primary key " + key.ToString() + " in relation '" +
+          name() + "'");
     }
+    pk_values_.insert(key);
   }
   Tid tid = heap_.size();
-  for (auto& [attr_idx, index] : indexes_) {
-    index.Insert(tuple[attr_idx], tid);
+  for (size_t pos = 0; pos < indexes_.size(); ++pos) {
+    if (indexes_[pos] != nullptr) indexes_[pos]->Insert(tuple[pos], tid);
   }
   heap_.push_back(std::move(tuple));
   BumpEpoch();
@@ -75,9 +67,12 @@ Result<const Tuple*> Relation::Get(Tid tid, ExecutionContext* ctx) const {
 Status Relation::CreateIndex(const std::string& attribute_name) {
   auto idx = schema_.AttributeIndex(attribute_name);
   if (!idx.ok()) return idx.status();
-  HashIndex index;
+  if (indexes_.size() < schema_.num_attributes()) {
+    indexes_.resize(schema_.num_attributes());
+  }
+  auto index = std::make_unique<HashIndex>();
   for (Tid tid = 0; tid < heap_.size(); ++tid) {
-    index.Insert(heap_[tid][*idx], tid);
+    index->Insert(heap_[tid][*idx], tid);
   }
   indexes_[*idx] = std::move(index);
   // An index changes the access path (probe vs scan counts), so cached
@@ -88,8 +83,8 @@ Status Relation::CreateIndex(const std::string& attribute_name) {
 
 std::vector<std::string> Relation::IndexedAttributes() const {
   std::vector<std::string> out;
-  for (const auto& [attr_idx, index] : indexes_) {
-    out.push_back(schema_.attribute(attr_idx).name);
+  for (size_t pos = 0; pos < indexes_.size(); ++pos) {
+    if (indexes_[pos] != nullptr) out.push_back(schema_.attribute(pos).name);
   }
   return out;
 }
@@ -97,7 +92,7 @@ std::vector<std::string> Relation::IndexedAttributes() const {
 bool Relation::HasIndex(const std::string& attribute_name) const {
   auto idx = schema_.AttributeIndex(attribute_name);
   if (!idx.ok()) return false;
-  return indexes_.count(*idx) > 0;
+  return IndexAt(*idx) != nullptr;
 }
 
 Result<std::vector<Tid>> Relation::LookupEquals(
@@ -105,10 +100,9 @@ Result<std::vector<Tid>> Relation::LookupEquals(
     ExecutionContext* ctx) const {
   auto idx = schema_.AttributeIndex(attribute_name);
   if (!idx.ok()) return idx.status();
-  auto index_it = indexes_.find(*idx);
-  if (index_it != indexes_.end()) {
+  if (const HashIndex* index = IndexAt(*idx)) {
     CountIndexProbe(ctx);
-    return index_it->second.Lookup(key);
+    return index->Lookup(key);
   }
   CountSequentialScan(ctx);
   std::vector<Tid> out;

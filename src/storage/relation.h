@@ -5,9 +5,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/execution_context.h"
@@ -139,10 +140,23 @@ class Relation {
     if (ctx != nullptr) ctx->ChargeSequentialScan();
   }
 
+  /// The index on attribute position `pos`, or null. Flat vector keyed by
+  /// position instead of a map: the index probe (LookupEquals →
+  /// CountIndexProbe) is the hottest storage call in the generators, and a
+  /// positional load replaces an rb-tree walk per probe. Sized lazily by
+  /// CreateIndex; an empty vector means no indexes.
+  const HashIndex* IndexAt(size_t pos) const {
+    return pos < indexes_.size() ? indexes_[pos].get() : nullptr;
+  }
+
   RelationSchema schema_;
   std::vector<Tuple> heap_;
-  // attribute index -> hash index
-  std::map<size_t, HashIndex> indexes_;
+  std::vector<std::unique_ptr<HashIndex>> indexes_;
+  /// Every primary-key value in the heap, for O(1) uniqueness checks on
+  /// Insert even when no index exists on the key attribute (the emit phase
+  /// of result-database generation inserts into fresh unindexed relations;
+  /// the old fallback was a full heap scan per insert — O(n^2) total).
+  std::unordered_set<Value, ValueHash> pk_values_;
   AccessStats* stats_;
   // Owning database's mutation epoch (see Database::epoch()); may be null.
   std::atomic<uint64_t>* epoch_ = nullptr;

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "datagen/movies_dataset.h"
 #include "precis/engine.h"
+#include "service/precis_service.h"
+#include "storage/serialization.h"
 
 namespace precis {
 namespace {
@@ -257,6 +260,93 @@ TEST_F(ConcurrencyTest, FullyCachedEngineUnderContention) {
   // per distinct query.
   EXPECT_LE(stats.misses, static_cast<uint64_t>(kThreads * tokens.size()));
   EXPECT_GT(stats.hits, 0u);
+}
+
+TEST_F(ConcurrencyTest, IntraQueryParallelismUnderInterQueryLoad) {
+  // The two parallelism axes at once: many threads each run queries whose
+  // database generation fans out chunk tasks onto the ONE shared TaskPool
+  // (DbGenOptions::pool == nullptr). Every answer must be byte-identical
+  // to the sequential single-threaded reference.
+  auto d = MinPathWeight(0.8);
+  auto c = MaxTuplesPerRelation(10);
+  auto serialize = [](const Database& db) {
+    std::ostringstream os;
+    EXPECT_TRUE(SaveDatabase(db, &os).ok());
+    return os.str();
+  };
+  auto reference = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c);
+  ASSERT_TRUE(reference.ok());
+  std::string expected = serialize(reference->database);
+
+  DbGenOptions parallel_options;
+  parallel_options.parallelism = 4;  // shared pool
+
+  constexpr int kThreads = 6;
+  constexpr int kQueriesPerThread = 8;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto answer = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c,
+                                      parallel_options);
+        if (!answer.ok()) {
+          ++failures[t];
+          continue;
+        }
+        std::ostringstream os;
+        if (!SaveDatabase(answer->database, &os).ok() ||
+            os.str() != expected) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+TEST_F(ConcurrencyTest, ServiceWorkersShareTheTaskPool) {
+  // PrecisService with a service-wide dbgen_parallelism default: four
+  // service workers each fan their queries' chunk tasks onto the shared
+  // pool. All answers complete, validate, and agree with the sequential
+  // reference.
+  auto d = MinPathWeight(0.8);
+  auto c = MaxTuplesPerRelation(10);
+  auto reference = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c);
+  ASSERT_TRUE(reference.ok());
+  std::ostringstream ref_os;
+  ASSERT_TRUE(SaveDatabase(reference->database, &ref_os).ok());
+  const std::string expected = ref_os.str();
+
+  PrecisService::Options options;
+  options.num_workers = 4;
+  options.dbgen_parallelism = 4;
+  auto service = PrecisService::Create(engine_.get(), options);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    ServiceRequest request;
+    request.query = PrecisQuery{{"Woody Allen"}};
+    request.min_path_weight = 0.8;
+    request.tuples_per_relation = 10;
+    requests.push_back(std::move(request));
+  }
+  auto futures = (*service)->SubmitBatch(std::move(requests));
+  for (auto& future : futures) {
+    ServiceResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_NE(response.answer, nullptr);
+    std::ostringstream os;
+    ASSERT_TRUE(SaveDatabase(response.answer->database, &os).ok());
+    EXPECT_EQ(os.str(), expected);
+  }
+  (*service)->Shutdown();
 }
 
 }  // namespace

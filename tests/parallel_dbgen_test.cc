@@ -1,0 +1,362 @@
+// Determinism suite for parallel result-database generation (DESIGN.md
+// §11): for every strategy, option and stop mode, the parallel path must
+// produce a database that is BYTE-IDENTICAL (via storage/serialization)
+// to the sequential Fig. 5 walk, with an equal DbGenReport — on pools of
+// 1, 2 and 8 threads, independent of the parallelism knob's value.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "common/task_pool.h"
+#include "datagen/movies_dataset.h"
+#include "precis/database_generator.h"
+#include "precis/schema_generator.h"
+#include "precis/tuple_weights.h"
+#include "storage/serialization.h"
+
+namespace precis {
+namespace {
+
+struct RunResult {
+  bool ok = false;
+  std::string bytes;  // SaveDatabase text of the emitted database
+  DbGenReport report;
+  StopReason ctx_stop = StopReason::kNone;
+};
+
+/// One generation run under fresh generator + fresh context.
+RunResult RunOnce(const Database& db, const ResultSchema& schema,
+                  const SeedTids& seeds, const CardinalityConstraint& c,
+                  DbGenOptions options,
+                  const std::function<void(ExecutionContext&)>& configure) {
+  RunResult out;
+  ExecutionContext ctx;
+  if (configure) configure(ctx);
+  ResultDatabaseGenerator gen(&db);
+  auto result =
+      gen.Generate(schema, seeds, c, options, configure ? &ctx : nullptr);
+  if (!result.ok()) {
+    ADD_FAILURE() << "Generate failed: " << result.status().ToString();
+    return out;
+  }
+  std::ostringstream os;
+  Status saved = SaveDatabase(*result, &os);
+  if (!saved.ok()) {
+    ADD_FAILURE() << "SaveDatabase failed: " << saved.ToString();
+    return out;
+  }
+  out.ok = true;
+  out.bytes = os.str();
+  out.report = gen.last_report();
+  out.ctx_stop = ctx.stop_reason();
+  return out;
+}
+
+void ExpectSameOutcome(const RunResult& seq, const RunResult& par) {
+  ASSERT_TRUE(seq.ok);
+  ASSERT_TRUE(par.ok);
+  EXPECT_EQ(par.bytes, seq.bytes) << "emitted database differs";
+  EXPECT_EQ(par.report.executed_edges, seq.report.executed_edges);
+  EXPECT_EQ(par.report.truncated_relations, seq.report.truncated_relations);
+  EXPECT_EQ(par.report.dropped_foreign_keys,
+            seq.report.dropped_foreign_keys);
+  EXPECT_EQ(par.report.total_tuples, seq.report.total_tuples);
+  EXPECT_EQ(par.report.sql_trace, seq.report.sql_trace);
+  EXPECT_EQ(static_cast<int>(par.report.stop_reason),
+            static_cast<int>(seq.report.stop_reason));
+  EXPECT_EQ(static_cast<int>(par.ctx_stop), static_cast<int>(seq.ctx_stop));
+}
+
+/// Runs sequentially, then on pools of 1/2/8 threads (parallelism 2/2/8,
+/// including the degenerate parallelism=2-on-1-thread case), asserting
+/// byte-identity every time.
+void ExpectDeterministic(
+    const Database& db, const ResultSchema& schema, const SeedTids& seeds,
+    const CardinalityConstraint& c, DbGenOptions base,
+    const std::function<void(ExecutionContext&)>& configure = nullptr) {
+  base.parallelism = 1;
+  base.pool = nullptr;
+  RunResult seq = RunOnce(db, schema, seeds, c, base, configure);
+  ASSERT_TRUE(seq.ok);
+
+  TaskPool pool1(1);
+  TaskPool pool2(2);
+  TaskPool pool8(8);
+  struct Config {
+    size_t parallelism;
+    TaskPool* pool;
+    const char* label;
+  };
+  const Config configs[] = {
+      {2, &pool1, "parallelism=2 on 1-thread pool"},
+      {2, &pool2, "parallelism=2 on 2-thread pool"},
+      {8, &pool8, "parallelism=8 on 8-thread pool"},
+  };
+  for (const Config& config : configs) {
+    SCOPED_TRACE(config.label);
+    DbGenOptions options = base;
+    options.parallelism = config.parallelism;
+    options.pool = config.pool;
+    RunResult par = RunOnce(db, schema, seeds, c, options, configure);
+    ExpectSameOutcome(seq, par);
+  }
+}
+
+// ===== Hand-built two-relation fixture (mirrors database_generator_test) ==
+
+class ParallelDbGenSmallTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RelationSchema d("D", {{"did", DataType::kInt64},
+                           {"dname", DataType::kString}});
+    ASSERT_TRUE(d.SetPrimaryKey("did").ok());
+    ASSERT_TRUE(db_.CreateRelation(std::move(d)).ok());
+    RelationSchema m("M", {{"mid", DataType::kInt64},
+                           {"did", DataType::kInt64},
+                           {"title", DataType::kString}});
+    ASSERT_TRUE(m.SetPrimaryKey("mid").ok());
+    ASSERT_TRUE(db_.CreateRelation(std::move(m)).ok());
+    ASSERT_TRUE(db_.AddForeignKey({"M", "did", "D", "did"}).ok());
+
+    auto dr = db_.GetRelation("D");
+    auto mr = db_.GetRelation("M");
+    for (int64_t did = 1; did <= 4; ++did) {
+      ASSERT_TRUE(
+          (*dr)->Insert({did, "Director " + std::to_string(did)}).ok());
+    }
+    int64_t mid = 1;
+    for (int64_t did = 1; did <= 4; ++did) {
+      for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(
+            (*mr)->Insert({mid, did, "Movie " + std::to_string(mid)}).ok());
+        ++mid;
+      }
+    }
+    ASSERT_TRUE((*mr)->CreateIndex("did").ok());
+    ASSERT_TRUE((*dr)->CreateIndex("did").ok());
+
+    auto g = SchemaGraph::FromDatabase(db_);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::make_unique<SchemaGraph>(std::move(*g));
+    ASSERT_TRUE(graph_->AddProjectionEdge("D", "dname", 1.0).ok());
+    ASSERT_TRUE(graph_->AddProjectionEdge("M", "title", 1.0).ok());
+    ASSERT_TRUE(graph_->AddJoinEdge("D", "did", "M", "did", 1.0).ok());
+
+    ResultSchemaGenerator schema_gen(graph_.get());
+    auto schema =
+        schema_gen.Generate({std::string("D")}, *MinPathWeight(0.9));
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::make_unique<ResultSchema>(std::move(*schema));
+    d_id_ = *graph_->RelationId("D");
+  }
+
+  SeedTids AllDirectorSeeds() { return {{d_id_, {0, 1, 2, 3}}}; }
+
+  Database db_;
+  std::unique_ptr<SchemaGraph> graph_;
+  std::unique_ptr<ResultSchema> schema_;
+  RelationNodeId d_id_ = 0;
+};
+
+TEST_F(ParallelDbGenSmallTest, NaiveQIsByteIdentical) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kNaiveQ;
+  ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                      *MaxTuplesPerRelation(3), options);
+}
+
+TEST_F(ParallelDbGenSmallTest, RoundRobinIsByteIdentical) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kRoundRobin;
+  ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                      *MaxTuplesPerRelation(3), options);
+}
+
+TEST_F(ParallelDbGenSmallTest, AutoStrategyIsByteIdentical) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kAuto;
+  ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                      *MaxTuplesPerRelation(3), options);
+}
+
+TEST_F(ParallelDbGenSmallTest, UnlimitedCardinalityIsByteIdentical) {
+  ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                      *UnlimitedCardinality(), DbGenOptions());
+}
+
+TEST_F(ParallelDbGenSmallTest, SqlTraceIsReplicatedExactly) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kRoundRobin;
+  options.trace_sql = true;
+  ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                      *MaxTuplesPerRelation(3), options);
+}
+
+TEST_F(ParallelDbGenSmallTest, TupleWeightedTruncationIsByteIdentical) {
+  // Later movies weigh more, so weighted truncation must pick tids in
+  // descending-weight order — in both modes, identically.
+  TupleWeightStore store;
+  std::vector<double> weights;
+  for (size_t tid = 0; tid < 20; ++tid) {
+    weights.push_back(0.05 * static_cast<double>(tid + 1));
+  }
+  ASSERT_TRUE(store.SetWeights(db_, "M", std::move(weights)).ok());
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kNaiveQ;
+  options.tuple_weights = &store;
+  ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                      *MaxTuplesPerRelation(4), options);
+}
+
+TEST_F(ParallelDbGenSmallTest, SimulatedLatencyDoesNotChangeBytes) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kRoundRobin;
+  options.simulated_access_latency_ns = 20000;  // 20µs per accepted tuple
+  ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                      *MaxTuplesPerRelation(3), options);
+}
+
+TEST_F(ParallelDbGenSmallTest, PreCancelledContextIsByteIdentical) {
+  ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                      *MaxTuplesPerRelation(3), DbGenOptions(),
+                      [](ExecutionContext& ctx) { ctx.Cancel(); });
+}
+
+TEST_F(ParallelDbGenSmallTest, ExpiredDeadlineIsByteIdentical) {
+  ExpectDeterministic(
+      db_, *schema_, AllDirectorSeeds(), *MaxTuplesPerRelation(3),
+      DbGenOptions(), [](ExecutionContext& ctx) {
+        ctx.SetDeadline(ExecutionContext::Clock::now() -
+                        std::chrono::seconds(1));
+      });
+}
+
+TEST_F(ParallelDbGenSmallTest, TinyAccessBudgetStopsIdentically) {
+  // Budget exhausts midway through the walk: the parallel planner charges
+  // a SIMULATED access sequence replaying the sequential one, so the stop
+  // point — and therefore the emitted bytes — must agree exactly.
+  for (uint64_t budget : {1u, 2u, 3u, 5u, 8u, 13u, 21u}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    ExpectDeterministic(db_, *schema_, AllDirectorSeeds(),
+                        *MaxTuplesPerRelation(3), DbGenOptions(),
+                        [budget](ExecutionContext& ctx) {
+                          ctx.SetAccessBudget(budget);
+                        });
+  }
+}
+
+// ===== Movies dataset: multi-relation schema, deeper walk ================
+
+class ParallelDbGenMoviesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 200;
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+
+    ResultSchemaGenerator schema_gen(&dataset_->graph());
+    auto schema = schema_gen.Generate({std::string("DIRECTOR")},
+                                      *MinPathWeight(0.5));
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::make_unique<ResultSchema>(std::move(*schema));
+    director_id_ = *dataset_->graph().RelationId("DIRECTOR");
+  }
+
+  SeedTids DirectorSeeds() { return {{director_id_, {0, 1, 2, 3, 4}}}; }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+  std::unique_ptr<ResultSchema> schema_;
+  RelationNodeId director_id_ = 0;
+};
+
+TEST_F(ParallelDbGenMoviesTest, RoundRobinDeepWalkIsByteIdentical) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kRoundRobin;
+  ExpectDeterministic(dataset_->db(), *schema_, DirectorSeeds(),
+                      *MaxTuplesPerRelation(40), options);
+}
+
+TEST_F(ParallelDbGenMoviesTest, NaiveQDeepWalkIsByteIdentical) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kNaiveQ;
+  ExpectDeterministic(dataset_->db(), *schema_, DirectorSeeds(),
+                      *MaxTuplesPerRelation(40), options);
+}
+
+TEST_F(ParallelDbGenMoviesTest, UnlimitedDeepWalkIsByteIdentical) {
+  ExpectDeterministic(dataset_->db(), *schema_, DirectorSeeds(),
+                      *UnlimitedCardinality(), DbGenOptions());
+}
+
+TEST_F(ParallelDbGenMoviesTest, PathAwarePropagationIsByteIdentical) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kAuto;
+  options.path_aware_propagation = true;
+  ExpectDeterministic(dataset_->db(), *schema_, DirectorSeeds(),
+                      *MaxTuplesPerRelation(25), options);
+}
+
+TEST_F(ParallelDbGenMoviesTest, PathAwareOffIsByteIdentical) {
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kAuto;
+  options.path_aware_propagation = false;
+  ExpectDeterministic(dataset_->db(), *schema_, DirectorSeeds(),
+                      *MaxTuplesPerRelation(25), options);
+}
+
+TEST_F(ParallelDbGenMoviesTest, TupleWeightedDeepWalkIsByteIdentical) {
+  TupleWeightStore store;
+  ASSERT_TRUE(WeightsFromNumericAttribute(dataset_->db(), "MOVIE", "year",
+                                          &store)
+                  .ok());
+  DbGenOptions options;
+  options.strategy = SubsetStrategy::kRoundRobin;
+  options.tuple_weights = &store;
+  ExpectDeterministic(dataset_->db(), *schema_, DirectorSeeds(),
+                      *MaxTuplesPerRelation(20), options);
+}
+
+TEST_F(ParallelDbGenMoviesTest, MidWalkBudgetStopsIdentically) {
+  for (uint64_t budget : {10u, 50u, 100u, 250u, 600u}) {
+    SCOPED_TRACE("budget=" + std::to_string(budget));
+    DbGenOptions options;
+    options.strategy = SubsetStrategy::kRoundRobin;
+    ExpectDeterministic(dataset_->db(), *schema_, DirectorSeeds(),
+                        *MaxTuplesPerRelation(40), options,
+                        [budget](ExecutionContext& ctx) {
+                          ctx.SetAccessBudget(budget);
+                        });
+  }
+}
+
+TEST_F(ParallelDbGenMoviesTest, IncludeJoinAttributesIsByteIdentical) {
+  DbGenOptions options;
+  options.include_join_attributes = false;
+  options.strategy = SubsetStrategy::kRoundRobin;
+  ExpectDeterministic(dataset_->db(), *schema_, DirectorSeeds(),
+                      *MaxTuplesPerRelation(30), options);
+}
+
+TEST_F(ParallelDbGenMoviesTest, SharedPoolDefaultIsByteIdentical) {
+  // pool == nullptr routes to TaskPool::Shared(): the production path used
+  // by PrecisService workers.
+  DbGenOptions seq;
+  RunResult a = RunOnce(dataset_->db(), *schema_, DirectorSeeds(),
+                        *MaxTuplesPerRelation(30), seq, nullptr);
+  DbGenOptions par;
+  par.parallelism = 4;  // pool stays nullptr -> Shared()
+  RunResult b = RunOnce(dataset_->db(), *schema_, DirectorSeeds(),
+                        *MaxTuplesPerRelation(30), par, nullptr);
+  ExpectSameOutcome(a, b);
+}
+
+}  // namespace
+}  // namespace precis

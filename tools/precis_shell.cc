@@ -60,6 +60,9 @@ constexpr const char* kHelp = R"(commands:
   set proj REL ATTR W      override a projection-edge weight
   set trace on|off         record the SQL statements of each query
   set cache on|off         enable the token / schema / answer caches
+  set parallelism N        intra-query parallel generation on N-way task
+                           pool fan-out (1 = sequential); output is
+                           byte-identical at any setting
   deadline MS              per-query wall-clock deadline in ms (0 = off);
                            an expired query returns its partial answer
   budget N                 per-query access budget: max index probes + tuple
@@ -88,6 +91,7 @@ struct ShellState {
   long max_attrs = -1;  // -1: use min_weight instead
   size_t tuples_per_relation = 5;
   SubsetStrategy strategy = SubsetStrategy::kAuto;
+  size_t parallelism = 1;  // >= 2: parallel db generation (DESIGN.md §11)
   bool trace_sql = false;
   bool caches_enabled = false;  // token + schema + answer caches
   double deadline_ms = 0.0;     // 0 = no deadline
@@ -203,6 +207,10 @@ Status CmdSet(ShellState* state, const std::vector<std::string>& args) {
     } else {
       return Status::InvalidArgument("unknown strategy '" + args[1] + "'");
     }
+  } else if (key == "parallelism" && args.size() == 2) {
+    long n = std::atol(args[1].c_str());
+    if (n < 1) return Status::InvalidArgument("parallelism must be >= 1");
+    state->parallelism = static_cast<size_t>(n);
   } else if (key == "trace" && args.size() == 2) {
     state->trace_sql = (args[1] == "on");
   } else if (key == "cache" && args.size() == 2) {
@@ -260,6 +268,7 @@ Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
   DbGenOptions options;
   options.strategy = state->strategy;
   options.trace_sql = state->trace_sql;
+  options.parallelism = state->parallelism;  // shared pool; see DESIGN §11
 
   auto ctx = std::make_unique<ExecutionContext>();
   if (state->deadline_ms > 0) {
@@ -487,10 +496,11 @@ int RunShell(std::istream& in, bool interactive) {
         std::printf("%s", state.graph->ToString().c_str());
       } else if (!args.empty() && args[0] == "settings") {
         std::printf("min-weight=%.2f max-attrs=%ld tuples=%zu strategy=%s "
-                    "trace=%s cache=%s deadline-ms=%.1f budget=%llu\n",
+                    "parallelism=%zu trace=%s cache=%s deadline-ms=%.1f "
+                    "budget=%llu\n",
                     state.min_weight, state.max_attrs,
                     state.tuples_per_relation,
-                    SubsetStrategyToString(state.strategy),
+                    SubsetStrategyToString(state.strategy), state.parallelism,
                     state.trace_sql ? "on" : "off",
                     state.caches_enabled ? "on" : "off", state.deadline_ms,
                     static_cast<unsigned long long>(state.access_budget));
