@@ -1,0 +1,258 @@
+// Fault tolerance: service throughput and degradation under injected faults.
+//
+// Drives PrecisService over a Zipf-skewed movies workload at increasing
+// storage fault rates (DESIGN.md §12) and reports, per rate: throughput,
+// latency percentiles, and the degradation counters (retries, dropped
+// tuples, degraded answers, injector firings). Two gates make it a CI
+// correctness check rather than a chart generator:
+//
+//   1. Zero-fault-overhead gate: the fault machinery must be free when
+//      disabled. A service with a present-but-disarmed injector must reach
+//      >= 95% of the throughput of a service with no injector at all
+//      (best-of-N trials to shave scheduler noise). A regression means a
+//      fault check leaked onto the disarmed hot path.
+//   2. Robustness gate: at every fault rate, every response is OK (faults
+//      degrade answers, they never fail queries) and the metrics add up
+//      (failures == 0, degraded answers reported iff tuples were lost).
+//
+// Standalone (own main) with a JSON report, exits non-zero when a gate
+// fails. ci.sh runs it in smoke mode:
+//
+//   PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 ./fault_tolerance
+//
+// Knobs: PRECIS_BENCH_MOVIES (dataset size), PRECIS_BENCH_QUERIES (queries
+// per run), PRECIS_BENCH_OUT (report path, default
+// BENCH_fault_tolerance.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/fault_injection.h"
+#include "common/random.h"
+#include "datagen/movies_dataset.h"
+#include "datagen/workload.h"
+#include "precis/engine.h"
+#include "service/precis_service.h"
+
+namespace precis {
+namespace {
+
+using bench::EnvSize;
+
+struct RunResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  PrecisService::Metrics metrics;
+};
+
+std::vector<ServiceRequest> MakeWorkload(const std::vector<std::string>& pool,
+                                         size_t num_queries, uint64_t seed) {
+  ZipfSampler zipf(pool.size(), /*s=*/1.2);
+  Rng rng(seed);
+  std::vector<ServiceRequest> workload;
+  workload.reserve(num_queries);
+  for (size_t i = 0; i < num_queries; ++i) {
+    ServiceRequest request;
+    request.query.tokens = {pool[zipf.Sample(&rng)]};
+    request.min_path_weight = 0.5;
+    request.tuples_per_relation = 10;
+    workload.push_back(std::move(request));
+  }
+  return workload;
+}
+
+RunResult RunOnce(const PrecisEngine* engine, FaultInjector* injector,
+                  std::vector<ServiceRequest> workload) {
+  PrecisService::Options options;
+  options.num_workers = 4;
+  options.fault_injector = injector;  // may be nullptr (no machinery at all)
+  options.retry_policy.initial_backoff_ns = 1'000;
+  auto service = PrecisService::Create(engine, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    std::exit(1);
+  }
+  const size_t num_queries = workload.size();
+  auto start = std::chrono::steady_clock::now();
+  auto futures = (*service)->SubmitBatch(std::move(workload));
+  for (auto& future : futures) {
+    ServiceResponse response = future.get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "ROBUSTNESS GATE: query failed under faults: %s\n",
+                   response.status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  RunResult result;
+  result.metrics = (*service)->metrics();
+  result.qps = seconds > 0 ? static_cast<double>(num_queries) / seconds : 0;
+  result.p50_ms = result.metrics.p50_latency_seconds * 1e3;
+  result.p99_ms = result.metrics.p99_latency_seconds * 1e3;
+  return result;
+}
+
+int Main() {
+  const bool smoke = std::getenv("PRECIS_BENCH_SMOKE") != nullptr;
+  const size_t num_queries =
+      EnvSize("PRECIS_BENCH_QUERIES", smoke ? 200 : 1024);
+  const size_t overhead_trials = smoke ? 3 : 5;
+  const std::string out_path =
+      bench::EnvString("PRECIS_BENCH_OUT", "BENCH_fault_tolerance.json");
+
+  MoviesConfig config;
+  config.num_movies = bench::BenchMovieCount();
+  auto ds = MoviesDataset::Create(config);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  MoviesDataset dataset = std::move(*ds);
+  auto created = PrecisEngine::Create(&dataset.db(), &dataset.graph());
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  PrecisEngine engine = std::move(*created);
+
+  std::vector<std::string> pool;
+  Rng rng(23);
+  for (int i = 0; i < 40; ++i) {
+    auto token = RandomToken(dataset.db(), "DIRECTOR", "dname", &rng);
+    if (!token.ok()) std::abort();
+    pool.push_back(std::move(*token));
+  }
+  for (int i = 0; i < 12; ++i) {
+    auto token = RandomToken(dataset.db(), "GENRE", "genre", &rng);
+    if (!token.ok()) std::abort();
+    pool.push_back(std::move(*token));
+  }
+
+  // --- Gate 1: zero-fault overhead. Interleave baseline (no injector) and
+  // disarmed (injector present, every site off) trials; compare the best of
+  // each so scheduler noise cancels.
+  FaultInjector disarmed(99);  // never armed
+  double best_baseline = 0.0;
+  double best_disarmed = 0.0;
+  for (size_t t = 0; t < overhead_trials; ++t) {
+    best_baseline =
+        std::max(best_baseline,
+                 RunOnce(&engine, nullptr,
+                         MakeWorkload(pool, num_queries, 300 + t))
+                     .qps);
+    best_disarmed =
+        std::max(best_disarmed,
+                 RunOnce(&engine, &disarmed,
+                         MakeWorkload(pool, num_queries, 300 + t))
+                     .qps);
+  }
+  const double overhead =
+      best_baseline > 0 ? 1.0 - best_disarmed / best_baseline : 0.0;
+  std::printf("zero-fault overhead: baseline=%.1f qps, disarmed=%.1f qps "
+              "(%.2f%% overhead)\n",
+              best_baseline, best_disarmed, overhead * 100.0);
+
+  // --- Fault-rate sweep.
+  const std::vector<double> rates = {0.0, 0.01, 0.1};
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"fault_tolerance\",\n"
+       << "  \"movies\": " << config.num_movies << ",\n"
+       << "  \"queries\": " << num_queries << ",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"baseline_qps\": " << best_baseline << ",\n"
+       << "  \"disarmed_qps\": " << best_disarmed << ",\n"
+       << "  \"disarmed_overhead\": " << overhead << ",\n  \"runs\": [\n";
+
+  std::printf("%-8s %12s %9s %9s %10s %10s %10s %10s\n", "p", "qps", "p50ms",
+              "p99ms", "degraded", "retries", "dropped", "injected");
+  bool gate_failed = false;
+  uint64_t injected_at_max_rate = 0;
+  for (size_t r = 0; r < rates.size(); ++r) {
+    const double p = rates[r];
+    FaultInjector injector(1234 + r);
+    if (p > 0) {
+      // Storage sites only: the translator is not on the service path.
+      injector.SetSchedule(FaultSite::kIndexProbe,
+                           FaultSchedule::Probability(p));
+      injector.SetSchedule(FaultSite::kTupleFetch,
+                           FaultSchedule::Probability(p));
+      injector.SetSchedule(FaultSite::kJoinValueLookup,
+                           FaultSchedule::Probability(p));
+      injector.SetSchedule(FaultSite::kRelationScan,
+                           FaultSchedule::Probability(p));
+    }
+    RunResult run =
+        RunOnce(&engine, &injector, MakeWorkload(pool, num_queries, 700));
+    const uint64_t injected = injector.total_injected();
+    if (p >= 0.1) injected_at_max_rate = injected;
+    std::printf("%-8.3f %12.1f %9.2f %9.2f %10llu %10llu %10llu %10llu\n", p,
+                run.qps, run.p50_ms, run.p99_ms,
+                static_cast<unsigned long long>(run.metrics.degraded_answers),
+                static_cast<unsigned long long>(run.metrics.retries_total),
+                static_cast<unsigned long long>(
+                    run.metrics.dropped_tuples_total),
+                static_cast<unsigned long long>(injected));
+    if (run.metrics.failures != 0) {
+      std::fprintf(stderr, "ROBUSTNESS GATE: %llu failures at p=%g\n",
+                   static_cast<unsigned long long>(run.metrics.failures), p);
+      gate_failed = true;
+    }
+    if (p == 0.0 && (run.metrics.degraded_answers != 0 ||
+                     run.metrics.retries_total != 0)) {
+      std::fprintf(stderr,
+                   "ROBUSTNESS GATE: phantom degradation at p=0 "
+                   "(degraded=%llu retries=%llu)\n",
+                   static_cast<unsigned long long>(
+                       run.metrics.degraded_answers),
+                   static_cast<unsigned long long>(run.metrics.retries_total));
+      gate_failed = true;
+    }
+    json << "    {\"p\": " << p << ", \"qps\": " << run.qps
+         << ", \"p50_ms\": " << run.p50_ms << ", \"p99_ms\": " << run.p99_ms
+         << ",\n     \"degraded_answers\": " << run.metrics.degraded_answers
+         << ", \"retries\": " << run.metrics.retries_total
+         << ", \"dropped_tuples\": " << run.metrics.dropped_tuples_total
+         << ", \"injected\": " << injected << "}"
+         << (r + 1 < rates.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json.str();
+  out.close();
+  std::printf("report: %s\n", out_path.c_str());
+
+  if (injected_at_max_rate == 0) {
+    std::fprintf(stderr,
+                 "ROBUSTNESS GATE: injector never fired at p=0.1 — the "
+                 "fault sites are not wired\n");
+    gate_failed = true;
+  }
+  if (overhead > 0.05) {
+    std::fprintf(stderr,
+                 "OVERHEAD GATE: disarmed fault machinery costs %.2f%% "
+                 "(> 5%%) of baseline throughput\n",
+                 overhead * 100.0);
+    gate_failed = true;
+  }
+  if (gate_failed) return 1;
+  std::printf("gates passed: overhead %.2f%% <= 5%%, all responses OK, "
+              "faults degrade without failing\n",
+              overhead * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace precis
+
+int main() { return precis::Main(); }

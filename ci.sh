@@ -5,10 +5,13 @@
 #   2. Bench smokes     — bench/cache_effectiveness on a tiny dataset (fails
 #                         on a zero answer-cache hit rate or any stale
 #                         answer served after an insert — epoch invalidation
-#                         gate) and bench/parallel_dbgen in smoke mode
-#                         (fails if any parallel run emits bytes different
-#                         from the sequential walk — determinism gate,
-#                         DESIGN.md §11).
+#                         gate), bench/parallel_dbgen in smoke mode (fails
+#                         if any parallel run emits bytes different from the
+#                         sequential walk — determinism gate, DESIGN.md
+#                         §11), and bench/fault_tolerance in smoke mode
+#                         (fails when disarmed fault machinery costs > 5%
+#                         throughput or any query fails under injected
+#                         faults — robustness gates, DESIGN.md §12).
 #   3. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
 #                         PrecisService, engine concurrency, the sharded LRU,
 #                         the answer cache, the work-stealing TaskPool and
@@ -17,6 +20,13 @@
 #                         fail the build rather than ship. The shared pool is
 #                         pinned to >= 4 threads so intra-query parallelism
 #                         really interleaves under the sanitizer.
+#   4. ASan + UBSan     — the chaos smoke gate: the fault-injection suite
+#                         and the fuzz-lite chaos sweep rebuilt under
+#                         address+undefined sanitizers. Injected faults
+#                         exercise every degradation path (drops, failed
+#                         lookups, retries, placeholders); this leg proves
+#                         those paths are memory- and UB-clean, not merely
+#                         green.
 #
 # PRECIS_SANITIZE=address ./ci.sh swaps the third configuration to ASan.
 # All configurations use separate build trees and leave ./build alone.
@@ -27,12 +37,12 @@ SANITIZER="${PRECIS_SANITIZE:-thread}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 ROOT="$(cd "$(dirname "$0")" && pwd)"
 
-echo "=== [1/3] Release build + full test suite ==="
+echo "=== [1/4] Release build + full test suite ==="
 cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build-release" -j "$JOBS"
 ctest --test-dir "$ROOT/build-release" --output-on-failure -j "$JOBS"
 
-echo "=== [2/3] Bench smokes (cache + parallel determinism) ==="
+echo "=== [2/4] Bench smokes (cache + parallel determinism + faults) ==="
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_cache.json" \
   "$ROOT/build-release/bench/cache_effectiveness"
@@ -41,8 +51,12 @@ PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_parallel_dbgen.json" \
   "$ROOT/build-release/bench/parallel_dbgen_bench"
+# Zero-fault overhead (< 5%) + graceful degradation under injected faults.
+PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
+  PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_fault_tolerance.json" \
+  "$ROOT/build-release/bench/fault_tolerance"
 
-echo "=== [3/3] ${SANITIZER} sanitizer build + concurrency suite ==="
+echo "=== [3/4] ${SANITIZER} sanitizer build + concurrency suite ==="
 cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="$SANITIZER"
 cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
@@ -53,4 +67,13 @@ PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
   -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen'
 
-echo "=== CI passed (Release + bench smokes + $SANITIZER) ==="
+echo "=== [4/4] ASan+UBSan build + chaos smoke gate ==="
+cmake -B "$ROOT/build-asan-ubsan" -S "$ROOT" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="address,undefined"
+cmake --build "$ROOT/build-asan-ubsan" -j "$JOBS" \
+  --target fault_injection_test fuzz_lite_test service_test
+PRECIS_TASK_POOL_THREADS=4 \
+  ctest --test-dir "$ROOT/build-asan-ubsan" --output-on-failure -j "$JOBS" \
+  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite'
+
+echo "=== CI passed (Release + bench smokes + $SANITIZER + asan,ubsan chaos) ==="

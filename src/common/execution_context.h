@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/status.h"
 #include "storage/access_stats.h"
 
@@ -165,6 +166,27 @@ class ExecutionContext {
   /// This query's own access counters.
   const AccessStats& stats() const { return stats_; }
 
+  // --- Fault injection (DESIGN.md §12) ------------------------------------
+
+  /// Attaches a fault injector. Not owned; must outlive the query. Set
+  /// before the query starts (same single-writer contract as the deadline
+  /// and budget setters) — the storage and sql layers read it on the hot
+  /// path without synchronization.
+  void SetFaultInjector(FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  /// One fault decision at `site`. OK when no injector is attached.
+  Status CheckFault(FaultSite site) const {
+    return fault_injector_ != nullptr ? fault_injector_->Check(site)
+                                      : Status::OK();
+  }
+
+  /// Backoff parameters used by the retry wrappers (common/retry.h).
+  void set_retry_policy(const RetryPolicy& policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   // --- Trace spans --------------------------------------------------------
 
   /// Spans recorded so far, in completion order (snapshot).
@@ -179,6 +201,8 @@ class ExecutionContext {
   void RecordSpan(TraceSpan span);
 
   AccessStats stats_;
+  FaultInjector* fault_injector_ = nullptr;  // not owned
+  RetryPolicy retry_policy_;
   std::atomic<uint64_t> access_budget_{0};  // 0 = unbounded
   std::atomic<int64_t> deadline_ns_{kNoDeadline};
   std::atomic<bool> cancelled_{false};

@@ -1,0 +1,247 @@
+#include "common/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace precis {
+namespace {
+
+// splitmix64 finalizer: a cheap, high-quality 64-bit mixer. The fault
+// decision for (seed, site, check index) is a pure function of the mixed
+// triple, which is what makes same-seed reruns byte-identical.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Maps the mixed hash to [0, 1) with 53 bits of precision.
+double ToUnit(uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultSiteToString(FaultSite site) {
+  switch (site) {
+    case FaultSite::kIndexProbe:
+      return "index_probe";
+    case FaultSite::kTupleFetch:
+      return "tuple_fetch";
+    case FaultSite::kJoinValueLookup:
+      return "join_value_lookup";
+    case FaultSite::kRelationScan:
+      return "relation_scan";
+    case FaultSite::kTranslatorCatalog:
+      return "translator_catalog";
+  }
+  return "unknown";
+}
+
+Result<FaultSite> ParseFaultSite(const std::string& name) {
+  if (name == "index_probe" || name == "probe") return FaultSite::kIndexProbe;
+  if (name == "tuple_fetch" || name == "fetch") return FaultSite::kTupleFetch;
+  if (name == "join_value_lookup" || name == "join") {
+    return FaultSite::kJoinValueLookup;
+  }
+  if (name == "relation_scan" || name == "scan") {
+    return FaultSite::kRelationScan;
+  }
+  if (name == "translator_catalog" || name == "catalog") {
+    return FaultSite::kTranslatorCatalog;
+  }
+  return Status::InvalidArgument(
+      "unknown fault site '" + name +
+      "' (expected probe|fetch|join|scan|catalog)");
+}
+
+FaultSchedule FaultSchedule::Probability(double p, FaultKind kind) {
+  FaultSchedule s;
+  s.mode = FaultMode::kProbability;
+  s.kind = kind;
+  s.probability = std::clamp(p, 0.0, 1.0);
+  return s;
+}
+
+FaultSchedule FaultSchedule::EveryNth(uint64_t n, FaultKind kind) {
+  FaultSchedule s;
+  s.mode = FaultMode::kEveryNth;
+  s.kind = kind;
+  s.every_nth = n == 0 ? 1 : n;
+  return s;
+}
+
+FaultSchedule FaultSchedule::Steps(std::vector<uint64_t> steps,
+                                   FaultKind kind) {
+  FaultSchedule s;
+  s.mode = FaultMode::kSteps;
+  s.kind = kind;
+  std::sort(steps.begin(), steps.end());
+  s.steps = std::move(steps);
+  return s;
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {}
+
+void FaultInjector::SetSchedule(FaultSite site, FaultSchedule schedule) {
+  SiteState& state = sites_[static_cast<size_t>(site)];
+  state.schedule = std::move(schedule);
+  state.tripped.store(false, std::memory_order_relaxed);
+  RecomputeArmedMask();
+}
+
+void FaultInjector::SetAll(FaultSchedule schedule) {
+  for (SiteState& state : sites_) {
+    state.schedule = schedule;
+    state.tripped.store(false, std::memory_order_relaxed);
+  }
+  RecomputeArmedMask();
+}
+
+void FaultInjector::Reset() {
+  for (SiteState& state : sites_) {
+    state.schedule = FaultSchedule::Off();
+    state.checks.store(0, std::memory_order_relaxed);
+    state.injected.store(0, std::memory_order_relaxed);
+    state.latency_spikes.store(0, std::memory_order_relaxed);
+    state.tripped.store(false, std::memory_order_relaxed);
+  }
+  RecomputeArmedMask();
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  seed_ = seed;
+  for (SiteState& state : sites_) {
+    state.checks.store(0, std::memory_order_relaxed);
+    state.injected.store(0, std::memory_order_relaxed);
+    state.latency_spikes.store(0, std::memory_order_relaxed);
+    state.tripped.store(false, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::RecomputeArmedMask() {
+  uint32_t mask = 0;
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    if (sites_[i].schedule.mode != FaultMode::kOff) {
+      mask |= (1u << i);
+    }
+  }
+  armed_mask_.store(mask, std::memory_order_relaxed);
+}
+
+Status FaultInjector::CheckArmed(FaultSite site) {
+  SiteState& state = sites_[static_cast<size_t>(site)];
+  const FaultSchedule& schedule = state.schedule;
+  // 1-based index of this check at this site. fetch_add makes concurrent
+  // checks each see a distinct index; on the sequential control path (the
+  // only place generator fault sites are consulted) indices are the exact
+  // sequence 1, 2, 3, ...
+  const uint64_t idx = state.checks.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (state.tripped.load(std::memory_order_relaxed)) {
+    state.injected.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable(
+        std::string("injected permanent fault at ") + FaultSiteToString(site) +
+        " (site tripped; check #" + std::to_string(idx) + ")");
+  }
+
+  bool fire = false;
+  switch (schedule.mode) {
+    case FaultMode::kOff:
+      break;
+    case FaultMode::kProbability: {
+      const uint64_t h =
+          Mix(seed_ ^ Mix(static_cast<uint64_t>(site) + 1) ^ Mix(idx));
+      fire = ToUnit(h) < schedule.probability;
+      break;
+    }
+    case FaultMode::kEveryNth:
+      fire = schedule.every_nth != 0 && idx % schedule.every_nth == 0;
+      break;
+    case FaultMode::kSteps:
+      fire = std::binary_search(schedule.steps.begin(), schedule.steps.end(),
+                                idx);
+      break;
+  }
+  if (!fire) return Status::OK();
+
+  if (schedule.kind == FaultKind::kLatencySpike) {
+    state.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    if (schedule.latency_spike_ns > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(schedule.latency_spike_ns));
+    }
+    return Status::OK();
+  }
+
+  state.injected.fetch_add(1, std::memory_order_relaxed);
+  if (schedule.kind == FaultKind::kPermanentError) {
+    state.tripped.store(true, std::memory_order_relaxed);
+    return Status::Unavailable(
+        std::string("injected permanent fault at ") + FaultSiteToString(site) +
+        " (check #" + std::to_string(idx) + ")");
+  }
+  return Status::Unavailable(
+      std::string("injected transient fault at ") + FaultSiteToString(site) +
+      " (check #" + std::to_string(idx) + ")");
+}
+
+FaultSiteStats FaultInjector::site_stats(FaultSite site) const {
+  const SiteState& state = sites_[static_cast<size_t>(site)];
+  FaultSiteStats stats;
+  stats.checks = state.checks.load(std::memory_order_relaxed);
+  stats.injected = state.injected.load(std::memory_order_relaxed);
+  stats.latency_spikes = state.latency_spikes.load(std::memory_order_relaxed);
+  return stats;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t total = 0;
+  for (const SiteState& state : sites_) {
+    total += state.injected.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string FaultInjector::DescribeSchedules() const {
+  std::string out;
+  for (size_t i = 0; i < kNumFaultSites; ++i) {
+    const FaultSchedule& s = sites_[i].schedule;
+    if (s.mode == FaultMode::kOff) continue;
+    out += "  ";
+    out += FaultSiteToString(static_cast<FaultSite>(i));
+    switch (s.mode) {
+      case FaultMode::kOff:
+        break;
+      case FaultMode::kProbability:
+        out += " prob " + std::to_string(s.probability);
+        break;
+      case FaultMode::kEveryNth:
+        out += " nth " + std::to_string(s.every_nth);
+        break;
+      case FaultMode::kSteps: {
+        out += " steps";
+        for (uint64_t step : s.steps) out += " " + std::to_string(step);
+        break;
+      }
+    }
+    switch (s.kind) {
+      case FaultKind::kTransientError:
+        out += " transient";
+        break;
+      case FaultKind::kPermanentError:
+        out += " permanent";
+        break;
+      case FaultKind::kLatencySpike:
+        out += " latency " + std::to_string(s.latency_spike_ns) + "ns";
+        break;
+    }
+    out += "\n";
+  }
+  if (out.empty()) out = "  (all sites off)\n";
+  return out;
+}
+
+}  // namespace precis

@@ -1,0 +1,95 @@
+// Bounded, deadline-aware exponential-backoff retry for transient faults.
+//
+// RetryWithBackoff wraps a callable returning Status or Result<T>. Only
+// StatusCode::kUnavailable — the code the FaultInjector produces for
+// transient/permanent storage faults — is retried; every other error (and
+// success) passes straight through. Between attempts the wrapper sleeps an
+// exponentially growing backoff, but never past the ExecutionContext's
+// deadline: when the remaining time cannot cover the next backoff the
+// wrapper gives up immediately and returns the last error, so a query under
+// deadline pressure degrades instead of burning its remaining budget
+// sleeping (DESIGN.md §12).
+//
+// Determinism note: the retry *decision* sequence (how many attempts each
+// operation makes) is a pure function of the injector's deterministic fault
+// sequence and the policy's max_attempts — backoff sleeps affect wall-clock
+// only, never which attempt succeeds. That is what lets the parallel
+// generator replay retries bit-exactly via CheckFaultWithRetry below.
+
+#ifndef PRECIS_COMMON_RETRY_H_
+#define PRECIS_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/execution_context.h"
+#include "common/fault_injection.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace precis {
+namespace retry_internal {
+
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+
+}  // namespace retry_internal
+
+/// \brief Runs `fn` up to policy.max_attempts times, retrying only
+/// Unavailable errors with capped exponential backoff that never overshoots
+/// the context deadline. `retries`, when non-null, is incremented once per
+/// retry actually performed (attempts beyond the first).
+template <typename Fn>
+auto RetryWithBackoff(const RetryPolicy& policy, ExecutionContext* ctx,
+                      Fn&& fn, uint64_t* retries = nullptr) -> decltype(fn()) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  uint64_t backoff_ns = policy.initial_backoff_ns;
+  for (int attempt = 1;; ++attempt) {
+    auto result = fn();
+    const Status& status = retry_internal::StatusOf(result);
+    if (status.ok() || !status.IsUnavailable() || attempt >= max_attempts) {
+      return result;
+    }
+    // Give up early when the query is already cancelled or out of time:
+    // sleeping toward a missed deadline helps nobody.
+    if (ctx != nullptr) {
+      if (ctx->cancelled()) return result;
+      if (auto remaining = ctx->RemainingSeconds()) {
+        const double backoff_seconds = static_cast<double>(backoff_ns) * 1e-9;
+        if (*remaining <= backoff_seconds) return result;
+      }
+    }
+    if (retries != nullptr) ++*retries;
+    if (backoff_ns > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff_ns));
+    }
+    const double next =
+        static_cast<double>(backoff_ns) * policy.backoff_multiplier;
+    backoff_ns = next >= static_cast<double>(policy.max_backoff_ns)
+                     ? policy.max_backoff_ns
+                     : static_cast<uint64_t>(next);
+  }
+}
+
+/// \brief A retried fault check: the unit the parallel planner uses to
+/// *replay* the sequential walk's per-Get fault/retry sequence without
+/// touching storage (the chunk tasks fetch via FetchPrevalidated, which
+/// never consults the injector). Consumes exactly the same injector check
+/// indices as `RetryWithBackoff(policy, ctx, [&]{ return Get(...); })`
+/// would on the sequential path.
+inline Status CheckFaultWithRetry(ExecutionContext* ctx, FaultSite site,
+                                  const RetryPolicy& policy,
+                                  uint64_t* retries = nullptr) {
+  if (ctx == nullptr || ctx->fault_injector() == nullptr) return Status::OK();
+  return RetryWithBackoff(
+      policy, ctx, [ctx, site] { return ctx->CheckFault(site); }, retries);
+}
+
+}  // namespace precis
+
+#endif  // PRECIS_COMMON_RETRY_H_

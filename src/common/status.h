@@ -22,6 +22,11 @@ enum class StatusCode {
   kOutOfRange,
   kNotImplemented,
   kInternal,
+  /// Transient failure of a dependency (e.g. an injected storage fault).
+  /// Callers may retry; see common/retry.h for the backoff policy.
+  kUnavailable,
+  /// The service admission queue is full; the request was shed, not run.
+  kOverloaded,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument", ...).
@@ -62,6 +67,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +91,8 @@ class Status {
     return code_ == StatusCode::kNotImplemented;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsOverloaded() const { return code_ == StatusCode::kOverloaded; }
 
   /// \brief "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -10,7 +10,10 @@
 
 namespace precis {
 
+using dbgen_internal::DegradationFor;
 using dbgen_internal::EmittedAttributeIndices;
+using dbgen_internal::FaultsArmed;
+using dbgen_internal::FaultyLookup;
 using dbgen_internal::ForeignKeyHolds;
 using dbgen_internal::IdentityProjection;
 using dbgen_internal::IsToOne;
@@ -73,6 +76,16 @@ Result<std::vector<Value>> JoinKeys(
 
 }  // namespace
 
+std::string DegradationReport::ToString() const {
+  std::string out;
+  for (const RelationDegradation& r : relations) {
+    out += r.relation + ": dropped=" + std::to_string(r.dropped_tuples) +
+           " lookups_failed=" + std::to_string(r.failed_lookups) +
+           " retries=" + std::to_string(r.retries) + "\n";
+  }
+  return out;
+}
+
 const char* SubsetStrategyToString(SubsetStrategy s) {
   switch (s) {
     case SubsetStrategy::kAuto:
@@ -110,6 +123,19 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
   // stop, fetching ends wherever it is and the algorithm falls through to
   // the emit steps, so the caller always receives a well-formed database.
   auto stopped = [&] { return ctx != nullptr && ctx->ShouldStop(); };
+
+  // Fault injection (DESIGN.md §12): when the context carries an armed
+  // injector, every storage access below retries transient faults with the
+  // context's RetryPolicy; exhausted retries *degrade* the answer (dropped
+  // tuple / failed lookup, accounted per relation) instead of failing the
+  // run. The taint bit is set whenever the injector is armed — even if no
+  // fault fires — so the engine's caches never store an answer produced
+  // under fault conditions.
+  const bool faults = FaultsArmed(ctx);
+  last_report_.fault_tainted = faults;
+  auto degradation_for = [&](RelationNodeId rel) -> RelationDegradation& {
+    return DegradationFor(last_report_.degradation, graph.relation_name(rel));
+  };
 
   // Resolve source relations once.
   std::map<RelationNodeId, const Relation*> source_relations;
@@ -172,8 +198,22 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
         mark_truncated(rel);
         break;
       }
-      auto tuple = source.Get(tid, ctx);  // counted tuple fetch
-      if (!tuple.ok()) return tuple.status();
+      auto tuple = [&]() -> Result<const Tuple*> {
+        if (!faults) return source.Get(tid, ctx);  // counted tuple fetch
+        uint64_t r = 0;
+        auto t = RetryWithBackoff(ctx->retry_policy(), ctx,
+                                  [&] { return source.Get(tid, ctx); }, &r);
+        if (r > 0) degradation_for(rel).retries += r;
+        return t;
+      }();
+      if (!tuple.ok()) {
+        if (tuple.status().IsUnavailable()) {
+          // Retries exhausted: this seed tuple is lost, not the query.
+          ++degradation_for(rel).dropped_tuples;
+          continue;
+        }
+        return tuple.status();
+      }
       col.seen.insert(tid);
       col.rows.push_back(Row{tid, **tuple});
       col.Tag(tid, nullptr);
@@ -307,8 +347,21 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
       std::unordered_set<Tid> candidate_seen;
       for (const Value& key : *keys) {
         if (stopped()) break;
-        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
-        if (!tids.ok()) return tids.status();
+        auto tids = [&]() -> Result<std::vector<Tid>> {
+          if (!faults) return to_relation.LookupEquals(edge.to_attribute, key, ctx);
+          uint64_t r = 0;
+          auto t = FaultyLookup(to_relation, edge.to_attribute, key, ctx, &r);
+          if (r > 0) degradation_for(edge.to).retries += r;
+          return t;
+        }();
+        if (!tids.ok()) {
+          if (tids.status().IsUnavailable()) {
+            // This key's joining tuples are lost; the other keys survive.
+            ++degradation_for(edge.to).failed_lookups;
+            continue;
+          }
+          return tids.status();
+        }
         for (Tid tid : *tids) {
           if (col.seen.count(tid) > 0) continue;
           if (candidate_seen.insert(tid).second) candidates.push_back(tid);
@@ -320,8 +373,22 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
                                 options.tuple_weights->Weight(to_name, b);
                        });
       for (Tid tid : candidates) {
-        auto tuple = to_relation.Get(tid, ctx);
-        if (!tuple.ok()) return tuple.status();
+        auto tuple = [&]() -> Result<const Tuple*> {
+          if (!faults) return to_relation.Get(tid, ctx);
+          uint64_t r = 0;
+          auto t = RetryWithBackoff(ctx->retry_policy(), ctx,
+                                    [&] { return to_relation.Get(tid, ctx); },
+                                    &r);
+          if (r > 0) degradation_for(edge.to).retries += r;
+          return t;
+        }();
+        if (!tuple.ok()) {
+          if (tuple.status().IsUnavailable()) {
+            ++degradation_for(edge.to).dropped_tuples;
+            continue;
+          }
+          return tuple.status();
+        }
         if (!try_add(Row{tid, **tuple})) break;
       }
     } else if (strategy == SubsetStrategy::kNaiveQ) {
@@ -331,11 +398,37 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
       bool budget_open = true;
       for (const Value& key : *keys) {
         if (!budget_open) break;
-        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
-        if (!tids.ok()) return tids.status();
+        auto tids = [&]() -> Result<std::vector<Tid>> {
+          if (!faults) return to_relation.LookupEquals(edge.to_attribute, key, ctx);
+          uint64_t r = 0;
+          auto t = FaultyLookup(to_relation, edge.to_attribute, key, ctx, &r);
+          if (r > 0) degradation_for(edge.to).retries += r;
+          return t;
+        }();
+        if (!tids.ok()) {
+          if (tids.status().IsUnavailable()) {
+            ++degradation_for(edge.to).failed_lookups;
+            continue;
+          }
+          return tids.status();
+        }
         for (Tid tid : *tids) {
-          auto tuple = to_relation.Get(tid, ctx);
-          if (!tuple.ok()) return tuple.status();
+          auto tuple = [&]() -> Result<const Tuple*> {
+            if (!faults) return to_relation.Get(tid, ctx);
+            uint64_t r = 0;
+            auto t = RetryWithBackoff(ctx->retry_policy(), ctx,
+                                      [&] { return to_relation.Get(tid, ctx); },
+                                      &r);
+            if (r > 0) degradation_for(edge.to).retries += r;
+            return t;
+          }();
+          if (!tuple.ok()) {
+            if (tuple.status().IsUnavailable()) {
+              ++degradation_for(edge.to).dropped_tuples;
+              continue;
+            }
+            return tuple.status();
+          }
           if (!try_add(Row{tid, **tuple})) {
             budget_open = false;
             break;
@@ -359,6 +452,20 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
             budget_open = false;
             break;
           }
+        }
+      }
+      // The scan set retried/degraded internally (failed opens become
+      // drained scans, failed fetches drop single tuples); fold its
+      // counters into the report once, after the edge drains.
+      if (faults) {
+        const uint64_t r = scans->retries();
+        const uint64_t f = scans->failed_opens();
+        const uint64_t d = scans->dropped_fetches();
+        if (r > 0 || f > 0 || d > 0) {
+          RelationDegradation& deg = degradation_for(edge.to);
+          deg.retries += r;
+          deg.failed_lookups += f;
+          deg.dropped_tuples += d;
         }
       }
     }

@@ -121,6 +121,51 @@ struct DbGenOptions {
   uint64_t simulated_access_latency_ns = 0;
 };
 
+/// \brief Fault-induced losses for one result relation (DESIGN.md §12).
+struct RelationDegradation {
+  std::string relation;
+  /// Tuples that should have been in the result but whose fetch kept
+  /// failing after retries.
+  uint64_t dropped_tuples = 0;
+  /// Join-value lookups (index probes / scans / scan opens) that failed
+  /// after retries; each loses the whole set of tuples behind that key.
+  uint64_t failed_lookups = 0;
+  /// Retries performed for this relation's accesses (successful or not).
+  uint64_t retries = 0;
+};
+
+/// \brief Per-relation account of what fault injection cost the answer.
+///
+/// Relations appear in first-degradation-event order — deterministic for a
+/// fixed seed, and replayed identically by the parallel generator.
+struct DegradationReport {
+  std::vector<RelationDegradation> relations;
+
+  bool degraded() const {
+    for (const RelationDegradation& r : relations) {
+      if (r.dropped_tuples > 0 || r.failed_lookups > 0) return true;
+    }
+    return false;
+  }
+  uint64_t total_dropped_tuples() const {
+    uint64_t n = 0;
+    for (const RelationDegradation& r : relations) n += r.dropped_tuples;
+    return n;
+  }
+  uint64_t total_failed_lookups() const {
+    uint64_t n = 0;
+    for (const RelationDegradation& r : relations) n += r.failed_lookups;
+    return n;
+  }
+  uint64_t total_retries() const {
+    uint64_t n = 0;
+    for (const RelationDegradation& r : relations) n += r.retries;
+    return n;
+  }
+  /// "RELATION: dropped=N lookups_failed=M retries=K" lines.
+  std::string ToString() const;
+};
+
 /// \brief What happened during one generation run.
 struct DbGenReport {
   /// Join edges in execution order, rendered "FROM -> TO".
@@ -142,8 +187,22 @@ struct DbGenReport {
   /// constraint holds on the emitted data.
   StopReason stop_reason = StopReason::kNone;
 
+  /// Per-relation fault losses (empty when no fault fired). Separate from
+  /// stop_reason: a fault-degraded answer is complete *except for* the
+  /// reported losses, while a stop_reason cut is a clean truncation.
+  DegradationReport degradation;
+
+  /// True when the run executed with a fault injector armed on its context
+  /// — even if no fault actually fired. This is the cache-taint bit: the
+  /// engine's answer/schema caches refuse to store tainted results, so a
+  /// cache hit always means a clean, complete answer (DESIGN.md §12).
+  bool fault_tainted = false;
+
   /// True if the run was cut short by its ExecutionContext.
   bool partial() const { return stop_reason != StopReason::kNone; }
+
+  /// True if injected faults cost the answer tuples or lookups.
+  bool degraded() const { return degradation.degraded(); }
 };
 
 /// \brief Seed tuples: for each token relation, the tuple ids matching the

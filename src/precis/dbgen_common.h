@@ -18,12 +18,51 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/retry.h"
+#include "precis/database_generator.h"
 #include "precis/result_schema.h"
 #include "storage/database.h"
 #include "storage/relation.h"
 
 namespace precis {
 namespace dbgen_internal {
+
+/// True when fault checks can fire for this query. Both generator paths
+/// branch on this once so the fault-free hot path stays a direct call.
+inline bool FaultsArmed(const ExecutionContext* ctx) {
+  return ctx != nullptr && ctx->fault_injector() != nullptr &&
+         ctx->fault_injector()->armed();
+}
+
+/// The per-join-key lookup as one retriable unit — the kJoinValueLookup
+/// gate plus the probe/scan behind it (which consults kIndexProbe or
+/// kRelationScan inside Relation::LookupEquals). Both generator paths call
+/// this from their sequential control thread, so the injector check
+/// sequence is identical between modes. Only call when FaultsArmed(ctx).
+inline Result<std::vector<Tid>> FaultyLookup(const Relation& relation,
+                                             const std::string& attribute,
+                                             const Value& key,
+                                             ExecutionContext* ctx,
+                                             uint64_t* retries) {
+  return RetryWithBackoff(
+      ctx->retry_policy(), ctx,
+      [&]() -> Result<std::vector<Tid>> {
+        PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kJoinValueLookup));
+        return relation.LookupEquals(attribute, key, ctx);
+      },
+      retries);
+}
+
+/// Find-or-append accessor for the per-relation degradation entry; first
+/// degradation event determines report order (deterministic per seed).
+inline RelationDegradation& DegradationFor(DegradationReport& report,
+                                           const std::string& relation) {
+  for (RelationDegradation& r : report.relations) {
+    if (r.relation == relation) return r;
+  }
+  report.relations.push_back(RelationDegradation{relation});
+  return report.relations.back();
+}
 
 /// Busy-waits for the simulated per-statement overhead (see
 /// DbGenOptions::statement_overhead_ns). A sleep would be descheduled for

@@ -109,7 +109,12 @@ Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
             schema_generator.Generate(token_relations, degree, ctx);
         if (!generated.ok()) return generated.status();
         bool partial = ctx != nullptr && ctx->ShouldStop();
-        if (!partial) {
+        // Fault taint: a schema generated while a fault injector is armed
+        // on the context may silently reflect injected failures; never let
+        // it into the shared cache (DESIGN.md §12).
+        bool tainted = ctx != nullptr && ctx->fault_injector() != nullptr &&
+                       ctx->fault_injector()->armed();
+        if (!partial && !tainted) {
           caches_->schema.Put(
               key, std::make_shared<const ResultSchema>(*generated),
               EstimateSchemaCharge(*generated));
@@ -228,6 +233,11 @@ Result<std::shared_ptr<const PrecisAnswer>> PrecisEngine::AnswerShared(
       // schema-cache rule, applied at the answer level).
       !shared->report.partial() &&
       (ctx == nullptr || !ctx->ShouldStop()) &&
+      // Never cache fault-tainted or degraded answers: the taint bit is
+      // set whenever the run executed with an armed injector (fingerprint-
+      // independent — the fingerprint cannot see the injector), so a cache
+      // hit always means a clean, complete answer (DESIGN.md §12).
+      !shared->report.fault_tainted && !shared->report.degraded() &&
       // Epochs unchanged across the build: the answer saw one consistent
       // database + weight state.
       db_->epoch() == db_epoch && graph_->weight_epoch() == weight_epoch) {

@@ -57,7 +57,10 @@
 
 namespace precis {
 
+using dbgen_internal::DegradationFor;
 using dbgen_internal::EmittedAttributeIndices;
+using dbgen_internal::FaultsArmed;
+using dbgen_internal::FaultyLookup;
 using dbgen_internal::ForeignKeyHolds;
 using dbgen_internal::IsToOne;
 using dbgen_internal::RenderSeedSql;
@@ -280,6 +283,33 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
     if (std::find(t.begin(), t.end(), name) == t.end()) t.push_back(name);
   };
 
+  // Fault injection (DESIGN.md §12). All fault decisions stay on this
+  // planner thread: tuple-fetch checks are *replayed* at exactly the
+  // positions the sequential walk issues Gets (the sim_charges mechanism's
+  // twin — including duplicate fetches the parallel run plans away), and
+  // lookups run here anyway, so the injector consumes the identical check
+  // sequence in both modes. Chunk tasks fetch via FetchPrevalidated, which
+  // never consults the injector.
+  const bool faults = FaultsArmed(ctx);
+  last_report_.fault_tainted = faults;
+  auto degradation_for = [&](RelationNodeId rel) -> RelationDegradation& {
+    return DegradationFor(last_report_.degradation, graph.relation_name(rel));
+  };
+  // Replays one sequential retried Get: consumes the same kTupleFetch check
+  // indices as `RetryWithBackoff(..., [&]{ return Get(tid, ctx); })` does
+  // on the sequential path. OK = the tuple survives (and its sim charge is
+  // due); Unavailable = the sequential run dropped it.
+  auto sim_fetch_check = [&](RelationNodeId rel) -> bool {
+    if (!faults) return true;
+    uint64_t r = 0;
+    Status fs = CheckFaultWithRetry(ctx, FaultSite::kTupleFetch,
+                                    ctx->retry_policy(), &r);
+    if (r > 0) degradation_for(rel).retries += r;
+    if (fs.ok()) return true;
+    ++degradation_for(rel).dropped_tuples;
+    return false;
+  };
+
   // Spawns materialization tasks for every completed chunk of `p`'s
   // accepted tids (`flush` also chunks the residual tail). Boundaries
   // depend only on the accepted sequence — never on threads or timing —
@@ -307,11 +337,13 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
         }
         chunk->rows.reserve(chunk->tids.size());
         for (Tid tid : chunk->tids) {
-          // Charged fetch. Cannot fail: the planner bounds-checked every
-          // accepted tid and the source heap is append-only.
-          auto tuple = src->Get(tid, ctx);
-          chunk->rows.push_back(identity ? **tuple
-                                         : ProjectTuple(**tuple, *emitted));
+          // Charged fetch of a planner-validated tid. FetchPrevalidated
+          // (not Get) so chunk tasks never consult the fault injector —
+          // fault decisions live on the planner thread only, which is what
+          // keeps fault sequences deterministic (DESIGN.md §12).
+          const Tuple* tuple = src->FetchPrevalidated(tid, ctx);
+          chunk->rows.push_back(identity ? *tuple
+                                         : ProjectTuple(*tuple, *emitted));
         }
       });
     }
@@ -371,6 +403,9 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
         // The sequential path fails here inside Relation::Get.
         return Status::OutOfRange(TidOutOfRangeMessage(tid, source));
       }
+      // Replay of the sequential seed Get's fault/retry sequence (the
+      // bounds check above precedes the fault check, as in Relation::Get).
+      if (!sim_fetch_check(rel)) continue;
       sim_charges += 1;  // the sequential seed Get
       accept(p, tid, nullptr);
     }
@@ -487,8 +522,20 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
       std::unordered_set<Tid> candidate_seen;
       for (const Value& key : *keys) {
         if (plan_stopped()) break;
-        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
-        if (!tids.ok()) return tids.status();
+        auto tids = [&]() -> Result<std::vector<Tid>> {
+          if (!faults) return to_relation.LookupEquals(edge.to_attribute, key, ctx);
+          uint64_t r = 0;
+          auto t = FaultyLookup(to_relation, edge.to_attribute, key, ctx, &r);
+          if (r > 0) degradation_for(edge.to).retries += r;
+          return t;
+        }();
+        if (!tids.ok()) {
+          if (tids.status().IsUnavailable()) {
+            ++degradation_for(edge.to).failed_lookups;
+            continue;
+          }
+          return tids.status();
+        }
         sim_charges += 1;  // the probe (or fallback scan)
         for (Tid tid : *tids) {
           if (col.seen.count(tid) > 0) continue;
@@ -501,6 +548,7 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
                                 options.tuple_weights->Weight(to_name, b);
                        });
       for (Tid tid : candidates) {
+        if (!sim_fetch_check(edge.to)) continue;
         sim_charges += 1;  // the sequential candidate Get
         if (!plan_try_add(tid)) break;
       }
@@ -513,10 +561,25 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
       bool budget_open = true;
       for (const Value& key : *keys) {
         if (!budget_open) break;
-        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
-        if (!tids.ok()) return tids.status();
+        auto tids = [&]() -> Result<std::vector<Tid>> {
+          if (!faults) return to_relation.LookupEquals(edge.to_attribute, key, ctx);
+          uint64_t r = 0;
+          auto t = FaultyLookup(to_relation, edge.to_attribute, key, ctx, &r);
+          if (r > 0) degradation_for(edge.to).retries += r;
+          return t;
+        }();
+        if (!tids.ok()) {
+          if (tids.status().IsUnavailable()) {
+            ++degradation_for(edge.to).failed_lookups;
+            continue;
+          }
+          return tids.status();
+        }
         sim_charges += 1;  // the probe (or fallback scan)
         for (Tid tid : *tids) {
+          // The sequential path fault-checks the Get before try_add, for
+          // duplicates too; replay that check at the same position.
+          if (!sim_fetch_check(edge.to)) continue;
           sim_charges += 1;  // the sequential Get, duplicates included
           if (!plan_try_add(tid)) {
             budget_open = false;
@@ -530,14 +593,32 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
       // open scan per round — rounds stay per-edge, exactly sequential.
       std::vector<std::vector<Tid>> scans;
       scans.reserve(keys->size());
+      // Mirror of PerValueScanSet's internal degradation counters: applied
+      // to the report once after the edge drains, exactly where the
+      // sequential path folds scans->retries()/failed_opens()/
+      // dropped_fetches() in.
+      uint64_t rr_retries = 0;
+      uint64_t rr_failed = 0;
+      uint64_t rr_dropped = 0;
       for (const Value& key : *keys) {
         if (plan_stopped()) {
           scans.emplace_back();
           continue;
         }
         to_relation.CountStatement(ctx);  // one cursor per probe value
-        auto tids = to_relation.LookupEquals(edge.to_attribute, key, ctx);
-        if (!tids.ok()) return tids.status();
+        auto tids = faults ? FaultyLookup(to_relation, edge.to_attribute, key,
+                                          ctx, &rr_retries)
+                           : to_relation.LookupEquals(edge.to_attribute, key,
+                                                      ctx);
+        if (!tids.ok()) {
+          if (tids.status().IsUnavailable()) {
+            // PerValueScanSet::Open parity: the key's scan opens drained.
+            ++rr_failed;
+            scans.emplace_back();
+            continue;
+          }
+          return tids.status();
+        }
         sim_charges += 1;  // the probe (or fallback scan)
         scans.push_back(std::move(*tids));
       }
@@ -555,12 +636,28 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
         for (size_t i = 0; i < scans.size(); ++i) {
           if (positions[i] >= scans[i].size()) continue;
           Tid tid = scans[i][positions[i]++];
+          if (faults) {
+            // Replay of PerValueScanSet::Next's retried Get; a drop skips
+            // this tuple (Next returned nullopt) but keeps the scan open.
+            Status fs = CheckFaultWithRetry(ctx, FaultSite::kTupleFetch,
+                                            ctx->retry_policy(), &rr_retries);
+            if (!fs.ok()) {
+              ++rr_dropped;
+              continue;
+            }
+          }
           sim_charges += 1;  // PerValueScanSet::Next's Get
           if (!plan_try_add(tid)) {
             budget_open = false;
             break;
           }
         }
+      }
+      if (faults && (rr_retries > 0 || rr_failed > 0 || rr_dropped > 0)) {
+        RelationDegradation& deg = degradation_for(edge.to);
+        deg.retries += rr_retries;
+        deg.failed_lookups += rr_failed;
+        deg.dropped_tuples += rr_dropped;
       }
     }
 

@@ -37,6 +37,7 @@ std::future<ServiceResponse> PrecisService::Submit(ServiceRequest request) {
   Job job;
   job.request = std::move(request);
   std::future<ServiceResponse> future = job.promise.get_future();
+  bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (shutting_down_) {
@@ -46,7 +47,26 @@ std::future<ServiceResponse> PrecisService::Submit(ServiceRequest request) {
       job.promise.set_value(std::move(rejected));
       return future;
     }
-    queue_.push_back(std::move(job));
+    if (options_.max_queue_depth > 0 &&
+        queue_.size() >= options_.max_queue_depth) {
+      shed = true;
+    } else {
+      queue_.push_back(std::move(job));
+    }
+  }
+  if (shed) {
+    // Load shedding (DESIGN.md §12): fail fast with a typed status rather
+    // than letting the queue (and every queued query's latency) grow without
+    // bound. The promise resolves outside queue_mutex_ so a caller blocked
+    // on the future can't interleave with queue operations.
+    ServiceResponse rejected;
+    rejected.status = Status::Overloaded(
+        "admission queue full (depth " +
+        std::to_string(options_.max_queue_depth) + "); request shed");
+    job.promise.set_value(std::move(rejected));
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    ++metrics_.queries_shed;
+    return future;
   }
   queue_cv_.notify_one();
   return future;
@@ -56,6 +76,7 @@ std::vector<std::future<ServiceResponse>> PrecisService::SubmitBatch(
     std::vector<ServiceRequest> requests) {
   std::vector<std::future<ServiceResponse>> futures;
   futures.reserve(requests.size());
+  std::vector<Job> shed_jobs;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     for (ServiceRequest& request : requests) {
@@ -67,10 +88,24 @@ std::vector<std::future<ServiceResponse>> PrecisService::SubmitBatch(
         rejected.status =
             Status::Internal("service is shut down; submission rejected");
         job.promise.set_value(std::move(rejected));
+      } else if (options_.max_queue_depth > 0 &&
+                 queue_.size() >= options_.max_queue_depth) {
+        shed_jobs.push_back(std::move(job));
       } else {
         queue_.push_back(std::move(job));
       }
     }
+  }
+  for (Job& job : shed_jobs) {
+    ServiceResponse rejected;
+    rejected.status = Status::Overloaded(
+        "admission queue full (depth " +
+        std::to_string(options_.max_queue_depth) + "); request shed");
+    job.promise.set_value(std::move(rejected));
+  }
+  if (!shed_jobs.empty()) {
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    metrics_.queries_shed += shed_jobs.size();
   }
   queue_cv_.notify_all();
   return futures;
@@ -131,6 +166,15 @@ ServiceResponse PrecisService::RunOne(const ServiceRequest& request) {
     ctx.SetAccessBudget(options_.default_access_budget);
   }
 
+  // Fault injection (DESIGN.md §12): arm every query's context with the
+  // service-wide injector (chaos drills exercise the whole pool, not one
+  // query) and the retry policy the layers below consult on transient
+  // faults.
+  if (options_.fault_injector != nullptr) {
+    ctx.SetFaultInjector(options_.fault_injector);
+  }
+  ctx.set_retry_policy(options_.retry_policy);
+
   std::vector<std::unique_ptr<DegreeConstraint>> degree_parts;
   degree_parts.push_back(MinPathWeight(request.min_path_weight));
   if (request.max_projections > 0) {
@@ -166,6 +210,10 @@ ServiceResponse PrecisService::RunOne(const ServiceRequest& request) {
           .count();
   if (answer.ok()) {
     response.answer = std::move(*answer);
+    response.degraded = response.answer->report.degraded();
+    response.retries = response.answer->report.degradation.total_retries();
+    response.dropped_tuples =
+        response.answer->report.degradation.total_dropped_tuples();
   } else {
     response.status = answer.status();
   }
@@ -192,6 +240,9 @@ void PrecisService::RecordOutcome(const ServiceResponse& response) {
     case StopReason::kNone:
       break;
   }
+  if (response.degraded) ++metrics_.degraded_answers;
+  metrics_.retries_total += response.retries;
+  metrics_.dropped_tuples_total += response.dropped_tuples;
   metrics_.total_latency_seconds += response.latency_seconds;
   metrics_.total_stats += response.stats;
   for (const TraceSpan& span : response.spans) {

@@ -68,6 +68,15 @@ struct ServiceResponse {
   /// Per-stage trace spans ("match_tokens", "schema_gen", "db_gen").
   std::vector<TraceSpan> spans;
 
+  /// Fault-degradation summary (DESIGN.md §12), copied from the answer's
+  /// DbGenReport: true when injected faults cost the answer tuples or
+  /// lookups. The answer remains structurally well-formed.
+  bool degraded = false;
+  /// Retries performed against transient faults (successful or not).
+  uint64_t retries = 0;
+  /// Tuples lost to exhausted retries.
+  uint64_t dropped_tuples = 0;
+
   bool partial() const { return stop_reason != StopReason::kNone; }
 };
 
@@ -95,6 +104,21 @@ class PrecisService {
     /// workers x per-query chunk tasks` cannot oversubscribe the machine.
     /// 0 (default) leaves requests untouched.
     size_t dbgen_parallelism = 0;
+
+    /// Admission-queue bound (load shedding, DESIGN.md §12). When > 0, a
+    /// Submit that would make the queue deeper than this is rejected
+    /// immediately with a typed Status::Overloaded response instead of
+    /// queueing unboundedly — the load-shedding discipline keyword-search
+    /// services use under overload. 0 (default) = unbounded queue.
+    size_t max_queue_depth = 0;
+
+    /// Fault injector attached to every query's ExecutionContext (chaos
+    /// testing / fault drills); not owned, must outlive the service.
+    /// nullptr (default) disables fault checks entirely.
+    FaultInjector* fault_injector = nullptr;
+
+    /// Backoff parameters for transient-fault retries in the layers below.
+    RetryPolicy retry_policy;
   };
 
   /// Aggregate counters across every query the service has finished.
@@ -104,6 +128,15 @@ class PrecisService {
     uint64_t deadline_hits = 0;
     uint64_t budget_truncations = 0;
     uint64_t cancellations = 0;
+    /// Requests rejected at admission (Status::Overloaded) because the
+    /// queue was at max_queue_depth. Not counted in queries_served.
+    uint64_t queries_shed = 0;
+    /// Completed queries whose answer lost tuples/lookups to faults.
+    uint64_t degraded_answers = 0;
+    /// Transient-fault retries across all queries.
+    uint64_t retries_total = 0;
+    /// Tuples lost to exhausted retries across all queries.
+    uint64_t dropped_tuples_total = 0;
     double p50_latency_seconds = 0.0;
     double p99_latency_seconds = 0.0;
     double total_latency_seconds = 0.0;

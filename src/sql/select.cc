@@ -2,7 +2,20 @@
 
 #include <sstream>
 
+#include "common/retry.h"
+
 namespace precis {
+namespace {
+
+// True when fault checks can actually fire for this query — the retry
+// wrappers below are skipped entirely otherwise, so the fault-free hot path
+// stays a direct call (the < 5% zero-fault-overhead gate, DESIGN.md §12).
+bool FaultsArmed(const ExecutionContext* ctx) {
+  return ctx != nullptr && ctx->fault_injector() != nullptr &&
+         ctx->fault_injector()->armed();
+}
+
+}  // namespace
 
 Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& projection) {
   Tuple out;
@@ -36,10 +49,13 @@ Result<std::vector<Row>> FetchByTids(const Relation& relation,
   // tuple in one go instead of rebuilding it value by value.
   const bool identity =
       IsIdentityProjection(projection, relation.schema().num_attributes());
+  const bool faults = FaultsArmed(ctx);
   for (Tid tid : tids) {
     if (rows.size() >= max_rows) break;
     if (ctx != nullptr && ctx->ShouldStop()) break;
-    auto tuple = relation.Get(tid, ctx);
+    auto tuple = faults ? RetryWithBackoff(ctx->retry_policy(), ctx,
+                                           [&] { return relation.Get(tid, ctx); })
+                        : relation.Get(tid, ctx);
     if (!tuple.ok()) return tuple.status();
     rows.push_back(
         Row{tid, identity ? **tuple : ProjectTuple(**tuple, projection)});
@@ -60,15 +76,30 @@ Result<std::vector<Row>> FetchByJoinValues(
   rows.reserve(std::min(max_rows, keys.size()));
   const bool identity =
       IsIdentityProjection(projection, relation.schema().num_attributes());
+  const bool faults = FaultsArmed(ctx);
   for (const Value& key : keys) {
     if (rows.size() >= max_rows) break;
     if (ctx != nullptr && ctx->ShouldStop()) break;
-    auto tids = relation.LookupEquals(attribute, key, ctx);
+    // The per-key lookup is one retriable unit: the join-value fault gate
+    // plus the probe/scan behind it, so a transient fault on either retries
+    // the whole key instead of leaving a half-consumed check sequence.
+    auto tids = faults
+                    ? RetryWithBackoff(
+                          ctx->retry_policy(), ctx,
+                          [&]() -> Result<std::vector<Tid>> {
+                            PRECIS_RETURN_NOT_OK(
+                                ctx->CheckFault(FaultSite::kJoinValueLookup));
+                            return relation.LookupEquals(attribute, key, ctx);
+                          })
+                    : relation.LookupEquals(attribute, key, ctx);
     if (!tids.ok()) return tids.status();
     for (Tid tid : *tids) {
       if (rows.size() >= max_rows) break;
       if (ctx != nullptr && ctx->ShouldStop()) break;
-      auto tuple = relation.Get(tid, ctx);
+      auto tuple =
+          faults ? RetryWithBackoff(ctx->retry_policy(), ctx,
+                                    [&] { return relation.Get(tid, ctx); })
+                 : relation.Get(tid, ctx);
       if (!tuple.ok()) return tuple.status();
       rows.push_back(
           Row{tid, identity ? **tuple : ProjectTuple(**tuple, projection)});
@@ -89,6 +120,7 @@ Result<PerValueScanSet> PerValueScanSet::Open(const Relation& relation,
   set.keys_ = std::move(keys);
   set.projection_ = std::move(projection);
   set.scans_.reserve(set.keys_.size());
+  const bool faults = FaultsArmed(ctx);
   for (const Value& key : set.keys_) {
     if (ctx != nullptr && ctx->ShouldStop()) {
       // Budget/deadline hit mid-open: the remaining scans open drained so
@@ -98,8 +130,25 @@ Result<PerValueScanSet> PerValueScanSet::Open(const Relation& relation,
     }
     // Each per-value scan is its own parameterized statement (cursor).
     relation.CountStatement(ctx);
-    auto tids = relation.LookupEquals(attribute, key, ctx);
-    if (!tids.ok()) return tids.status();
+    auto tids =
+        faults ? RetryWithBackoff(
+                     ctx->retry_policy(), ctx,
+                     [&]() -> Result<std::vector<Tid>> {
+                       PRECIS_RETURN_NOT_OK(
+                           ctx->CheckFault(FaultSite::kJoinValueLookup));
+                       return relation.LookupEquals(attribute, key, ctx);
+                     },
+                     &set.retries_)
+               : relation.LookupEquals(attribute, key, ctx);
+    if (!tids.ok()) {
+      if (!tids.status().IsUnavailable()) return tids.status();
+      // Retries exhausted on an injected fault: this key's scan opens
+      // drained and the degradation is reported, not fatal — the paper's
+      // constraints already give partial answers well-defined semantics.
+      ++set.failed_opens_;
+      set.scans_.emplace_back();
+      continue;
+    }
     set.scans_.push_back(std::move(*tids));
   }
   set.positions_.assign(set.scans_.size(), 0);
@@ -116,8 +165,19 @@ bool PerValueScanSet::AllClosed() const {
 std::optional<Row> PerValueScanSet::Next(size_t i) {
   if (!IsOpen(i)) return std::nullopt;
   Tid tid = scans_[i][positions_[i]++];
-  auto tuple = relation_->Get(tid, ctx_);
-  if (!tuple.ok()) return std::nullopt;  // cannot happen for valid scans
+  auto tuple = FaultsArmed(ctx_)
+                   ? RetryWithBackoff(ctx_->retry_policy(), ctx_,
+                                      [&] { return relation_->Get(tid, ctx_); },
+                                      &retries_)
+                   : relation_->Get(tid, ctx_);
+  if (!tuple.ok()) {
+    // An exhausted transient fault drops this one tuple (counted, surfaced
+    // in the DegradationReport); the scan itself stays usable. Tids in
+    // scans_ came from the relation's own index, so a non-fault failure
+    // cannot happen for valid scans.
+    if (tuple.status().IsUnavailable()) ++dropped_fetches_;
+    return std::nullopt;
+  }
   return Row{tid, ProjectTuple(**tuple, projection_)};
 }
 

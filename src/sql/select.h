@@ -116,6 +116,19 @@ class PerValueScanSet {
   /// The probe value that scan `i` was opened for.
   const Value& key(size_t i) const { return keys_[i]; }
 
+  // --- Degradation counters (DESIGN.md §12) -------------------------------
+  // Under fault injection, Open and Next retry transient errors with the
+  // context's RetryPolicy; exhausted retries degrade (drained scan /
+  // dropped tuple) instead of failing. The generator folds these counters
+  // into the per-relation DegradationReport.
+
+  /// Keys whose scan failed to open after retries (drained scan instead).
+  uint64_t failed_opens() const { return failed_opens_; }
+  /// Tuples dropped because Get kept failing after retries.
+  uint64_t dropped_fetches() const { return dropped_fetches_; }
+  /// Retries performed across Open and Next.
+  uint64_t retries() const { return retries_; }
+
   /// SQL-equivalent text of the scans, for logging.
   std::string ToSql(const Relation& relation) const;
 
@@ -129,6 +142,9 @@ class PerValueScanSet {
   std::vector<std::vector<Tid>> scans_;  // matching tids per key
   std::vector<size_t> positions_;        // next offset per scan
   std::string attribute_;
+  uint64_t failed_opens_ = 0;
+  uint64_t dropped_fetches_ = 0;
+  uint64_t retries_ = 0;
 };
 
 /// \brief Renders query shape (2) as SQL text, e.g.

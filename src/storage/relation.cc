@@ -60,6 +60,17 @@ Result<const Tuple*> Relation::Get(Tid tid, ExecutionContext* ctx) const {
                               "' with " + std::to_string(heap_.size()) +
                               " tuples");
   }
+  // The fault check sits after the bounds check (a bad tid is a caller bug,
+  // not a storage fault) and before the charge: a failed fetch attempt
+  // consumed no instrumented access (DESIGN.md §12).
+  if (ctx != nullptr) {
+    PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kTupleFetch));
+  }
+  CountTupleFetch(ctx);
+  return &heap_[tid];
+}
+
+const Tuple* Relation::FetchPrevalidated(Tid tid, ExecutionContext* ctx) const {
   CountTupleFetch(ctx);
   return &heap_[tid];
 }
@@ -101,8 +112,14 @@ Result<std::vector<Tid>> Relation::LookupEquals(
   auto idx = schema_.AttributeIndex(attribute_name);
   if (!idx.ok()) return idx.status();
   if (const HashIndex* index = IndexAt(*idx)) {
+    if (ctx != nullptr) {
+      PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kIndexProbe));
+    }
     CountIndexProbe(ctx);
     return index->Lookup(key);
+  }
+  if (ctx != nullptr) {
+    PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kRelationScan));
   }
   CountSequentialScan(ctx);
   std::vector<Tid> out;

@@ -75,6 +75,13 @@ class Relation {
   /// count as an instrumented fetch.
   const Tuple& tuple(Tid tid) const { return heap_[tid]; }
 
+  /// Charged fetch of a tid the caller already validated — no bounds check
+  /// and, critically, no fault-injection check. The parallel generator's
+  /// chunk tasks fetch through this so fault decisions stay on the
+  /// deterministic sequential control path (the planner replays them; see
+  /// parallel_dbgen.cc and DESIGN.md §12).
+  const Tuple* FetchPrevalidated(Tid tid, ExecutionContext* ctx) const;
+
   /// Builds (or rebuilds) a hash index on the named attribute.
   Status CreateIndex(const std::string& attribute_name);
 

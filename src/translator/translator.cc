@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "text/tokenizer.h"
 
@@ -265,6 +266,16 @@ Result<std::vector<std::string>> Translator::RenderOccurrence(
   std::vector<std::string> paragraphs;
   if (!answer.database.HasRelation(occurrence.relation)) return paragraphs;
 
+  // Fault gate for the template-catalog lookups this occurrence will do
+  // (one retried check per occurrence, on the caller's thread). Exhausted
+  // retries surface as Unavailable; Render() degrades the narrative while
+  // keeping the structured answer intact (DESIGN.md §12).
+  if (ctx != nullptr && ctx->fault_injector() != nullptr &&
+      ctx->fault_injector()->armed()) {
+    PRECIS_RETURN_NOT_OK(CheckFaultWithRetry(
+        ctx, FaultSite::kTranslatorCatalog, ctx->retry_policy()));
+  }
+
   auto rel = answer.database.GetRelation(occurrence.relation);
   if (!rel.ok()) return rel.status();
   auto rel_id = answer.schema.graph().RelationId(occurrence.relation);
@@ -306,7 +317,19 @@ Result<std::string> Translator::Render(const PrecisAnswer& answer,
     for (const TokenOccurrence& occurrence : match.occurrences) {
       if (ctx != nullptr && ctx->ShouldStop()) return out;
       auto paragraphs = RenderOccurrence(answer, match.token, occurrence, ctx);
-      if (!paragraphs.ok()) return paragraphs.status();
+      if (!paragraphs.ok()) {
+        if (paragraphs.status().IsUnavailable()) {
+          // Translator-stage fault after retries: the narrative degrades
+          // to a placeholder for this occurrence, but the caller still
+          // gets its structured answer — rendering never torpedoes the
+          // query (DESIGN.md §12).
+          if (!out.empty()) out += "\n\n";
+          out += "[précis narrative unavailable for '" + match.token +
+                 "' in " + occurrence.relation + "]";
+          continue;
+        }
+        return paragraphs.status();
+      }
       for (const std::string& p : *paragraphs) {
         if (!out.empty()) out += "\n\n";
         out += p;

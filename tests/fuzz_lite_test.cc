@@ -6,10 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/execution_context.h"
+#include "common/fault_injection.h"
 #include "common/random.h"
+#include "datagen/movies_dataset.h"
+#include "precis/engine.h"
+#include "precis/json_export.h"
 #include "semistructured/document.h"
 #include "semistructured/shredder.h"
 #include "storage/serialization.h"
@@ -127,6 +134,68 @@ TEST_P(FuzzLiteTest, SerializationLoaderNeverCrashes) {
     if (db.ok()) {
       // A successfully loaded database must be internally consistent.
       EXPECT_TRUE(db->ValidateForeignKeys().ok());
+    }
+  }
+}
+
+TEST_P(FuzzLiteTest, ChaosQueriesUnderInjectedFaultsNeverCrash) {
+  // Fault-injection sweep over the movies workload (DESIGN.md §12): with
+  // every storage site armed at p ∈ {0.01, 0.1}, randomized queries at
+  // randomized parallelism must produce an OK (possibly degraded) answer or
+  // the typed transient error — never a crash, hang, or malformed database —
+  // and an identical rerun (same injector seed, same query) must reproduce
+  // the identical outcome.
+  MoviesConfig config;
+  config.num_movies = 120;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+
+  const std::vector<std::string> tokens = {
+      "Woody Allen", "Match Point",        "Comedy", "Drama",
+      "London",      "Scarlett Johansson", "1996",   "nonexistent token"};
+  const std::vector<size_t> fanouts = {1, 2, 8};
+
+  Rng rng(GetParam() + 5000);
+  FaultInjector injector(GetParam());
+  for (double p : {0.01, 0.1}) {
+    injector.SetAll(FaultSchedule::Probability(p));
+    for (int i = 0; i < 25; ++i) {
+      const std::string& token = tokens[rng.Index(tokens.size())];
+      const size_t parallelism = fanouts[rng.Index(fanouts.size())];
+      const uint64_t fault_seed = static_cast<uint64_t>(rng.Uniform(0, 1u << 20));
+
+      auto run = [&]() -> std::string {
+        injector.Reseed(fault_seed);
+        ExecutionContext ctx;
+        ctx.SetFaultInjector(&injector);
+        RetryPolicy policy;
+        policy.initial_backoff_ns = 0;  // decisions only; no sleeping
+        ctx.set_retry_policy(policy);
+        auto degree = MinPathWeight(0.9);
+        auto cardinality = MaxTuplesPerRelation(4);
+        DbGenOptions options;
+        options.parallelism = parallelism;
+        auto answer = engine->Answer(PrecisQuery{{token}}, *degree,
+                                     *cardinality, options, &ctx);
+        if (!answer.ok()) {
+          // The only failure the injector can surface is the typed
+          // transient error.
+          EXPECT_TRUE(answer.status().IsUnavailable())
+              << answer.status().ToString();
+          return "error:" + answer.status().ToString();
+        }
+        EXPECT_TRUE(answer->database.ValidateForeignKeys().ok());
+        EXPECT_TRUE(answer->report.fault_tainted);
+        return AnswerToJson(*answer) + "|" +
+               answer->report.degradation.ToString();
+      };
+      std::string first = run();
+      std::string again = run();
+      EXPECT_EQ(first, again)
+          << "p=" << p << " token=" << token << " parallelism=" << parallelism
+          << " fault_seed=" << fault_seed;
     }
   }
 }

@@ -60,6 +60,15 @@ constexpr const char* kHelp = R"(commands:
   set proj REL ATTR W      override a projection-edge weight
   set trace on|off         record the SQL statements of each query
   set cache on|off         enable the token / schema / answer caches
+  set faults SITE MODE P   arm deterministic fault injection at SITE
+                           (probe|fetch|join|scan|catalog). MODE P is one of:
+                           prob P | every N | steps I,J,K; an optional
+                           trailing kind is transient (default) | permanent
+                           | latency. Faulted queries degrade gracefully
+                           and are never cached.
+  set faults SITE off      disarm one site
+  set faults seed N        reseed the injector (counters cleared)
+  set faults off           disarm everything
   set parallelism N        intra-query parallel generation on N-way task
                            pool fan-out (1 = sequential); output is
                            byte-identical at any setting
@@ -68,7 +77,9 @@ constexpr const char* kHelp = R"(commands:
   budget N                 per-query access budget: max index probes + tuple
                            fetches + scans (0 = unbounded)
   stats                    access counters of the last query + global totals
-                           (+ per-level cache ratios when caching is on)
+                           (+ per-level cache ratios when caching is on,
+                           + retry / degradation / injector counters when
+                           faults are armed)
   trace                    per-stage trace spans of the last query
   show schema              print the source database schema
   show graph               print the schema graph with weights
@@ -96,6 +107,11 @@ struct ShellState {
   bool caches_enabled = false;  // token + schema + answer caches
   double deadline_ms = 0.0;     // 0 = no deadline
   uint64_t access_budget = 0;   // 0 = unbounded
+
+  /// Deterministic fault injection (DESIGN.md §12). Attached to a query's
+  /// context only while armed, so 'set faults off' restores the exact
+  /// pre-fault fast path (no injector pointer in the context at all).
+  FaultInjector injector{42};
 
   /// Shared because a cache hit returns the engine's stored answer; the
   /// shell keeps it alive for 'text' / 'json' / 'dot' / 'save'.
@@ -186,6 +202,94 @@ Status CmdShred(ShellState* state, const std::vector<std::string>& args) {
   return Status::OK();
 }
 
+/// `set faults ...` — everything after the "faults" keyword is in `args`.
+Status CmdSetFaults(ShellState* state, const std::vector<std::string>& args) {
+  if (args.empty()) {
+    return Status::InvalidArgument(
+        "usage: set faults off | seed N | SITE off|prob P|every N|steps "
+        "I,J,K [transient|permanent|latency]");
+  }
+  if (args[0] == "off" && args.size() == 1) {
+    state->injector.Reset();
+    std::printf("faults: off\n");
+    return Status::OK();
+  }
+  if (args[0] == "seed") {
+    if (args.size() != 2) {
+      return Status::InvalidArgument("usage: set faults seed N");
+    }
+    state->injector.Reseed(
+        static_cast<uint64_t>(std::atoll(args[1].c_str())));
+    std::printf("faults: seed=%llu (counters cleared)\n",
+                static_cast<unsigned long long>(state->injector.seed()));
+    return Status::OK();
+  }
+
+  auto site = ParseFaultSite(args[0]);
+  if (!site.ok()) return site.status();
+  if (args.size() < 2) {
+    return Status::InvalidArgument(
+        "usage: set faults SITE off|prob P|every N|steps I,J,K [kind]");
+  }
+
+  const std::string& mode = args[1];
+  if (mode == "off") {
+    state->injector.SetSchedule(*site, FaultSchedule::Off());
+    std::printf("faults: %s off\n", FaultSiteToString(*site));
+    return Status::OK();
+  }
+
+  // Optional trailing kind (args[3] when present).
+  FaultKind kind = FaultKind::kTransientError;
+  if (args.size() >= 4) {
+    if (args[3] == "transient") {
+      kind = FaultKind::kTransientError;
+    } else if (args[3] == "permanent") {
+      kind = FaultKind::kPermanentError;
+    } else if (args[3] == "latency") {
+      kind = FaultKind::kLatencySpike;
+    } else {
+      return Status::InvalidArgument(
+          "unknown fault kind '" + args[3] +
+          "' (transient | permanent | latency)");
+    }
+  }
+
+  if (mode == "prob" && args.size() >= 3) {
+    double p = std::atof(args[2].c_str());
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probability must be in [0, 1]");
+    }
+    state->injector.SetSchedule(*site, FaultSchedule::Probability(p, kind));
+  } else if (mode == "every" && args.size() >= 3) {
+    long n = std::atol(args[2].c_str());
+    if (n < 1) return Status::InvalidArgument("period must be >= 1");
+    state->injector.SetSchedule(
+        *site, FaultSchedule::EveryNth(static_cast<uint64_t>(n), kind));
+  } else if (mode == "steps" && args.size() >= 3) {
+    std::vector<uint64_t> steps;
+    for (const std::string& part : Split(args[2], ',')) {
+      long step = std::atol(part.c_str());
+      if (step < 1) {
+        return Status::InvalidArgument("steps are 1-based check indices");
+      }
+      steps.push_back(static_cast<uint64_t>(step));
+    }
+    if (steps.empty()) {
+      return Status::InvalidArgument("usage: set faults SITE steps I,J,K");
+    }
+    state->injector.SetSchedule(*site,
+                                FaultSchedule::Steps(std::move(steps), kind));
+  } else {
+    return Status::InvalidArgument(
+        "unknown fault mode '" + mode + "' (off | prob P | every N | steps "
+        "I,J,K)");
+  }
+  std::printf("faults armed:\n%s",
+              state->injector.DescribeSchedules().c_str());
+  return Status::OK();
+}
+
 Status CmdSet(ShellState* state, const std::vector<std::string>& args) {
   if (args.empty()) return Status::InvalidArgument("usage: set KEY VALUE...");
   const std::string& key = args[0];
@@ -213,6 +317,9 @@ Status CmdSet(ShellState* state, const std::vector<std::string>& args) {
     state->parallelism = static_cast<size_t>(n);
   } else if (key == "trace" && args.size() == 2) {
     state->trace_sql = (args[1] == "on");
+  } else if (key == "faults") {
+    return CmdSetFaults(state,
+                        std::vector<std::string>(args.begin() + 1, args.end()));
   } else if (key == "cache" && args.size() == 2) {
     state->caches_enabled = (args[1] == "on");
     if (state->engine != nullptr) {
@@ -275,6 +382,9 @@ Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
     ctx->SetDeadlineAfter(state->deadline_ms / 1e3);
   }
   if (state->access_budget > 0) ctx->SetAccessBudget(state->access_budget);
+  // Attach the injector only while armed: an armed context taints the
+  // caches (DESIGN.md §12), so an idle injector must stay invisible.
+  if (state->injector.armed()) ctx->SetFaultInjector(&state->injector);
 
   // AnswerShared serves from the full-answer cache when 'set cache on' is
   // active (trace runs bypass it); otherwise it builds a fresh answer.
@@ -286,6 +396,17 @@ Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
   if (answer->report.partial()) {
     std::printf("partial answer (%s)\n",
                 StopReasonToString(answer->report.stop_reason));
+  }
+  if (answer->report.degraded()) {
+    std::printf("degraded answer (dropped=%llu lookups_failed=%llu "
+                "retries=%llu):\n%s",
+                static_cast<unsigned long long>(
+                    answer->report.degradation.total_dropped_tuples()),
+                static_cast<unsigned long long>(
+                    answer->report.degradation.total_failed_lookups()),
+                static_cast<unsigned long long>(
+                    answer->report.degradation.total_retries()),
+                answer->report.degradation.ToString().c_str());
   }
   if (answer->empty()) {
     std::printf("no occurrences.\n");
@@ -374,6 +495,31 @@ Status CmdStats(ShellState* state) {
     print_cache("token:", state->engine->token_cache_stats());
     print_cache("schema:", state->engine->schema_cache_stats());
     print_cache("answer:", state->engine->answer_cache_stats());
+  }
+  if (state->injector.armed()) {
+    std::printf("faults seed=%llu injected=%llu\n",
+                static_cast<unsigned long long>(state->injector.seed()),
+                static_cast<unsigned long long>(
+                    state->injector.total_injected()));
+    for (size_t i = 0; i < kNumFaultSites; ++i) {
+      FaultSite site = static_cast<FaultSite>(i);
+      FaultSiteStats fs = state->injector.site_stats(site);
+      if (fs.checks == 0) continue;
+      std::printf("  %-18s checks=%llu injected=%llu latency_spikes=%llu\n",
+                  FaultSiteToString(site),
+                  static_cast<unsigned long long>(fs.checks),
+                  static_cast<unsigned long long>(fs.injected),
+                  static_cast<unsigned long long>(fs.latency_spikes));
+    }
+    if (state->last_answer != nullptr) {
+      const DegradationReport& deg = state->last_answer->report.degradation;
+      std::printf("last answer: degraded=%s retries=%llu dropped=%llu "
+                  "lookups_failed=%llu\n",
+                  deg.degraded() ? "yes" : "no",
+                  static_cast<unsigned long long>(deg.total_retries()),
+                  static_cast<unsigned long long>(deg.total_dropped_tuples()),
+                  static_cast<unsigned long long>(deg.total_failed_lookups()));
+    }
   }
   return Status::OK();
 }
@@ -504,6 +650,13 @@ int RunShell(std::istream& in, bool interactive) {
                     state.trace_sql ? "on" : "off",
                     state.caches_enabled ? "on" : "off", state.deadline_ms,
                     static_cast<unsigned long long>(state.access_budget));
+        if (state.injector.armed()) {
+          std::printf("faults (seed=%llu):\n%s",
+                      static_cast<unsigned long long>(state.injector.seed()),
+                      state.injector.DescribeSchedules().c_str());
+        } else {
+          std::printf("faults: off\n");
+        }
       } else {
         std::printf("%s", state.db->DescribeSchema().c_str());
       }
