@@ -11,11 +11,15 @@
 #                         §11), and bench/fault_tolerance in smoke mode
 #                         (fails when disarmed fault machinery costs > 5%
 #                         throughput or any query fails under injected
-#                         faults — robustness gates, DESIGN.md §12).
+#                         faults — robustness gates, DESIGN.md §12), and
+#                         bench/kernels in smoke mode (fails when a columnar
+#                         kernel disagrees with the row path — data-layout
+#                         equivalence gate, DESIGN.md §13).
 #   3. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
 #                         PrecisService, engine concurrency, the sharded LRU,
-#                         the answer cache, the work-stealing TaskPool and
-#                         the parallel database generator) rebuilt and run
+#                         the answer cache, the work-stealing TaskPool, the
+#                         parallel database generator, the query Arena and
+#                         the SymbolTable interner) rebuilt and run
 #                         under TSan, so data races on the shared query path
 #                         fail the build rather than ship. The shared pool is
 #                         pinned to >= 4 threads so intra-query parallelism
@@ -55,6 +59,11 @@ PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_fault_tolerance.json" \
   "$ROOT/build-release/bench/fault_tolerance"
+# Columnar kernels (index probe, fetch+project, token lookup) must agree
+# with the row path cell-for-cell (DESIGN.md §13).
+PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
+  PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_kernels.json" \
+  "$ROOT/build-release/bench/kernels_bench"
 
 echo "=== [3/4] ${SANITIZER} sanitizer build + concurrency suite ==="
 cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
@@ -62,18 +71,19 @@ cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
 cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
   --target concurrency_test service_test execution_context_test \
            lru_cache_test answer_cache_test task_pool_test \
-           parallel_dbgen_test
+           parallel_dbgen_test arena_test symbol_table_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen'
+  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen|Arena|SymbolTable'
 
 echo "=== [4/4] ASan+UBSan build + chaos smoke gate ==="
 cmake -B "$ROOT/build-asan-ubsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="address,undefined"
 cmake --build "$ROOT/build-asan-ubsan" -j "$JOBS" \
-  --target fault_injection_test fuzz_lite_test service_test
+  --target fault_injection_test fuzz_lite_test service_test \
+           arena_test columnar_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-asan-ubsan" --output-on-failure -j "$JOBS" \
-  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite'
+  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel'
 
 echo "=== CI passed (Release + bench smokes + $SANITIZER + asan,ubsan chaos) ==="

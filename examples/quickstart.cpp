@@ -48,7 +48,7 @@ int main() {
 
   std::printf("Token occurrences:\n");
   for (const TokenMatch& match : answer->matches) {
-    for (const TokenOccurrence& occ : match.occurrences) {
+    for (const TokenOccurrence& occ : match.occurrences()) {
       std::printf("  \"%s\" found in %s.%s (%zu tuples)\n",
                   match.token.c_str(), occ.relation.c_str(),
                   occ.attribute.c_str(), occ.tids.size());

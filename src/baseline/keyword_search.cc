@@ -228,7 +228,11 @@ Result<std::vector<JoinedTupleTree>> KeywordSearchBaseline::Search(
   // Tuple sets per keyword.
   std::vector<std::vector<TupleSet>> tuple_sets(keywords.size());
   for (size_t k = 0; k < keywords.size(); ++k) {
-    for (const TokenOccurrence& occ : index_.Lookup(keywords[k])) {
+    // Bind the shared result before iterating: range-for over
+    // `*index_.Lookup(...)` would destroy the temporary shared_ptr after
+    // initializing the range and leave the loop reading freed memory.
+    OccurrenceList occurrences = index_.Lookup(keywords[k]);
+    for (const TokenOccurrence& occ : *occurrences) {
       auto rel = graph_->RelationId(occ.relation);
       if (!rel.ok()) return rel.status();
       // Merge occurrences of the same relation (different attributes).

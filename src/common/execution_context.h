@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/fault_injection.h"
 #include "common/status.h"
 #include "storage/access_stats.h"
@@ -154,6 +155,12 @@ class ExecutionContext {
   void ChargeTupleFetch() {
     stats_.tuple_fetches.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Bulk variant used by the columnar fetch+project kernel: one relaxed
+  /// fetch_add for a whole chunk. Indistinguishable from n single charges
+  /// (charging has no per-call side effect beyond the counter).
+  void ChargeTupleFetches(uint64_t n) {
+    stats_.tuple_fetches.fetch_add(n, std::memory_order_relaxed);
+  }
   void ChargeSequentialScan() {
     stats_.sequential_scans.fetch_add(1, std::memory_order_relaxed);
   }
@@ -165,6 +172,16 @@ class ExecutionContext {
 
   /// This query's own access counters.
   const AccessStats& stats() const { return stats_; }
+
+  // --- Per-query arena (DESIGN.md §13) ------------------------------------
+
+  /// Scratch arena whose lifetime is this query: the generators draw tid
+  /// snapshots, projection buffers and chunk outputs from it, and the
+  /// whole pool is freed at context teardown (or explicitly via
+  /// arena().Reset()). Internally locked, so chunk tasks on pool threads
+  /// may allocate concurrently with the planner.
+  Arena& arena() { return arena_; }
+  ArenaStats arena_stats() const { return arena_.stats(); }
 
   // --- Fault injection (DESIGN.md §12) ------------------------------------
 
@@ -201,6 +218,7 @@ class ExecutionContext {
   void RecordSpan(TraceSpan span);
 
   AccessStats stats_;
+  Arena arena_;
   FaultInjector* fault_injector_ = nullptr;  // not owned
   RetryPolicy retry_policy_;
   std::atomic<uint64_t> access_budget_{0};  // 0 = unbounded

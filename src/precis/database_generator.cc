@@ -115,6 +115,12 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
   last_report_ = DbGenReport{};
   const SchemaGraph& graph = schema.graph();
 
+  // Per-query arena for scratch tid vectors (ordered seeds, ranked
+  // candidates): bump-allocated, freed wholesale with the context (or at
+  // the end of this call when no context is attached).
+  Arena local_arena;
+  Arena* arena = ctx != nullptr ? &ctx->arena() : &local_arena;
+
   // Simulated per-accepted-tuple I/O wait (cost-model substrate; see
   // DbGenOptions::simulated_access_latency_ns). Timing-only.
   LatencyDebt io_debt(options.simulated_access_latency_ns);
@@ -178,7 +184,8 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
           tids));
     }
     Collected& col = collected[rel];
-    std::vector<Tid> ordered_tids = tids;
+    ArenaVector<Tid> ordered_tids{ArenaAllocator<Tid>(arena)};
+    ordered_tids.assign(tids.begin(), tids.end());
     if (options.tuple_weights != nullptr) {
       const std::string& rel_name = graph.relation_name(rel);
       std::stable_sort(ordered_tids.begin(), ordered_tids.end(),
@@ -343,7 +350,7 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
       const std::string& to_name = graph.relation_name(edge.to);
       to_relation.CountStatement(ctx);
       SimulateStatementOverhead(options.statement_overhead_ns);
-      std::vector<Tid> candidates;
+      ArenaVector<Tid> candidates{ArenaAllocator<Tid>(arena)};
       std::unordered_set<Tid> candidate_seen;
       for (const Value& key : *keys) {
         if (stopped()) break;

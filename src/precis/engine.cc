@@ -23,7 +23,7 @@ size_t EstimateAnswerCharge(const PrecisAnswer& answer) {
   size_t charge = sizeof(PrecisAnswer) + 512;
   for (const TokenMatch& m : answer.matches) {
     charge += m.token.capacity() + m.resolved_token.capacity() +
-              EstimateOccurrencesCharge(m.occurrences);
+              EstimateOccurrencesCharge(m.occurrences());
   }
   // Result databases dominate: charge a rough per-tuple footprint (a Tuple
   // is a vector of tagged values, typically a few short strings).
@@ -64,7 +64,7 @@ Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
   std::vector<RelationNodeId> token_relations;
   SeedTids seeds;
   for (const TokenMatch& match : matches) {
-    for (const TokenOccurrence& occ : match.occurrences) {
+    for (const TokenOccurrence& occ : match.occurrences()) {
       auto rel = graph_->RelationId(occ.relation);
       if (!rel.ok()) return rel.status();
       if (std::find(token_relations.begin(), token_relations.end(), *rel) ==
@@ -257,9 +257,11 @@ Result<std::vector<PrecisAnswer>> PrecisEngine::AnswerPerOccurrence(
   }
   std::vector<PrecisAnswer> answers;
   for (const TokenMatch& match : matches) {
-    for (const TokenOccurrence& occ : match.occurrences) {
-      std::vector<TokenMatch> single = {
-          TokenMatch{match.token, match.resolved_token, {occ}}};
+    for (const TokenOccurrence& occ : match.occurrences()) {
+      std::vector<TokenMatch> single = {TokenMatch{
+          match.token, match.resolved_token,
+          std::make_shared<const std::vector<TokenOccurrence>>(
+              std::vector<TokenOccurrence>{occ})}};
       auto answer = AnswerFromMatches(std::move(single), degree, cardinality,
                                       options, ctx);
       if (!answer.ok()) return answer.status();

@@ -40,7 +40,14 @@ struct TokenMatch {
   /// The spelling actually looked up — differs from `token` when a synonym
   /// table canonicalized it ("W. Allen" -> "Woody Allen", §5.1).
   std::string resolved_token;
-  std::vector<TokenOccurrence> occurrences;  // may be empty: unknown token
+  /// Shared immutable occurrence list straight from InvertedIndex::Lookup
+  /// (may point at an empty vector: unknown token). Shared so answers and
+  /// the token cache reference one copy instead of deep-copying postings.
+  OccurrenceList occurrences_ptr = std::make_shared<const std::vector<TokenOccurrence>>();
+
+  const std::vector<TokenOccurrence>& occurrences() const {
+    return *occurrences_ptr;
+  }
 };
 
 /// \brief The full answer to a précis query: the result schema D', the
@@ -60,7 +67,7 @@ struct PrecisAnswer {
   /// True if no token matched anywhere (the answer is empty).
   bool empty() const {
     for (const TokenMatch& m : matches) {
-      if (!m.occurrences.empty()) return false;
+      if (!m.occurrences().empty()) return false;
     }
     return true;
   }

@@ -125,9 +125,9 @@ std::string AnswerToJson(const PrecisAnswer& answer) {
     os << "{\"token\":\"" << JsonEscape(match.token)
        << "\",\"resolved_token\":\"" << JsonEscape(match.resolved_token)
        << "\",\"occurrences\":[";
-    for (size_t o = 0; o < match.occurrences.size(); ++o) {
+    for (size_t o = 0; o < match.occurrences().size(); ++o) {
       if (o > 0) os << ",";
-      const TokenOccurrence& occ = match.occurrences[o];
+      const TokenOccurrence& occ = match.occurrences()[o];
       os << "{\"relation\":\"" << JsonEscape(occ.relation)
          << "\",\"attribute\":\"" << JsonEscape(occ.attribute)
          << "\",\"tids\":[";

@@ -76,12 +76,19 @@ namespace {
 constexpr size_t kChunkTuples = 256;
 
 /// One materialization task's input (tid snapshot) and output (projected
-/// tuples, index-aligned with `tids`). The task owns `rows` exclusively
-/// until the group Wait establishes the happens-before edge back to the
-/// merging thread — no shared growing vector, no reallocation races.
+/// cells, row-major `count x width`, index-aligned with `tids`). Both
+/// arrays live in the query's Arena — allocated by the planner, filled by
+/// the chunk task via the columnar ProjectRows kernel, freed wholesale at
+/// context teardown. The task owns the cells exclusively until the group
+/// Wait establishes the happens-before edge back to the merging thread —
+/// no shared growing vector, no reallocation races, and (new in the
+/// columnar layout) no per-tuple heap allocation at all: a Value is
+/// trivially copyable, so a chunk is two flat arena arrays.
 struct MaterializedChunk {
-  std::vector<Tid> tids;
-  std::vector<Tuple> rows;
+  const Tid* tids = nullptr;
+  size_t count = 0;
+  size_t width = 0;      // attributes per row
+  Value* cells = nullptr;  // count * width, row-major
 };
 
 /// Plan-side state of one result relation: what the sequential Collected
@@ -96,7 +103,7 @@ struct PlannedRelation {
   std::unordered_map<Tid, std::vector<const JoinEdge*>> arrivals;
 
   size_t next_chunk_start = 0;  // first accepted index not yet chunked
-  std::vector<std::unique_ptr<MaterializedChunk>> chunks;
+  std::vector<MaterializedChunk*> chunks;  // arena-owned, planner-ordered
 
   void Tag(Tid tid, const JoinEdge* arrival) {
     std::vector<const JoinEdge*>& tags = arrivals[tid];
@@ -202,7 +209,9 @@ Result<std::vector<Value>> PlanJoinKeys(
       }
       if (!feeds) continue;
     }
-    const Value& v = p.source->tuple(tid)[*idx];
+    // Columnar single-attribute read: no row materialization, one
+    // contiguous column. Uncharged, like the tuple(tid) read it replaces.
+    const Value v = p.source->ColumnValue(tid, *idx);
     if (v.is_null()) continue;
     if (dedup.insert(v).second) keys.push_back(v);
   }
@@ -238,9 +247,19 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
   }
   size_t total = 0;
 
+  // Per-query arena for tid snapshots and chunk cell buffers. When a
+  // context is attached its arena is used (freed wholesale at context
+  // teardown); otherwise a local arena scoped to this call serves.
+  // Declared before the task group so that the group's destructor — which
+  // waits for in-flight chunk tasks — always runs before the arena (and
+  // the memory those tasks write into) goes away.
+  Arena local_arena;
+  Arena* arena = ctx != nullptr ? &ctx->arena() : &local_arena;
+
   // The task group outlives nothing it references: everything chunk tasks
-  // touch (planned, source relations, ctx) is declared above, so the
-  // group's destructor — which waits — runs first on every return path.
+  // touch (planned, source relations, arena, ctx) is declared above, so
+  // the group's destructor — which waits — runs first on every return
+  // path.
   TaskPool* pool = options.pool != nullptr ? options.pool : TaskPool::Shared();
   ThrottledGroup group(pool, options.parallelism);
 
@@ -320,30 +339,39 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
       size_t begin = p.next_chunk_start;
       size_t count = std::min(kChunkTuples, p.accepted.size() - begin);
       p.next_chunk_start = begin + count;
-      auto owned = std::make_unique<MaterializedChunk>();
-      owned->tids.assign(p.accepted.begin() + begin,
-                         p.accepted.begin() + begin + count);
-      MaterializedChunk* chunk = owned.get();
+      auto* chunk = new (arena->Allocate(sizeof(MaterializedChunk),
+                                         alignof(MaterializedChunk)))
+          MaterializedChunk();
+      chunk->count = count;
+      chunk->width = p.identity ? p.source->schema().num_attributes()
+                                : p.emitted.size();
+      Tid* tids = arena->AllocateArray<Tid>(count);
+      std::copy(p.accepted.begin() + begin, p.accepted.begin() + begin + count,
+                tids);
+      chunk->tids = tids;
+      chunk->cells = arena->AllocateArray<Value>(count * chunk->width);
       const Relation* src = p.source;
       const std::vector<size_t>* emitted = &p.emitted;  // stable (node map)
       const bool identity = p.identity;
-      p.chunks.push_back(std::move(owned));
+      p.chunks.push_back(chunk);
       group.Run([chunk, src, emitted, identity, latency_ns, ctx] {
         if (latency_ns != 0) {
           // The chunk's whole simulated I/O wait in one sleep: same total
           // as the sequential path's batched debt, but overlappable.
           std::this_thread::sleep_for(std::chrono::nanoseconds(
-              latency_ns * static_cast<uint64_t>(chunk->tids.size())));
+              latency_ns * static_cast<uint64_t>(chunk->count)));
         }
-        chunk->rows.reserve(chunk->tids.size());
-        for (Tid tid : chunk->tids) {
-          // Charged fetch of a planner-validated tid. FetchPrevalidated
-          // (not Get) so chunk tasks never consult the fault injector —
-          // fault decisions live on the planner thread only, which is what
-          // keeps fault sequences deterministic (DESIGN.md §12).
-          const Tuple* tuple = src->FetchPrevalidated(tid, ctx);
-          chunk->rows.push_back(identity ? *tuple
-                                         : ProjectTuple(*tuple, *emitted));
+        // Charged bulk fetch+project of planner-validated tids off the
+        // columnar mirror. ProjectRows (not Get) never consults the fault
+        // injector — fault decisions live on the planner thread only,
+        // which is what keeps fault sequences deterministic (DESIGN.md
+        // §12) — and charges the same tuple-fetch total the per-tuple
+        // FetchPrevalidated loop did.
+        if (identity) {
+          src->ProjectRowsAll(chunk->tids, chunk->count, chunk->cells, ctx);
+        } else {
+          src->ProjectRows(chunk->tids, chunk->count, *emitted, chunk->cells,
+                           ctx);
         }
       });
     }
@@ -379,7 +407,8 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
       last_report_.sql_trace.push_back(
           RenderSeedSql(source.schema(), p.emitted, tids));
     }
-    std::vector<Tid> ordered_tids = tids;
+    ArenaVector<Tid> ordered_tids{ArenaAllocator<Tid>(arena)};
+    ordered_tids.assign(tids.begin(), tids.end());
     if (options.tuple_weights != nullptr) {
       const std::string& rel_name = graph.relation_name(rel);
       std::stable_sort(ordered_tids.begin(), ordered_tids.end(),
@@ -518,7 +547,7 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
       const std::string& to_name = graph.relation_name(edge.to);
       to_relation.CountStatement(ctx);
       SimulateStatementOverhead(options.statement_overhead_ns);
-      std::vector<Tid> candidates;
+      ArenaVector<Tid> candidates{ArenaAllocator<Tid>(arena)};
       std::unordered_set<Tid> candidate_seen;
       for (const Value& key : *keys) {
         if (plan_stopped()) break;
@@ -711,9 +740,10 @@ Result<Database> ResultDatabaseGenerator::GenerateParallel(
     Relation* out = out_relations[i];
     Status* slot = &insert_status[i];
     group.Run([p, out, slot] {
-      for (const std::unique_ptr<MaterializedChunk>& chunk : p->chunks) {
-        for (Tuple& row : chunk->rows) {
-          auto tid = out->Insert(std::move(row));
+      for (const MaterializedChunk* chunk : p->chunks) {
+        for (size_t r = 0; r < chunk->count; ++r) {
+          const Value* row = chunk->cells + r * chunk->width;
+          auto tid = out->Insert(Tuple(row, row + chunk->width));
           if (!tid.ok()) {
             *slot = tid.status();
             return;

@@ -220,6 +220,7 @@ ServiceResponse PrecisService::RunOne(const ServiceRequest& request) {
   response.stats = ctx.stats();
   response.stop_reason = ctx.stop_reason();
   response.spans = ctx.spans();
+  response.arena_peak_bytes = ctx.arena_stats().peak_used_bytes;
   return response;
 }
 
@@ -245,6 +246,10 @@ void PrecisService::RecordOutcome(const ServiceResponse& response) {
   metrics_.dropped_tuples_total += response.dropped_tuples;
   metrics_.total_latency_seconds += response.latency_seconds;
   metrics_.total_stats += response.stats;
+  metrics_.arena_peak_bytes_total += response.arena_peak_bytes;
+  if (response.arena_peak_bytes > metrics_.arena_peak_bytes_max) {
+    metrics_.arena_peak_bytes_max = response.arena_peak_bytes;
+  }
   for (const TraceSpan& span : response.spans) {
     metrics_.span_seconds[span.name] += span.seconds;
   }
@@ -270,6 +275,9 @@ PrecisService::Metrics PrecisService::metrics() const {
   snapshot.token_cache = engine_->token_cache_stats();
   snapshot.schema_cache = engine_->schema_cache_stats();
   snapshot.answer_cache = engine_->answer_cache_stats();
+  // The interner is process-wide (every Value shares it), so its footprint
+  // belongs in the same one-call serving snapshot.
+  snapshot.symbol_table = SymbolTable::Global()->stats();
   return snapshot;
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/execution_context.h"
 #include "common/result.h"
+#include "common/symbol_table.h"
 #include "precis/engine.h"
 
 namespace precis {
@@ -76,6 +77,10 @@ struct ServiceResponse {
   uint64_t retries = 0;
   /// Tuples lost to exhausted retries.
   uint64_t dropped_tuples = 0;
+  /// High-water mark of the query's arena (DESIGN.md §13): scratch bytes
+  /// the generator pipeline bump-allocated for this query and freed
+  /// wholesale at context teardown.
+  uint64_t arena_peak_bytes = 0;
 
   bool partial() const { return stop_reason != StopReason::kNone; }
 };
@@ -149,6 +154,13 @@ class PrecisService {
     LruCacheStats token_cache;
     LruCacheStats schema_cache;
     LruCacheStats answer_cache;
+    /// Largest per-query arena high-water mark seen (DESIGN.md §13).
+    uint64_t arena_peak_bytes_max = 0;
+    /// Sum of every query's arena high-water mark.
+    uint64_t arena_peak_bytes_total = 0;
+    /// Process-wide string-interner footprint (DESIGN.md §13),
+    /// snapshotted from SymbolTable::Global() at metrics() time.
+    SymbolTableStats symbol_table;
   };
 
   /// `engine` must outlive the service. Workers start immediately.

@@ -1,0 +1,203 @@
+// Columnar (SoA) attribute storage and open-addressing value indexes
+// (DESIGN.md §13).
+//
+// A Column stores one attribute of a relation as a contiguous vector of
+// 64-bit payloads plus a null bitmap. All three engine types fit one
+// encoding: int64 and double are stored as their bit patterns, strings as
+// their interned SymbolId. This gives the dbgen fetch+project kernels
+// contiguous per-attribute reads (256-tid chunks walk one cache-friendly
+// array per emitted attribute) instead of pointer-chasing row vectors of
+// 40-byte variants.
+//
+// A ColumnIndex replaces the old unordered_map<Value, vector<Tid>> hash
+// index with a flat open-addressing table keyed on canonical 64-bit key
+// bits. Canonicalization preserves the old Value-equality semantics
+// exactly:
+//   * strings: equal bytes <=> equal SymbolId (global interner);
+//   * doubles: -0.0 and +0.0 compared (and hashed) equal before, so -0.0
+//     normalizes to +0.0;
+//   * NaN never compared equal to anything — including itself — so NaN
+//     keys are unmatchable: never indexed, lookups return empty;
+//   * NULL keys compared equal to each other (variant monostate ==), so
+//     nulls live in a dedicated bucket;
+//   * cross-type lookups (e.g. a string key against an int64 column) can
+//     never match, exactly as variant equality across alternatives.
+
+#ifndef PRECIS_STORAGE_COLUMNAR_H_
+#define PRECIS_STORAGE_COLUMNAR_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace precis {
+
+using Tid = uint64_t;  // mirrors relation.h (kept in sync by static_assert there)
+
+/// \brief One attribute of a relation, stored contiguously.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const { return bits_.size(); }
+
+  /// Appends `v`, which must be NULL or match the column type (the
+  /// relation validates before appending).
+  void Append(const Value& v) {
+    const size_t row = bits_.size();
+    if ((row & 63) == 0) nulls_.push_back(0);
+    if (v.is_null()) {
+      nulls_.back() |= uint64_t{1} << (row & 63);
+      bits_.push_back(0);
+      return;
+    }
+    bits_.push_back(RawBits(v));
+  }
+
+  bool IsNull(size_t row) const {
+    return (nulls_[row >> 6] >> (row & 63)) & 1;
+  }
+
+  /// Reconstructs the Value at `row` (bit-exact for doubles, including
+  /// -0.0 and NaN payloads; symbol identity for strings).
+  Value GetValue(size_t row) const {
+    if (IsNull(row)) return Value();
+    switch (type_) {
+      case DataType::kInt64:
+        return Value(static_cast<int64_t>(bits_[row]));
+      case DataType::kDouble:
+        return Value(std::bit_cast<double>(bits_[row]));
+      case DataType::kString:
+        return Value::FromSymbol(Symbol{static_cast<SymbolId>(bits_[row])});
+    }
+    return Value();
+  }
+
+  /// Raw stored payload (undefined for NULL rows).
+  uint64_t raw_bits(size_t row) const { return bits_[row]; }
+
+  /// Canonical equality-key bits of a non-null stored payload, or nullopt
+  /// when the payload can never equal anything (double NaN).
+  static std::optional<uint64_t> CanonicalBits(uint64_t raw, DataType type) {
+    if (type != DataType::kDouble) return raw;
+    const double d = std::bit_cast<double>(raw);
+    if (std::isnan(d)) return std::nullopt;
+    if (d == 0.0) return std::bit_cast<uint64_t>(0.0);  // -0.0 == +0.0
+    return raw;
+  }
+
+  /// Canonical key bits of a lookup key against a column of this type:
+  /// nullopt when the key can never match a non-null stored value (NULL
+  /// key, cross-type key, NaN key).
+  static std::optional<uint64_t> KeyBits(const Value& key, DataType type) {
+    if (key.is_null() || !key.TypeMatches(type)) return std::nullopt;
+    switch (type) {
+      case DataType::kInt64:
+        return std::bit_cast<uint64_t>(key.AsInt64());
+      case DataType::kDouble:
+        return CanonicalBits(std::bit_cast<uint64_t>(key.AsDouble()), type);
+      case DataType::kString:
+        return uint64_t{key.symbol().id};
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static uint64_t RawBits(const Value& v) {
+    if (v.is_int64()) return std::bit_cast<uint64_t>(v.AsInt64());
+    if (v.is_double()) return std::bit_cast<uint64_t>(v.AsDouble());
+    return uint64_t{v.symbol().id};
+  }
+
+  DataType type_;
+  std::vector<uint64_t> bits_;
+  std::vector<uint64_t> nulls_;  // bitmap, one bit per row
+};
+
+/// \brief Equality index from canonical key bits to posting lists of tids,
+/// as a flat open-addressing table (linear probing, power-of-two capacity,
+/// ~0.7 load factor). NULL keys get a dedicated bucket; NaN keys are
+/// dropped (unmatchable under Value equality).
+class ColumnIndex {
+ public:
+  explicit ColumnIndex(DataType type) : type_(type) {}
+
+  void Insert(const Value& key, Tid tid) {
+    if (key.is_null()) {
+      null_tids_.push_back(tid);
+      return;
+    }
+    auto bits = Column::KeyBits(key, type_);
+    if (!bits) return;  // NaN: unreachable by equality lookup
+    if ((used_ + 1) * 10 > slots_.size() * 7) Grow();
+    Slot& slot = Probe(*bits);
+    if (slot.posting == 0) {
+      postings_.emplace_back();
+      slot.key = *bits;
+      slot.posting = static_cast<uint32_t>(postings_.size());
+      ++used_;
+    }
+    postings_[slot.posting - 1].push_back(tid);
+  }
+
+  /// Tids whose indexed attribute equals `key` (empty if none). The
+  /// reference is valid until the next Insert.
+  const std::vector<Tid>& Lookup(const Value& key) const {
+    if (key.is_null()) return null_tids_;
+    auto bits = Column::KeyBits(key, type_);
+    if (!bits || slots_.empty()) return kEmpty;
+    const Slot& slot = const_cast<ColumnIndex*>(this)->Probe(*bits);
+    return slot.posting == 0 ? kEmpty : postings_[slot.posting - 1];
+  }
+
+  size_t num_keys() const { return used_ + (null_tids_.empty() ? 0 : 1); }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t posting = 0;  // 1-based index into postings_; 0 = empty
+  };
+
+  // splitmix64 finalizer: full-avalanche mix of the canonical key bits.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  Slot& Probe(uint64_t bits) {
+    const size_t mask = slots_.size() - 1;
+    size_t i = Mix(bits) & mask;
+    while (slots_[i].posting != 0 && slots_[i].key != bits) {
+      i = (i + 1) & mask;
+    }
+    return slots_[i];
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, Slot{});
+    for (const Slot& s : old) {
+      if (s.posting == 0) continue;
+      Slot& dst = Probe(s.key);
+      dst = s;
+    }
+  }
+
+  DataType type_;
+  std::vector<Slot> slots_;
+  std::vector<std::vector<Tid>> postings_;
+  std::vector<Tid> null_tids_;
+  size_t used_ = 0;
+  static const std::vector<Tid> kEmpty;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_STORAGE_COLUMNAR_H_

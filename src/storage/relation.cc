@@ -1,18 +1,13 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <new>
 #include <numeric>
 #include <unordered_set>
 
 namespace precis {
 
-const std::vector<Tid> HashIndex::kEmpty;
-
-const std::vector<Tid>& HashIndex::Lookup(const Value& key) const {
-  auto it = buckets_.find(key);
-  if (it == buckets_.end()) return kEmpty;
-  return it->second;
-}
+const std::vector<Tid> ColumnIndex::kEmpty;
 
 Result<Tid> Relation::Insert(Tuple tuple) {
   if (tuple.size() != schema_.num_attributes()) {
@@ -48,6 +43,9 @@ Result<Tid> Relation::Insert(Tuple tuple) {
   for (size_t pos = 0; pos < indexes_.size(); ++pos) {
     if (indexes_[pos] != nullptr) indexes_[pos]->Insert(tuple[pos], tid);
   }
+  for (size_t pos = 0; pos < tuple.size(); ++pos) {
+    columns_[pos].Append(tuple[pos]);
+  }
   heap_.push_back(std::move(tuple));
   BumpEpoch();
   return tid;
@@ -75,13 +73,40 @@ const Tuple* Relation::FetchPrevalidated(Tid tid, ExecutionContext* ctx) const {
   return &heap_[tid];
 }
 
+void Relation::ProjectRows(const Tid* tids, size_t n,
+                           const std::vector<size_t>& projection, Value* out,
+                           ExecutionContext* ctx) const {
+  CountTupleFetches(n, ctx);
+  const size_t width = projection.size();
+  for (size_t j = 0; j < width; ++j) {
+    const Column& col = columns_[projection[j]];
+    Value* cell = out + j;
+    for (size_t i = 0; i < n; ++i, cell += width) {
+      new (cell) Value(col.GetValue(tids[i]));
+    }
+  }
+}
+
+void Relation::ProjectRowsAll(const Tid* tids, size_t n, Value* out,
+                              ExecutionContext* ctx) const {
+  CountTupleFetches(n, ctx);
+  const size_t width = columns_.size();
+  for (size_t j = 0; j < width; ++j) {
+    const Column& col = columns_[j];
+    Value* cell = out + j;
+    for (size_t i = 0; i < n; ++i, cell += width) {
+      new (cell) Value(col.GetValue(tids[i]));
+    }
+  }
+}
+
 Status Relation::CreateIndex(const std::string& attribute_name) {
   auto idx = schema_.AttributeIndex(attribute_name);
   if (!idx.ok()) return idx.status();
   if (indexes_.size() < schema_.num_attributes()) {
     indexes_.resize(schema_.num_attributes());
   }
-  auto index = std::make_unique<HashIndex>();
+  auto index = std::make_unique<ColumnIndex>(schema_.attribute(*idx).type);
   for (Tid tid = 0; tid < heap_.size(); ++tid) {
     index->Insert(heap_[tid][*idx], tid);
   }
@@ -111,7 +136,7 @@ Result<std::vector<Tid>> Relation::LookupEquals(
     ExecutionContext* ctx) const {
   auto idx = schema_.AttributeIndex(attribute_name);
   if (!idx.ok()) return idx.status();
-  if (const HashIndex* index = IndexAt(*idx)) {
+  if (const ColumnIndex* index = IndexAt(*idx)) {
     if (ctx != nullptr) {
       PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kIndexProbe));
     }
@@ -122,9 +147,24 @@ Result<std::vector<Tid>> Relation::LookupEquals(
     PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kRelationScan));
   }
   CountSequentialScan(ctx);
+  // Column scan instead of row-heap scan: one contiguous pass over the
+  // attribute's bit vector, with the same match semantics as
+  // `heap_[tid][*idx] == key` (NULL matches NULL, NaN matches nothing,
+  // cross-type matches nothing).
   std::vector<Tid> out;
-  for (Tid tid = 0; tid < heap_.size(); ++tid) {
-    if (heap_[tid][*idx] == key) out.push_back(tid);
+  const Column& col = columns_[*idx];
+  if (key.is_null()) {
+    for (Tid tid = 0; tid < col.size(); ++tid) {
+      if (col.IsNull(tid)) out.push_back(tid);
+    }
+    return out;
+  }
+  auto key_bits = Column::KeyBits(key, col.type());
+  if (!key_bits) return out;  // cross-type or NaN key: nothing can match
+  for (Tid tid = 0; tid < col.size(); ++tid) {
+    if (col.IsNull(tid)) continue;
+    auto row_bits = Column::CanonicalBits(col.raw_bits(tid), col.type());
+    if (row_bits && *row_bits == *key_bits) out.push_back(tid);
   }
   return out;
 }
@@ -146,8 +186,10 @@ Result<std::vector<Value>> Relation::DistinctValues(
   seen.reserve(heap_.size());
   std::vector<Value> out;
   out.reserve(heap_.size());
-  for (const Tuple& t : heap_) {
-    if (seen.insert(t[*idx]).second) out.push_back(t[*idx]);
+  const Column& col = columns_[*idx];
+  for (Tid tid = 0; tid < col.size(); ++tid) {
+    Value v = col.GetValue(tid);
+    if (seen.insert(v).second) out.push_back(v);
   }
   return out;
 }

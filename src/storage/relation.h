@@ -15,6 +15,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/access_stats.h"
+#include "storage/columnar.h"
 #include "storage/schema.h"
 #include "storage/value.h"
 
@@ -29,22 +30,13 @@ using Tid = uint64_t;
 /// relation schema's attributes.
 using Tuple = std::vector<Value>;
 
-/// \brief Equality-lookup index from attribute value to the tids holding it.
-class HashIndex {
- public:
-  void Insert(const Value& key, Tid tid) { buckets_[key].push_back(tid); }
-
-  /// Tids whose indexed attribute equals `key` (empty if none).
-  const std::vector<Tid>& Lookup(const Value& key) const;
-
-  size_t num_keys() const { return buckets_.size(); }
-
- private:
-  std::unordered_map<Value, std::vector<Tid>, ValueHash> buckets_;
-  static const std::vector<Tid> kEmpty;
-};
-
 /// \brief A populated relation: schema + heap + indexes.
+///
+/// Storage is dual-layout (DESIGN.md §13): the row heap remains the
+/// authoritative store behind the pointer-returning Get/FetchPrevalidated
+/// API, while per-attribute Columns mirror it and serve the bulk kernels
+/// (ProjectRows, column scans) and the open-addressing equality indexes.
+/// Insert appends to both, so the mirrors can never diverge.
 ///
 /// All reads that the précis generators perform are instrumented through the
 /// AccessStats of the owning Database (see access_stats.h). Instrumented
@@ -56,7 +48,12 @@ class HashIndex {
 class Relation {
  public:
   explicit Relation(RelationSchema schema, AccessStats* stats = nullptr)
-      : schema_(std::move(schema)), stats_(stats) {}
+      : schema_(std::move(schema)), stats_(stats) {
+    columns_.reserve(schema_.num_attributes());
+    for (size_t a = 0; a < schema_.num_attributes(); ++a) {
+      columns_.emplace_back(schema_.attribute(a).type);
+    }
+  }
 
   const RelationSchema& schema() const { return schema_; }
   const std::string& name() const { return schema_.name(); }
@@ -75,12 +72,37 @@ class Relation {
   /// count as an instrumented fetch.
   const Tuple& tuple(Tid tid) const { return heap_[tid]; }
 
+  /// Uncharged single-attribute read off the columnar mirror; the planner
+  /// uses this to extract join values without materializing the row.
+  Value ColumnValue(Tid tid, size_t attribute) const {
+    return columns_[attribute].GetValue(tid);
+  }
+
+  /// The columnar mirror of attribute `pos` (for kernels and benchmarks).
+  const Column& column(size_t pos) const { return columns_[pos]; }
+
   /// Charged fetch of a tid the caller already validated — no bounds check
   /// and, critically, no fault-injection check. The parallel generator's
   /// chunk tasks fetch through this so fault decisions stay on the
   /// deterministic sequential control path (the planner replays them; see
   /// parallel_dbgen.cc and DESIGN.md §12).
   const Tuple* FetchPrevalidated(Tid tid, ExecutionContext* ctx) const;
+
+  /// Bulk prevalidated fetch+project off the columnar mirror: fills
+  /// `out[i * width + j]` with attribute `projection[j]` of tuple
+  /// `tids[i]`, where `width = projection.size()`, iterating column-major
+  /// so each attribute is one contiguous pass over its column. Charges
+  /// `n` tuple fetches (identical totals to n FetchPrevalidated calls; no
+  /// bounds or fault checks, same contract). `out` may be raw arena
+  /// memory — cells are placement-new'd (Value is trivially destructible).
+  void ProjectRows(const Tid* tids, size_t n,
+                   const std::vector<size_t>& projection, Value* out,
+                   ExecutionContext* ctx = nullptr) const;
+
+  /// Identity-projection variant of ProjectRows: all attributes in schema
+  /// order, `width = schema().num_attributes()`.
+  void ProjectRowsAll(const Tid* tids, size_t n, Value* out,
+                      ExecutionContext* ctx = nullptr) const;
 
   /// Builds (or rebuilds) a hash index on the named attribute.
   Status CreateIndex(const std::string& attribute_name);
@@ -140,6 +162,15 @@ class Relation {
     }
     if (ctx != nullptr) ctx->ChargeTupleFetch();
   }
+  /// Bulk form: every Charge* is a plain relaxed fetch_add with no other
+  /// side effect, so adding n at once is indistinguishable from n single
+  /// charges.
+  void CountTupleFetches(size_t n, ExecutionContext* ctx) const {
+    if (stats_ != nullptr) {
+      stats_->tuple_fetches.fetch_add(n, std::memory_order_relaxed);
+    }
+    if (ctx != nullptr) ctx->ChargeTupleFetches(n);
+  }
   void CountSequentialScan(ExecutionContext* ctx) const {
     if (stats_ != nullptr) {
       stats_->sequential_scans.fetch_add(1, std::memory_order_relaxed);
@@ -152,13 +183,14 @@ class Relation {
   /// CountIndexProbe) is the hottest storage call in the generators, and a
   /// positional load replaces an rb-tree walk per probe. Sized lazily by
   /// CreateIndex; an empty vector means no indexes.
-  const HashIndex* IndexAt(size_t pos) const {
+  const ColumnIndex* IndexAt(size_t pos) const {
     return pos < indexes_.size() ? indexes_[pos].get() : nullptr;
   }
 
   RelationSchema schema_;
   std::vector<Tuple> heap_;
-  std::vector<std::unique_ptr<HashIndex>> indexes_;
+  std::vector<Column> columns_;  // SoA mirror of heap_, per attribute
+  std::vector<std::unique_ptr<ColumnIndex>> indexes_;
   /// Every primary-key value in the heap, for O(1) uniqueness checks on
   /// Insert even when no index exists on the key attribute (the emit phase
   /// of result-database generation inserts into fresh unindexed relations;

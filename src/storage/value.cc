@@ -51,7 +51,9 @@ size_t Value::Hash() const {
   } else if (is_double()) {
     h = std::hash<double>{}(AsDouble());
   } else if (is_string()) {
-    h = std::hash<std::string>{}(AsString());
+    // Memoized at intern time; identical to std::hash<std::string> of the
+    // bytes, so bucket placement matches the pre-interning representation.
+    h = std::get<Symbol>(v_).hash();
   }
   return seed ^ (h + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
 }

@@ -1,8 +1,30 @@
 #include "text/inverted_index.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace precis {
+
+namespace {
+
+// Shared empty result for misses: Lookup never returns null, and callers
+// that hold many unknown-token results all point at this one vector.
+const OccurrenceList& EmptyOccurrences() {
+  static const OccurrenceList empty =
+      std::make_shared<const std::vector<TokenOccurrence>>();
+  return empty;
+}
+
+// Cache key: the word-id sequence as raw bytes. Fixed-width ids make the
+// encoding unambiguous, and building it does no string joins or re-hashing
+// of word bytes.
+std::string CacheKey(const std::vector<SymbolId>& words) {
+  std::string key(words.size() * sizeof(SymbolId), '\0');
+  std::memcpy(key.data(), words.data(), key.size());
+  return key;
+}
+
+}  // namespace
 
 Result<InvertedIndex> InvertedIndex::Build(const Database& db) {
   InvertedIndex index;
@@ -17,12 +39,12 @@ Result<InvertedIndex> InvertedIndex::Build(const Database& db) {
       for (Tid tid = 0; tid < (*rel)->num_tuples(); ++tid) {
         const Value& v = (*rel)->tuple(tid)[a];
         if (v.is_null()) continue;
-        std::vector<std::string> words = TokenizeWords(v.AsString());
+        std::vector<SymbolId> words = TokenizeWordSymbols(v.AsString());
         // De-duplicate words within one value so each location appears at
         // most once in a word's posting list.
         std::sort(words.begin(), words.end());
         words.erase(std::unique(words.begin(), words.end()), words.end());
-        for (const std::string& w : words) {
+        for (SymbolId w : words) {
           index.postings_[w].push_back(Location{r, a, tid});
         }
       }
@@ -40,13 +62,13 @@ size_t InvertedIndex::num_postings() const {
   return n;
 }
 
-bool InvertedIndex::ContainsPhrase(
-    const Location& loc, const std::vector<std::string>& words) const {
+bool InvertedIndex::ContainsPhrase(const Location& loc,
+                                   const std::vector<SymbolId>& words) const {
   auto rel = db_->GetRelation(relation_names_[loc.relation]);
   if (!rel.ok()) return false;
   const Value& v = (*rel)->tuple(loc.tid)[loc.attribute];
   if (!v.is_string()) return false;
-  return precis::ContainsPhrase(v.AsString(), words);
+  return precis::ContainsPhraseSymbols(v.AsString(), words);
 }
 
 size_t EstimateOccurrencesCharge(const std::vector<TokenOccurrence>& occs) {
@@ -58,10 +80,9 @@ size_t EstimateOccurrencesCharge(const std::vector<TokenOccurrence>& occs) {
   return charge;
 }
 
-std::vector<TokenOccurrence> InvertedIndex::Lookup(
-    const std::string& token) const {
-  std::vector<std::string> words = TokenizeWords(token);
-  if (words.empty()) return {};
+OccurrenceList InvertedIndex::Lookup(const std::string& token) const {
+  std::vector<SymbolId> words = TokenizeWordSymbols(token);
+  if (words.empty()) return EmptyOccurrences();
   // Multi-word phrases go through the token-occurrence cache when enabled:
   // they pay posting-list intersection plus per-candidate phrase
   // verification (a re-scan of the stored string), which repeated popular
@@ -69,32 +90,27 @@ std::vector<TokenOccurrence> InvertedIndex::Lookup(
   // cached result can never be stale with respect to this index.
   if (words.size() >= 2 &&
       cache_->enabled.load(std::memory_order_relaxed)) {
-    std::string key;
-    for (const std::string& w : words) {
-      if (!key.empty()) key += ' ';
-      key += w;
-    }
-    if (std::shared_ptr<const std::vector<TokenOccurrence>> hit =
-            cache_->lru.Get(key)) {
-      return *hit;  // copy out; the cached value stays immutable
+    std::string key = CacheKey(words);
+    if (OccurrenceList hit = cache_->lru.Get(key)) {
+      return hit;  // shared, immutable — no deep copy on the hit path
     }
     auto value = std::make_shared<const std::vector<TokenOccurrence>>(
         LookupUncached(words));
-    std::vector<TokenOccurrence> out = *value;
-    cache_->lru.Put(key, std::move(value), EstimateOccurrencesCharge(out));
-    return out;
+    cache_->lru.Put(key, value, EstimateOccurrencesCharge(*value));
+    return value;
   }
-  return LookupUncached(words);
+  return std::make_shared<const std::vector<TokenOccurrence>>(
+      LookupUncached(words));
 }
 
 std::vector<TokenOccurrence> InvertedIndex::LookupUncached(
-    const std::vector<std::string>& words) const {
+    const std::vector<SymbolId>& words) const {
   std::vector<TokenOccurrence> out;
 
   // Intersect the word posting lists; start from the rarest word.
   if (words.empty()) return out;
   const std::vector<Location>* smallest = nullptr;
-  for (const std::string& w : words) {
+  for (SymbolId w : words) {
     auto it = postings_.find(w);
     if (it == postings_.end()) return out;  // some word absent: no matches
     if (smallest == nullptr || it->second.size() < smallest->size()) {
@@ -105,7 +121,7 @@ std::vector<TokenOccurrence> InvertedIndex::LookupUncached(
   std::vector<Location> candidates;
   for (const Location& loc : *smallest) {
     bool in_all = true;
-    for (const std::string& w : words) {
+    for (SymbolId w : words) {
       const std::vector<Location>& locs = postings_.at(w);
       if (!std::binary_search(locs.begin(), locs.end(), loc)) {
         in_all = false;
@@ -133,9 +149,9 @@ std::vector<TokenOccurrence> InvertedIndex::LookupUncached(
   return out;
 }
 
-std::vector<std::vector<TokenOccurrence>> InvertedIndex::LookupAll(
+std::vector<OccurrenceList> InvertedIndex::LookupAll(
     const std::vector<std::string>& query) const {
-  std::vector<std::vector<TokenOccurrence>> out;
+  std::vector<OccurrenceList> out;
   out.reserve(query.size());
   for (const std::string& token : query) out.push_back(Lookup(token));
   return out;

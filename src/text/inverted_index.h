@@ -18,6 +18,7 @@
 #include "common/lru_cache.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/symbol_table.h"
 #include "storage/database.h"
 #include "text/tokenizer.h"
 
@@ -30,12 +31,19 @@ struct TokenOccurrence {
   std::vector<Tid> tids;
 };
 
+/// \brief A shared, immutable lookup result. Cache hits and misses return
+/// the same shared vector instead of deep-copying occurrences per call.
+using OccurrenceList = std::shared_ptr<const std::vector<TokenOccurrence>>;
+
 /// \brief Full-text inverted index over the string attributes of a Database.
 ///
 /// Queries may be multi-word ("Woody Allen"): word postings are intersected
 /// per (relation, attribute, tid) and verified as a contiguous phrase in the
 /// stored value, so "Woody Allen" matches the value "Woody Allen" but not a
 /// value containing only "Allen" or the words in the wrong order.
+///
+/// Postings are keyed on interned word ids (SymbolTable), so a lookup
+/// hashes 4-byte ids rather than strings (DESIGN.md §13).
 class InvertedIndex {
  public:
   /// Indexes every string attribute of every relation in `db`. The Database
@@ -44,11 +52,13 @@ class InvertedIndex {
   static Result<InvertedIndex> Build(const Database& db);
 
   /// Occurrences of a (possibly multi-word) token, grouped by
-  /// relation-attribute pair. Empty if the token appears nowhere.
-  std::vector<TokenOccurrence> Lookup(const std::string& token) const;
+  /// relation-attribute pair. Never null; points at an empty vector if the
+  /// token appears nowhere. The result is shared and immutable — hot
+  /// multi-word queries no longer deep-copy the postings out of the cache.
+  OccurrenceList Lookup(const std::string& token) const;
 
   /// Occurrences for each token of a query, in query order.
-  std::vector<std::vector<TokenOccurrence>> LookupAll(
+  std::vector<OccurrenceList> LookupAll(
       const std::vector<std::string>& query) const;
 
   /// Number of distinct indexed words.
@@ -101,19 +111,20 @@ class InvertedIndex {
   /// True if `words` occurs as a contiguous word sequence in the value at
   /// `loc`.
   bool ContainsPhrase(const Location& loc,
-                      const std::vector<std::string>& words) const;
+                      const std::vector<SymbolId>& words) const;
 
   /// Uncached lookup path shared by Lookup and the cache-miss fill.
   std::vector<TokenOccurrence> LookupUncached(
-      const std::vector<std::string>& words) const;
+      const std::vector<SymbolId>& words) const;
 
   const Database* db_ = nullptr;
   std::vector<std::string> relation_names_;
-  // word -> sorted locations containing the word
-  std::unordered_map<std::string, std::vector<Location>> postings_;
+  // interned word id -> sorted locations containing the word
+  std::unordered_map<SymbolId, std::vector<Location>> postings_;
 
-  // Token-occurrence cache, keyed by the normalized (tokenized, joined)
-  // phrase. Behind a unique_ptr so the index stays movable despite the
+  // Token-occurrence cache, keyed by the normalized phrase's word-id
+  // sequence (4 raw bytes per word — unambiguous, cheaper than re-joining
+  // strings). Behind a unique_ptr so the index stays movable despite the
   // atomic + shard mutexes; mutable because Lookup is logically const.
   struct LookupCache {
     std::atomic<bool> enabled{false};

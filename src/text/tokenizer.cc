@@ -20,6 +20,43 @@ std::vector<std::string> TokenizeWords(std::string_view text) {
   return words;
 }
 
+std::vector<SymbolId> TokenizeWordSymbols(std::string_view text) {
+  std::vector<SymbolId> words;
+  SymbolTable* symbols = SymbolTable::Global();
+  // One reused buffer: clear() keeps the capacity, so steady-state
+  // tokenization of a value allocates nothing per word.
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      words.push_back(symbols->Intern(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) words.push_back(symbols->Intern(current));
+  return words;
+}
+
+bool ContainsPhraseSymbols(std::string_view text,
+                           const std::vector<SymbolId>& words) {
+  if (words.empty()) return false;
+  std::vector<SymbolId> text_words = TokenizeWordSymbols(text);
+  if (words.size() > text_words.size()) return false;
+  for (size_t start = 0; start + words.size() <= text_words.size(); ++start) {
+    bool match = true;
+    for (size_t i = 0; i < words.size(); ++i) {
+      if (text_words[start + i] != words[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
 bool ContainsPhrase(std::string_view text,
                     const std::vector<std::string>& words) {
   if (words.empty()) return false;

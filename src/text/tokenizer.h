@@ -7,6 +7,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/symbol_table.h"
+
 namespace precis {
 
 /// \brief Splits text into lower-cased alphanumeric words.
@@ -21,6 +23,19 @@ std::vector<std::string> TokenizeWords(std::string_view text);
 /// (after tokenization). An empty word list never matches.
 bool ContainsPhrase(std::string_view text,
                     const std::vector<std::string>& words);
+
+/// \brief TokenizeWords, but each word is interned into the global
+/// SymbolTable and returned as its SymbolId. The inverted index keys its
+/// postings on these ids, so the token hot path hashes and compares 4-byte
+/// ids instead of strings (DESIGN.md §13). Tokenization rules are
+/// identical to TokenizeWords.
+std::vector<SymbolId> TokenizeWordSymbols(std::string_view text);
+
+/// \brief ContainsPhrase over interned words: true if `words` occurs as a
+/// contiguous word-id sequence in the tokenization of `text`. Matches
+/// ContainsPhrase exactly (interned-id equality <=> word equality).
+bool ContainsPhraseSymbols(std::string_view text,
+                           const std::vector<SymbolId>& words);
 
 }  // namespace precis
 

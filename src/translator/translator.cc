@@ -314,7 +314,7 @@ Result<std::string> Translator::Render(const PrecisAnswer& answer,
   ScopedSpan span(ctx, "translate");
   std::string out;
   for (const TokenMatch& match : answer.matches) {
-    for (const TokenOccurrence& occurrence : match.occurrences) {
+    for (const TokenOccurrence& occurrence : match.occurrences()) {
       if (ctx != nullptr && ctx->ShouldStop()) return out;
       auto paragraphs = RenderOccurrence(answer, match.token, occurrence, ctx);
       if (!paragraphs.ok()) {

@@ -1,0 +1,133 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace precis {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  struct Probe {
+    void* p;
+    size_t bytes;
+  };
+  std::vector<Probe> probes;
+  for (size_t align : {size_t(1), size_t(8), size_t(16), size_t(64)}) {
+    for (size_t bytes : {size_t(1), size_t(7), size_t(24), size_t(1000)}) {
+      void* p = arena.Allocate(bytes, align);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u)
+          << "align=" << align << " bytes=" << bytes;
+      // Touch every byte: ASan will fault on overlap or out-of-slab.
+      std::memset(p, 0xAB, bytes);
+      probes.push_back({p, bytes});
+    }
+  }
+  for (size_t i = 0; i < probes.size(); ++i) {
+    for (size_t j = i + 1; j < probes.size(); ++j) {
+      uintptr_t a = reinterpret_cast<uintptr_t>(probes[i].p);
+      uintptr_t b = reinterpret_cast<uintptr_t>(probes[j].p);
+      EXPECT_TRUE(a + probes[i].bytes <= b || b + probes[j].bytes <= a)
+          << "allocations " << i << " and " << j << " overlap";
+    }
+  }
+}
+
+TEST(ArenaTest, ZeroByteRequestsReturnDistinctPointers) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(ArenaTest, GrowsNewSlabsAndTakesOversizeRequests) {
+  Arena arena(/*slab_bytes=*/1024);
+  ArenaStats before = arena.stats();
+  EXPECT_EQ(before.slabs, 0u);
+
+  // Fill past the first slab.
+  for (int i = 0; i < 8; ++i) arena.Allocate(512);
+  ArenaStats grown = arena.stats();
+  EXPECT_GE(grown.slabs, 2u);
+  EXPECT_GE(grown.used_bytes, 8u * 512u);
+  EXPECT_GE(grown.reserved_bytes, grown.used_bytes);
+
+  // A request bigger than the slab size gets its own slab, not a crash.
+  char* big = static_cast<char*>(arena.Allocate(64 * 1024));
+  std::memset(big, 0xCD, 64 * 1024);
+  EXPECT_GE(arena.stats().reserved_bytes, grown.reserved_bytes + 64u * 1024u);
+}
+
+TEST(ArenaTest, ResetFreesWholesaleButKeepsPeak) {
+  Arena arena(/*slab_bytes=*/1024);
+  for (int i = 0; i < 16; ++i) arena.Allocate(256);
+  ArenaStats peak = arena.stats();
+  EXPECT_GE(peak.peak_used_bytes, 16u * 256u);
+
+  arena.Reset();
+  ArenaStats after = arena.stats();
+  EXPECT_EQ(after.slabs, 0u);
+  EXPECT_EQ(after.used_bytes, 0u);
+  EXPECT_EQ(after.reserved_bytes, 0u);
+  EXPECT_EQ(after.resets, 1u);
+  // The high-water mark survives the reset (service metrics depend on it).
+  EXPECT_EQ(after.peak_used_bytes, peak.peak_used_bytes);
+
+  // The arena is usable again after Reset.
+  void* p = arena.Allocate(128);
+  std::memset(p, 0, 128);
+  EXPECT_EQ(arena.stats().slabs, 1u);
+}
+
+TEST(ArenaTest, AllocateArrayIsTypedAndAligned) {
+  Arena arena;
+  double* d = arena.AllocateArray<double>(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d) % alignof(double), 0u);
+  for (int i = 0; i < 100; ++i) d[i] = i * 1.5;
+  EXPECT_EQ(d[99], 99 * 1.5);
+}
+
+TEST(ArenaTest, ArenaVectorGrowsWithoutFreeingIntoTheArena) {
+  Arena arena;
+  ArenaVector<uint64_t> v{ArenaAllocator<uint64_t>(&arena)};
+  for (uint64_t i = 0; i < 10000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 10000u);
+  EXPECT_EQ(v[9999], 9999u);
+  // Growth reallocations leave the old buffers in the arena: used bytes
+  // must cover at least the final buffer.
+  EXPECT_GE(arena.stats().used_bytes, 10000u * sizeof(uint64_t));
+}
+
+TEST(ArenaTest, ConcurrentAllocationIsSafe) {
+  Arena arena;
+  constexpr int kThreads = 8;
+  constexpr int kAllocs = 2000;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<uint32_t*>> ptrs(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&arena, &ptrs, t] {
+      for (int i = 0; i < kAllocs; ++i) {
+        uint32_t* p = arena.AllocateArray<uint32_t>(4);
+        p[0] = static_cast<uint32_t>(t * kAllocs + i);
+        ptrs[t].push_back(p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Every thread's writes survived: no two threads got the same storage.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kAllocs; ++i) {
+      EXPECT_EQ(*ptrs[t][i], static_cast<uint32_t>(t * kAllocs + i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace precis

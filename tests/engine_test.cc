@@ -45,7 +45,7 @@ TEST_F(EngineTest, WoodyAllenEndToEnd) {
   ASSERT_EQ(answer->matches.size(), 1u);
   // Homonym: found as both an actor and a director.
   std::set<std::string> relations;
-  for (const TokenOccurrence& occ : answer->matches[0].occurrences) {
+  for (const TokenOccurrence& occ : answer->matches[0].occurrences()) {
     relations.insert(occ.relation);
   }
   EXPECT_EQ(relations, (std::set<std::string>{"ACTOR", "DIRECTOR"}));
@@ -82,7 +82,7 @@ TEST_F(EngineTest, MultiTokenQueryCombinesSeedRelations) {
                       *MinPathWeight(0.9), *MaxTuplesPerRelation(10));
   ASSERT_TRUE(answer.ok());
   ASSERT_EQ(answer->matches.size(), 2u);
-  EXPECT_FALSE(answer->matches[1].occurrences.empty());
+  EXPECT_FALSE(answer->matches[1].occurrences().empty());
   // MOVIE is now a token relation itself.
   bool movie_is_token = false;
   for (RelationNodeId rel : answer->schema.token_relations()) {
@@ -99,8 +99,8 @@ TEST_F(EngineTest, MixedKnownAndUnknownTokens) {
                       *MinPathWeight(0.9), *MaxTuplesPerRelation(3));
   ASSERT_TRUE(answer.ok());
   EXPECT_FALSE(answer->empty());
-  EXPECT_TRUE(answer->matches[0].occurrences.empty());
-  EXPECT_FALSE(answer->matches[1].occurrences.empty());
+  EXPECT_TRUE(answer->matches[0].occurrences().empty());
+  EXPECT_FALSE(answer->matches[1].occurrences().empty());
 }
 
 TEST_F(EngineTest, TighterDegreeYieldsSmallerSchema) {

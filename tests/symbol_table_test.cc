@@ -1,0 +1,104 @@
+#include "common/symbol_table.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace precis {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.Intern("Woody Allen");
+  SymbolId b = table.Intern("Woody Allen");
+  SymbolId c = table.Intern("Diane Keaton");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(table.str(a), "Woody Allen");
+  EXPECT_EQ(table.str(c), "Diane Keaton");
+}
+
+TEST(SymbolTableTest, EmptyStringInterns) {
+  SymbolTable table;
+  SymbolId id = table.Intern("");
+  EXPECT_EQ(table.str(id), "");
+  EXPECT_EQ(table.Intern(""), id);
+}
+
+TEST(SymbolTableTest, HashMatchesStdHashOfBytes) {
+  // Value::Hash() depends on this equivalence byte-for-byte: the memoized
+  // hash must be exactly std::hash<std::string> of the interned bytes.
+  SymbolTable table;
+  for (const char* s : {"", "a", "Woody Allen", "sci-fi", "1977"}) {
+    SymbolId id = table.Intern(s);
+    EXPECT_EQ(table.hash(id), std::hash<std::string>{}(std::string(s))) << s;
+  }
+}
+
+TEST(SymbolTableTest, StrReferenceIsStableAcrossGrowth) {
+  SymbolTable table;
+  SymbolId first = table.Intern("stable");
+  const std::string* before = &table.str(first);
+  // Force many blocks worth of interning.
+  for (int i = 0; i < 50000; ++i) table.Intern("sym" + std::to_string(i));
+  EXPECT_EQ(&table.str(first), before);
+  EXPECT_EQ(table.str(first), "stable");
+}
+
+TEST(SymbolTableTest, StatsCountSymbolsAndBytes) {
+  SymbolTable table;
+  table.Intern("abc");
+  table.Intern("defgh");
+  table.Intern("abc");  // hit: counts as an intern, not a new symbol
+  SymbolTableStats s = table.stats();
+  EXPECT_EQ(s.symbols, 2u);
+  EXPECT_EQ(s.bytes, 8u);
+  EXPECT_EQ(s.interns, 3u);
+  EXPECT_GE(s.blocks, 1u);
+}
+
+TEST(SymbolTableTest, GlobalIsSingleton) {
+  EXPECT_EQ(SymbolTable::Global(), SymbolTable::Global());
+}
+
+// Run under TSan (ci.sh leg 3): concurrent interners racing on the same
+// and different strings while readers resolve ids through str()/hash().
+TEST(SymbolTableTest, ConcurrentInternAndLookup) {
+  SymbolTable table;
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 4000;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<SymbolId>> ids(kThreads,
+                                         std::vector<SymbolId>(kStrings));
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, &ids, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        // Half the keys are shared across threads (contended), half are
+        // thread-private — covers both the hit and the miss-insert path.
+        std::string s = (i % 2 == 0)
+                            ? "shared" + std::to_string(i)
+                            : "t" + std::to_string(t) + "_" + std::to_string(i);
+        SymbolId id = table.Intern(s);
+        ids[t][i] = id;
+        // Read back through the wait-free path immediately.
+        EXPECT_EQ(table.str(id), s);
+        EXPECT_EQ(table.hash(id), std::hash<std::string>{}(s));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Shared keys resolved to one id everywhere.
+  for (int i = 0; i < kStrings; i += 2) {
+    for (int t = 1; t < kThreads; ++t) EXPECT_EQ(ids[t][i], ids[0][i]);
+  }
+  SymbolTableStats s = table.stats();
+  // kStrings/2 shared + kThreads * kStrings/2 private distinct symbols.
+  EXPECT_EQ(s.symbols, kStrings / 2 + kThreads * (kStrings / 2));
+  EXPECT_EQ(s.interns, uint64_t(kThreads) * kStrings);
+}
+
+}  // namespace
+}  // namespace precis

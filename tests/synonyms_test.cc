@@ -121,8 +121,8 @@ TEST_F(SynonymEngineTest, AnswerPerOccurrenceSplitsHomonyms) {
   std::set<std::string> roots;
   for (const PrecisAnswer& a : *answers) {
     ASSERT_EQ(a.matches.size(), 1u);
-    ASSERT_EQ(a.matches[0].occurrences.size(), 1u);
-    roots.insert(a.matches[0].occurrences[0].relation);
+    ASSERT_EQ(a.matches[0].occurrences().size(), 1u);
+    roots.insert(a.matches[0].occurrences()[0].relation);
     // Each answer is seeded by exactly one relation.
     EXPECT_EQ(a.schema.token_relations().size(), 1u);
   }

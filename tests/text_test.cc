@@ -84,7 +84,7 @@ class InvertedIndexTest : public ::testing::Test {
 };
 
 TEST_F(InvertedIndexTest, SingleWordFindsAllOccurrences) {
-  auto occ = index_->Lookup("allen");
+  auto occ = *index_->Lookup("allen");
   // Grouped by (relation, attribute): ACTOR.aname {0,1}, ACTOR.bio {0},
   // DIRECTOR.dname {0,2}.
   ASSERT_EQ(occ.size(), 3u);
@@ -98,7 +98,7 @@ TEST_F(InvertedIndexTest, SingleWordFindsAllOccurrences) {
 }
 
 TEST_F(InvertedIndexTest, PhraseRequiresContiguousOrder) {
-  auto occ = index_->Lookup("Woody Allen");
+  auto occ = *index_->Lookup("Woody Allen");
   ASSERT_EQ(occ.size(), 3u);  // ACTOR.aname, ACTOR.bio, DIRECTOR.dname
   for (const auto& o : occ) {
     if (o.relation == "DIRECTOR") {
@@ -106,29 +106,29 @@ TEST_F(InvertedIndexTest, PhraseRequiresContiguousOrder) {
     }
   }
   // "Allen Woody" never appears in that order.
-  EXPECT_TRUE(index_->Lookup("Allen Woody").empty());
+  EXPECT_TRUE(index_->Lookup("Allen Woody")->empty());
 }
 
 TEST_F(InvertedIndexTest, LookupIsCaseInsensitive) {
-  EXPECT_EQ(index_->Lookup("WOODY ALLEN").size(),
-            index_->Lookup("woody allen").size());
+  EXPECT_EQ(index_->Lookup("WOODY ALLEN")->size(),
+            index_->Lookup("woody allen")->size());
 }
 
 TEST_F(InvertedIndexTest, UnknownTokenIsEmpty) {
-  EXPECT_TRUE(index_->Lookup("scorsese").empty());
-  EXPECT_TRUE(index_->Lookup("").empty());
+  EXPECT_TRUE(index_->Lookup("scorsese")->empty());
+  EXPECT_TRUE(index_->Lookup("")->empty());
 }
 
 TEST_F(InvertedIndexTest, PartiallyUnknownPhraseIsEmpty) {
-  EXPECT_TRUE(index_->Lookup("woody scorsese").empty());
+  EXPECT_TRUE(index_->Lookup("woody scorsese")->empty());
 }
 
 TEST_F(InvertedIndexTest, LookupAllPreservesQueryOrder) {
   auto all = index_->LookupAll({"jonze", "nosuchtoken", "woody"});
   ASSERT_EQ(all.size(), 3u);
-  EXPECT_EQ(all[0].size(), 1u);
-  EXPECT_TRUE(all[1].empty());
-  EXPECT_FALSE(all[2].empty());
+  EXPECT_EQ(all[0]->size(), 1u);
+  EXPECT_TRUE(all[1]->empty());
+  EXPECT_FALSE(all[2]->empty());
 }
 
 TEST_F(InvertedIndexTest, NumWordsAndPostings) {
@@ -139,7 +139,7 @@ TEST_F(InvertedIndexTest, NumWordsAndPostings) {
 TEST_F(InvertedIndexTest, WordRepeatedInOneValueIndexedOnce) {
   // "Woody Allen" appears twice in the bio value; the posting must hold the
   // location once (lookup result tid lists stay duplicate-free).
-  auto occ = index_->Lookup("woody");
+  auto occ = *index_->Lookup("woody");
   for (const auto& o : occ) {
     std::set<Tid> dedup(o.tids.begin(), o.tids.end());
     EXPECT_EQ(dedup.size(), o.tids.size());
@@ -156,14 +156,14 @@ TEST(InvertedIndexEdgeTest, NonStringAttributesIgnored) {
   auto index = InvertedIndex::Build(db);
   ASSERT_TRUE(index.ok());
   EXPECT_EQ(index->num_words(), 0u);
-  EXPECT_TRUE(index->Lookup("1").empty());
+  EXPECT_TRUE(index->Lookup("1")->empty());
 }
 
 TEST(InvertedIndexEdgeTest, EmptyDatabase) {
   Database db;
   auto index = InvertedIndex::Build(db);
   ASSERT_TRUE(index.ok());
-  EXPECT_TRUE(index->Lookup("anything").empty());
+  EXPECT_TRUE(index->Lookup("anything")->empty());
 }
 
 }  // namespace

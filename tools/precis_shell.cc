@@ -31,6 +31,7 @@
 
 #include "common/execution_context.h"
 #include "common/string_util.h"
+#include "common/symbol_table.h"
 #include "datagen/bibliography_dataset.h"
 #include "datagen/movies_dataset.h"
 #include "datagen/movies_templates.h"
@@ -495,6 +496,21 @@ Status CmdStats(ShellState* state) {
     print_cache("token:", state->engine->token_cache_stats());
     print_cache("schema:", state->engine->schema_cache_stats());
     print_cache("answer:", state->engine->answer_cache_stats());
+  }
+  // Data-layout footprint (DESIGN.md §13): the process-wide interner and
+  // the last query's arena high-water mark.
+  SymbolTableStats sym = SymbolTable::Global()->stats();
+  std::printf("symbols:    count=%llu bytes=%llu blocks=%llu interns=%llu\n",
+              static_cast<unsigned long long>(sym.symbols),
+              static_cast<unsigned long long>(sym.bytes),
+              static_cast<unsigned long long>(sym.blocks),
+              static_cast<unsigned long long>(sym.interns));
+  if (state->last_context != nullptr) {
+    ArenaStats arena = state->last_context->arena_stats();
+    std::printf("arena:      peak=%llu reserved=%llu slabs=%llu\n",
+                static_cast<unsigned long long>(arena.peak_used_bytes),
+                static_cast<unsigned long long>(arena.reserved_bytes),
+                static_cast<unsigned long long>(arena.slabs));
   }
   if (state->injector.armed()) {
     std::printf("faults seed=%llu injected=%llu\n",
