@@ -45,13 +45,21 @@ inline size_t BenchMovieCount() {
   return EnvSize("PRECIS_BENCH_MOVIES", 20000);
 }
 
-/// Nearest-rank percentile (the same rounding PrecisService::metrics()
-/// uses); takes samples by value because it must sort them.
+/// Percentile by linear interpolation between closest ranks (the same
+/// estimator PrecisService::metrics() uses). The old nearest-rank rounding
+/// degenerated for small n — with two samples every p < 0.75 collapsed to
+/// the minimum — which matters for smoke runs that collect a handful of
+/// latencies. n=1 returns the sample; empty input returns 0.0.
 inline double Percentile(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
-  size_t idx = static_cast<size_t>(p * (samples.size() - 1) + 0.5);
-  return samples[std::min(idx, samples.size() - 1)];
+  if (p <= 0.0) return samples.front();
+  if (p >= 1.0) return samples.back();
+  double rank = p * static_cast<double>(samples.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= samples.size()) return samples.back();
+  double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[lo + 1] - samples[lo]);
 }
 
 /// Counter deltas between two snapshots of one cache level (entries and

@@ -1,0 +1,365 @@
+// Open-loop load generator for the HTTP front end (DESIGN.md §14).
+//
+// Drives a running precis_serve (PRECIS_BENCH_TARGET=host:port) at several
+// offered QPS levels with a Zipf-popular token workload drawn from the same
+// seeded movies vocabulary the server built, and reports achieved QPS,
+// open-loop latency percentiles (completion minus *scheduled* send time, so
+// queueing delay is not hidden), and the shed rate at each level.
+//
+// Open-loop means the arrival schedule is fixed up front at the target rate
+// and never slows down when the server does — the honest way to measure a
+// service under load (closed-loop clients self-throttle and flatter p99).
+//
+// Two gates (non-zero exit):
+//   1. Byte identity: the body served for a fixed query must equal the
+//      in-process answer byte for byte (same parse path, same engine).
+//   2. No unexpected errors: every response is 200, 503 (deliberate
+//      shedding), or 504 (deadline partial); transport errors and other
+//      5xx fail the run.
+//
+// Env knobs: PRECIS_BENCH_TARGET (required, host:port), PRECIS_BENCH_MOVIES
+// (must match the server's --movies), PRECIS_BENCH_QPS (comma-separated
+// offered loads), PRECIS_BENCH_DURATION_S, PRECIS_BENCH_CONNECTIONS,
+// PRECIS_BENCH_OUT (default BENCH_server.json), PRECIS_BENCH_SMOKE.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "datagen/movies_dataset.h"
+#include "datagen/workload.h"
+#include "precis/engine.h"
+#include "precis/json_export.h"
+#include "server/http_client.h"
+#include "server/request_parse.h"
+#include "service/precis_service.h"
+
+namespace precis {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Target {
+  std::string host;
+  uint16_t port = 0;
+};
+
+bool ParseTarget(const std::string& spec, Target* out) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  out->host = spec.substr(0, colon);
+  long port = std::atol(spec.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return false;
+  out->port = static_cast<uint16_t>(port);
+  return true;
+}
+
+std::vector<double> ParseQpsList(const std::string& spec) {
+  std::vector<double> out;
+  std::istringstream is(spec);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    double qps = std::atof(item.c_str());
+    if (qps > 0) out.push_back(qps);
+  }
+  return out;
+}
+
+/// Per-worker tallies, merged after the run.
+struct WorkerStats {
+  std::vector<double> latencies_ms;  // 200 responses only
+  uint64_t ok = 0;
+  uint64_t shed = 0;       // 503
+  uint64_t deadline = 0;   // 504 (partial answer)
+  uint64_t rejected = 0;   // 400/404 (workload bug)
+  uint64_t errors = 0;     // other 5xx
+  uint64_t transport = 0;  // connect/read/write failures
+};
+
+struct PointResult {
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  double wall_seconds = 0;
+  uint64_t requests = 0;
+  WorkerStats totals;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double shed_rate = 0;
+};
+
+/// One offered-load point: a fixed schedule at `qps` for `duration_s`,
+/// executed by `connections` workers each owning one keep-alive connection.
+PointResult RunPoint(const Target& target, const std::vector<std::string>& bodies,
+                     double qps, double duration_s, size_t connections) {
+  const size_t total = static_cast<size_t>(qps * duration_s);
+  std::vector<Clock::duration> offsets;
+  offsets.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    offsets.push_back(std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(static_cast<double>(i) / qps)));
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<WorkerStats> stats(connections);
+  Clock::time_point start = Clock::now() + std::chrono::milliseconds(20);
+
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  for (size_t w = 0; w < connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerStats& s = stats[w];
+      HttpClient client;
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= offsets.size()) break;
+        Clock::time_point scheduled = start + offsets[i];
+        std::this_thread::sleep_until(scheduled);
+        if (!client.connected()) {
+          auto connected = HttpClient::Connect(target.host, target.port);
+          if (!connected.ok()) {
+            ++s.transport;
+            continue;
+          }
+          client = std::move(*connected);
+        }
+        auto response = client.Post("/query", bodies[i % bodies.size()]);
+        Clock::time_point done = Clock::now();
+        if (!response.ok()) {
+          ++s.transport;
+          continue;  // next request reconnects
+        }
+        switch (response->status) {
+          case 200:
+            ++s.ok;
+            s.latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(done - scheduled)
+                    .count());
+            break;
+          case 503:
+            ++s.shed;
+            break;
+          case 504:
+            ++s.deadline;
+            break;
+          case 400:
+          case 404:
+            ++s.rejected;
+            break;
+          default:
+            ++s.errors;
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  Clock::time_point end = Clock::now();
+
+  PointResult result;
+  result.offered_qps = qps;
+  result.requests = total;
+  result.wall_seconds = std::chrono::duration<double>(end - start).count();
+  for (const WorkerStats& s : stats) {
+    result.totals.ok += s.ok;
+    result.totals.shed += s.shed;
+    result.totals.deadline += s.deadline;
+    result.totals.rejected += s.rejected;
+    result.totals.errors += s.errors;
+    result.totals.transport += s.transport;
+    result.totals.latencies_ms.insert(result.totals.latencies_ms.end(),
+                                      s.latencies_ms.begin(),
+                                      s.latencies_ms.end());
+  }
+  uint64_t answered = result.totals.ok + result.totals.deadline;
+  result.achieved_qps =
+      result.wall_seconds > 0 ? static_cast<double>(answered) / result.wall_seconds : 0;
+  result.p50_ms = bench::Percentile(result.totals.latencies_ms, 0.50);
+  result.p99_ms = bench::Percentile(result.totals.latencies_ms, 0.99);
+  result.shed_rate =
+      total > 0 ? static_cast<double>(result.totals.shed) / total : 0;
+  return result;
+}
+
+int LoadGenMain() {
+  const bool smoke = std::getenv("PRECIS_BENCH_SMOKE") != nullptr;
+  const std::string target_spec = bench::EnvString("PRECIS_BENCH_TARGET", "");
+  Target target;
+  if (!ParseTarget(target_spec, &target)) {
+    std::fprintf(stderr,
+                 "PRECIS_BENCH_TARGET must be host:port of a running "
+                 "precis_serve (got '%s')\n",
+                 target_spec.c_str());
+    return 2;
+  }
+  const double duration_s =
+      smoke ? 0.7 : static_cast<double>(bench::EnvSize("PRECIS_BENCH_DURATION_S", 5));
+  const size_t connections = bench::EnvSize("PRECIS_BENCH_CONNECTIONS", 8);
+  const std::vector<double> qps_points = ParseQpsList(bench::EnvString(
+      "PRECIS_BENCH_QPS", smoke ? "5,10,20" : "10,40,160"));
+  const std::string out_path =
+      bench::EnvString("PRECIS_BENCH_OUT", "BENCH_server.json");
+  if (qps_points.size() < 3) {
+    std::fprintf(stderr, "need at least 3 offered-load points\n");
+    return 2;
+  }
+
+  // The same seeded dataset the server built: its vocabulary *is* the
+  // workload's, and its engine answers the byte-identity probe.
+  const MoviesDataset& dataset = bench::SharedDataset();
+  auto created = PrecisEngine::Create(&dataset.db(), &dataset.graph());
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  PrecisEngine engine = std::move(*created);
+
+  // Liveness first: fail fast with a readable message if the target is
+  // not a precis_serve.
+  {
+    auto client = HttpClient::Connect(target.host, target.port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "cannot connect to %s: %s\n", target_spec.c_str(),
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    auto health = client->Get("/healthz");
+    if (!health.ok() || health->status != 200) {
+      std::fprintf(stderr, "healthz probe failed\n");
+      return 1;
+    }
+  }
+
+  // Zipf-popular token pool (multi-word director names exercise the phrase
+  // path; the skew makes the server's caches meaningful under load).
+  std::vector<std::string> pool;
+  Rng rng(17);
+  for (int i = 0; i < 32; ++i) {
+    auto token = RandomToken(dataset.db(), "DIRECTOR", "dname", &rng);
+    if (!token.ok()) std::abort();
+    pool.push_back(std::move(*token));
+  }
+  ZipfSampler zipf(pool.size(), 1.2);
+  const size_t body_pool = 256;
+  std::vector<std::string> bodies;
+  bodies.reserve(body_pool);
+  for (size_t i = 0; i < body_pool; ++i) {
+    bodies.push_back("{\"tokens\":[\"" + JsonEscape(pool[zipf.Sample(&rng)]) +
+                     "\"],\"tuples_per_relation\":5}");
+  }
+
+  // Gate 1: byte identity. The served body must equal the in-process
+  // answer for the *same* request JSON routed through the same parser.
+  {
+    const std::string probe_body =
+        "{\"tokens\":[\"" + JsonEscape(pool[0]) +
+        "\"],\"tuples_per_relation\":5}";
+    auto parsed = ParseQueryRequest(probe_body);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "probe parse: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    auto service = PrecisService::Create(&engine);
+    if (!service.ok()) return 1;
+    ServiceResponse local = (*service)->Execute(std::move(parsed->request));
+    if (!local.status.ok()) {
+      std::fprintf(stderr, "local probe failed: %s\n",
+                   local.status.ToString().c_str());
+      return 1;
+    }
+    std::string expected = AnswerToJson(*local.answer);
+    auto client = HttpClient::Connect(target.host, target.port);
+    if (!client.ok()) return 1;
+    auto served = client->Post("/query", probe_body);
+    if (!served.ok() || served->status != 200) {
+      std::fprintf(stderr, "served probe failed (status %d)\n",
+                   served.ok() ? served->status : -1);
+      return 1;
+    }
+    if (served->body != expected) {
+      std::fprintf(stderr,
+                   "BYTE-IDENTITY GATE FAILED: served answer differs from "
+                   "in-process answer (%zu vs %zu bytes)\n",
+                   served->body.size(), expected.size());
+      return 1;
+    }
+    std::fprintf(stderr, "byte-identity gate passed (%zu bytes)\n",
+                 expected.size());
+  }
+
+  // The offered-load sweep.
+  std::vector<PointResult> points;
+  for (double qps : qps_points) {
+    PointResult r = RunPoint(target, bodies, qps, duration_s, connections);
+    std::fprintf(stderr,
+                 "offered %.0f qps: achieved %.1f qps, p50 %.2f ms, p99 "
+                 "%.2f ms, shed %.1f%% (%llu ok / %llu shed / %llu 504 / "
+                 "%llu err / %llu transport)\n",
+                 r.offered_qps, r.achieved_qps, r.p50_ms, r.p99_ms,
+                 r.shed_rate * 100,
+                 static_cast<unsigned long long>(r.totals.ok),
+                 static_cast<unsigned long long>(r.totals.shed),
+                 static_cast<unsigned long long>(r.totals.deadline),
+                 static_cast<unsigned long long>(r.totals.errors),
+                 static_cast<unsigned long long>(r.totals.transport));
+    points.push_back(std::move(r));
+  }
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"server_load\",\n  \"target\": \"" << target_spec
+     << "\",\n  \"movies\": " << bench::BenchMovieCount()
+     << ",\n  \"connections\": " << connections
+     << ",\n  \"duration_seconds\": " << duration_s << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = points[i];
+    os << "    {\"offered_qps\": " << r.offered_qps
+       << ", \"achieved_qps\": " << r.achieved_qps
+       << ", \"requests\": " << r.requests << ", \"ok\": " << r.totals.ok
+       << ", \"shed\": " << r.totals.shed
+       << ", \"deadline_504\": " << r.totals.deadline
+       << ", \"rejected\": " << r.totals.rejected
+       << ", \"errors\": " << r.totals.errors
+       << ", \"transport_errors\": " << r.totals.transport
+       << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+       << ", \"shed_rate\": " << r.shed_rate << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::ofstream out(out_path);
+  out << os.str();
+  out.close();
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  // Gate 2: nothing but deliberate outcomes. 503/504 are the designed
+  // backpressure; anything else is a server defect.
+  uint64_t bad = 0;
+  uint64_t answered = 0;
+  for (const PointResult& r : points) {
+    bad += r.totals.errors + r.totals.transport + r.totals.rejected;
+    answered += r.totals.ok;
+  }
+  if (bad > 0) {
+    std::fprintf(stderr,
+                 "ERROR GATE FAILED: %llu unexpected outcomes (5xx, 4xx, or "
+                 "transport errors)\n",
+                 static_cast<unsigned long long>(bad));
+    return 1;
+  }
+  if (answered == 0) {
+    std::fprintf(stderr, "ERROR GATE FAILED: no successful answers at all\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace precis
+
+int main() { return precis::LoadGenMain(); }

@@ -1,5 +1,5 @@
 #!/bin/sh
-# CI entry point: builds and tests the tree in four steps.
+# CI entry point: builds and tests the tree in five steps.
 #
 #   1. Release          — the full suite (tier-1 gate).
 #   2. Bench smokes     — bench/cache_effectiveness on a tiny dataset (fails
@@ -15,24 +15,32 @@
 #                         bench/kernels in smoke mode (fails when a columnar
 #                         kernel disagrees with the row path — data-layout
 #                         equivalence gate, DESIGN.md §13).
-#   3. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
+#   3. Server smoke     — tools/precis_serve started on an ephemeral port
+#                         and driven over real sockets by bench/load_gen in
+#                         smoke mode. load_gen fails on any transport error,
+#                         unexpected 4xx/5xx, or a served body that is not
+#                         byte-identical to the in-process answer
+#                         (DESIGN.md §14); the leg then SIGTERMs the server
+#                         and requires a graceful zero exit.
+#   4. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
 #                         PrecisService, engine concurrency, the sharded LRU,
 #                         the answer cache, the work-stealing TaskPool, the
-#                         parallel database generator, the query Arena and
-#                         the SymbolTable interner) rebuilt and run
-#                         under TSan, so data races on the shared query path
-#                         fail the build rather than ship. The shared pool is
-#                         pinned to >= 4 threads so intra-query parallelism
-#                         really interleaves under the sanitizer.
-#   4. ASan + UBSan     — the chaos smoke gate: the fault-injection suite
-#                         and the fuzz-lite chaos sweep rebuilt under
-#                         address+undefined sanitizers. Injected faults
-#                         exercise every degradation path (drops, failed
-#                         lookups, retries, placeholders); this leg proves
-#                         those paths are memory- and UB-clean, not merely
-#                         green.
+#                         parallel database generator, the query Arena, the
+#                         SymbolTable interner and the HTTP server) rebuilt
+#                         and run under TSan, so data races on the shared
+#                         query path fail the build rather than ship. The
+#                         shared pool is pinned to >= 4 threads so
+#                         intra-query parallelism really interleaves under
+#                         the sanitizer.
+#   5. ASan + UBSan     — the chaos smoke gate: the fault-injection suite,
+#                         the fuzz-lite chaos sweep and the HTTP server
+#                         suite rebuilt under address+undefined sanitizers.
+#                         Injected faults exercise every degradation path
+#                         (drops, failed lookups, retries, placeholders);
+#                         this leg proves those paths are memory- and
+#                         UB-clean, not merely green.
 #
-# PRECIS_SANITIZE=address ./ci.sh swaps the third configuration to ASan.
+# PRECIS_SANITIZE=address ./ci.sh swaps the fourth configuration to ASan.
 # All configurations use separate build trees and leave ./build alone.
 
 set -eu
@@ -41,12 +49,12 @@ SANITIZER="${PRECIS_SANITIZE:-thread}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 ROOT="$(cd "$(dirname "$0")" && pwd)"
 
-echo "=== [1/4] Release build + full test suite ==="
+echo "=== [1/5] Release build + full test suite ==="
 cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build-release" -j "$JOBS"
 ctest --test-dir "$ROOT/build-release" --output-on-failure -j "$JOBS"
 
-echo "=== [2/4] Bench smokes (cache + parallel determinism + faults) ==="
+echo "=== [2/5] Bench smokes (cache + parallel determinism + faults) ==="
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_cache.json" \
   "$ROOT/build-release/bench/cache_effectiveness"
@@ -65,25 +73,68 @@ PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_kernels.json" \
   "$ROOT/build-release/bench/kernels_bench"
 
-echo "=== [3/4] ${SANITIZER} sanitizer build + concurrency suite ==="
+echo "=== [3/5] Server smoke (precis_serve + load_gen over real sockets) ==="
+SERVE_LOG="$ROOT/build-release/precis_serve_smoke.log"
+"$ROOT/build-release/tools/precis_serve" \
+  --port 0 --movies 300 --workers 2 --io-threads 2 --queue-depth 32 \
+  >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+# The binary prints "precis_serve listening on HOST:PORT" once the socket
+# is bound; scrape the ephemeral port from the log.
+SERVE_PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  SERVE_PORT="$(sed -n 's/^precis_serve listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$SERVE_LOG" 2>/dev/null || true)"
+  [ -n "$SERVE_PORT" ] && break
+  if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+    echo "precis_serve exited before binding:" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+  i=$((i + 1))
+done
+if [ -z "$SERVE_PORT" ]; then
+  echo "precis_serve never reported a listening port:" >&2
+  cat "$SERVE_LOG" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+# Byte-identity + clean-outcome gates live inside load_gen (exit nonzero on
+# any transport error, unexpected status, or body mismatch). The dataset
+# size must match the server's so the identity probe compares like answers.
+PRECIS_BENCH_TARGET="127.0.0.1:$SERVE_PORT" \
+  PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
+  PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_server.json" \
+  "$ROOT/build-release/bench/load_gen"
+test -s "$ROOT/build-release/BENCH_server.json"
+# Graceful drain: SIGTERM must produce a zero exit.
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "precis_serve did not exit cleanly on SIGTERM:" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+fi
+
+echo "=== [4/5] ${SANITIZER} sanitizer build + concurrency suite ==="
 cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="$SANITIZER"
 cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
   --target concurrency_test service_test execution_context_test \
            lru_cache_test answer_cache_test task_pool_test \
-           parallel_dbgen_test arena_test symbol_table_test
+           parallel_dbgen_test arena_test symbol_table_test server_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen|Arena|SymbolTable'
+  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen|Arena|SymbolTable|JsonLite|HttpParser|RequestParse|HttpServer'
 
-echo "=== [4/4] ASan+UBSan build + chaos smoke gate ==="
+echo "=== [5/5] ASan+UBSan build + chaos smoke gate ==="
 cmake -B "$ROOT/build-asan-ubsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="address,undefined"
 cmake --build "$ROOT/build-asan-ubsan" -j "$JOBS" \
   --target fault_injection_test fuzz_lite_test service_test \
-           arena_test columnar_test
+           arena_test columnar_test server_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-asan-ubsan" --output-on-failure -j "$JOBS" \
-  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel'
+  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel|JsonLite|HttpParser|RequestParse|HttpServer'
 
-echo "=== CI passed (Release + bench smokes + $SANITIZER + asan,ubsan chaos) ==="
+echo "=== CI passed (Release + bench smokes + server smoke + $SANITIZER + asan,ubsan chaos) ==="

@@ -1,0 +1,211 @@
+#include "common/net_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace precis {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::string(strerror(errno));
+}
+
+/// Fills a sockaddr_in for a dotted-quad address (the server binds and the
+/// bench connects to loopback; hostname resolution is out of scope).
+Result<sockaddr_in> MakeAddr(const std::string& address, uint16_t port) {
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: '" + address + "'");
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<int> ListenTcp(const std::string& address, uint16_t port,
+                      int backlog) {
+  auto addr = MakeAddr(address, port);
+  if (!addr.ok()) return addr.status();
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) !=
+      0) {
+    Status st = Status::Unavailable(Errno("bind " + address + ":" +
+                                          std::to_string(port)));
+    CloseFd(fd);
+    return st;
+  }
+  if (listen(fd, backlog) != 0) {
+    Status st = Status::Internal(Errno("listen"));
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ConnectTcp(const std::string& address, uint16_t port) {
+  auto addr = MakeAddr(address, port);
+  if (!addr.ok()) return addr.status();
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(Errno("socket"));
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                 sizeof(*addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status st = Status::Unavailable(Errno("connect " + address + ":" +
+                                          std::to_string(port)));
+    CloseFd(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::Internal(Errno("getsockname"));
+  }
+  return ntohs(addr.sin_port);
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(Errno("fcntl O_NONBLOCK"));
+  }
+  return Status::OK();
+}
+
+Status SetTcpNoDelay(int fd) {
+  int one = 1;
+  if (setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::Internal(Errno("setsockopt TCP_NODELAY"));
+  }
+  return Status::OK();
+}
+
+void CloseFd(int fd) {
+  if (fd < 0) return;
+  int rc;
+  do {
+    rc = close(fd);
+  } while (rc != 0 && errno == EINTR);
+}
+
+Status WriteAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    ssize_t n = write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(Errno("write"));
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+WakeupPipe::WakeupPipe() {
+  if (pipe(fds_) != 0) {
+    std::fprintf(stderr, "pipe: %s\n", strerror(errno));
+    std::abort();
+  }
+  // Both ends non-blocking: Notify must never block a signal handler or a
+  // service worker, Drain must never block the poll loop.
+  for (int fd : fds_) {
+    int flags = fcntl(fd, F_GETFL, 0);
+    (void)fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+WakeupPipe::~WakeupPipe() {
+  CloseFd(fds_[0]);
+  CloseFd(fds_[1]);
+}
+
+void WakeupPipe::Notify() {
+  char byte = 1;
+  // A full pipe already guarantees the reader will wake; EAGAIN is success.
+  ssize_t rc;
+  do {
+    rc = write(fds_[1], &byte, 1);
+  } while (rc < 0 && errno == EINTR);
+}
+
+void WakeupPipe::Drain() {
+  char buf[64];
+  while (read(fds_[0], buf, sizeof(buf)) > 0) {
+  }
+}
+
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+
+WakeupPipe* ShutdownPipe() {
+  // Leaked on purpose: the signal handler may fire during static
+  // destruction; a destroyed pipe there would be use-after-free.
+  static WakeupPipe* pipe = new WakeupPipe();
+  return pipe;
+}
+
+void HandleShutdownSignal(int signo) {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+  ShutdownPipe()->Notify();
+  // Second signal: give up on graceful teardown. Restore the default
+  // disposition so repeating Ctrl-C (or a second SIGTERM) kills for real.
+  struct sigaction dfl;
+  memset(&dfl, 0, sizeof(dfl));
+  dfl.sa_handler = SIG_DFL;
+  (void)sigaction(signo, &dfl, nullptr);
+}
+
+}  // namespace
+
+void InstallShutdownHandler() {
+  ShutdownPipe();  // create the pipe before any signal can arrive
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleShutdownSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking reads return EINTR
+  (void)sigaction(SIGINT, &sa, nullptr);
+  (void)sigaction(SIGTERM, &sa, nullptr);
+  // A peer that goes away mid-write must surface as a write error, not a
+  // process-killing SIGPIPE.
+  signal(SIGPIPE, SIG_IGN);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+int ShutdownWakeupFd() { return ShutdownPipe()->read_fd(); }
+
+void ResetShutdownForTesting() {
+  g_shutdown_requested.store(false, std::memory_order_relaxed);
+  ShutdownPipe()->Drain();
+}
+
+}  // namespace precis

@@ -1,0 +1,95 @@
+// POSIX socket and shutdown-signal utilities shared by the HTTP front end
+// (src/server), the serving binary (tools/precis_serve) and the open-loop
+// load generator (bench/load_gen).
+//
+// Everything here is a thin, Status-returning wrapper over the POSIX calls
+// this project already assumes (precis_shell uses isatty); no third-party
+// networking dependency is introduced.
+
+#ifndef PRECIS_COMMON_NET_UTIL_H_
+#define PRECIS_COMMON_NET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace precis {
+
+/// \brief Opens a TCP listening socket bound to `address:port`.
+///
+/// SO_REUSEADDR is set (restart-friendly), the socket is left *blocking*
+/// (the accept loop owns its own thread and polls before accepting), and
+/// `port` 0 asks the kernel for an ephemeral port — read the real one back
+/// with LocalPort(). Returns the listening fd.
+Result<int> ListenTcp(const std::string& address, uint16_t port,
+                      int backlog = 128);
+
+/// \brief Connects to `address:port` (blocking). Returns the connected fd.
+Result<int> ConnectTcp(const std::string& address, uint16_t port);
+
+/// \brief The local port a bound socket ended up on (resolves port 0).
+Result<uint16_t> LocalPort(int fd);
+
+/// \brief Switches a descriptor to non-blocking mode.
+Status SetNonBlocking(int fd);
+
+/// \brief Disables Nagle's algorithm (small request/response exchanges).
+Status SetTcpNoDelay(int fd);
+
+/// \brief close() that survives EINTR. Safe on -1 (no-op).
+void CloseFd(int fd);
+
+/// \brief Writes all of `data` to a blocking fd, retrying short writes and
+/// EINTR. Fails on a closed peer.
+Status WriteAll(int fd, const void* data, size_t size);
+
+/// \brief A self-pipe used to interrupt poll() loops: Notify() makes the
+/// read end readable; Drain() consumes pending notifications.
+///
+/// Notify() is async-signal-safe and thread-safe (a single write of one
+/// byte to a non-blocking pipe); it coalesces when the pipe is full, which
+/// is fine because readers treat readability as a level, not a count.
+class WakeupPipe {
+ public:
+  /// Creates the pipe; aborts on resource exhaustion (a pipe pair at
+  /// startup failing means the process has no fds at all).
+  WakeupPipe();
+  ~WakeupPipe();
+
+  WakeupPipe(const WakeupPipe&) = delete;
+  WakeupPipe& operator=(const WakeupPipe&) = delete;
+
+  int read_fd() const { return fds_[0]; }
+  void Notify();
+  void Drain();
+
+ private:
+  int fds_[2];
+};
+
+/// \brief Process-wide graceful-shutdown latch for SIGINT / SIGTERM.
+///
+/// InstallShutdownHandler() registers sigaction handlers (without
+/// SA_RESTART, so blocking reads — the shell's getline, the server's
+/// poll — return with EINTR) that set an atomic flag and notify a single
+/// process-wide WakeupPipe. Poll loops add ShutdownWakeupFd() to their fd
+/// set; line loops test ShutdownRequested() after an interrupted read.
+/// Idempotent; the second signal restores the default disposition so a
+/// stuck process can still be killed with a repeated Ctrl-C.
+void InstallShutdownHandler();
+
+/// \brief True once SIGINT or SIGTERM was received.
+bool ShutdownRequested();
+
+/// \brief Readable when shutdown was requested (for poll loops). Valid
+/// only after InstallShutdownHandler().
+int ShutdownWakeupFd();
+
+/// \brief Test hook: re-arms the latch as if no signal had been seen.
+void ResetShutdownForTesting();
+
+}  // namespace precis
+
+#endif  // PRECIS_COMMON_NET_UTIL_H_

@@ -47,7 +47,9 @@ TaskPool::TaskPool(size_t num_threads) {
   }
 }
 
-TaskPool::~TaskPool() {
+TaskPool::~TaskPool() { Shutdown(); }
+
+void TaskPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(park_mutex_);
     shutting_down_ = true;
@@ -56,6 +58,7 @@ TaskPool::~TaskPool() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  workers_.clear();
 }
 
 TaskPool* TaskPool::Shared() {

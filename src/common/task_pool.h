@@ -58,6 +58,13 @@ class TaskPool {
   /// outlive the pool they run on.
   ~TaskPool();
 
+  /// Destructor body, callable explicitly: drains queued tasks and joins
+  /// the workers. Idempotent. Exposed so a process can stop the Shared()
+  /// pool's threads on graceful exit — the pool object itself stays leaked,
+  /// but sanitizer runs (TSan/ASan) see every thread joined before main
+  /// returns. No Group may be running or waiting when this is called.
+  void Shutdown();
+
   TaskPool(const TaskPool&) = delete;
   TaskPool& operator=(const TaskPool&) = delete;
 

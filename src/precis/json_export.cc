@@ -182,7 +182,23 @@ std::string AnswerToJson(const PrecisAnswer& answer) {
   AppendStringArray(&os, answer.report.truncated_relations);
   os << ",\"dropped_foreign_keys\":";
   AppendStringArray(&os, answer.report.dropped_foreign_keys);
-  os << "}}";
+  // Execution outcome (DESIGN.md §12): why generation stopped early and
+  // what injected faults cost the answer, per relation. A web front end
+  // needs these to caption a partial or degraded précis honestly.
+  os << ",\"stop_reason\":\"" << StopReasonToString(answer.report.stop_reason)
+     << "\",\"fault_tainted\":"
+     << (answer.report.fault_tainted ? "true" : "false")
+     << ",\"degradation\":[";
+  bool first_entry = true;
+  for (const RelationDegradation& d : answer.report.degradation.relations) {
+    if (!first_entry) os << ",";
+    first_entry = false;
+    os << "{\"relation\":\"" << JsonEscape(d.relation)
+       << "\",\"dropped_tuples\":" << d.dropped_tuples
+       << ",\"failed_lookups\":" << d.failed_lookups
+       << ",\"retries\":" << d.retries << "}";
+  }
+  os << "]}}";
   return os.str();
 }
 

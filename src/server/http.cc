@@ -1,0 +1,240 @@
+#include "server/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace precis {
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string TrimOws(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+void HttpRequestParser::Feed(const char* data, size_t size) {
+  if (state_ == State::kError) return;
+  buffer_.append(data, size);
+  Advance();
+}
+
+void HttpRequestParser::Fail(int status, std::string detail) {
+  state_ = State::kError;
+  error_status_ = status;
+  error_detail_ = std::move(detail);
+}
+
+void HttpRequestParser::Advance() {
+  if (state_ == State::kHeaders) {
+    // The header block ends at the first empty line. Scan for CRLFCRLF and
+    // also accept bare-LF framing (lenient like common servers).
+    size_t crlf = buffer_.find("\r\n\r\n");
+    size_t lf = buffer_.find("\n\n");
+    size_t block_end;  // index one past the blank-line terminator
+    if (crlf != std::string::npos &&
+        (lf == std::string::npos || crlf < lf)) {
+      block_end = crlf + 4;
+    } else if (lf != std::string::npos) {
+      block_end = lf + 2;
+    } else {
+      if (buffer_.size() > limits_.max_header_bytes) {
+        Fail(431, "header block exceeds " +
+                      std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      return;  // need more bytes
+    }
+    if (block_end > limits_.max_header_bytes) {
+      Fail(431, "header block exceeds " +
+                    std::to_string(limits_.max_header_bytes) + " bytes");
+      return;
+    }
+    ParseHeaderBlock(block_end);
+    if (state_ == State::kError) return;
+    buffer_.erase(0, block_end);
+    state_ = State::kBody;
+  }
+  if (state_ == State::kBody) {
+    if (buffer_.size() < body_expected_) return;  // need more bytes
+    request_.body = buffer_.substr(0, body_expected_);
+    buffer_.erase(0, body_expected_);
+    state_ = State::kComplete;
+  }
+}
+
+void HttpRequestParser::ParseHeaderBlock(size_t block_end) {
+  // Split the block into lines, tolerating both CRLF and LF endings.
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < block_end) {
+    size_t eol = buffer_.find('\n', pos);
+    if (eol == std::string::npos || eol >= block_end) break;
+    size_t len = eol - pos;
+    if (len > 0 && buffer_[pos + len - 1] == '\r') --len;
+    lines.push_back(buffer_.substr(pos, len));
+    pos = eol + 1;
+  }
+  if (lines.empty() || lines[0].empty()) {
+    Fail(400, "missing request line");
+    return;
+  }
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  const std::string& line = lines[0];
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    Fail(400, "malformed request line");
+    return;
+  }
+  request_.method = line.substr(0, sp1);
+  request_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string version = line.substr(sp2 + 1);
+  if (version == "HTTP/1.1") {
+    request_.version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    request_.version_minor = 0;
+  } else {
+    Fail(505, "unsupported protocol version '" + version + "'");
+    return;
+  }
+  if (request_.method.empty() || request_.target.empty() ||
+      request_.target[0] != '/') {
+    Fail(400, "malformed method or target");
+    return;
+  }
+
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) break;
+    size_t colon = lines[i].find(':');
+    if (colon == std::string::npos || colon == 0) {
+      Fail(400, "malformed header line");
+      return;
+    }
+    std::string name = lines[i].substr(0, colon);
+    // Field names must not contain whitespace (request smuggling vector).
+    if (name.find(' ') != std::string::npos ||
+        name.find('\t') != std::string::npos) {
+      Fail(400, "whitespace in header field name");
+      return;
+    }
+    request_.headers.emplace_back(std::move(name),
+                                  TrimOws(lines[i].substr(colon + 1)));
+  }
+
+  // Framing. Chunked bodies are out of scope — refuse loudly, never guess.
+  if (request_.FindHeader("Transfer-Encoding") != nullptr) {
+    Fail(501, "Transfer-Encoding not supported");
+    return;
+  }
+  body_expected_ = 0;
+  if (const std::string* cl = request_.FindHeader("Content-Length")) {
+    const std::string trimmed = TrimOws(*cl);
+    if (trimmed.empty() ||
+        trimmed.find_first_not_of("0123456789") != std::string::npos) {
+      Fail(400, "malformed Content-Length");
+      return;
+    }
+    errno = 0;
+    unsigned long long v = std::strtoull(trimmed.c_str(), nullptr, 10);
+    if (errno != 0 || v > limits_.max_body_bytes) {
+      Fail(413, "body exceeds " + std::to_string(limits_.max_body_bytes) +
+                    " bytes");
+      return;
+    }
+    body_expected_ = static_cast<size_t>(v);
+  } else if (request_.method == "POST" || request_.method == "PUT") {
+    Fail(411, "Content-Length required");
+    return;
+  }
+
+  // Keep-alive: HTTP/1.1 defaults to persistent, 1.0 to close; an explicit
+  // Connection header overrides either way.
+  request_.keep_alive = request_.version_minor >= 1;
+  if (const std::string* conn = request_.FindHeader("Connection")) {
+    if (EqualsIgnoreCase(TrimOws(*conn), "close")) {
+      request_.keep_alive = false;
+    } else if (EqualsIgnoreCase(TrimOws(*conn), "keep-alive")) {
+      request_.keep_alive = true;
+    }
+  }
+}
+
+void HttpRequestParser::ResetForNext() {
+  if (state_ != State::kComplete) return;
+  request_ = HttpRequest();
+  body_expected_ = 0;
+  state_ = State::kHeaders;
+  // Pipelined bytes may already hold the next full request.
+  if (!buffer_.empty()) Advance();
+}
+
+const char* HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 411: return "Length Required";
+    case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive, bool head_only) {
+  std::string out;
+  out.reserve(256 + (head_only ? 0 : response.body.size()));
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += HttpReasonPhrase(response.status);
+  out += "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Server: precis\r\nContent-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  if (!head_only) out += response.body;
+  return out;
+}
+
+}  // namespace precis

@@ -1,0 +1,116 @@
+// HTTP/1.1 message framing: an incremental request parser and a response
+// serializer. No I/O here — HttpServer owns the sockets and feeds bytes in
+// as they arrive, so one connection's requests can span any number of
+// reads (the per-connection state machine of DESIGN.md §14).
+//
+// Deliberately small: methods GET/POST/HEAD, Content-Length bodies only
+// (Transfer-Encoding is rejected with 501), HTTP/1.0 and 1.1, keep-alive
+// per the version defaults and the Connection header. That is the whole
+// surface the precis front end needs; anything else is a 4xx/5xx, never
+// undefined behaviour.
+
+#ifndef PRECIS_SERVER_HTTP_H_
+#define PRECIS_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace precis {
+
+/// \brief One fully parsed HTTP request.
+struct HttpRequest {
+  std::string method;   // uppercase by spec; matched case-sensitively
+  std::string target;   // origin-form, e.g. "/query"
+  int version_minor = 1;  // HTTP/1.<version_minor>
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+  /// Connection semantics after this request (version default + the
+  /// Connection header).
+  bool keep_alive = true;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// \brief Parser limits; defaults sized for precis query traffic.
+struct HttpParserLimits {
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 1024 * 1024;
+};
+
+/// \brief Incremental HTTP/1.x request parser (one connection's stream).
+///
+/// Feed() consumes bytes; once complete() turns true, request() holds the
+/// parsed message and any pipelined surplus stays buffered for the next
+/// ResetForNext(). A malformed stream parks the parser in failed() with
+/// the HTTP status code to answer with (400/411/413/431/501/505) — the
+/// connection must be closed after sending it.
+class HttpRequestParser {
+ public:
+  explicit HttpRequestParser(HttpParserLimits limits = HttpParserLimits())
+      : limits_(limits) {}
+
+  /// Appends bytes and advances the state machine.
+  void Feed(const char* data, size_t size);
+
+  bool complete() const { return state_ == State::kComplete; }
+  bool failed() const { return state_ == State::kError; }
+  /// HTTP status to respond with when failed().
+  int error_status() const { return error_status_; }
+  const std::string& error_detail() const { return error_detail_; }
+
+  /// Valid once complete().
+  const HttpRequest& request() const { return request_; }
+
+  /// Discards the parsed request, keeps buffered pipelined bytes, and
+  /// immediately re-parses them (so complete() may be true again on
+  /// return).
+  void ResetForNext();
+
+  /// True when no bytes of a next request have arrived (connection is
+  /// idle between requests — safe to close on shutdown).
+  bool buffer_empty() const { return buffer_.empty(); }
+
+ private:
+  enum class State { kHeaders, kBody, kComplete, kError };
+
+  void Advance();
+  void ParseHeaderBlock(size_t block_end);
+  void Fail(int status, std::string detail);
+
+  HttpParserLimits limits_;
+  State state_ = State::kHeaders;
+  std::string buffer_;
+  size_t body_expected_ = 0;
+  HttpRequest request_;
+  int error_status_ = 400;
+  std::string error_detail_;
+};
+
+/// \brief One HTTP response to serialize.
+struct HttpResponse {
+  int status = 200;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  void SetHeader(const std::string& name, const std::string& value) {
+    headers.emplace_back(name, value);
+  }
+};
+
+/// \brief Standard reason phrase ("OK", "Service Unavailable", ...).
+const char* HttpReasonPhrase(int status);
+
+/// \brief Serializes status line + headers + body. Content-Length,
+/// Connection and Server headers are emitted automatically; `head_only`
+/// (HEAD requests) drops the body bytes but keeps its Content-Length.
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive, bool head_only = false);
+
+}  // namespace precis
+
+#endif  // PRECIS_SERVER_HTTP_H_

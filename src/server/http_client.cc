@@ -1,0 +1,188 @@
+#include "server/http_client.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "common/net_util.h"
+
+namespace precis {
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+}  // namespace
+
+const std::string* HttpClientResponse::FindHeader(
+    const std::string& name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+Result<HttpClient> HttpClient::Connect(const std::string& address,
+                                       uint16_t port) {
+  auto fd = ConnectTcp(address, port);
+  if (!fd.ok()) return fd.status();
+  (void)SetTcpNoDelay(*fd);
+  return HttpClient(*fd);
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void HttpClient::Close() {
+  CloseFd(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+Result<HttpClientResponse> HttpClient::Get(const std::string& target) {
+  return Request("GET", target, "");
+}
+
+Result<HttpClientResponse> HttpClient::Post(const std::string& target,
+                                            const std::string& body) {
+  return Request("POST", target, body);
+}
+
+Result<HttpClientResponse> HttpClient::Request(const std::string& method,
+                                               const std::string& target,
+                                               const std::string& body) {
+  std::string request = method + " " + target + " HTTP/1.1\r\n";
+  request += "Host: precis\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Type: application/json\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  request += "\r\n";
+  request += body;
+  PRECIS_RETURN_NOT_OK(SendRaw(request));
+  return ReadResponse(method == "HEAD");
+}
+
+Status HttpClient::SendRaw(const std::string& bytes) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  Status status = WriteAll(fd_, bytes.data(), bytes.size());
+  if (!status.ok()) Close();
+  return status;
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse(bool head_only) {
+  if (fd_ < 0) return Status::Internal("client is not connected");
+  // Accumulate until the header block is complete.
+  size_t header_end = std::string::npos;
+  for (;;) {
+    header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    char chunk[8192];
+    ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return Status::Unavailable(n == 0 ? "connection closed by server"
+                                      : "read failed: " +
+                                            std::string(strerror(errno)));
+  }
+
+  HttpClientResponse response;
+  size_t line_start = 0;
+  size_t line_end = buffer_.find("\r\n");
+  std::string status_line = buffer_.substr(0, line_end);
+  if (status_line.compare(0, 5, "HTTP/") != 0) {
+    Close();
+    return Status::Internal("malformed status line: " + status_line);
+  }
+  size_t sp = status_line.find(' ');
+  if (sp == std::string::npos || sp + 4 > status_line.size()) {
+    Close();
+    return Status::Internal("malformed status line: " + status_line);
+  }
+  response.status = std::atoi(status_line.c_str() + sp + 1);
+  if (response.status < 100 || response.status > 599) {
+    Close();
+    return Status::Internal("implausible status in: " + status_line);
+  }
+
+  line_start = line_end + 2;
+  while (line_start < header_end) {
+    line_end = buffer_.find("\r\n", line_start);
+    std::string line = buffer_.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    response.headers.emplace_back(Trim(line.substr(0, colon)),
+                                  Trim(line.substr(colon + 1)));
+  }
+
+  size_t body_start = header_end + 4;
+  size_t body_size = 0;
+  if (const std::string* cl = response.FindHeader("Content-Length")) {
+    body_size = static_cast<size_t>(std::strtoull(cl->c_str(), nullptr, 10));
+  }
+  // HEAD responses advertise Content-Length but carry no body bytes.
+  size_t body_on_wire = head_only ? 0 : body_size;
+  while (buffer_.size() < body_start + body_on_wire) {
+    char chunk[8192];
+    ssize_t n = read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    Close();
+    return Status::Unavailable("connection closed mid-body");
+  }
+  response.body = buffer_.substr(body_start, body_on_wire);
+  // Keep any pipelined surplus for the next ReadResponse().
+  buffer_.erase(0, body_start + body_on_wire);
+
+  if (const std::string* conn = response.FindHeader("Connection")) {
+    if (EqualsIgnoreCase(*conn, "close")) Close();
+  }
+  return response;
+}
+
+}  // namespace precis

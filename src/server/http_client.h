@@ -1,0 +1,72 @@
+// A minimal blocking HTTP/1.1 client: one keep-alive connection, request
+// in, response out. Exists for the load generator (bench/load_gen) and the
+// server tests — it is intentionally not a general client (no TLS, no
+// redirects, no chunked bodies), just the mirror image of what HttpServer
+// emits.
+
+#ifndef PRECIS_SERVER_HTTP_CLIENT_H_
+#define PRECIS_SERVER_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace precis {
+
+/// \brief One parsed HTTP response.
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* FindHeader(const std::string& name) const;
+};
+
+/// \brief A blocking keep-alive connection to one server.
+///
+/// Not thread-safe; each load-generator worker owns its own client. When
+/// the server closes the connection (Connection: close, drain, or idle
+/// timeout) the next request fails — callers reconnect with Connect().
+class HttpClient {
+ public:
+  static Result<HttpClient> Connect(const std::string& address, uint16_t port);
+
+  HttpClient() = default;
+  ~HttpClient();
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  Result<HttpClientResponse> Get(const std::string& target);
+  Result<HttpClientResponse> Post(const std::string& target,
+                                  const std::string& body);
+
+  /// Sends an arbitrary request (used by tests for malformed traffic and
+  /// HEAD) and reads one response.
+  Result<HttpClientResponse> Request(const std::string& method,
+                                     const std::string& target,
+                                     const std::string& body);
+
+  /// Writes raw bytes without framing (test hook for pipelining and
+  /// malformed streams), then reads one response per ReadResponse() call.
+  Status SendRaw(const std::string& bytes);
+  Result<HttpClientResponse> ReadResponse(bool head_only = false);
+
+ private:
+  explicit HttpClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_SERVER_HTTP_CLIENT_H_

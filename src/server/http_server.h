@@ -1,0 +1,136 @@
+// HttpServer: the network front end over PrecisService (DESIGN.md §14).
+//
+// A blocking accept loop hands sockets to a small set of I/O threads, each
+// running a poll()-driven loop over per-connection state machines
+// (read -> dispatch -> write, keep-alive). POST /query bodies are parsed
+// into ServiceRequests (server/request_parse.h) and executed on the
+// PrecisService worker pool via SubmitAsync; the worker's completion
+// callback serializes the answer (the exact bytes of AnswerToJson — the
+// wire answer is byte-identical to the in-process one) into the
+// connection's output buffer and wakes its poll loop through a self-pipe.
+//
+// Backpressure surfaces as HTTP status codes rather than queueing:
+//   Status::Overloaded (admission-queue shedding)  -> 503
+//   StopReason::kDeadlineExceeded (partial answer) -> 504 + partial body
+//   parse/validation failures                      -> 400
+//   unknown path / profile                         -> 404
+// GET /metrics exposes connection/request counters plus every profile's
+// PrecisService metrics (caches, symbols, arenas); GET /healthz is the
+// liveness probe.
+
+#ifndef PRECIS_SERVER_HTTP_SERVER_H_
+#define PRECIS_SERVER_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/net_util.h"
+#include "common/result.h"
+#include "server/http.h"
+#include "service/precis_service.h"
+
+namespace precis {
+
+namespace server_internal {
+class IoLoop;
+struct ServerStats;
+}  // namespace server_internal
+
+class HttpServer {
+ public:
+  struct Options {
+    /// Dotted-quad bind address; loopback by default (the load balancer /
+    /// reverse proxy story is out of scope).
+    std::string bind_address = "127.0.0.1";
+    /// 0 = ephemeral; read the real port back with port().
+    uint16_t port = 0;
+    /// Poll loops; each owns a disjoint set of connections. Clamped >= 1.
+    size_t io_threads = 2;
+    /// Open-connection cap; excess connections get an immediate 503+close
+    /// (never unbounded fd growth).
+    size_t max_connections = 1024;
+    /// Header/body size caps (413/431 beyond them).
+    HttpParserLimits parser_limits;
+    /// Connections idle (no request in flight, nothing buffered) longer
+    /// than this are closed. 0 disables.
+    double idle_timeout_seconds = 60.0;
+    /// Stop() waits this long for in-flight responses to flush before
+    /// force-closing.
+    double drain_timeout_seconds = 5.0;
+  };
+
+  /// Connection/request counters (snapshot; all monotonic except
+  /// connections_open).
+  struct Metrics {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;  // over max_connections
+    uint64_t connections_open = 0;
+    uint64_t requests_total = 0;
+    uint64_t parse_errors = 0;
+    uint64_t responses_2xx = 0;
+    uint64_t responses_4xx = 0;
+    uint64_t responses_503 = 0;  // shed (admission backpressure)
+    uint64_t responses_504 = 0;  // deadline-exceeded partial answers
+    uint64_t responses_5xx = 0;  // other server-side failures
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+
+  /// `services` maps weight-profile names to the PrecisService serving
+  /// that profile (paper §3.1: per-user-group weight sets; also the
+  /// multi-tenant routing hook). Must contain "default", the profile used
+  /// when a request names none. Services are not owned and must outlive
+  /// the server; each may wrap a differently-weighted engine. The
+  /// listening socket is bound and the threads started before Create
+  /// returns.
+  static Result<std::unique_ptr<HttpServer>> Create(
+      std::map<std::string, PrecisService*> services, Options options);
+
+  /// Graceful Stop() (idempotent), then join.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves Options::port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Graceful shutdown: stop accepting, answer in-flight requests, flush,
+  /// close. Blocks up to drain_timeout_seconds past the point where only
+  /// in-flight work remains. Idempotent. The PrecisServices must be shut
+  /// down *after* this returns (in-flight queries still need workers).
+  void Stop();
+
+  Metrics metrics() const;
+
+  /// The /metrics response body (exposed for tools/tests).
+  std::string MetricsJson() const;
+
+ private:
+  HttpServer(std::map<std::string, PrecisService*> services, Options options);
+
+  void AcceptLoop();
+
+  std::map<std::string, PrecisService*> services_;
+  Options options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::shared_ptr<server_internal::ServerStats> stats_;
+  std::vector<std::unique_ptr<server_internal::IoLoop>> loops_;
+
+  std::atomic<bool> stopping_{false};
+  WakeupPipe stop_pipe_;
+  std::thread accept_thread_;
+  std::atomic<size_t> next_loop_{0};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_SERVER_HTTP_SERVER_H_

@@ -1,0 +1,61 @@
+// A minimal JSON parser for HTTP request bodies.
+//
+// The repo already has a hand-rolled JSON *emitter* (precis/json_export);
+// the network front end needs the other direction: POST /query carries a
+// small JSON object of tokens and execution knobs. This is a strict
+// recursive-descent parser of standard JSON (RFC 8259) with a depth cap —
+// no third-party dependency, no streaming (request bodies are bounded by
+// HttpServer's max_body_bytes long before they reach the parser).
+
+#ifndef PRECIS_SERVER_JSON_LITE_H_
+#define PRECIS_SERVER_JSON_LITE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace precis {
+
+/// \brief One parsed JSON value (a tree).
+///
+/// Numbers keep both views: `number` is always set; `is_integer` marks
+/// values that were written without fraction/exponent and fit an int64, so
+/// knob parsing can reject "1.5 workers" style inputs precisely.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  bool is_integer = false;
+  int64_t integer = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered (duplicate keys: last wins, like most parsers).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// \brief Parses exactly one JSON value spanning the whole input (trailing
+/// non-whitespace is an error). InvalidArgument errors carry the byte
+/// offset of the problem.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace precis
+
+#endif  // PRECIS_SERVER_JSON_LITE_H_

@@ -1,0 +1,123 @@
+#include "server/request_parse.h"
+
+#include "server/json_lite.h"
+
+namespace precis {
+
+namespace {
+
+/// A non-negative number field; `out` unchanged when absent.
+Status ReadNonNegative(const JsonValue& body, const char* key, double* out) {
+  const JsonValue* v = body.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_number() || v->number < 0) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a non-negative number");
+  }
+  *out = v->number;
+  return Status::OK();
+}
+
+/// A non-negative integer field; `out` unchanged when absent.
+Status ReadCount(const JsonValue& body, const char* key, uint64_t* out) {
+  const JsonValue* v = body.Find(key);
+  if (v == nullptr) return Status::OK();
+  if (!v->is_number() || !v->is_integer || v->integer < 0) {
+    return Status::InvalidArgument(std::string("'") + key +
+                                   "' must be a non-negative integer");
+  }
+  *out = static_cast<uint64_t>(v->integer);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ParsedQueryRequest> ParseQueryRequest(const std::string& body,
+                                             QueryRequestLimits limits) {
+  auto parsed = ParseJson(body);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+
+  ParsedQueryRequest out;
+
+  const JsonValue* tokens = root.Find("tokens");
+  if (tokens == nullptr || !tokens->is_array() || tokens->array.empty()) {
+    return Status::InvalidArgument(
+        "'tokens' must be a non-empty array of strings");
+  }
+  if (tokens->array.size() > limits.max_tokens) {
+    return Status::InvalidArgument("at most " +
+                                   std::to_string(limits.max_tokens) +
+                                   " tokens per query");
+  }
+  for (const JsonValue& token : tokens->array) {
+    if (!token.is_string() || token.string.empty()) {
+      return Status::InvalidArgument(
+          "'tokens' must be a non-empty array of strings");
+    }
+    if (token.string.size() > limits.max_token_bytes) {
+      return Status::InvalidArgument("token exceeds " +
+                                     std::to_string(limits.max_token_bytes) +
+                                     " bytes");
+    }
+    out.request.query.tokens.push_back(token.string);
+  }
+
+  PRECIS_RETURN_NOT_OK(
+      ReadNonNegative(root, "min_path_weight", &out.request.min_path_weight));
+
+  uint64_t max_projections = 0;
+  PRECIS_RETURN_NOT_OK(ReadCount(root, "max_projections", &max_projections));
+  out.request.max_projections = static_cast<size_t>(max_projections);
+
+  uint64_t tuples = 0;
+  PRECIS_RETURN_NOT_OK(ReadCount(root, "tuples_per_relation", &tuples));
+  out.request.tuples_per_relation = static_cast<size_t>(tuples);
+
+  double deadline_ms = 0.0;
+  PRECIS_RETURN_NOT_OK(ReadNonNegative(root, "deadline_ms", &deadline_ms));
+  out.request.deadline_seconds = deadline_ms / 1e3;
+
+  PRECIS_RETURN_NOT_OK(ReadCount(root, "budget", &out.request.access_budget));
+
+  uint64_t parallelism = 0;
+  PRECIS_RETURN_NOT_OK(ReadCount(root, "parallelism", &parallelism));
+  if (parallelism > 64) {
+    return Status::InvalidArgument("'parallelism' must be <= 64");
+  }
+  // 0 keeps the DbGenOptions default (1, sequential) so the service-wide
+  // dbgen_parallelism default still applies to requests that don't ask.
+  if (parallelism >= 1) {
+    out.request.options.parallelism = static_cast<size_t>(parallelism);
+  }
+
+  if (const JsonValue* strategy = root.Find("strategy")) {
+    if (!strategy->is_string()) {
+      return Status::InvalidArgument("'strategy' must be a string");
+    }
+    if (strategy->string == "auto") {
+      out.request.options.strategy = SubsetStrategy::kAuto;
+    } else if (strategy->string == "naiveq") {
+      out.request.options.strategy = SubsetStrategy::kNaiveQ;
+    } else if (strategy->string == "roundrobin") {
+      out.request.options.strategy = SubsetStrategy::kRoundRobin;
+    } else {
+      return Status::InvalidArgument("unknown strategy '" + strategy->string +
+                                     "' (auto | naiveq | roundrobin)");
+    }
+  }
+
+  if (const JsonValue* profile = root.Find("profile")) {
+    if (!profile->is_string()) {
+      return Status::InvalidArgument("'profile' must be a string");
+    }
+    out.profile = profile->string;
+  }
+
+  return out;
+}
+
+}  // namespace precis

@@ -1,0 +1,52 @@
+// Translates a POST /query JSON body into a ServiceRequest.
+//
+// The body is a flat JSON object carrying the query tokens plus the same
+// execution knobs the shell and PrecisService expose (DESIGN.md §9/§14):
+//
+//   {
+//     "tokens": ["Woody Allen", "Match Point"],   // required, non-empty
+//     "min_path_weight": 0.5,      // degree constraint (Table 1 row 2)
+//     "max_projections": 0,        // degree constraint (Table 1 row 1)
+//     "tuples_per_relation": 10,   // cardinality constraint (Table 2)
+//     "deadline_ms": 100,          // per-request wall-clock deadline
+//     "budget": 0,                 // access budget (probes+fetches+scans)
+//     "parallelism": 0,            // intra-query fan-out (DESIGN.md §11)
+//     "strategy": "auto",          // auto | naiveq | roundrobin
+//     "profile": "default"         // weight profile / tenant selector
+//   }
+//
+// Every knob is optional except "tokens"; unknown keys are ignored for
+// forward compatibility. Validation is strict about types and ranges so a
+// bad request is a 400 with a precise message, never a mis-parsed query.
+
+#ifndef PRECIS_SERVER_REQUEST_PARSE_H_
+#define PRECIS_SERVER_REQUEST_PARSE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "service/precis_service.h"
+
+namespace precis {
+
+/// \brief A parsed /query body: the service request plus the name of the
+/// weight profile (empty = the server's default profile).
+struct ParsedQueryRequest {
+  ServiceRequest request;
+  std::string profile;
+};
+
+/// \brief Bounds applied during parsing (against hostile inputs).
+struct QueryRequestLimits {
+  size_t max_tokens = 16;
+  size_t max_token_bytes = 256;
+};
+
+/// \brief Parses and validates one /query body. InvalidArgument on any
+/// malformed or out-of-range field (mapped to HTTP 400 by the server).
+Result<ParsedQueryRequest> ParseQueryRequest(
+    const std::string& body, QueryRequestLimits limits = QueryRequestLimits());
+
+}  // namespace precis
+
+#endif  // PRECIS_SERVER_REQUEST_PARSE_H_

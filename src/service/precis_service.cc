@@ -34,9 +34,19 @@ PrecisService::PrecisService(const PrecisEngine* engine, Options options)
 PrecisService::~PrecisService() { Shutdown(); }
 
 std::future<ServiceResponse> PrecisService::Submit(ServiceRequest request) {
+  auto promise = std::make_shared<std::promise<ServiceResponse>>();
+  std::future<ServiceResponse> future = promise->get_future();
+  SubmitAsync(std::move(request), [promise](ServiceResponse response) {
+    promise->set_value(std::move(response));
+  });
+  return future;
+}
+
+void PrecisService::SubmitAsync(ServiceRequest request,
+                                std::function<void(ServiceResponse)> done) {
   Job job;
   job.request = std::move(request);
-  std::future<ServiceResponse> future = job.promise.get_future();
+  job.done = std::move(done);
   bool shed = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -44,8 +54,8 @@ std::future<ServiceResponse> PrecisService::Submit(ServiceRequest request) {
       ServiceResponse rejected;
       rejected.status =
           Status::Internal("service is shut down; submission rejected");
-      job.promise.set_value(std::move(rejected));
-      return future;
+      job.done(std::move(rejected));
+      return;
     }
     if (options_.max_queue_depth > 0 &&
         queue_.size() >= options_.max_queue_depth) {
@@ -57,19 +67,20 @@ std::future<ServiceResponse> PrecisService::Submit(ServiceRequest request) {
   if (shed) {
     // Load shedding (DESIGN.md §12): fail fast with a typed status rather
     // than letting the queue (and every queued query's latency) grow without
-    // bound. The promise resolves outside queue_mutex_ so a caller blocked
-    // on the future can't interleave with queue operations.
+    // bound. The continuation runs outside queue_mutex_ so a caller blocked
+    // on the result can't interleave with queue operations.
     ServiceResponse rejected;
     rejected.status = Status::Overloaded(
         "admission queue full (depth " +
         std::to_string(options_.max_queue_depth) + "); request shed");
-    job.promise.set_value(std::move(rejected));
-    std::lock_guard<std::mutex> lock(metrics_mutex_);
-    ++metrics_.queries_shed;
-    return future;
+    {
+      std::lock_guard<std::mutex> lock(metrics_mutex_);
+      ++metrics_.queries_shed;
+    }
+    job.done(std::move(rejected));
+    return;
   }
   queue_cv_.notify_one();
-  return future;
 }
 
 std::vector<std::future<ServiceResponse>> PrecisService::SubmitBatch(
@@ -82,12 +93,16 @@ std::vector<std::future<ServiceResponse>> PrecisService::SubmitBatch(
     for (ServiceRequest& request : requests) {
       Job job;
       job.request = std::move(request);
-      futures.push_back(job.promise.get_future());
+      auto promise = std::make_shared<std::promise<ServiceResponse>>();
+      futures.push_back(promise->get_future());
+      job.done = [promise](ServiceResponse response) {
+        promise->set_value(std::move(response));
+      };
       if (shutting_down_) {
         ServiceResponse rejected;
         rejected.status =
             Status::Internal("service is shut down; submission rejected");
-        job.promise.set_value(std::move(rejected));
+        job.done(std::move(rejected));
       } else if (options_.max_queue_depth > 0 &&
                  queue_.size() >= options_.max_queue_depth) {
         shed_jobs.push_back(std::move(job));
@@ -101,7 +116,7 @@ std::vector<std::future<ServiceResponse>> PrecisService::SubmitBatch(
     rejected.status = Status::Overloaded(
         "admission queue full (depth " +
         std::to_string(options_.max_queue_depth) + "); request shed");
-    job.promise.set_value(std::move(rejected));
+    job.done(std::move(rejected));
   }
   if (!shed_jobs.empty()) {
     std::lock_guard<std::mutex> lock(metrics_mutex_);
@@ -143,7 +158,7 @@ void PrecisService::WorkerLoop() {
     }
     ServiceResponse response = RunOne(job.request);
     RecordOutcome(response);
-    job.promise.set_value(std::move(response));
+    job.done(std::move(response));
   }
 }
 
@@ -262,9 +277,14 @@ PrecisService::Metrics PrecisService::metrics() const {
   if (!latencies_.empty()) {
     std::vector<double> sorted = latencies_;
     std::sort(sorted.begin(), sorted.end());
+    // Linear interpolation between closest ranks (bench_util.h Percentile
+    // uses the same estimator, so bench reports and /metrics agree).
     auto percentile = [&sorted](double p) {
-      size_t idx = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
-      return sorted[std::min(idx, sorted.size() - 1)];
+      double rank = p * static_cast<double>(sorted.size() - 1);
+      size_t lo = static_cast<size_t>(rank);
+      if (lo + 1 >= sorted.size()) return sorted.back();
+      double frac = rank - static_cast<double>(lo);
+      return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
     };
     snapshot.p50_latency_seconds = percentile(0.50);
     snapshot.p99_latency_seconds = percentile(0.99);

@@ -16,6 +16,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -181,6 +182,16 @@ class PrecisService {
   /// After Shutdown() the future resolves immediately with a failed status.
   std::future<ServiceResponse> Submit(ServiceRequest request);
 
+  /// Enqueues one query with a completion callback instead of a future —
+  /// the push-notification shape the HTTP front end needs (its poll loops
+  /// cannot block on futures). `done` runs exactly once: on a worker
+  /// thread after the query finishes, or synchronously on the calling
+  /// thread when the request is shed (Status::Overloaded) or the service
+  /// is shut down. Callbacks must be fast and must not throw; anything
+  /// heavy belongs on the callback receiver's own thread.
+  void SubmitAsync(ServiceRequest request,
+                   std::function<void(ServiceResponse)> done);
+
   /// Enqueues a batch atomically (all requests are queued before any worker
   /// sees them), one future per request in order.
   std::vector<std::future<ServiceResponse>> SubmitBatch(
@@ -201,7 +212,9 @@ class PrecisService {
  private:
   struct Job {
     ServiceRequest request;
-    std::promise<ServiceResponse> promise;
+    /// Completion continuation (a promise-fulfilling lambda for Submit,
+    /// the caller's callback for SubmitAsync). Never null once enqueued.
+    std::function<void(ServiceResponse)> done;
   };
 
   PrecisService(const PrecisEngine* engine, Options options);

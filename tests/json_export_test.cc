@@ -3,6 +3,8 @@
 #include <memory>
 #include <stack>
 
+#include "common/execution_context.h"
+#include "common/fault_injection.h"
 #include "datagen/movies_dataset.h"
 #include "precis/engine.h"
 #include "precis/json_export.h"
@@ -101,6 +103,79 @@ TEST(AnswerToJsonTest, FullAnswerSerializes) {
   EXPECT_NE(json.find("\"from\":\"DIRECTOR\""), std::string::npos);
   EXPECT_NE(json.find("\"Match Point\""), std::string::npos);
   EXPECT_NE(json.find("\"executed_edges\""), std::string::npos);
+}
+
+TEST(AnswerToJsonTest, CleanAnswerReportsNoDegradation) {
+  MoviesConfig config;
+  config.num_movies = 10;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+  auto answer = engine->Answer(PrecisQuery{{"Woody Allen"}},
+                               *MinPathWeight(0.9), *MaxTuplesPerRelation(3));
+  ASSERT_TRUE(answer.ok());
+  std::string json = AnswerToJson(*answer);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"stop_reason\":\"none\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault_tainted\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"degradation\":[]"), std::string::npos);
+}
+
+TEST(AnswerToJsonTest, BudgetCutAnswerReportsStopReason) {
+  MoviesConfig config;
+  config.num_movies = 20;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+  ExecutionContext ctx;
+  ctx.SetAccessBudget(1);  // starves generation almost immediately
+  auto answer =
+      engine->Answer(PrecisQuery{{"Woody Allen"}}, *MinPathWeight(0.5),
+                     *MaxTuplesPerRelation(10), DbGenOptions(), &ctx);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->report.stop_reason, StopReason::kAccessBudgetExhausted);
+  std::string json = AnswerToJson(*answer);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"stop_reason\":\"access budget exhausted\""),
+            std::string::npos);
+}
+
+TEST(AnswerToJsonTest, FaultTaintedAnswerReportsPerRelationLosses) {
+  MoviesConfig config;
+  config.num_movies = 30;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+
+  FaultInjector injector(11);
+  injector.SetSchedule(FaultSite::kTupleFetch, FaultSchedule::EveryNth(2));
+  ExecutionContext ctx;
+  ctx.SetFaultInjector(&injector);
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // first failure drops the tuple: losses for sure
+  policy.initial_backoff_ns = 0;
+  ctx.set_retry_policy(policy);
+
+  auto answer =
+      engine->Answer(PrecisQuery{{"Woody Allen"}}, *MinPathWeight(0.5),
+                     *MaxTuplesPerRelation(10), DbGenOptions(), &ctx);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_TRUE(answer->report.fault_tainted);
+  ASSERT_TRUE(answer->report.degradation.degraded())
+      << "every-2nd tuple fetch with no retries must cost something";
+
+  std::string json = AnswerToJson(*answer);
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"fault_tainted\":true"), std::string::npos);
+  // Per-relation entries carry the loss accounting fields.
+  EXPECT_NE(json.find("\"degradation\":[{\"relation\":\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dropped_tuples\":"), std::string::npos);
+  EXPECT_NE(json.find("\"failed_lookups\":"), std::string::npos);
+  EXPECT_NE(json.find("\"retries\":"), std::string::npos);
 }
 
 TEST(AnswerToJsonTest, EmptyAnswerSerializes) {

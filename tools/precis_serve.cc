@@ -1,0 +1,185 @@
+// precis_serve: the précis answering service as a network daemon.
+//
+// Builds the deterministic movies dataset, stands a PrecisEngine +
+// PrecisService behind the HTTP front end (src/server), prints the bound
+// address, and runs until SIGINT/SIGTERM. Shutdown is graceful: stop
+// accepting, drain in-flight queries, flush, exit 0 — so CI can `kill
+// -TERM` the daemon and gate on its exit code.
+//
+//   precis_serve --port 8080 --movies 2000 --workers 4 --queue-depth 64
+//   curl -s localhost:8080/query -d '{"tokens":["Woody Allen"]}'
+
+#include <poll.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/net_util.h"
+#include "common/task_pool.h"
+#include "datagen/movies_dataset.h"
+#include "precis/engine.h"
+#include "server/http_server.h"
+#include "service/precis_service.h"
+
+namespace precis {
+namespace {
+
+struct ServeFlags {
+  std::string address = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral, printed at startup
+  size_t movies = 2000;
+  size_t workers = 4;
+  size_t io_threads = 2;
+  size_t queue_depth = 64;
+  double deadline_ms = 0.0;
+  size_t parallelism = 0;
+  bool cache = true;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--address A] [--port N] [--movies N] [--workers N]\n"
+      "          [--io-threads N] [--queue-depth N] [--deadline-ms MS]\n"
+      "          [--parallelism N] [--cache on|off]\n"
+      "Serves POST /query, GET /metrics, GET /healthz until SIGINT/SIGTERM.\n"
+      "--port 0 picks an ephemeral port (printed on stdout at startup).\n"
+      "--queue-depth bounds the admission queue (excess -> HTTP 503).\n",
+      argv0);
+}
+
+bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+      return false;
+    }
+    if (arg == "--address") {
+      flags->address = value;
+    } else if (arg == "--port") {
+      flags->port = std::atoi(value.c_str());
+    } else if (arg == "--movies") {
+      flags->movies = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (arg == "--workers") {
+      flags->workers = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (arg == "--io-threads") {
+      flags->io_threads = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (arg == "--queue-depth") {
+      flags->queue_depth = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (arg == "--deadline-ms") {
+      flags->deadline_ms = std::atof(value.c_str());
+    } else if (arg == "--parallelism") {
+      flags->parallelism = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (arg == "--cache") {
+      flags->cache = value != "off" && value != "0" && value != "false";
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (flags->port < 0 || flags->port > 65535) {
+    std::fprintf(stderr, "--port must be in [0, 65535]\n");
+    return false;
+  }
+  return true;
+}
+
+int ServeMain(int argc, char** argv) {
+  ServeFlags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  // Install before the (potentially slow) dataset build so Ctrl-C during
+  // startup also exits promptly.
+  InstallShutdownHandler();
+
+  std::fprintf(stderr, "building movies dataset (%zu movies)...\n",
+               flags.movies);
+  MoviesConfig config;
+  config.num_movies = flags.movies;
+  auto ds = MoviesDataset::Create(config);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  MoviesDataset dataset = std::move(*ds);
+  if (ShutdownRequested()) return 0;
+
+  auto created = PrecisEngine::Create(&dataset.db(), &dataset.graph());
+  if (!created.ok()) {
+    std::fprintf(stderr, "engine: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  PrecisEngine engine = std::move(*created);
+  engine.set_caches_enabled(flags.cache);
+
+  PrecisService::Options service_options;
+  service_options.num_workers = flags.workers;
+  service_options.default_deadline_seconds = flags.deadline_ms / 1e3;
+  service_options.dbgen_parallelism = flags.parallelism;
+  service_options.max_queue_depth = flags.queue_depth;
+  auto service = PrecisService::Create(&engine, service_options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
+    return 1;
+  }
+
+  HttpServer::Options server_options;
+  server_options.bind_address = flags.address;
+  server_options.port = static_cast<uint16_t>(flags.port);
+  server_options.io_threads = flags.io_threads;
+  auto server = HttpServer::Create({{"default", service->get()}},
+                                   server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  // The machine-readable line CI and the load generator scrape for the
+  // ephemeral port. Flushed immediately: the scraper polls this output.
+  std::printf("precis_serve listening on %s:%u\n", flags.address.c_str(),
+              static_cast<unsigned>((*server)->port()));
+  std::fflush(stdout);
+
+  // Park until SIGINT/SIGTERM; the servers run on their own threads.
+  while (!ShutdownRequested()) {
+    pollfd pfd = {ShutdownWakeupFd(), POLLIN, 0};
+    (void)poll(&pfd, 1, -1);
+  }
+
+  std::fprintf(stderr, "shutting down...\n");
+  (*server)->Stop();            // stop accepting, drain in-flight responses
+  (*service)->Shutdown();       // then stop the query workers
+  HttpServer::Metrics m = (*server)->metrics();
+  std::fprintf(stderr,
+               "served %llu requests (%llu 2xx, %llu 4xx, %llu shed, "
+               "%llu 504, %llu 5xx) over %llu connections\n",
+               static_cast<unsigned long long>(m.requests_total),
+               static_cast<unsigned long long>(m.responses_2xx),
+               static_cast<unsigned long long>(m.responses_4xx),
+               static_cast<unsigned long long>(m.responses_503),
+               static_cast<unsigned long long>(m.responses_504),
+               static_cast<unsigned long long>(m.responses_5xx),
+               static_cast<unsigned long long>(m.connections_accepted));
+  // Join the shared pool's workers (queries with parallelism >= 2 used it)
+  // so sanitizer runs end with zero live threads.
+  TaskPool::Shared()->Shutdown();
+  return 0;
+}
+
+}  // namespace
+}  // namespace precis
+
+int main(int argc, char** argv) { return precis::ServeMain(argc, argv); }

@@ -30,8 +30,10 @@
 #include <vector>
 
 #include "common/execution_context.h"
+#include "common/net_util.h"
 #include "common/string_util.h"
 #include "common/symbol_table.h"
+#include "common/task_pool.h"
 #include "datagen/bibliography_dataset.h"
 #include "datagen/movies_dataset.h"
 #include "datagen/movies_templates.h"
@@ -619,7 +621,13 @@ int RunShell(std::istream& in, bool interactive) {
       std::printf("precis> ");
       std::fflush(stdout);
     }
-    if (!std::getline(in, line)) break;
+    if (!std::getline(in, line)) {
+      // SIGINT/SIGTERM interrupt the blocking read (the handler installs
+      // without SA_RESTART); fall through to the same clean exit 'quit'
+      // takes so TSan/ASan runs see an orderly teardown, not a kill.
+      if (ShutdownRequested() && interactive) std::printf("\ninterrupted\n");
+      break;
+    }
     std::vector<std::string> words;
     for (const std::string& w : Split(Trim(line), ' ')) {
       if (!w.empty()) words.push_back(w);
@@ -697,8 +705,14 @@ int RunShell(std::istream& in, bool interactive) {
 }  // namespace precis
 
 int main() {
+  precis::InstallShutdownHandler();
   // Interactive iff stdin looks like a terminal; piped scripts skip the
   // prompt noise. isatty is POSIX-only, which this project already assumes.
   bool interactive = isatty(fileno(stdin)) != 0;
-  return precis::RunShell(std::cin, interactive);
+  int rc = precis::RunShell(std::cin, interactive);
+  std::fflush(stdout);
+  // Join the shared pool's workers (queries with parallelism >= 2 started
+  // it) so a sanitizer run ends with zero live threads.
+  precis::TaskPool::Shared()->Shutdown();
+  return rc;
 }
