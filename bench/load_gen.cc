@@ -21,6 +21,12 @@
 // (must match the server's --movies), PRECIS_BENCH_QPS (comma-separated
 // offered loads), PRECIS_BENCH_DURATION_S, PRECIS_BENCH_CONNECTIONS,
 // PRECIS_BENCH_OUT (default BENCH_server.json), PRECIS_BENCH_SMOKE.
+//
+// `--shards N` (or PRECIS_BENCH_SHARDS) records that the target runs
+// `precis_serve --shards N`, so BENCH_server.json rows are comparable
+// across serving shapes. The byte-identity reference stays the in-process
+// single engine on purpose: sharded answers are byte-identical by design
+// (DESIGN.md §15), so the gate then also checks that guarantee end to end.
 
 #include <atomic>
 #include <chrono>
@@ -187,8 +193,20 @@ PointResult RunPoint(const Target& target, const std::vector<std::string>& bodie
   return result;
 }
 
-int LoadGenMain() {
+int LoadGenMain(int argc, char** argv) {
   const bool smoke = std::getenv("PRECIS_BENCH_SMOKE") != nullptr;
+  size_t shards = bench::EnvSize("PRECIS_BENCH_SHARDS", 0);
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      shards = static_cast<size_t>(std::atol(arg.c_str() + 9));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown flag %s (only --shards N)\n", arg.c_str());
+      return 2;
+    }
+  }
   const std::string target_spec = bench::EnvString("PRECIS_BENCH_TARGET", "");
   Target target;
   if (!ParseTarget(target_spec, &target)) {
@@ -315,6 +333,7 @@ int LoadGenMain() {
   std::ostringstream os;
   os << "{\n  \"bench\": \"server_load\",\n  \"target\": \"" << target_spec
      << "\",\n  \"movies\": " << bench::BenchMovieCount()
+     << ",\n  \"shards\": " << shards
      << ",\n  \"connections\": " << connections
      << ",\n  \"duration_seconds\": " << duration_s << ",\n  \"points\": [\n";
   for (size_t i = 0; i < points.size(); ++i) {
@@ -362,4 +381,4 @@ int LoadGenMain() {
 }  // namespace
 }  // namespace precis
 
-int main() { return precis::LoadGenMain(); }
+int main(int argc, char** argv) { return precis::LoadGenMain(argc, argv); }

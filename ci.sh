@@ -11,30 +11,39 @@
 #                         §11), and bench/fault_tolerance in smoke mode
 #                         (fails when disarmed fault machinery costs > 5%
 #                         throughput or any query fails under injected
-#                         faults — robustness gates, DESIGN.md §12), and
+#                         faults — robustness gates, DESIGN.md §12),
 #                         bench/kernels in smoke mode (fails when a columnar
 #                         kernel disagrees with the row path — data-layout
-#                         equivalence gate, DESIGN.md §13).
+#                         equivalence gate, DESIGN.md §13), and
+#                         bench/shard_scaling in smoke mode (fails when any
+#                         sharded run emits a different database or report
+#                         than the sequential single-engine walk — shard
+#                         determinism gate, DESIGN.md §15).
 #   3. Server smoke     — tools/precis_serve started on an ephemeral port
-#                         and driven over real sockets by bench/load_gen in
-#                         smoke mode. load_gen fails on any transport error,
-#                         unexpected 4xx/5xx, or a served body that is not
-#                         byte-identical to the in-process answer
-#                         (DESIGN.md §14); the leg then SIGTERMs the server
-#                         and requires a graceful zero exit.
+#                         with --shards 2 (the sharded scatter-gather
+#                         engine) and driven over real sockets by
+#                         bench/load_gen in smoke mode. load_gen fails on
+#                         any transport error, unexpected 4xx/5xx, or a
+#                         served body that is not byte-identical to the
+#                         in-process single-engine answer (DESIGN.md §14 +
+#                         §15 byte-identity end-to-end); the leg then
+#                         SIGTERMs the server and requires a graceful zero
+#                         exit.
 #   4. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
 #                         PrecisService, engine concurrency, the sharded LRU,
 #                         the answer cache, the work-stealing TaskPool, the
-#                         parallel database generator, the query Arena, the
-#                         SymbolTable interner and the HTTP server) rebuilt
-#                         and run under TSan, so data races on the shared
-#                         query path fail the build rather than ship. The
-#                         shared pool is pinned to >= 4 threads so
-#                         intra-query parallelism really interleaves under
-#                         the sanitizer.
+#                         parallel database generator, the scatter-gather
+#                         shard suite, the query Arena, the SymbolTable
+#                         interner and the HTTP server) rebuilt and run
+#                         under TSan, so data races on the shared query
+#                         path fail the build rather than ship. The shared
+#                         pool is pinned to >= 4 threads so intra-query
+#                         parallelism really interleaves under the
+#                         sanitizer.
 #   5. ASan + UBSan     — the chaos smoke gate: the fault-injection suite,
-#                         the fuzz-lite chaos sweep and the HTTP server
-#                         suite rebuilt under address+undefined sanitizers.
+#                         the fuzz-lite chaos sweep (including its sharded
+#                         arm), the shard suite and the HTTP server suite
+#                         rebuilt under address+undefined sanitizers.
 #                         Injected faults exercise every degradation path
 #                         (drops, failed lookups, retries, placeholders);
 #                         this leg proves those paths are memory- and
@@ -72,11 +81,21 @@ PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_kernels.json" \
   "$ROOT/build-release/bench/kernels_bench"
+# Sharded scatter-gather byte-identity: every sharded run across shard
+# counts {2,4,8} must emit the same database and report as the sequential
+# single-engine walk (DESIGN.md §15).
+PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
+  PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_shard.json" \
+  "$ROOT/build-release/bench/shard_scaling"
 
 echo "=== [3/5] Server smoke (precis_serve + load_gen over real sockets) ==="
 SERVE_LOG="$ROOT/build-release/precis_serve_smoke.log"
+# --shards 2 serves through the sharded scatter-gather engine; load_gen's
+# identity probe compares served bytes against an in-process SINGLE engine,
+# so this leg also checks the sharding byte-identity guarantee end-to-end.
 "$ROOT/build-release/tools/precis_serve" \
   --port 0 --movies 300 --workers 2 --io-threads 2 --queue-depth 32 \
+  --shards 2 \
   >"$SERVE_LOG" 2>&1 &
 SERVE_PID=$!
 # The binary prints "precis_serve listening on HOST:PORT" once the socket
@@ -106,7 +125,7 @@ fi
 PRECIS_BENCH_TARGET="127.0.0.1:$SERVE_PORT" \
   PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_server.json" \
-  "$ROOT/build-release/bench/load_gen"
+  "$ROOT/build-release/bench/load_gen" --shards 2
 test -s "$ROOT/build-release/BENCH_server.json"
 # Graceful drain: SIGTERM must produce a zero exit.
 kill -TERM "$SERVE_PID"
@@ -122,19 +141,20 @@ cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
 cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
   --target concurrency_test service_test execution_context_test \
            lru_cache_test answer_cache_test task_pool_test \
-           parallel_dbgen_test arena_test symbol_table_test server_test
+           parallel_dbgen_test arena_test symbol_table_test server_test \
+           shard_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen|Arena|SymbolTable|JsonLite|HttpParser|RequestParse|HttpServer'
+  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen|Arena|SymbolTable|JsonLite|HttpParser|RequestParse|HttpServer|Shard|MergeAscendingTids'
 
 echo "=== [5/5] ASan+UBSan build + chaos smoke gate ==="
 cmake -B "$ROOT/build-asan-ubsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="address,undefined"
 cmake --build "$ROOT/build-asan-ubsan" -j "$JOBS" \
   --target fault_injection_test fuzz_lite_test service_test \
-           arena_test columnar_test server_test
+           arena_test columnar_test server_test shard_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-asan-ubsan" --output-on-failure -j "$JOBS" \
-  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel|JsonLite|HttpParser|RequestParse|HttpServer'
+  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel|JsonLite|HttpParser|RequestParse|HttpServer|Shard|MergeAscendingTids'
 
 echo "=== CI passed (Release + bench smokes + server smoke + $SANITIZER + asan,ubsan chaos) ==="

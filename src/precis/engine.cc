@@ -155,16 +155,13 @@ Result<PrecisAnswer> PrecisEngine::Answer(
                            ctx);
 }
 
-std::string PrecisEngine::AnswerFingerprint(
-    const PrecisQuery& query, const DegreeConstraint& degree,
-    const CardinalityConstraint& cardinality, const DbGenOptions& options,
-    uint64_t db_epoch, uint64_t weight_epoch) const {
+std::string AnswerFingerprintBase(const PrecisQuery& query,
+                                  const SynonymTable* synonyms,
+                                  const DegreeConstraint& degree,
+                                  const CardinalityConstraint& cardinality,
+                                  const DbGenOptions& options) {
   std::string key;
   key.reserve(96 + query.tokens.size() * 24);
-  key += std::to_string(db_epoch);
-  key += '|';
-  key += std::to_string(weight_epoch);
-  key += '|';
   // Token sequence, synonym-canonicalized. The raw spelling is included
   // next to the canonical form because the cached answer's TokenMatch
   // entries carry the original token text: "W. Allen" and "Woody Allen"
@@ -173,7 +170,7 @@ std::string PrecisEngine::AnswerFingerprint(
   for (const std::string& token : query.tokens) {
     key += token;
     key += '\x1e';
-    key += synonyms_ != nullptr ? synonyms_->Canonicalize(token) : token;
+    key += synonyms != nullptr ? synonyms->Canonicalize(token) : token;
     key += '\x1f';
   }
   key += '|';
@@ -192,6 +189,20 @@ std::string PrecisEngine::AnswerFingerprint(
   // sequential (DESIGN.md §11) and the latency knob is timing-only, so
   // answers produced under any of those settings are interchangeable —
   // fingerprinting them would only fragment the cache.
+  return key;
+}
+
+std::string PrecisEngine::AnswerFingerprint(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    uint64_t db_epoch, uint64_t weight_epoch) const {
+  std::string key;
+  key.reserve(32);
+  key += std::to_string(db_epoch);
+  key += '|';
+  key += std::to_string(weight_epoch);
+  key += '|';
+  key += AnswerFingerprintBase(query, synonyms_, degree, cardinality, options);
   return key;
 }
 

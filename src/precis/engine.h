@@ -77,6 +77,19 @@ struct PrecisAnswer {
 /// in the engine's full-answer cache (exposed for tests and benches).
 size_t EstimateAnswerCharge(const PrecisAnswer& answer);
 
+/// \brief The epoch-free part of the full-answer cache key: canonicalized
+/// token sequence + constraint renderings + generation options. Shared by
+/// PrecisEngine (which prefixes its database + weight epochs) and the
+/// sharded engine (which prefixes shard count + per-shard epochs), so the
+/// two fingerprints agree on exactly which options fragment the cache.
+/// Deliberately excludes parallelism, pool, and simulated access latency:
+/// answers produced under any of those settings are byte-identical.
+std::string AnswerFingerprintBase(const PrecisQuery& query,
+                                  const SynonymTable* synonyms,
+                                  const DegreeConstraint& degree,
+                                  const CardinalityConstraint& cardinality,
+                                  const DbGenOptions& options);
+
 /// \brief Orchestrates inverted index, schema generator and database
 /// generator over one source database and schema graph.
 class PrecisEngine {

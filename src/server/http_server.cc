@@ -684,7 +684,28 @@ std::string HttpServer::MetricsJson() const {
     os << "},\"symbols\":{\"count\":" << sm.symbol_table.symbols
        << ",\"bytes\":" << sm.symbol_table.bytes
        << "},\"arena\":{\"peak_bytes_max\":" << sm.arena_peak_bytes_max
-       << ",\"peak_bytes_total\":" << sm.arena_peak_bytes_total << "}}";
+       << ",\"peak_bytes_total\":" << sm.arena_peak_bytes_total << "}";
+    if (!sm.shards.empty()) {
+      // Sharded serving (DESIGN.md §15): scatter-gather counters per shard
+      // plus the merge-time percentiles and the rebalanced-budget total.
+      os << ",\"shards\":{\"count\":" << sm.shards.size()
+         << ",\"merge_p50_ms\":" << sm.shard_merge_p50_seconds * 1e3
+         << ",\"merge_p99_ms\":" << sm.shard_merge_p99_seconds * 1e3
+         << ",\"rebalanced_budget_total\":"
+         << sm.shard_rebalanced_budget_total << ",\"per_shard\":[";
+      for (size_t s = 0; s < sm.shards.size(); ++s) {
+        if (s > 0) os << ",";
+        const PrecisService::ShardMetricsEntry& shard = sm.shards[s];
+        os << "{\"subqueries\":" << shard.subqueries
+           << ",\"charges\":" << shard.charges
+           << ",\"tuples\":" << shard.tuples
+           << ",\"scratch_peak_bytes\":" << shard.scratch_peak_bytes << ",";
+        AppendCacheStats(&os, "partial_cache", shard.token_cache);
+        os << "}";
+      }
+      os << "]}";
+    }
+    os << "}";
   }
   os << "}}\n";
   return os.str();

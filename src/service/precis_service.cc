@@ -215,11 +215,11 @@ ServiceResponse PrecisService::RunOne(const ServiceRequest& request) {
 
   ServiceResponse response;
   auto start = ExecutionContext::Clock::now();
-  // AnswerShared routes through the engine's full-answer cache when that is
-  // enabled (a hit shares the stored immutable answer) and degrades to a
-  // plain uncached build otherwise.
-  auto answer = engine_->AnswerShared(request.query, *degree, *cardinality,
-                                      dbgen_options, &ctx);
+  // The base hook routes to the engine's AnswerShared (through its
+  // full-answer cache when enabled); ShardedPrecisService overrides it to
+  // scatter-gather across its shard engines.
+  auto answer =
+      AnswerQuery(request, *degree, *cardinality, dbgen_options, &ctx);
   response.latency_seconds =
       std::chrono::duration<double>(ExecutionContext::Clock::now() - start)
           .count();
@@ -271,11 +271,29 @@ void PrecisService::RecordOutcome(const ServiceResponse& response) {
   latencies_.push_back(response.latency_seconds);
 }
 
-PrecisService::Metrics PrecisService::metrics() const {
-  std::lock_guard<std::mutex> lock(metrics_mutex_);
-  Metrics snapshot = metrics_;
-  if (!latencies_.empty()) {
-    std::vector<double> sorted = latencies_;
+Result<std::shared_ptr<const PrecisAnswer>> PrecisService::AnswerQuery(
+    const ServiceRequest& request, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx) {
+  // AnswerShared routes through the engine's full-answer cache when that is
+  // enabled (a hit shares the stored immutable answer) and degrades to a
+  // plain uncached build otherwise.
+  return engine_->AnswerShared(request.query, degree, cardinality, options,
+                               ctx);
+}
+
+PrecisService::Metrics PrecisService::SnapshotCoreMetrics() const {
+  Metrics snapshot;
+  std::vector<double> sorted;
+  {
+    // Only the copy-out holds the lock. The percentile sort used to run in
+    // here too — O(n log n) over the full latency history on every scrape,
+    // stalling RecordOutcome (and through it the workers) under load.
+    std::lock_guard<std::mutex> lock(metrics_mutex_);
+    snapshot = metrics_;
+    sorted = latencies_;
+  }
+  if (!sorted.empty()) {
     std::sort(sorted.begin(), sorted.end());
     // Linear interpolation between closest ranks (bench_util.h Percentile
     // uses the same estimator, so bench reports and /metrics agree).
@@ -289,15 +307,22 @@ PrecisService::Metrics PrecisService::metrics() const {
     snapshot.p50_latency_seconds = percentile(0.50);
     snapshot.p99_latency_seconds = percentile(0.99);
   }
-  // Cache counters live in the engine (shared by every caller of it, not
-  // just this service); snapshot them here so one metrics() call tells the
-  // whole serving story.
-  snapshot.token_cache = engine_->token_cache_stats();
-  snapshot.schema_cache = engine_->schema_cache_stats();
-  snapshot.answer_cache = engine_->answer_cache_stats();
   // The interner is process-wide (every Value shares it), so its footprint
   // belongs in the same one-call serving snapshot.
   snapshot.symbol_table = SymbolTable::Global()->stats();
+  return snapshot;
+}
+
+PrecisService::Metrics PrecisService::metrics() const {
+  Metrics snapshot = SnapshotCoreMetrics();
+  // Cache counters live in the engine (shared by every caller of it, not
+  // just this service); snapshot them here so one metrics() call tells the
+  // whole serving story.
+  if (engine_ != nullptr) {
+    snapshot.token_cache = engine_->token_cache_stats();
+    snapshot.schema_cache = engine_->schema_cache_stats();
+    snapshot.answer_cache = engine_->answer_cache_stats();
+  }
   return snapshot;
 }
 

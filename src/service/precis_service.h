@@ -127,6 +127,23 @@ class PrecisService {
     RetryPolicy retry_policy;
   };
 
+  /// Per-shard serving counters (ShardedPrecisService only; the plain
+  /// service reports an empty vector).
+  struct ShardMetricsEntry {
+    /// Physical sub-operations dispatched to the shard (edge prefetches +
+    /// chunk materializations) across all served queries.
+    uint64_t subqueries = 0;
+    /// Physical charges on the shard (lookups + tuple fetches).
+    uint64_t charges = 0;
+    /// Tuples currently resident on the shard.
+    uint64_t tuples = 0;
+    /// Largest single-edge prefetch scratch buffer held for the shard
+    /// across all served queries (the sharded analog of the arena peak).
+    uint64_t scratch_peak_bytes = 0;
+    /// The shard's partial-results (token occurrence) cache counters.
+    LruCacheStats token_cache;
+  };
+
   /// Aggregate counters across every query the service has finished.
   struct Metrics {
     uint64_t queries_served = 0;  // completed, OK or not
@@ -162,6 +179,15 @@ class PrecisService {
     /// Process-wide string-interner footprint (DESIGN.md §13),
     /// snapshotted from SymbolTable::Global() at metrics() time.
     SymbolTableStats symbol_table;
+    /// Sharded serving (DESIGN.md §15): one entry per shard; empty for an
+    /// unsharded service.
+    std::vector<ShardMetricsEntry> shards;
+    /// Percentiles of the per-query scatter-gather merge wall time.
+    double shard_merge_p50_seconds = 0.0;
+    double shard_merge_p99_seconds = 0.0;
+    /// Total charges that exceeded the even per-shard budget slice —
+    /// budget effectively rebalanced toward hot shards.
+    uint64_t shard_rebalanced_budget_total = 0;
   };
 
   /// `engine` must outlive the service. Workers start immediately.
@@ -173,7 +199,9 @@ class PrecisService {
   }
 
   /// Stops accepting work and joins the workers (equivalent to Shutdown()).
-  ~PrecisService();
+  /// Virtual: ShardedPrecisService derives from this class (it overrides
+  /// only the answer hook and the metrics snapshot).
+  virtual ~PrecisService();
 
   PrecisService(const PrecisService&) = delete;
   PrecisService& operator=(const PrecisService&) = delete;
@@ -204,10 +232,37 @@ class PrecisService {
   /// destructor.
   void Shutdown();
 
-  /// Snapshot of the aggregate metrics (percentiles computed on demand).
-  Metrics metrics() const;
+  /// Snapshot of the aggregate metrics. The copy-out happens under the
+  /// stats mutex but the percentile sort runs on the copy *outside* it, so
+  /// a metrics scrape over a long latency history cannot stall admission
+  /// or workers recording outcomes.
+  virtual Metrics metrics() const;
 
   size_t num_workers() const { return workers_.size(); }
+
+ protected:
+  /// `engine` may be null only for subclasses that override AnswerQuery()
+  /// (and metrics()) to route somewhere else; the base implementations
+  /// guard every engine_ dereference. Workers start immediately — safe
+  /// against virtual dispatch because no job can be queued before the
+  /// subclass factory returns.
+  PrecisService(const PrecisEngine* engine, Options options);
+
+  /// The one pipeline call RunOne makes. Base: the engine's cached
+  /// AnswerShared. ShardedPrecisService overrides this to scatter-gather
+  /// across its shard engines; everything else about query execution
+  /// (context setup, constraints, metrics recording) stays shared.
+  virtual Result<std::shared_ptr<const PrecisAnswer>> AnswerQuery(
+      const ServiceRequest& request, const DegreeConstraint& degree,
+      const CardinalityConstraint& cardinality, const DbGenOptions& options,
+      ExecutionContext* ctx);
+
+  /// Copies the aggregate counters + latency history under metrics_mutex_,
+  /// then computes percentiles and the symbol-table snapshot on the copy
+  /// outside the lock. Shared by both metrics() implementations.
+  Metrics SnapshotCoreMetrics() const;
+
+  const Options& service_options() const { return options_; }
 
  private:
   struct Job {
@@ -216,8 +271,6 @@ class PrecisService {
     /// the caller's callback for SubmitAsync). Never null once enqueued.
     std::function<void(ServiceResponse)> done;
   };
-
-  PrecisService(const PrecisEngine* engine, Options options);
 
   void WorkerLoop();
   ServiceResponse RunOne(const ServiceRequest& request);

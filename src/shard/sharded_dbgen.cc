@@ -1,0 +1,895 @@
+// Sharded scatter-gather result-database generation (DESIGN.md §15).
+//
+// Structure mirrors parallel_dbgen.cc — the same PLAN / FETCH / MERGE split
+// with the same simulated charge replay — with two substitutions:
+//
+//   * Lookups scatter: before each edge's strategy loop runs, one task per
+//     shard prefetches every join key's shard-local postings (null context:
+//     no fault checks, no coordinator charges) and the per-key lists merge
+//     ascending into exactly the single-engine posting order. The
+//     coordinator's strategy loop then *replays* each lookup against the
+//     prefetched result — MirrorLookupCharges reproduces the probe/scan
+//     charge and fault-check sequence Relation::LookupEquals would have
+//     produced, and the retry wrapper consumes the same kJoinValueLookup
+//     gate sequence as FaultyLookup — so the injector and the budget see a
+//     single-engine run while the shards did the work in parallel.
+//   * Chunks scatter: materialization tasks group a chunk's global tids by
+//     owning shard and run each shard's columnar ProjectRows kernel,
+//     scattering rows back into acceptance order. The context is charged
+//     the same tuple-fetch total; per-shard fetch counts feed the budget
+//     ledger (telemetry only — truncation authority never moves off the
+//     coordinator, or answers would depend on the shard count).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/task_pool.h"
+#include "precis/dbgen_common.h"
+#include "shard/sharded_dbgen.h"
+#include "sql/select.h"
+
+namespace precis {
+
+using dbgen_internal::DegradationFor;
+using dbgen_internal::EmittedAttributeIndices;
+using dbgen_internal::FaultsArmed;
+using dbgen_internal::ForeignKeyHolds;
+using dbgen_internal::IsToOne;
+using dbgen_internal::RenderSeedSql;
+using dbgen_internal::SimulateStatementOverhead;
+
+namespace {
+
+/// Accepted tids per materialization task (same tradeoff as
+/// parallel_dbgen.cc: one consolidated simulated-I/O sleep per chunk, many
+/// chunks to steal on large-c queries).
+constexpr size_t kChunkTuples = 256;
+
+/// Accepted-tid count above which join-key column extraction fans out.
+constexpr size_t kParallelKeyExtraction = 4096;
+
+/// Keys per parallel ascending-merge segment.
+constexpr size_t kMergeSegmentKeys = 64;
+
+/// One materialization task's input (tid snapshot) and output (projected
+/// cells, row-major `count x width`, index-aligned with `tids`), both
+/// arena-owned. Identical contract to parallel_dbgen.cc's chunk: the task
+/// owns the cells until the group Wait hands them back to the merge.
+struct MaterializedChunk {
+  const Tid* tids = nullptr;
+  size_t count = 0;
+  size_t width = 0;        // attributes per row
+  Value* cells = nullptr;  // count * width, row-major
+};
+
+/// Plan-side state of one result relation over its sharded source. Two
+/// departures from parallel_dbgen's PlannedRelation, both pure speedups:
+/// `seen` is a bitmap over global tids (the dup check is the hottest plan
+/// operation), and arrival tags are only tracked when path-aware
+/// propagation will actually read them.
+struct PlannedShardRelation {
+  const ShardedRelation* source = nullptr;
+  std::vector<size_t> emitted;  // emitted attribute indices (sorted)
+  bool identity = false;        // emitted == full schema order
+
+  std::vector<Tid> accepted;    // sequential collection order
+  std::vector<uint8_t> seen;    // bitmap over global tids
+  bool track_arrivals = false;
+  std::unordered_map<Tid, std::vector<const JoinEdge*>> arrivals;
+
+  size_t next_chunk_start = 0;  // first accepted index not yet chunked
+  std::vector<MaterializedChunk*> chunks;  // arena-owned, planner-ordered
+
+  /// Seed tids may be out of range (the bounds check sits *after* the dup
+  /// check, as in the sequential walk); an out-of-range tid was never
+  /// accepted, so "not in the bitmap" is the right answer.
+  bool Seen(Tid tid) const { return tid < seen.size() && seen[tid] != 0; }
+
+  void Tag(Tid tid, const JoinEdge* arrival) {
+    if (!track_arrivals) return;
+    std::vector<const JoinEdge*>& tags = arrivals[tid];
+    for (const JoinEdge* t : tags) {
+      if (t == arrival) return;
+    }
+    tags.push_back(arrival);
+  }
+};
+
+/// Same in-flight throttle as parallel_dbgen.cc's ThrottledGroup: at most
+/// `limit` tasks of this query in the shared pool at once, excess chained
+/// in by completing tasks. Duplicated rather than shared so the two
+/// generators stay independently evolvable.
+class ThrottledGroup {
+ public:
+  ThrottledGroup(TaskPool* pool, size_t limit)
+      : group_(pool), limit_(std::max<size_t>(1, limit)) {}
+
+  ~ThrottledGroup() {
+    try {
+      group_.Wait();
+    } catch (...) {
+      // Callers who care about task exceptions call Wait() themselves.
+    }
+  }
+
+  void Run(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (in_flight_ >= limit_) {
+        deferred_.push_back(std::move(fn));
+        return;
+      }
+      ++in_flight_;
+    }
+    Launch(std::move(fn));
+  }
+
+  /// Waits for every submitted task (rethrows the first task exception).
+  void Wait() { group_.Wait(); }
+
+ private:
+  void Launch(std::function<void()> fn) {
+    group_.Run([this, fn = std::move(fn)]() mutable {
+      try {
+        fn();
+      } catch (...) {
+        OnDone();  // keep the deferred chain draining even on failure
+        throw;
+      }
+      OnDone();
+    });
+  }
+
+  void OnDone() {
+    std::function<void()> next;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (deferred_.empty()) {
+        --in_flight_;
+        return;
+      }
+      next = std::move(deferred_.front());
+      deferred_.pop_front();
+    }
+    Launch(std::move(next));
+  }
+
+  TaskPool::Group group_;
+  size_t limit_;
+  std::mutex mu_;
+  std::deque<std::function<void()>> deferred_;
+  size_t in_flight_ = 0;
+};
+
+/// Sequential JoinKeys over the sharded view: ordered distinct non-NULL
+/// values of `attribute` over the accepted tuples, same collection order as
+/// the single-engine pass. Above kParallelKeyExtraction accepted tids the
+/// (uncharged, read-only) column reads fan out across the pool first; the
+/// order-defining dedup stays sequential on the precomputed values, so the
+/// key list is identical either way. Arrival tags are only read on the
+/// coordinator thread.
+Result<std::vector<Value>> PlanJoinKeys(
+    const PlannedShardRelation& p, const RelationSchema& schema,
+    const std::string& attribute,
+    const std::set<const JoinEdge*>* allowed_arrivals, TaskPool* pool) {
+  auto idx = schema.AttributeIndex(attribute);
+  if (!idx.ok()) return idx.status();
+  const size_t n = p.accepted.size();
+
+  std::vector<Value> vals;
+  if (n >= kParallelKeyExtraction) {
+    vals.resize(n);
+    TaskPool::Group extract(pool);
+    const size_t seg = kParallelKeyExtraction / 2;
+    for (size_t begin = 0; begin < n; begin += seg) {
+      const size_t end = std::min(n, begin + seg);
+      extract.Run([&, begin, end] {
+        for (size_t i = begin; i < end; ++i) {
+          vals[i] = p.source->ColumnValue(p.accepted[i], *idx);
+        }
+      });
+    }
+    extract.Wait();
+  }
+
+  std::vector<Value> keys;
+  std::unordered_set<Value, ValueHash> dedup;
+  for (size_t i = 0; i < n; ++i) {
+    const Tid tid = p.accepted[i];
+    if (allowed_arrivals != nullptr) {
+      auto tags = p.arrivals.find(tid);
+      bool feeds = false;
+      if (tags != p.arrivals.end()) {
+        for (const JoinEdge* t : tags->second) {
+          if (allowed_arrivals->count(t) > 0) {
+            feeds = true;
+            break;
+          }
+        }
+      }
+      if (!feeds) continue;
+    }
+    const Value v =
+        vals.empty() ? p.source->ColumnValue(tid, *idx) : vals[i];
+    if (v.is_null()) continue;
+    if (dedup.insert(v).second) keys.push_back(v);
+  }
+  return keys;
+}
+
+}  // namespace
+
+Result<Database> ShardedResultDatabaseGenerator::Generate(
+    const ResultSchema& schema, const SeedTids& seeds,
+    const CardinalityConstraint& c, const DbGenOptions& options,
+    ExecutionContext* ctx, ShardQueryStats* shard_stats) {
+  last_report_ = DbGenReport{};
+  const SchemaGraph& graph = schema.graph();
+  const size_t num_shards = sharded_->num_shards();
+
+  // Resolve sharded views once (same order and error surface as the
+  // single-engine path's GetRelation loop).
+  std::map<RelationNodeId, const ShardedRelation*> views;
+  for (RelationNodeId rel : schema.relations()) {
+    auto v = sharded_->GetView(graph.relation_name(rel));
+    if (!v.ok()) return v.status();
+    views[rel] = *v;
+  }
+
+  std::map<RelationNodeId, PlannedShardRelation> planned;
+  for (RelationNodeId rel : schema.relations()) {
+    PlannedShardRelation& p = planned[rel];
+    p.source = views[rel];
+    p.emitted =
+        EmittedAttributeIndices(schema, rel, options.include_join_attributes);
+    p.identity = IsIdentityProjection(p.emitted,
+                                      p.source->schema().num_attributes());
+    p.seen.assign(p.source->num_tuples(), 0);
+    p.track_arrivals = options.path_aware_propagation;
+  }
+  size_t total = 0;
+
+  // Per-shard physical ledger. The prefetch and plan run on this thread
+  // (plain counters); chunk tasks run on the pool (atomic cells, declared
+  // before the task group so they outlive every task).
+  std::vector<uint64_t> shard_lookups(num_shards, 0);
+  std::vector<uint64_t> shard_subqueries(num_shards, 0);
+  std::vector<uint64_t> shard_scratch_peak(num_shards, 0);
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_fetch_cells(
+      new std::atomic<uint64_t>[num_shards]);
+  std::unique_ptr<std::atomic<uint64_t>[]> shard_chunk_cells(
+      new std::atomic<uint64_t>[num_shards]);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shard_fetch_cells[s].store(0, std::memory_order_relaxed);
+    shard_chunk_cells[s].store(0, std::memory_order_relaxed);
+  }
+  double merge_seconds = 0.0;
+  uint64_t merge_events = 0;
+
+  // Per-query arena for tid snapshots and chunk cell buffers; declared
+  // before the task group so the group's draining destructor always runs
+  // before the memory its tasks write into goes away.
+  Arena local_arena;
+  Arena* arena = ctx != nullptr ? &ctx->arena() : &local_arena;
+
+  TaskPool* pool = options.pool != nullptr ? options.pool : TaskPool::Shared();
+  // Chunk throttle: at least one slot per shard, so a sharded query can
+  // keep every shard's columnar kernel busy even at parallelism=1 default.
+  ThrottledGroup group(pool,
+                       std::max<size_t>(options.parallelism, num_shards));
+
+  const uint64_t latency_ns = options.simulated_access_latency_ns;
+
+  // --- Stop logic: identical replay to parallel_dbgen.cc ------------------
+  const uint64_t budget = ctx != nullptr ? ctx->access_budget() : 0;
+  uint64_t sim_charges = 0;
+  auto plan_stopped = [&]() -> bool {
+    if (ctx == nullptr) return false;
+    if (ctx->stop_reason() != StopReason::kNone) return true;
+    if (ctx->cancelled()) {
+      ctx->LatchStop(StopReason::kCancelled);
+      return true;
+    }
+    if (budget != 0 && sim_charges >= budget) {
+      ctx->LatchStop(StopReason::kAccessBudgetExhausted);
+      return true;
+    }
+    auto remaining = ctx->RemainingSeconds();
+    if (remaining.has_value() && *remaining <= 0.0) {
+      ctx->LatchStop(StopReason::kDeadlineExceeded);
+      return true;
+    }
+    return false;
+  };
+
+  auto mark_truncated = [&](RelationNodeId rel) {
+    const std::string& name = graph.relation_name(rel);
+    auto& t = last_report_.truncated_relations;
+    if (std::find(t.begin(), t.end(), name) == t.end()) t.push_back(name);
+  };
+
+  // Fault injection: all fault decisions stay on this coordinator thread,
+  // and the shard-side prefetch/chunk tasks never consult the injector, so
+  // the check sequence is the single-engine sequence (DESIGN.md §12, §15).
+  const bool faults = FaultsArmed(ctx);
+  last_report_.fault_tainted = faults;
+  auto degradation_for = [&](RelationNodeId rel) -> RelationDegradation& {
+    return DegradationFor(last_report_.degradation, graph.relation_name(rel));
+  };
+  auto sim_fetch_check = [&](RelationNodeId rel) -> bool {
+    if (!faults) return true;
+    uint64_t r = 0;
+    Status fs = CheckFaultWithRetry(ctx, FaultSite::kTupleFetch,
+                                    ctx->retry_policy(), &r);
+    if (r > 0) degradation_for(rel).retries += r;
+    if (fs.ok()) return true;
+    ++degradation_for(rel).dropped_tuples;
+    return false;
+  };
+
+  // Chunk spawner: identical boundaries to parallel_dbgen.cc (a pure
+  // function of the accepted sequence), but materialization scatters each
+  // chunk across the owning shards' columnar kernels.
+  auto spawn_chunks = [&](PlannedShardRelation& p, bool flush) {
+    while (p.accepted.size() - p.next_chunk_start >= kChunkTuples ||
+           (flush && p.accepted.size() > p.next_chunk_start)) {
+      size_t begin = p.next_chunk_start;
+      size_t count = std::min(kChunkTuples, p.accepted.size() - begin);
+      p.next_chunk_start = begin + count;
+      auto* chunk = new (arena->Allocate(sizeof(MaterializedChunk),
+                                         alignof(MaterializedChunk)))
+          MaterializedChunk();
+      chunk->count = count;
+      chunk->width = p.identity ? p.source->schema().num_attributes()
+                                : p.emitted.size();
+      Tid* tids = arena->AllocateArray<Tid>(count);
+      std::copy(p.accepted.begin() + begin, p.accepted.begin() + begin + count,
+                tids);
+      chunk->tids = tids;
+      chunk->cells = arena->AllocateArray<Value>(count * chunk->width);
+      const ShardedRelation* src = p.source;
+      const std::vector<size_t>* emitted = &p.emitted;  // stable (node map)
+      const bool identity = p.identity;
+      std::atomic<uint64_t>* fetch_cells = shard_fetch_cells.get();
+      std::atomic<uint64_t>* chunk_cells = shard_chunk_cells.get();
+      p.chunks.push_back(chunk);
+      group.Run([chunk, src, emitted, identity, latency_ns, ctx, fetch_cells,
+                 chunk_cells] {
+        if (latency_ns != 0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              latency_ns * static_cast<uint64_t>(chunk->count)));
+        }
+        std::vector<uint64_t> fetches(src->num_shards(), 0);
+        if (identity) {
+          src->ProjectRowsAllScatter(chunk->tids, chunk->count, chunk->cells,
+                                     ctx, &fetches);
+        } else {
+          src->ProjectRowsScatter(chunk->tids, chunk->count, *emitted,
+                                  chunk->cells, ctx, &fetches);
+        }
+        for (size_t s = 0; s < fetches.size(); ++s) {
+          if (fetches[s] == 0) continue;
+          fetch_cells[s].fetch_add(fetches[s], std::memory_order_relaxed);
+          chunk_cells[s].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  };
+
+  auto accept = [&](PlannedShardRelation& p, Tid tid,
+                    const JoinEdge* arrival) {
+    p.Tag(tid, arrival);
+    p.seen[tid] = 1;
+    p.accepted.push_back(tid);
+    ++total;
+    spawn_chunks(p, /*flush=*/false);
+  };
+
+  // --- Step 1: seed tuples (sigma_Tids), NaiveQ-limited -------------------
+  for (const auto& [rel, tids] : seeds) {
+    if (schema.relations().count(rel) == 0) {
+      return Status::InvalidArgument("seed relation '" +
+                                     graph.relation_name(rel) +
+                                     "' is not part of the result schema");
+    }
+    if (plan_stopped()) {
+      mark_truncated(rel);
+      continue;
+    }
+    const ShardedRelation& source = *views[rel];
+    source.CountStatement(ctx);  // one sigma_Tids query per seed relation
+    SimulateStatementOverhead(options.statement_overhead_ns);
+    PlannedShardRelation& p = planned[rel];
+    if (options.trace_sql) {
+      last_report_.sql_trace.push_back(
+          RenderSeedSql(source.schema(), p.emitted, tids));
+    }
+    ArenaVector<Tid> ordered_tids{ArenaAllocator<Tid>(arena)};
+    ordered_tids.assign(tids.begin(), tids.end());
+    if (options.tuple_weights != nullptr) {
+      const std::string& rel_name = graph.relation_name(rel);
+      std::stable_sort(ordered_tids.begin(), ordered_tids.end(),
+                       [&](Tid a, Tid b) {
+                         return options.tuple_weights->Weight(rel_name, a) >
+                                options.tuple_weights->Weight(rel_name, b);
+                       });
+    }
+    for (Tid tid : ordered_tids) {
+      if (p.Seen(tid)) continue;
+      if (plan_stopped()) {
+        mark_truncated(rel);
+        break;
+      }
+      std::optional<size_t> b = c.Budget(p.accepted.size(), total);
+      if (b.has_value() && *b == 0) {
+        mark_truncated(rel);
+        break;
+      }
+      if (tid >= source.num_tuples()) {
+        // Byte-same status text as Relation::Get's bounds failure.
+        return Status::OutOfRange(
+            "tid " + std::to_string(tid) + " out of range for relation '" +
+            source.name() + "' with " + std::to_string(source.num_tuples()) +
+            " tuples");
+      }
+      if (!sim_fetch_check(rel)) continue;
+      sim_charges += 1;  // the sequential seed Get
+      accept(p, tid, nullptr);
+    }
+  }
+
+  // Path-aware propagation feeders (identical to the sequential pass).
+  std::map<const JoinEdge*, std::set<const JoinEdge*>> feeders;
+  if (options.path_aware_propagation) {
+    for (const Path& path : schema.projection_paths()) {
+      const std::vector<const JoinEdge*>& joins = path.joins();
+      for (size_t i = 0; i < joins.size(); ++i) {
+        feeders[joins[i]].insert(i == 0 ? nullptr : joins[i - 1]);
+      }
+    }
+  }
+
+  // --- Step 2: weight-ordered edge schedule with postponement -------------
+  std::map<RelationNodeId, int> pending;
+  for (RelationNodeId rel : schema.relations()) {
+    pending[rel] = schema.in_degree(rel);
+  }
+  std::unordered_set<const JoinEdge*> executed;
+
+  while (!plan_stopped() && executed.size() < schema.join_edges().size()) {
+    const JoinEdge* next = nullptr;
+    bool next_applicable = false;
+    for (const JoinEdge* e : schema.join_edges()) {
+      if (executed.count(e) > 0) continue;
+      bool applicable = pending[e->from] == 0;
+      bool better;
+      if (next == nullptr) {
+        better = true;
+      } else if (applicable != next_applicable) {
+        better = applicable;
+      } else {
+        better = e->weight > next->weight;
+      }
+      if (better) {
+        next = e;
+        next_applicable = applicable;
+      }
+    }
+    const JoinEdge& edge = *next;
+    const ShardedRelation& to_view = *views[edge.to];
+    const RelationSchema& from_schema = graph.relation_schema(edge.from);
+    const RelationSchema& to_schema = graph.relation_schema(edge.to);
+
+    const std::set<const JoinEdge*>* allowed = nullptr;
+    if (options.path_aware_propagation) {
+      allowed = &feeders[&edge];
+    }
+    auto keys = PlanJoinKeys(planned[edge.from], from_schema,
+                             edge.from_attribute, allowed, pool);
+    if (!keys.ok()) return keys.status();
+
+    SubsetStrategy strategy = options.strategy;
+    if (strategy == SubsetStrategy::kAuto) {
+      strategy = IsToOne(edge, to_schema) ? SubsetStrategy::kNaiveQ
+                                          : SubsetStrategy::kRoundRobin;
+    }
+
+    PlannedShardRelation& col = planned[edge.to];
+
+    // --- Scatter: prefetch every key's postings from every shard ---------
+    //
+    // Shard-local lookups carry no context (no fault checks, no coordinator
+    // charges); per-key lists then k-way merge into the exact ascending
+    // global posting order Relation::LookupEquals would return. The
+    // strategy loop below replays each lookup against merged[k]. Keys the
+    // replay never reaches (stop mid-edge) were prefetched anyway — that
+    // inflates shard-side physical stats, never the query's charges.
+    std::vector<std::vector<Tid>> merged(keys->size());
+    Status prefetch_status = Status::OK();
+    {
+      const auto merge_start = std::chrono::steady_clock::now();
+      std::vector<std::vector<std::vector<Tid>>> per_shard(num_shards);
+      std::vector<Status> shard_status(num_shards, Status::OK());
+      TaskPool::Group prefetch(pool);
+      for (size_t s = 0; s < num_shards; ++s) {
+        per_shard[s].resize(keys->size());
+        prefetch.Run([&, s] {
+          for (size_t k = 0; k < keys->size(); ++k) {
+            auto r =
+                to_view.ShardLookupGlobal(s, edge.to_attribute, (*keys)[k]);
+            if (!r.ok()) {
+              shard_status[s] = r.status();
+              return;
+            }
+            per_shard[s][k] = std::move(*r);
+          }
+        });
+      }
+      prefetch.Wait();
+      for (size_t s = 0; s < num_shards; ++s) {
+        shard_lookups[s] += keys->size();
+        shard_subqueries[s] += 1;
+        uint64_t bytes = 0;
+        for (const std::vector<Tid>& list : per_shard[s]) {
+          bytes += list.size() * sizeof(Tid);
+        }
+        shard_scratch_peak[s] = std::max(shard_scratch_peak[s], bytes);
+        if (prefetch_status.ok() && !shard_status[s].ok()) {
+          prefetch_status = shard_status[s];
+        }
+      }
+      if (prefetch_status.ok()) {
+        auto merge_keys = [&](size_t k_begin, size_t k_end) {
+          for (size_t k = k_begin; k < k_end; ++k) {
+            std::vector<std::vector<Tid>> lists(num_shards);
+            for (size_t s = 0; s < num_shards; ++s) {
+              lists[s] = std::move(per_shard[s][k]);
+            }
+            merged[k] = MergeAscendingTids(std::move(lists));
+          }
+        };
+        if (keys->size() > kMergeSegmentKeys) {
+          TaskPool::Group merging(pool);
+          for (size_t b = 0; b < keys->size(); b += kMergeSegmentKeys) {
+            const size_t e = std::min(keys->size(), b + kMergeSegmentKeys);
+            merging.Run([&merge_keys, b, e] { merge_keys(b, e); });
+          }
+          merging.Wait();
+        } else {
+          merge_keys(0, keys->size());
+        }
+      }
+      merge_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - merge_start)
+                           .count();
+      merge_events += 1;
+    }
+
+    // Replays one (possibly retried) single-engine lookup for key index
+    // `ki` against the prefetched merge: same charge order, same fault
+    // gates, same result bytes. The merged list is only consumed on the
+    // successful attempt, so retries re-deliver it intact.
+    auto replay_lookup = [&](size_t ki,
+                             uint64_t* retries) -> Result<std::vector<Tid>> {
+      if (!faults) {
+        PRECIS_RETURN_NOT_OK(
+            to_view.MirrorLookupCharges(edge.to_attribute, ctx));
+        PRECIS_RETURN_NOT_OK(prefetch_status);
+        return std::move(merged[ki]);
+      }
+      return RetryWithBackoff(
+          ctx->retry_policy(), ctx,
+          [&]() -> Result<std::vector<Tid>> {
+            PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kJoinValueLookup));
+            PRECIS_RETURN_NOT_OK(
+                to_view.MirrorLookupCharges(edge.to_attribute, ctx));
+            PRECIS_RETURN_NOT_OK(prefetch_status);
+            return std::move(merged[ki]);
+          },
+          retries);
+    };
+
+    if (options.trace_sql) {
+      std::vector<size_t> display = EmittedAttributeIndices(
+          schema, edge.to, options.include_join_attributes);
+      if (strategy == SubsetStrategy::kRoundRobin &&
+          options.tuple_weights == nullptr) {
+        for (const Value& key : *keys) {
+          last_report_.sql_trace.push_back(RenderInListSql(
+              to_schema, edge.to_attribute, {key}, display, std::nullopt));
+        }
+      } else {
+        std::optional<size_t> limit;
+        std::optional<size_t> b = c.Budget(col.accepted.size(), total);
+        if (strategy == SubsetStrategy::kNaiveQ &&
+            options.tuple_weights == nullptr && b.has_value()) {
+          limit = b;
+        }
+        last_report_.sql_trace.push_back(RenderInListSql(
+            to_schema, edge.to_attribute, *keys, display, limit));
+      }
+    }
+
+    // Mirror of the sequential try_add, on tids (same as parallel_dbgen).
+    auto plan_try_add = [&](Tid tid) -> bool {
+      if (col.Seen(tid)) {
+        col.Tag(tid, &edge);
+        return true;
+      }
+      if (plan_stopped()) {
+        mark_truncated(edge.to);
+        return false;
+      }
+      std::optional<size_t> b = c.Budget(col.accepted.size(), total);
+      if (b.has_value() && *b == 0) {
+        mark_truncated(edge.to);
+        return false;
+      }
+      accept(col, tid, &edge);
+      return true;
+    };
+
+    if (options.tuple_weights != nullptr) {
+      // Ranked selection (same replay as parallel_dbgen.cc).
+      const std::string& to_name = graph.relation_name(edge.to);
+      to_view.CountStatement(ctx);
+      SimulateStatementOverhead(options.statement_overhead_ns);
+      ArenaVector<Tid> candidates{ArenaAllocator<Tid>(arena)};
+      std::unordered_set<Tid> candidate_seen;
+      for (size_t ki = 0; ki < keys->size(); ++ki) {
+        if (plan_stopped()) break;
+        uint64_t r = 0;
+        auto tids = replay_lookup(ki, &r);
+        if (r > 0) degradation_for(edge.to).retries += r;
+        if (!tids.ok()) {
+          if (tids.status().IsUnavailable()) {
+            ++degradation_for(edge.to).failed_lookups;
+            continue;
+          }
+          return tids.status();
+        }
+        sim_charges += 1;  // the probe (or fallback scan)
+        for (Tid tid : *tids) {
+          if (col.Seen(tid)) continue;
+          if (candidate_seen.insert(tid).second) candidates.push_back(tid);
+        }
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](Tid a, Tid b) {
+                         return options.tuple_weights->Weight(to_name, a) >
+                                options.tuple_weights->Weight(to_name, b);
+                       });
+      for (Tid tid : candidates) {
+        if (!sim_fetch_check(edge.to)) continue;
+        sim_charges += 1;  // the sequential candidate Get
+        if (!plan_try_add(tid)) break;
+      }
+    } else if (strategy == SubsetStrategy::kNaiveQ) {
+      // One IN-list query, kept up to the budget in retrieval order.
+      to_view.CountStatement(ctx);
+      SimulateStatementOverhead(options.statement_overhead_ns);
+      bool budget_open = true;
+      for (size_t ki = 0; ki < keys->size(); ++ki) {
+        if (!budget_open) break;
+        uint64_t r = 0;
+        auto tids = replay_lookup(ki, &r);
+        if (r > 0) degradation_for(edge.to).retries += r;
+        if (!tids.ok()) {
+          if (tids.status().IsUnavailable()) {
+            ++degradation_for(edge.to).failed_lookups;
+            continue;
+          }
+          return tids.status();
+        }
+        sim_charges += 1;  // the probe (or fallback scan)
+        for (Tid tid : *tids) {
+          if (!sim_fetch_check(edge.to)) continue;
+          sim_charges += 1;  // the sequential Get, duplicates included
+          if (!plan_try_add(tid)) {
+            budget_open = false;
+            break;
+          }
+        }
+      }
+    } else {
+      // RoundRobin: one scan per key, then one tuple per open scan per
+      // round (PerValueScanSet parity, as in parallel_dbgen.cc).
+      std::vector<std::vector<Tid>> scans;
+      scans.reserve(keys->size());
+      uint64_t rr_retries = 0;
+      uint64_t rr_failed = 0;
+      uint64_t rr_dropped = 0;
+      for (size_t ki = 0; ki < keys->size(); ++ki) {
+        if (plan_stopped()) {
+          scans.emplace_back();
+          continue;
+        }
+        to_view.CountStatement(ctx);  // one cursor per probe value
+        auto tids = replay_lookup(ki, &rr_retries);
+        if (!tids.ok()) {
+          if (tids.status().IsUnavailable()) {
+            ++rr_failed;
+            scans.emplace_back();
+            continue;
+          }
+          return tids.status();
+        }
+        sim_charges += 1;  // the probe (or fallback scan)
+        scans.push_back(std::move(*tids));
+      }
+      SimulateStatementOverhead(options.statement_overhead_ns *
+                                static_cast<uint64_t>(keys->size()));
+      std::vector<size_t> positions(scans.size(), 0);
+      auto all_closed = [&] {
+        for (size_t i = 0; i < scans.size(); ++i) {
+          if (positions[i] < scans[i].size()) return false;
+        }
+        return true;
+      };
+      bool budget_open = true;
+      while (budget_open && !all_closed()) {
+        for (size_t i = 0; i < scans.size(); ++i) {
+          if (positions[i] >= scans[i].size()) continue;
+          Tid tid = scans[i][positions[i]++];
+          if (faults) {
+            Status fs = CheckFaultWithRetry(ctx, FaultSite::kTupleFetch,
+                                            ctx->retry_policy(), &rr_retries);
+            if (!fs.ok()) {
+              ++rr_dropped;
+              continue;
+            }
+          }
+          sim_charges += 1;  // PerValueScanSet::Next's Get
+          if (!plan_try_add(tid)) {
+            budget_open = false;
+            break;
+          }
+        }
+      }
+      if (faults && (rr_retries > 0 || rr_failed > 0 || rr_dropped > 0)) {
+        RelationDegradation& deg = degradation_for(edge.to);
+        deg.retries += rr_retries;
+        deg.failed_lookups += rr_failed;
+        deg.dropped_tuples += rr_dropped;
+      }
+    }
+
+    --pending[edge.to];
+    executed.insert(&edge);
+    last_report_.executed_edges.push_back(graph.relation_name(edge.from) +
+                                          " -> " +
+                                          graph.relation_name(edge.to));
+  }
+
+  // --- Merge barrier: flush residual chunks, drain materialization --------
+  for (auto& [rel, p] : planned) {
+    spawn_chunks(p, /*flush=*/true);
+  }
+  group.Wait();
+
+  // --- Step 3: emit (per-relation fan-out, deterministic content) ---------
+  Database result("precis_result");
+  std::vector<RelationNodeId> rel_order(schema.relations().begin(),
+                                        schema.relations().end());
+  std::vector<Relation*> out_relations(rel_order.size(), nullptr);
+  for (size_t i = 0; i < rel_order.size(); ++i) {
+    RelationNodeId rel = rel_order[i];
+    const RelationSchema& src_schema = graph.relation_schema(rel);
+    const PlannedShardRelation& p = planned[rel];
+
+    std::vector<AttributeSchema> out_attrs;
+    out_attrs.reserve(p.emitted.size());
+    for (size_t idx : p.emitted) out_attrs.push_back(src_schema.attribute(idx));
+    RelationSchema out_schema(src_schema.name(), std::move(out_attrs));
+    if (src_schema.primary_key()) {
+      const std::string& pk_name =
+          src_schema.attribute(*src_schema.primary_key()).name;
+      if (out_schema.HasAttribute(pk_name)) {
+        PRECIS_RETURN_NOT_OK(out_schema.SetPrimaryKey(pk_name));
+      }
+    }
+    PRECIS_RETURN_NOT_OK(result.CreateRelation(std::move(out_schema)));
+    auto out_relation = result.GetRelation(src_schema.name());
+    if (!out_relation.ok()) return out_relation.status();
+    out_relations[i] = *out_relation;
+  }
+
+  std::vector<Status> insert_status(rel_order.size(), Status::OK());
+  for (size_t i = 0; i < rel_order.size(); ++i) {
+    PlannedShardRelation* p = &planned[rel_order[i]];
+    Relation* out = out_relations[i];
+    Status* slot = &insert_status[i];
+    group.Run([p, out, slot] {
+      for (const MaterializedChunk* chunk : p->chunks) {
+        for (size_t r = 0; r < chunk->count; ++r) {
+          const Value* row = chunk->cells + r * chunk->width;
+          auto tid = out->Insert(Tuple(row, row + chunk->width));
+          if (!tid.ok()) {
+            *slot = tid.status();
+            return;
+          }
+        }
+      }
+    });
+  }
+  group.Wait();
+  for (const Status& s : insert_status) {
+    PRECIS_RETURN_NOT_OK(s);
+  }
+
+  // --- Step 4: foreign-key carry-over (per-FK fan-out) --------------------
+  struct FkCheck {
+    const ForeignKey* fk;
+    bool holds = false;
+  };
+  std::vector<FkCheck> checks;
+  for (const ForeignKey& fk : sharded_->foreign_keys()) {
+    if (!result.HasRelation(fk.child_relation) ||
+        !result.HasRelation(fk.parent_relation)) {
+      continue;
+    }
+    auto child = result.GetRelation(fk.child_relation);
+    auto parent = result.GetRelation(fk.parent_relation);
+    if (!(*child)->schema().HasAttribute(fk.child_attribute) ||
+        !(*parent)->schema().HasAttribute(fk.parent_attribute)) {
+      continue;
+    }
+    checks.push_back(FkCheck{&fk});
+  }
+  for (FkCheck& check : checks) {  // `checks` is fully built: stable refs
+    FkCheck* slot = &check;
+    const Database* res = &result;
+    group.Run([res, slot] { slot->holds = ForeignKeyHolds(*res, *slot->fk); });
+  }
+  group.Wait();
+  for (const FkCheck& check : checks) {
+    if (check.holds) {
+      PRECIS_RETURN_NOT_OK(result.AddForeignKey(*check.fk));
+    } else {
+      last_report_.dropped_foreign_keys.push_back(check.fk->ToString());
+    }
+  }
+
+  last_report_.total_tuples = result.TotalTuples();
+  if (ctx != nullptr) last_report_.stop_reason = ctx->stop_reason();
+
+  if (shard_stats != nullptr) {
+    shard_stats->Resize(num_shards);
+    shard_stats->merge_seconds = merge_seconds;
+    shard_stats->merge_events = merge_events;
+    shard_stats->budget_total = budget;
+    shard_stats->budget_slice = num_shards > 0 ? budget / num_shards : 0;
+    shard_stats->rebalanced_charges = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      shard_stats->subqueries[s] =
+          shard_subqueries[s] +
+          shard_chunk_cells[s].load(std::memory_order_relaxed);
+      shard_stats->charges[s] =
+          shard_lookups[s] +
+          shard_fetch_cells[s].load(std::memory_order_relaxed);
+      shard_stats->scratch_bytes[s] = shard_scratch_peak[s];
+      if (budget > 0 && shard_stats->charges[s] > shard_stats->budget_slice) {
+        shard_stats->rebalanced_charges +=
+            shard_stats->charges[s] - shard_stats->budget_slice;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace precis

@@ -1,0 +1,87 @@
+// Sharded result-database generation (DESIGN.md §15).
+//
+// ShardedResultDatabaseGenerator replays the sequential Fig. 5 control flow
+// on one coordinator thread — exactly the discipline parallel_dbgen.cc
+// proved out — while the physical data work (equality lookups, columnar
+// row projection) scatters across the shard Databases through the shared
+// TaskPool. The coordinator makes every output-shaping decision (acceptance
+// order, duplicate handling, budget truncation via the simulated charge
+// counter, fault/retry sequences) against ShardedRelation mirrors that
+// charge the ExecutionContext in the single-engine order, so the emitted
+// database and DbGenReport are byte-identical to the single-engine run for
+// any shard count.
+
+#ifndef PRECIS_SHARD_SHARDED_DBGEN_H_
+#define PRECIS_SHARD_SHARDED_DBGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "common/result.h"
+#include "precis/database_generator.h"
+#include "precis/result_schema.h"
+#include "shard/sharded_database.h"
+
+namespace precis {
+
+/// \brief Per-query scatter-gather telemetry: where the physical work
+/// landed and what the deterministic merge cost. Never feeds back into
+/// truncation decisions — budget authority stays with the coordinator's
+/// simulated charge replay, because per-shard hard cutoffs would make
+/// answers depend on the shard count (DESIGN.md §15).
+struct ShardQueryStats {
+  /// Wall seconds spent in per-edge scatter + ascending k-way merges.
+  double merge_seconds = 0.0;
+  /// Number of scatter-gather merge rounds (one per executed edge).
+  uint64_t merge_events = 0;
+  /// Per-shard physical sub-operations dispatched (one per shard per edge
+  /// prefetch, one per chunk task that touched the shard).
+  std::vector<uint64_t> subqueries;
+  /// Per-shard physical charges: shard-side lookups plus tuples fetched.
+  std::vector<uint64_t> charges;
+  /// Per-shard peak prefetch scratch bytes: the largest single-edge
+  /// posting buffer the scatter held for the shard.
+  std::vector<uint64_t> scratch_bytes;
+  /// The query's global access budget (0 = unlimited) and its even
+  /// per-shard slice.
+  uint64_t budget_total = 0;
+  uint64_t budget_slice = 0;
+  /// Sum over shards of the charges that exceeded the even slice — how
+  /// much of the budget effectively rebalanced toward hot shards.
+  uint64_t rebalanced_charges = 0;
+
+  void Resize(size_t num_shards) {
+    subqueries.assign(num_shards, 0);
+    charges.assign(num_shards, 0);
+    scratch_bytes.assign(num_shards, 0);
+  }
+};
+
+/// \brief Fig. 5 generator over a partitioned database.
+class ShardedResultDatabaseGenerator {
+ public:
+  explicit ShardedResultDatabaseGenerator(const ShardedDatabase* source)
+      : sharded_(source) {}
+
+  /// Generates the result sub-database for `schema` from `seeds`, merging
+  /// per-shard work deterministically. Output (database bytes, report,
+  /// stop reason) is byte-identical to
+  /// ResultDatabaseGenerator::Generate over the unpartitioned source.
+  /// `shard_stats`, when given, receives the scatter-gather telemetry.
+  Result<Database> Generate(const ResultSchema& schema, const SeedTids& seeds,
+                            const CardinalityConstraint& c,
+                            const DbGenOptions& options,
+                            ExecutionContext* ctx = nullptr,
+                            ShardQueryStats* shard_stats = nullptr);
+
+  const DbGenReport& last_report() const { return last_report_; }
+
+ private:
+  const ShardedDatabase* sharded_;
+  DbGenReport last_report_;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_SHARD_SHARDED_DBGEN_H_

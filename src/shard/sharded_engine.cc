@@ -1,0 +1,349 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/task_pool.h"
+
+namespace precis {
+
+namespace {
+
+/// Approximate heap footprint of a cached ResultSchema (same estimator as
+/// the single-engine schema cache, so the two byte budgets mean the same).
+size_t EstimateSchemaCharge(const ResultSchema& schema) {
+  return 256 + schema.relations().size() * 64 +
+         schema.projection_paths().size() * 160 +
+         schema.join_edges().size() * 24 +
+         schema.TotalProjectedAttributes() * 16;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedPrecisEngine>> ShardedPrecisEngine::Create(
+    const Database& source, const SchemaGraph* graph, size_t num_shards) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("graph must be non-null");
+  }
+  auto sharded = ShardedDatabase::Partition(source, num_shards);
+  if (!sharded.ok()) return sharded.status();
+  auto engine = std::unique_ptr<ShardedPrecisEngine>(
+      new ShardedPrecisEngine(std::move(*sharded), graph));
+  for (size_t s = 0; s < engine->sharded_.num_shards(); ++s) {
+    auto shard_engine = PrecisEngine::Create(&engine->sharded_.shard(s), graph);
+    if (!shard_engine.ok()) return shard_engine.status();
+    engine->shard_engines_.push_back(
+        std::make_unique<PrecisEngine>(std::move(*shard_engine)));
+    engine->caches_->partial.push_back(
+        std::make_unique<PartialCache>(4 << 20));
+  }
+  uint32_t order = 0;
+  for (const std::string& name : engine->sharded_.RelationNames()) {
+    engine->relation_order_.emplace(name, order++);
+  }
+  return engine;
+}
+
+ShardedPrecisEngine::ShardedPrecisEngine(ShardedDatabase sharded,
+                                         const SchemaGraph* graph)
+    : sharded_(std::move(sharded)), graph_(graph) {}
+
+void ShardedPrecisEngine::set_synonyms(const SynonymTable* synonyms) {
+  synonyms_ = synonyms;
+  for (auto& engine : shard_engines_) engine->set_synonyms(synonyms);
+}
+
+void ShardedPrecisEngine::set_caches_enabled(bool enabled) {
+  caches_enabled_.store(enabled, std::memory_order_relaxed);
+  if (!enabled) {
+    caches_->schema.Clear();
+    caches_->answer.Clear();
+    for (auto& partial : caches_->partial) partial->Clear();
+  }
+  if (num_shards() == 1) {
+    // The one-shard configuration delegates whole queries to the shard
+    // engine; its caches are the ones that matter there.
+    shard_engines_[0]->set_caches_enabled(enabled);
+  }
+}
+
+LruCacheStats ShardedPrecisEngine::shard_partial_cache_stats(
+    size_t shard) const {
+  if (num_shards() == 1) return shard_engines_[0]->token_cache_stats();
+  return caches_->partial[shard]->stats();
+}
+
+std::shared_ptr<const std::vector<TokenOccurrence>>
+ShardedPrecisEngine::ShardOccurrences(size_t shard,
+                                      const std::string& resolved) const {
+  const bool cached = caches_enabled_.load(std::memory_order_relaxed);
+  std::string key;
+  if (cached) {
+    // Keyed on *this shard's* epoch only: an insert routed elsewhere
+    // leaves this shard's translated postings perfectly reusable.
+    key = std::to_string(sharded_.shard_epoch(shard));
+    key += '|';
+    key += resolved;
+    if (std::shared_ptr<const std::vector<TokenOccurrence>> hit =
+            caches_->partial[shard]->Get(key)) {
+      return hit;
+    }
+  }
+  OccurrenceList local = shard_engines_[shard]->index().Lookup(resolved);
+  auto translated = std::make_shared<std::vector<TokenOccurrence>>();
+  translated->reserve(local->size());
+  for (const TokenOccurrence& occ : *local) {
+    auto view = sharded_.GetView(occ.relation);
+    if (!view.ok()) continue;  // unreachable: every shard relation has a view
+    TokenOccurrence out{occ.relation, occ.attribute, {}};
+    out.tids.reserve(occ.tids.size());
+    for (Tid local_tid : occ.tids) {
+      out.tids.push_back((*view)->GlobalOf(shard, local_tid));
+    }
+    translated->push_back(std::move(out));
+  }
+  std::shared_ptr<const std::vector<TokenOccurrence>> result =
+      std::move(translated);
+  if (cached) {
+    caches_->partial[shard]->Put(key, result,
+                                 EstimateOccurrencesCharge(*result));
+  }
+  return result;
+}
+
+std::vector<TokenMatch> ShardedPrecisEngine::MatchTokens(
+    const PrecisQuery& query) const {
+  const size_t num_tokens = query.tokens.size();
+  const size_t shards = num_shards();
+
+  std::vector<std::string> resolved(num_tokens);
+  for (size_t t = 0; t < num_tokens; ++t) {
+    resolved[t] = synonyms_ != nullptr
+                      ? synonyms_->Canonicalize(query.tokens[t])
+                      : query.tokens[t];
+  }
+
+  // Scatter: one task per shard looks up every token against that shard's
+  // inverted index (through the shard's partial cache). Lookups are
+  // read-only against immutable postings; the partial caches are
+  // internally locked.
+  std::vector<std::vector<std::shared_ptr<const std::vector<TokenOccurrence>>>>
+      per_token(num_tokens);
+  for (auto& row : per_token) row.resize(shards);
+  TaskPool::Group scatter(TaskPool::Shared());
+  for (size_t s = 0; s < shards; ++s) {
+    scatter.Run([&, s] {
+      for (size_t t = 0; t < num_tokens; ++t) {
+        per_token[t][s] = ShardOccurrences(s, resolved[t]);
+      }
+    });
+  }
+  scatter.Wait();
+
+  // Gather: merge each token's per-shard occurrence lists into the
+  // single-engine result. InvertedIndex emits groups ordered by (sorted
+  // relation index, attribute index) with ascending tids; keying the merge
+  // map the same way — relation_order_ is built from the same sorted
+  // names, and every shard holds every relation so the orders agree —
+  // reproduces both the grouping and the order, and the ascending k-way
+  // tid merge restores the global posting order.
+  std::vector<TokenMatch> matches;
+  matches.reserve(num_tokens);
+  for (size_t t = 0; t < num_tokens; ++t) {
+    struct Group {
+      const TokenOccurrence* proto = nullptr;
+      std::vector<std::vector<Tid>> lists;
+    };
+    std::map<std::pair<uint32_t, uint32_t>, Group> groups;
+    for (size_t s = 0; s < shards; ++s) {
+      for (const TokenOccurrence& occ : *per_token[t][s]) {
+        auto view = sharded_.GetView(occ.relation);
+        if (!view.ok()) continue;
+        auto attr = (*view)->schema().AttributeIndex(occ.attribute);
+        if (!attr.ok()) continue;
+        Group& group = groups[{relation_order_.at(occ.relation),
+                               static_cast<uint32_t>(*attr)}];
+        if (group.proto == nullptr) group.proto = &occ;
+        group.lists.push_back(occ.tids);
+      }
+    }
+    auto merged = std::make_shared<std::vector<TokenOccurrence>>();
+    merged->reserve(groups.size());
+    for (auto& [key, group] : groups) {
+      merged->push_back(TokenOccurrence{
+          group.proto->relation, group.proto->attribute,
+          MergeAscendingTids(std::move(group.lists))});
+    }
+    matches.push_back(TokenMatch{query.tokens[t], resolved[t],
+                                 std::move(merged)});
+  }
+  return matches;
+}
+
+Result<PrecisAnswer> ShardedPrecisEngine::AnswerFromMatches(
+    std::vector<TokenMatch> matches, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx, ShardQueryStats* shard_stats) const {
+  // Input relations (deduplicated, in match order) and seed tuple ids —
+  // identical discipline to PrecisEngine::AnswerFromMatches.
+  std::vector<RelationNodeId> token_relations;
+  SeedTids seeds;
+  for (const TokenMatch& match : matches) {
+    for (const TokenOccurrence& occ : match.occurrences()) {
+      auto rel = graph_->RelationId(occ.relation);
+      if (!rel.ok()) return rel.status();
+      if (std::find(token_relations.begin(), token_relations.end(), *rel) ==
+          token_relations.end()) {
+        token_relations.push_back(*rel);
+      }
+      std::vector<Tid>& tids = seeds[*rel];
+      for (Tid tid : occ.tids) {
+        if (std::find(tids.begin(), tids.end(), tid) == tids.end()) {
+          tids.push_back(tid);
+        }
+      }
+    }
+  }
+
+  // Result schema generation, coordinator-cached with the single-engine
+  // key scheme (schemas depend on the graph, not the partitioning).
+  std::optional<ResultSchema> schema;
+  {
+    ScopedSpan span(ctx, "schema_gen");
+    if (caches_enabled_.load(std::memory_order_relaxed)) {
+      std::vector<RelationNodeId> sorted = token_relations;
+      std::sort(sorted.begin(), sorted.end());
+      std::string key;
+      key.reserve(32 + sorted.size() * 4);
+      for (RelationNodeId rel : sorted) {
+        key += std::to_string(rel);
+        key += ',';
+      }
+      key += '|';
+      key += degree.ToString();
+      key += '|';
+      key += std::to_string(graph_->weight_epoch());
+      if (std::shared_ptr<const ResultSchema> hit = caches_->schema.Get(key)) {
+        schema = *hit;  // copy out of the immutable cached value
+      } else {
+        ResultSchemaGenerator schema_generator(graph_);
+        auto generated =
+            schema_generator.Generate(token_relations, degree, ctx);
+        if (!generated.ok()) return generated.status();
+        bool partial = ctx != nullptr && ctx->ShouldStop();
+        bool tainted = ctx != nullptr && ctx->fault_injector() != nullptr &&
+                       ctx->fault_injector()->armed();
+        if (!partial && !tainted) {
+          caches_->schema.Put(key,
+                              std::make_shared<const ResultSchema>(*generated),
+                              EstimateSchemaCharge(*generated));
+        }
+        schema = std::move(*generated);
+      }
+    } else {
+      ResultSchemaGenerator schema_generator(graph_);
+      auto generated = schema_generator.Generate(token_relations, degree, ctx);
+      if (!generated.ok()) return generated.status();
+      schema = std::move(*generated);
+    }
+  }
+
+  // Result database generation: the sharded coordinator replay.
+  ShardedResultDatabaseGenerator db_generator(&sharded_);
+  Result<Database> database = [&] {
+    ScopedSpan span(ctx, "db_gen");
+    return db_generator.Generate(*schema, seeds, cardinality, options, ctx,
+                                 shard_stats);
+  }();
+  if (!database.ok()) return database.status();
+
+  return PrecisAnswer{std::move(matches), std::move(*schema),
+                      std::move(*database), db_generator.last_report()};
+}
+
+Result<PrecisAnswer> ShardedPrecisEngine::Answer(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx, ShardQueryStats* shard_stats) const {
+  std::vector<TokenMatch> matches;
+  {
+    ScopedSpan span(ctx, "match_tokens");
+    matches = MatchTokens(query);
+  }
+  return AnswerFromMatches(std::move(matches), degree, cardinality, options,
+                           ctx, shard_stats);
+}
+
+Result<std::shared_ptr<const PrecisAnswer>> ShardedPrecisEngine::AnswerShared(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx, ShardQueryStats* shard_stats) const {
+  if (num_shards() == 1) {
+    // One shard holds a faithful full copy (foreign keys included): the
+    // plain engine pipeline is byte-equivalent and skips the mirror
+    // bookkeeping entirely, so delegate — this is also what makes the
+    // shards=1 arm of the scaling bench an honest single-engine baseline.
+    if (shard_stats != nullptr) shard_stats->Resize(1);
+    return shard_engines_[0]->AnswerShared(query, degree, cardinality,
+                                           options, ctx);
+  }
+
+  const bool cacheable = caches_enabled_.load(std::memory_order_relaxed) &&
+                         options.tuple_weights == nullptr &&
+                         !options.trace_sql;
+
+  std::string key;
+  std::vector<uint64_t> epochs;
+  uint64_t weight_epoch = 0;
+  if (cacheable) {
+    // Epochs (one per shard, read BEFORE the lookup/build) extend the
+    // single-engine fingerprint: any shard's mutation makes prior full
+    // answers unreachable, exactly like the monolithic db epoch.
+    epochs.reserve(num_shards());
+    for (size_t s = 0; s < num_shards(); ++s) {
+      epochs.push_back(sharded_.shard_epoch(s));
+    }
+    weight_epoch = graph_->weight_epoch();
+    key = "s";
+    key += std::to_string(num_shards());
+    for (uint64_t epoch : epochs) {
+      key += '|';
+      key += std::to_string(epoch);
+    }
+    key += "|w";
+    key += std::to_string(weight_epoch);
+    key += '|';
+    key += AnswerFingerprintBase(query, synonyms_, degree, cardinality,
+                                 options);
+    ScopedSpan span(ctx, "answer_cache");
+    if (std::shared_ptr<const PrecisAnswer> hit = caches_->answer.Get(key)) {
+      if (shard_stats != nullptr) shard_stats->Resize(num_shards());
+      return hit;
+    }
+  }
+
+  auto answer =
+      Answer(query, degree, cardinality, options, ctx, shard_stats);
+  if (!answer.ok()) return answer.status();
+  auto shared = std::make_shared<const PrecisAnswer>(std::move(*answer));
+
+  if (cacheable && !shared->report.partial() &&
+      (ctx == nullptr || !ctx->ShouldStop()) &&
+      !shared->report.fault_tainted && !shared->report.degraded() &&
+      graph_->weight_epoch() == weight_epoch) {
+    bool epochs_stable = true;
+    for (size_t s = 0; s < num_shards(); ++s) {
+      if (sharded_.shard_epoch(s) != epochs[s]) {
+        epochs_stable = false;
+        break;
+      }
+    }
+    if (epochs_stable) {
+      caches_->answer.Put(key, shared, EstimateAnswerCharge(*shared));
+    }
+  }
+  return shared;
+}
+
+}  // namespace precis

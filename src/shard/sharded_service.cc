@@ -1,0 +1,101 @@
+#include "shard/sharded_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace precis {
+
+Result<std::unique_ptr<ShardedPrecisService>> ShardedPrecisService::Create(
+    const ShardedPrecisEngine* engine, Options options) {
+  if (engine == nullptr) {
+    return Status::InvalidArgument("engine must be non-null");
+  }
+  if (options.response_time_target_seconds > 0 &&
+      options.cost_params.PerTupleCost() <= 0) {
+    return Status::InvalidArgument(
+        "a response-time target needs positive cost parameters "
+        "(Formula 3 divides by IndexTime + TupleTime)");
+  }
+  if (options.num_workers == 0) options.num_workers = 1;
+  return std::unique_ptr<ShardedPrecisService>(
+      new ShardedPrecisService(engine, std::move(options)));
+}
+
+ShardedPrecisService::ShardedPrecisService(const ShardedPrecisEngine* engine,
+                                           Options options)
+    : PrecisService(/*engine=*/nullptr, std::move(options)), engine_(engine) {
+  subqueries_.assign(engine_->num_shards(), 0);
+  charges_.assign(engine_->num_shards(), 0);
+  scratch_peak_.assign(engine_->num_shards(), 0);
+}
+
+ShardedPrecisService::~ShardedPrecisService() {
+  // Workers dispatch into this subclass; stop them before the members (and
+  // the vtable slice) they reach through go away.
+  Shutdown();
+}
+
+Result<std::shared_ptr<const PrecisAnswer>> ShardedPrecisService::AnswerQuery(
+    const ServiceRequest& request, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx) {
+  ShardQueryStats stats;
+  auto answer = engine_->AnswerShared(request.query, degree, cardinality,
+                                      options, ctx, &stats);
+  {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    // Cache hits contribute a zero-work sample (Resize zeroed the vectors):
+    // merge percentiles then honestly reflect what served queries cost.
+    merge_times_.push_back(stats.merge_seconds);
+    for (size_t s = 0; s < stats.subqueries.size() && s < subqueries_.size();
+         ++s) {
+      subqueries_[s] += stats.subqueries[s];
+      charges_[s] += stats.charges[s];
+      scratch_peak_[s] = std::max(scratch_peak_[s], stats.scratch_bytes[s]);
+    }
+    rebalanced_total_ += stats.rebalanced_charges;
+  }
+  return answer;
+}
+
+PrecisService::Metrics ShardedPrecisService::metrics() const {
+  Metrics snapshot = SnapshotCoreMetrics();
+
+  std::vector<double> merges;
+  {
+    std::lock_guard<std::mutex> lock(shard_mutex_);
+    merges = merge_times_;
+    snapshot.shards.resize(subqueries_.size());
+    for (size_t s = 0; s < subqueries_.size(); ++s) {
+      snapshot.shards[s].subqueries = subqueries_[s];
+      snapshot.shards[s].charges = charges_[s];
+      snapshot.shards[s].scratch_peak_bytes = scratch_peak_[s];
+    }
+    snapshot.shard_rebalanced_budget_total = rebalanced_total_;
+  }
+  // Sort outside the lock — same no-stall discipline as the base latency
+  // percentiles (satellite fix this subclass inherits by construction).
+  if (!merges.empty()) {
+    std::sort(merges.begin(), merges.end());
+    auto percentile = [&merges](double p) {
+      double rank = p * static_cast<double>(merges.size() - 1);
+      size_t lo = static_cast<size_t>(rank);
+      if (lo + 1 >= merges.size()) return merges.back();
+      double frac = rank - static_cast<double>(lo);
+      return merges[lo] + frac * (merges[lo + 1] - merges[lo]);
+    };
+    snapshot.shard_merge_p50_seconds = percentile(0.50);
+    snapshot.shard_merge_p99_seconds = percentile(0.99);
+  }
+
+  for (size_t s = 0; s < snapshot.shards.size(); ++s) {
+    snapshot.shards[s].tuples = engine_->shard_tuples(s);
+    snapshot.shards[s].token_cache = engine_->shard_partial_cache_stats(s);
+    snapshot.token_cache += snapshot.shards[s].token_cache;
+  }
+  snapshot.schema_cache = engine_->schema_cache_stats();
+  snapshot.answer_cache = engine_->answer_cache_stats();
+  return snapshot;
+}
+
+}  // namespace precis

@@ -1,0 +1,75 @@
+// ShardedPrecisService: PrecisService whose answer hook scatter-gathers
+// across a ShardedPrecisEngine (DESIGN.md §15).
+//
+// Everything operational stays in the base class — worker pool, admission
+// queue with load shedding, per-query ExecutionContext (deadline / budget /
+// fault injector / retry policy), outcome metrics. This subclass only
+// reroutes the one pipeline call to the sharded engine and folds each
+// query's ShardQueryStats into per-shard serving counters that its
+// metrics() override reports (merge-time percentiles, per-shard subquery
+// and charge totals, rebalanced-budget total).
+
+#ifndef PRECIS_SHARD_SHARDED_SERVICE_H_
+#define PRECIS_SHARD_SHARDED_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "service/precis_service.h"
+#include "shard/sharded_engine.h"
+
+namespace precis {
+
+/// \brief Concurrent front end for ShardedPrecisEngine.
+class ShardedPrecisService : public PrecisService {
+ public:
+  /// `engine` must outlive the service. Same option validation as the base
+  /// factory. Workers start immediately; no job can be queued before this
+  /// returns, so virtual dispatch on AnswerQuery is safe.
+  static Result<std::unique_ptr<ShardedPrecisService>> Create(
+      const ShardedPrecisEngine* engine, Options options);
+  static Result<std::unique_ptr<ShardedPrecisService>> Create(
+      const ShardedPrecisEngine* engine) {
+    return Create(engine, Options());
+  }
+
+  /// Joins the workers before any member of this subclass is torn down
+  /// (workers call the AnswerQuery override).
+  ~ShardedPrecisService() override;
+
+  /// Base snapshot plus the per-shard serving block: subqueries, charges,
+  /// resident tuples, scratch peaks, partial-cache counters, merge-time
+  /// p50/p99, and the rebalanced-budget total. Cache rows come from the
+  /// sharded engine (token_cache aggregates every shard's partial cache).
+  Metrics metrics() const override;
+
+  const ShardedPrecisEngine* sharded_engine() const { return engine_; }
+
+ protected:
+  /// Scatter-gather through the sharded engine's shard-aware answer cache,
+  /// then fold the query's ShardQueryStats into the serving counters.
+  Result<std::shared_ptr<const PrecisAnswer>> AnswerQuery(
+      const ServiceRequest& request, const DegreeConstraint& degree,
+      const CardinalityConstraint& cardinality, const DbGenOptions& options,
+      ExecutionContext* ctx) override;
+
+ private:
+  ShardedPrecisService(const ShardedPrecisEngine* engine, Options options);
+
+  const ShardedPrecisEngine* engine_;
+
+  /// Guards the scatter-gather accumulators below (workers fold stats in;
+  /// metrics() copies out, computing percentiles outside the lock — same
+  /// discipline as the base latency history).
+  mutable std::mutex shard_mutex_;
+  std::vector<double> merge_times_;
+  std::vector<uint64_t> subqueries_;
+  std::vector<uint64_t> charges_;
+  std::vector<uint64_t> scratch_peak_;
+  uint64_t rebalanced_total_ = 0;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_SHARD_SHARDED_SERVICE_H_

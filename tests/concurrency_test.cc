@@ -8,6 +8,8 @@
 #include "datagen/movies_dataset.h"
 #include "precis/engine.h"
 #include "service/precis_service.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_service.h"
 #include "storage/serialization.h"
 
 namespace precis {
@@ -346,6 +348,57 @@ TEST_F(ConcurrencyTest, ServiceWorkersShareTheTaskPool) {
     ASSERT_TRUE(SaveDatabase(response.answer->database, &os).ok());
     EXPECT_EQ(os.str(), expected);
   }
+  (*service)->Shutdown();
+}
+
+TEST_F(ConcurrencyTest, ShardedServiceByteIdenticalUnderConcurrentLoad) {
+  // The sharded front end under the same contention shape: four workers
+  // submit a mixed batch against a 4-shard engine whose scatter tasks land
+  // on the shared TaskPool. Every answer must be byte-identical to the
+  // single-engine sequential reference, and the per-shard serving counters
+  // must account for the scatter work.
+  auto d = MinPathWeight(0.8);
+  auto c = MaxTuplesPerRelation(10);
+  auto reference = engine_->Answer(PrecisQuery{{"Woody Allen"}}, *d, *c);
+  ASSERT_TRUE(reference.ok());
+  std::ostringstream ref_os;
+  ASSERT_TRUE(SaveDatabase(reference->database, &ref_os).ok());
+  const std::string expected = ref_os.str();
+
+  auto sharded =
+      ShardedPrecisEngine::Create(dataset_->db(), &dataset_->graph(), 4);
+  ASSERT_TRUE(sharded.ok());
+  (*sharded)->set_caches_enabled(true);
+
+  PrecisService::Options options;
+  options.num_workers = 4;
+  auto service = ShardedPrecisService::Create(sharded->get(), options);
+  ASSERT_TRUE(service.ok());
+
+  std::vector<ServiceRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    ServiceRequest request;
+    request.query = PrecisQuery{{"Woody Allen"}};
+    request.min_path_weight = 0.8;
+    request.tuples_per_relation = 10;
+    requests.push_back(std::move(request));
+  }
+  auto futures = (*service)->SubmitBatch(std::move(requests));
+  for (auto& future : futures) {
+    ServiceResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_NE(response.answer, nullptr);
+    std::ostringstream os;
+    ASSERT_TRUE(SaveDatabase(response.answer->database, &os).ok());
+    EXPECT_EQ(os.str(), expected);
+  }
+
+  PrecisService::Metrics metrics = (*service)->metrics();
+  EXPECT_EQ(metrics.queries_served, 24u);
+  ASSERT_EQ(metrics.shards.size(), 4u);
+  uint64_t subqueries = 0;
+  for (const auto& shard : metrics.shards) subqueries += shard.subqueries;
+  EXPECT_GT(subqueries, 0u);
   (*service)->Shutdown();
 }
 

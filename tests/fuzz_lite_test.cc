@@ -19,6 +19,7 @@
 #include "precis/json_export.h"
 #include "semistructured/document.h"
 #include "semistructured/shredder.h"
+#include "shard/sharded_engine.h"
 #include "storage/serialization.h"
 #include "translator/catalog.h"
 #include "translator/template.h"
@@ -195,6 +196,69 @@ TEST_P(FuzzLiteTest, ChaosQueriesUnderInjectedFaultsNeverCrash) {
       std::string again = run();
       EXPECT_EQ(first, again)
           << "p=" << p << " token=" << token << " parallelism=" << parallelism
+          << " fault_seed=" << fault_seed;
+    }
+  }
+}
+
+TEST_P(FuzzLiteTest, ShardedChaosMatchesSingleEngineUnderFaults) {
+  // The sharded arm of the chaos sweep: the same randomized fault-injected
+  // queries against a scatter-gather engine must not merely be stable
+  // across reruns — every run must produce the byte-identical outcome the
+  // single engine produces for the same injector seed (the coordinator
+  // replays the identical fault-check sequence; DESIGN.md §15).
+  MoviesConfig config;
+  config.num_movies = 120;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto engine = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(engine.ok());
+  std::vector<std::unique_ptr<ShardedPrecisEngine>> sharded;
+  for (size_t n : {2u, 5u}) {
+    auto e = ShardedPrecisEngine::Create(ds->db(), &ds->graph(), n);
+    ASSERT_TRUE(e.ok());
+    sharded.push_back(std::move(*e));
+  }
+
+  const std::vector<std::string> tokens = {
+      "Woody Allen", "Match Point", "Comedy", "Drama",
+      "London",      "1996",        "nonexistent token"};
+
+  Rng rng(GetParam() + 6000);
+  FaultInjector injector(GetParam());
+  injector.SetAll(FaultSchedule::Probability(0.05));
+  for (int i = 0; i < 12; ++i) {
+    const std::string& token = tokens[rng.Index(tokens.size())];
+    const uint64_t fault_seed = static_cast<uint64_t>(rng.Uniform(0, 1u << 20));
+
+    auto run = [&](const ShardedPrecisEngine* shard_engine) -> std::string {
+      injector.Reseed(fault_seed);
+      ExecutionContext ctx;
+      ctx.SetFaultInjector(&injector);
+      RetryPolicy policy;
+      policy.initial_backoff_ns = 0;  // decisions only; no sleeping
+      ctx.set_retry_policy(policy);
+      auto degree = MinPathWeight(0.9);
+      auto cardinality = MaxTuplesPerRelation(4);
+      auto answer =
+          shard_engine != nullptr
+              ? shard_engine->Answer(PrecisQuery{{token}}, *degree,
+                                     *cardinality, DbGenOptions(), &ctx)
+              : engine->Answer(PrecisQuery{{token}}, *degree, *cardinality,
+                               DbGenOptions(), &ctx);
+      if (!answer.ok()) {
+        EXPECT_TRUE(answer.status().IsUnavailable())
+            << answer.status().ToString();
+        return "error:" + answer.status().ToString();
+      }
+      EXPECT_TRUE(answer->database.ValidateForeignKeys().ok());
+      return AnswerToJson(*answer) + "|" +
+             answer->report.degradation.ToString();
+    };
+    const std::string expect = run(nullptr);
+    for (const auto& shard_engine : sharded) {
+      EXPECT_EQ(run(shard_engine.get()), expect)
+          << "shards=" << shard_engine->num_shards() << " token=" << token
           << " fault_seed=" << fault_seed;
     }
   }

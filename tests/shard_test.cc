@@ -1,0 +1,558 @@
+// Sharded scatter-gather execution (DESIGN.md §15): the central contract is
+// byte-identity — for ANY shard count, strategy, fault schedule, or
+// deadline/budget stop, the sharded engine must produce exactly the answer
+// the single engine produces. Plus router stability, partition/insert
+// routing, deterministic merges, and the shard-aware cache epoch scheme.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/execution_context.h"
+#include "common/fault_injection.h"
+#include "datagen/movies_dataset.h"
+#include "precis/engine.h"
+#include "precis/json_export.h"
+#include "service/precis_service.h"
+#include "shard/shard_router.h"
+#include "shard/sharded_database.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_service.h"
+#include "storage/serialization.h"
+
+namespace precis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Router and merge primitives.
+
+TEST(ShardRouterTest, StableAcrossInstances) {
+  ShardRouter a(4);
+  ShardRouter b(4);
+  const uint64_t seed = ShardRouter::RelationSeed("MOVIE");
+  for (Tid tid = 0; tid < 1000; ++tid) {
+    EXPECT_EQ(a.ShardOf(seed, tid), b.ShardOf(seed, tid));
+  }
+  // The per-relation seed is itself stable, so placement is a pure function
+  // of (relation name, tid) across processes.
+  EXPECT_EQ(ShardRouter::RelationSeed("MOVIE"), seed);
+  EXPECT_NE(ShardRouter::RelationSeed("ACTOR"), seed);
+}
+
+TEST(ShardRouterTest, SpreadsTuplesAcrossAllShards) {
+  ShardRouter router(8);
+  const uint64_t seed = ShardRouter::RelationSeed("ACTOR");
+  std::vector<size_t> counts(8, 0);
+  for (Tid tid = 0; tid < 4096; ++tid) ++counts[router.ShardOf(seed, tid)];
+  for (size_t s = 0; s < 8; ++s) {
+    // splitmix64 over sequential tids lands well inside 2x of uniform.
+    EXPECT_GT(counts[s], 4096u / 16) << "shard " << s;
+    EXPECT_LT(counts[s], 4096u / 4) << "shard " << s;
+  }
+}
+
+TEST(MergeAscendingTidsTest, MergesSortedRunsByteExactly) {
+  EXPECT_TRUE(MergeAscendingTids({}).empty());
+  EXPECT_TRUE(MergeAscendingTids({{}, {}}).empty());
+  EXPECT_EQ(MergeAscendingTids({{1, 3, 5}}), (std::vector<Tid>{1, 3, 5}));
+  EXPECT_EQ(MergeAscendingTids({{1, 4, 7}, {2, 5}, {}, {0, 9}}),
+            (std::vector<Tid>{0, 1, 2, 4, 5, 7, 9}));
+  // A single live list must come through unchanged.
+  EXPECT_EQ(MergeAscendingTids({{}, {2, 6}, {}}), (std::vector<Tid>{2, 6}));
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning and routed inserts.
+
+class ShardedDatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 150;
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+  }
+
+  /// An unused GENRE row referencing an existing movie.
+  Tuple FreshGenreTuple(int64_t gid) {
+    auto genre = dataset_->db().GetRelation("GENRE");
+    Value mid = (*genre)->ColumnValue(0, 1);  // GENRE(gid*, mid, genre)
+    return Tuple{Value(gid), mid, Value("shardcore")};
+  }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+};
+
+TEST_F(ShardedDatabaseTest, PartitionPreservesEveryTupleAndValue) {
+  auto sharded = ShardedDatabase::Partition(dataset_->db(), 4);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->num_shards(), 4u);
+  EXPECT_EQ(sharded->TotalTuples(), dataset_->db().TotalTuples());
+
+  for (const std::string& name : sharded->RelationNames()) {
+    auto view = sharded->GetView(name);
+    ASSERT_TRUE(view.ok());
+    auto source = dataset_->db().GetRelation(name);
+    ASSERT_TRUE(source.ok());
+    ASSERT_EQ((*view)->num_tuples(), (*source)->num_tuples());
+    // Every global tid round-trips through its owner shard with the same
+    // column values.
+    for (Tid tid = 0; tid < (*source)->num_tuples(); ++tid) {
+      size_t owner = (*view)->OwnerOf(tid);
+      Tid local = (*view)->LocalOf(tid);
+      EXPECT_EQ((*view)->GlobalOf(owner, local), tid);
+      for (size_t a = 0; a < (*source)->schema().num_attributes(); ++a) {
+        EXPECT_TRUE((*view)->ColumnValue(tid, a) ==
+                    (*source)->ColumnValue(tid, a))
+            << name << " tid " << tid << " attr " << a;
+      }
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, EveryShardHoldsEveryRelation) {
+  auto sharded = ShardedDatabase::Partition(dataset_->db(), 8);
+  ASSERT_TRUE(sharded.ok());
+  // Even a shard that drew zero tuples of some relation must have created
+  // it: the per-shard inverted indexes and catalogs must enumerate the
+  // same sorted relation set or merge order drifts.
+  for (size_t s = 0; s < 8; ++s) {
+    for (const std::string& name : sharded->RelationNames()) {
+      EXPECT_TRUE(sharded->shard(s).GetRelation(name).ok())
+          << "shard " << s << " relation " << name;
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, LookupEqualsMatchesUnpartitionedSource) {
+  auto sharded = ShardedDatabase::Partition(dataset_->db(), 4);
+  ASSERT_TRUE(sharded.ok());
+  auto view = sharded->GetView("MOVIE");
+  ASSERT_TRUE(view.ok());
+  auto source = dataset_->db().GetRelation("MOVIE");
+  ASSERT_TRUE(source.ok());
+  // "did" is a many-to-one join key (indexed), so lookups return multi-tid
+  // lists whose global order must match the unpartitioned scan/probe.
+  auto did_index = (*source)->schema().AttributeIndex("did");
+  ASSERT_TRUE(did_index.ok());
+  for (Tid probe = 0; probe < 40; ++probe) {
+    Value key = (*source)->ColumnValue(probe, *did_index);
+    auto expect = (*source)->LookupEquals("did", key);
+    auto got = (*view)->LookupEquals("did", key);
+    ASSERT_TRUE(expect.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, *expect) << "probe " << probe;
+  }
+}
+
+TEST_F(ShardedDatabaseTest, InsertRoutesToOwnerAndBumpsOnlyItsEpoch) {
+  auto sharded = ShardedDatabase::Partition(dataset_->db(), 4);
+  ASSERT_TRUE(sharded.ok());
+  auto view = sharded->GetView("GENRE");
+  ASSERT_TRUE(view.ok());
+  Tid next = (*view)->num_tuples();
+  size_t owner = sharded->ShardOf("GENRE", next);
+
+  std::vector<uint64_t> before;
+  for (size_t s = 0; s < 4; ++s) before.push_back(sharded->shard_epoch(s));
+
+  auto inserted = sharded->Insert("GENRE", FreshGenreTuple(1000000));
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_EQ(*inserted, next);
+  EXPECT_EQ((*view)->num_tuples(), next + 1);
+  EXPECT_EQ((*view)->OwnerOf(next), owner);
+  EXPECT_TRUE((*view)->ColumnValue(next, 2) == Value("shardcore"));
+
+  for (size_t s = 0; s < 4; ++s) {
+    if (s == owner) {
+      EXPECT_GT(sharded->shard_epoch(s), before[s]) << "owner " << s;
+    } else {
+      EXPECT_EQ(sharded->shard_epoch(s), before[s]) << "shard " << s;
+    }
+  }
+}
+
+TEST_F(ShardedDatabaseTest, InsertRejectsCrossShardPrimaryKeyDuplicate) {
+  auto sharded = ShardedDatabase::Partition(dataset_->db(), 4);
+  ASSERT_TRUE(sharded.ok());
+  auto source = dataset_->db().GetRelation("GENRE");
+  ASSERT_TRUE(source.ok());
+  // Re-insert an existing primary key: the owner of the NEW tid is very
+  // likely a different shard than the original row's, so uniqueness must
+  // be enforced across shards, not per shard.
+  Tuple dup = FreshGenreTuple(0);
+  dup[0] = (*source)->ColumnValue(0, 0);
+  auto inserted = sharded->Insert("GENRE", std::move(dup));
+  EXPECT_FALSE(inserted.ok());
+}
+
+// ---------------------------------------------------------------------------
+// The determinism suite: sharded answers are byte-identical to the single
+// engine under every stop/fault/strategy combination.
+
+struct RunDigest {
+  std::string answer_json;
+  std::string degradation;
+  std::vector<std::string> executed_edges;
+  std::vector<std::string> truncated;
+  StopReason stop = StopReason::kNone;
+  StopReason ctx_stop = StopReason::kNone;
+  std::string db_bytes;
+};
+
+class ShardDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 120;
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+    auto engine = PrecisEngine::Create(&dataset_->db(), &dataset_->graph());
+    ASSERT_TRUE(engine.ok());
+    engine_ = std::make_unique<PrecisEngine>(std::move(*engine));
+    for (size_t n : {1u, 2u, 4u, 8u}) {
+      auto sharded =
+          ShardedPrecisEngine::Create(dataset_->db(), &dataset_->graph(), n);
+      ASSERT_TRUE(sharded.ok());
+      sharded_.push_back(std::move(*sharded));
+    }
+  }
+
+  /// One configured run against either engine; `sharded == nullptr` runs
+  /// the single-engine reference.
+  RunDigest Run(const ShardedPrecisEngine* sharded,
+                const std::vector<std::string>& tokens, SubsetStrategy strategy,
+                FaultInjector* injector, uint64_t fault_seed, uint64_t budget,
+                bool expired_deadline) {
+    auto degree = MinPathWeight(0.8);
+    auto cardinality = MaxTuplesPerRelation(4);
+    DbGenOptions options;
+    options.strategy = strategy;
+
+    ExecutionContext ctx;
+    if (budget > 0) ctx.SetAccessBudget(budget);
+    if (expired_deadline) ctx.SetDeadlineAfter(1e-9);
+    if (injector != nullptr) {
+      injector->Reseed(fault_seed);  // identical fault sequence per run
+      ctx.SetFaultInjector(injector);
+      RetryPolicy policy;
+      policy.initial_backoff_ns = 0;
+      ctx.set_retry_policy(policy);
+    }
+
+    auto answer = sharded != nullptr
+                      ? sharded->Answer(PrecisQuery{tokens}, *degree,
+                                        *cardinality, options, &ctx)
+                      : engine_->Answer(PrecisQuery{tokens}, *degree,
+                                        *cardinality, options, &ctx);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    RunDigest digest;
+    if (!answer.ok()) return digest;
+    digest.answer_json = AnswerToJson(*answer);
+    digest.degradation = answer->report.degradation.ToString();
+    digest.executed_edges = answer->report.executed_edges;
+    digest.truncated = answer->report.truncated_relations;
+    digest.stop = answer->report.stop_reason;
+    digest.ctx_stop = ctx.stop_reason();
+    std::ostringstream os;
+    EXPECT_TRUE(SaveDatabase(answer->database, &os).ok());
+    digest.db_bytes = os.str();
+    return digest;
+  }
+
+  void ExpectIdentical(const RunDigest& expect, const RunDigest& got,
+                       const std::string& label) {
+    EXPECT_EQ(got.answer_json, expect.answer_json) << label;
+    EXPECT_EQ(got.degradation, expect.degradation) << label;
+    EXPECT_EQ(got.executed_edges, expect.executed_edges) << label;
+    EXPECT_EQ(got.truncated, expect.truncated) << label;
+    EXPECT_EQ(got.stop, expect.stop) << label;
+    EXPECT_EQ(got.ctx_stop, expect.ctx_stop) << label;
+    EXPECT_EQ(got.db_bytes, expect.db_bytes) << label;
+  }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+  std::unique_ptr<PrecisEngine> engine_;
+  std::vector<std::unique_ptr<ShardedPrecisEngine>> sharded_;
+};
+
+TEST_F(ShardDeterminismTest, CleanRunsByteIdenticalAcrossShardCounts) {
+  const std::vector<std::vector<std::string>> queries = {
+      {"Woody Allen"}, {"Comedy"}, {"Woody Allen", "Drama"}};
+  for (SubsetStrategy strategy :
+       {SubsetStrategy::kAuto, SubsetStrategy::kNaiveQ,
+        SubsetStrategy::kRoundRobin}) {
+    for (const auto& tokens : queries) {
+      RunDigest expect = Run(nullptr, tokens, strategy, nullptr, 0, 0, false);
+      for (const auto& sharded : sharded_) {
+        RunDigest got =
+            Run(sharded.get(), tokens, strategy, nullptr, 0, 0, false);
+        ExpectIdentical(expect, got,
+                        "shards=" + std::to_string(sharded->num_shards()) +
+                            " strategy=" +
+                            std::to_string(static_cast<int>(strategy)));
+      }
+    }
+  }
+}
+
+TEST_F(ShardDeterminismTest, FaultInjectedRunsByteIdentical) {
+  FaultInjector injector(1);
+  injector.SetAll(FaultSchedule::Probability(0.1));
+  for (uint64_t seed : {1u, 7u, 23u}) {
+    for (SubsetStrategy strategy :
+         {SubsetStrategy::kNaiveQ, SubsetStrategy::kRoundRobin}) {
+      RunDigest expect =
+          Run(nullptr, {"Woody Allen"}, strategy, &injector, seed, 0, false);
+      for (const auto& sharded : sharded_) {
+        RunDigest got = Run(sharded.get(), {"Woody Allen"}, strategy,
+                            &injector, seed, 0, false);
+        ExpectIdentical(expect, got,
+                        "faults seed=" + std::to_string(seed) + " shards=" +
+                            std::to_string(sharded->num_shards()));
+      }
+    }
+  }
+}
+
+TEST_F(ShardDeterminismTest, BudgetStopsByteIdentical) {
+  for (uint64_t budget : {1u, 5u, 25u, 100u}) {
+    RunDigest expect = Run(nullptr, {"Woody Allen"},
+                           SubsetStrategy::kRoundRobin, nullptr, 0, budget,
+                           false);
+    for (const auto& sharded : sharded_) {
+      RunDigest got = Run(sharded.get(), {"Woody Allen"},
+                          SubsetStrategy::kRoundRobin, nullptr, 0, budget,
+                          false);
+      ExpectIdentical(expect, got,
+                      "budget=" + std::to_string(budget) + " shards=" +
+                          std::to_string(sharded->num_shards()));
+    }
+    if (budget == 1) {
+      EXPECT_EQ(expect.ctx_stop, StopReason::kAccessBudgetExhausted);
+    }
+  }
+}
+
+TEST_F(ShardDeterminismTest, ExpiredDeadlineStopsByteIdentical) {
+  RunDigest expect = Run(nullptr, {"Woody Allen"}, SubsetStrategy::kAuto,
+                         nullptr, 0, 0, true);
+  EXPECT_EQ(expect.ctx_stop, StopReason::kDeadlineExceeded);
+  for (const auto& sharded : sharded_) {
+    RunDigest got = Run(sharded.get(), {"Woody Allen"}, SubsetStrategy::kAuto,
+                        nullptr, 0, 0, true);
+    ExpectIdentical(expect, got,
+                    "deadline shards=" +
+                        std::to_string(sharded->num_shards()));
+  }
+}
+
+TEST_F(ShardDeterminismTest, FaultAndBudgetCombinedByteIdentical) {
+  FaultInjector injector(9);
+  injector.SetAll(FaultSchedule::Probability(0.05));
+  RunDigest expect = Run(nullptr, {"Comedy"}, SubsetStrategy::kRoundRobin,
+                         &injector, 9, 40, false);
+  for (const auto& sharded : sharded_) {
+    RunDigest got = Run(sharded.get(), {"Comedy"},
+                        SubsetStrategy::kRoundRobin, &injector, 9, 40, false);
+    ExpectIdentical(expect, got,
+                    "faults+budget shards=" +
+                        std::to_string(sharded->num_shards()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-aware caching.
+
+class ShardedCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 120;
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+    auto sharded =
+        ShardedPrecisEngine::Create(dataset_->db(), &dataset_->graph(), 4);
+    ASSERT_TRUE(sharded.ok());
+    engine_ = std::move(*sharded);
+    engine_->set_caches_enabled(true);
+  }
+
+  std::shared_ptr<const PrecisAnswer> Ask(const std::string& token) {
+    auto degree = MinPathWeight(0.9);
+    auto cardinality = MaxTuplesPerRelation(3);
+    auto answer =
+        engine_->AnswerShared(PrecisQuery{{token}}, *degree, *cardinality);
+    EXPECT_TRUE(answer.ok());
+    return answer.ok() ? *answer : nullptr;
+  }
+
+  /// A fresh GENRE tuple; `gid` must be globally unused.
+  Tuple FreshGenreTuple(int64_t gid) {
+    auto view = engine_->database().GetView("GENRE");
+    Value mid = (*view)->ColumnValue(0, 1);  // GENRE(gid*, mid, genre)
+    return Tuple{Value(gid), mid, Value("fresh-genre")};
+  }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+  std::unique_ptr<ShardedPrecisEngine> engine_;
+};
+
+TEST_F(ShardedCacheTest, RepeatQueryHitsFullAnswerCache) {
+  auto first = Ask("Woody Allen");
+  ASSERT_NE(first, nullptr);
+  auto second = Ask("Woody Allen");
+  ASSERT_NE(second, nullptr);
+  auto third = Ask("Woody Allen");
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(engine_->answer_cache_stats().hits, 2u);
+  // Hits hand back the SAME stored immutable answer, not a copy.
+  EXPECT_EQ(second.get(), third.get());
+  EXPECT_EQ(AnswerToJson(*first), AnswerToJson(*second));
+}
+
+TEST_F(ShardedCacheTest, SingleShardInsertInvalidatesOnlyThatShardsPartials) {
+  ASSERT_NE(Ask("Woody Allen"), nullptr);
+  ASSERT_NE(Ask("Woody Allen"), nullptr);  // warm: full-answer hit
+
+  // Route one insert; exactly one shard's epoch moves.
+  auto view = engine_->database().GetView("GENRE");
+  ASSERT_TRUE(view.ok());
+  Tid next = (*view)->num_tuples();
+  size_t owner = engine_->database().ShardOf("GENRE", next);
+  ASSERT_TRUE(engine_->Insert("GENRE", FreshGenreTuple(2000000)).ok());
+
+  std::vector<LruCacheStats> before;
+  for (size_t s = 0; s < engine_->num_shards(); ++s) {
+    before.push_back(engine_->shard_partial_cache_stats(s));
+  }
+
+  // The full answer must rebuild (its key carries every shard's epoch)...
+  uint64_t full_hits = engine_->answer_cache_stats().hits;
+  ASSERT_NE(Ask("Woody Allen"), nullptr);
+  EXPECT_EQ(engine_->answer_cache_stats().hits, full_hits);
+
+  // ...but during that rebuild only the mutated shard's partial entries
+  // went stale: every OTHER shard's token lookup hits its partial cache.
+  for (size_t s = 0; s < engine_->num_shards(); ++s) {
+    LruCacheStats after = engine_->shard_partial_cache_stats(s);
+    if (s == owner) {
+      EXPECT_EQ(after.hits, before[s].hits) << "mutated shard " << s;
+      EXPECT_GT(after.misses, before[s].misses) << "mutated shard " << s;
+    } else {
+      EXPECT_GT(after.hits, before[s].hits) << "untouched shard " << s;
+      EXPECT_EQ(after.misses, before[s].misses) << "untouched shard " << s;
+    }
+  }
+}
+
+TEST_F(ShardedCacheTest, InsertKeepsAnswersIdenticalToSingleEngine) {
+  // Warm every cache level, then mutate: post-insert answers must still be
+  // byte-identical to a single engine over an identically mutated source
+  // (both engines index at Create; later inserts are not re-indexed).
+  ASSERT_NE(Ask("Woody Allen"), nullptr);
+
+  auto single = PrecisEngine::Create(&dataset_->db(), &dataset_->graph());
+  ASSERT_TRUE(single.ok());
+  auto genre = dataset_->db().GetRelation("GENRE");
+  ASSERT_TRUE(genre.ok());
+  auto source_inserted = (*genre)->Insert(FreshGenreTuple(3000000));
+  ASSERT_TRUE(source_inserted.ok());
+  auto sharded_inserted = engine_->Insert("GENRE", FreshGenreTuple(3000000));
+  ASSERT_TRUE(sharded_inserted.ok());
+  EXPECT_EQ(*sharded_inserted, *source_inserted);
+
+  auto degree = MinPathWeight(0.9);
+  auto cardinality = MaxTuplesPerRelation(3);
+  auto expect =
+      single->Answer(PrecisQuery{{"Woody Allen"}}, *degree, *cardinality);
+  auto got =
+      engine_->Answer(PrecisQuery{{"Woody Allen"}}, *degree, *cardinality);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(AnswerToJson(*got), AnswerToJson(*expect));
+}
+
+// ---------------------------------------------------------------------------
+// ShardedPrecisService.
+
+TEST(ShardedServiceTest, AnswersMatchSingleEngineAndMetricsFillShards) {
+  MoviesConfig config;
+  config.num_movies = 120;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto single = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(single.ok());
+  auto sharded = ShardedPrecisEngine::Create(ds->db(), &ds->graph(), 4);
+  ASSERT_TRUE(sharded.ok());
+
+  PrecisService::Options options;
+  options.num_workers = 2;
+  auto service = ShardedPrecisService::Create(sharded->get(), options);
+  ASSERT_TRUE(service.ok());
+
+  auto degree = MinPathWeight(0.8);
+  auto cardinality = MaxTuplesPerRelation(5);
+  auto reference =
+      single->Answer(PrecisQuery{{"Woody Allen"}}, *degree, *cardinality);
+  ASSERT_TRUE(reference.ok());
+  const std::string expected = AnswerToJson(*reference);
+
+  for (int i = 0; i < 6; ++i) {
+    ServiceRequest request;
+    request.query = PrecisQuery{{"Woody Allen"}};
+    request.min_path_weight = 0.8;
+    request.tuples_per_relation = 5;
+    ServiceResponse response = (*service)->Execute(std::move(request));
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_NE(response.answer, nullptr);
+    EXPECT_EQ(AnswerToJson(*response.answer), expected);
+  }
+
+  PrecisService::Metrics metrics = (*service)->metrics();
+  EXPECT_EQ(metrics.queries_served, 6u);
+  ASSERT_EQ(metrics.shards.size(), 4u);
+  uint64_t total_subqueries = 0;
+  uint64_t total_tuples = 0;
+  for (const auto& shard : metrics.shards) {
+    total_subqueries += shard.subqueries;
+    total_tuples += shard.tuples;
+  }
+  EXPECT_GT(total_subqueries, 0u);
+  EXPECT_EQ(total_tuples, ds->db().TotalTuples());
+  (*service)->Shutdown();
+}
+
+TEST(ShardedServiceTest, SingleShardDelegatesAndStillServes) {
+  MoviesConfig config;
+  config.num_movies = 80;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto sharded = ShardedPrecisEngine::Create(ds->db(), &ds->graph(), 1);
+  ASSERT_TRUE(sharded.ok());
+  auto service = ShardedPrecisService::Create(sharded->get());
+  ASSERT_TRUE(service.ok());
+
+  ServiceRequest request;
+  request.query = PrecisQuery{{"Woody Allen"}};
+  request.min_path_weight = 0.9;
+  request.tuples_per_relation = 3;
+  ServiceResponse response = (*service)->Execute(std::move(request));
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_NE(response.answer, nullptr);
+  EXPECT_FALSE(response.answer->empty());
+  PrecisService::Metrics metrics = (*service)->metrics();
+  ASSERT_EQ(metrics.shards.size(), 1u);
+  EXPECT_EQ(metrics.shards[0].tuples, ds->db().TotalTuples());
+  (*service)->Shutdown();
+}
+
+}  // namespace
+}  // namespace precis

@@ -22,6 +22,8 @@
 #include "precis/engine.h"
 #include "server/http_server.h"
 #include "service/precis_service.h"
+#include "shard/sharded_engine.h"
+#include "shard/sharded_service.h"
 
 namespace precis {
 namespace {
@@ -36,6 +38,10 @@ struct ServeFlags {
   double deadline_ms = 0.0;
   size_t parallelism = 0;
   bool cache = true;
+  /// 0 = unsharded single engine; >= 1 partitions the dataset across N
+  /// shards behind a ShardedPrecisService (DESIGN.md §15). Answers are
+  /// byte-identical either way.
+  size_t shards = 0;
 };
 
 void Usage(const char* argv0) {
@@ -43,10 +49,12 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--address A] [--port N] [--movies N] [--workers N]\n"
       "          [--io-threads N] [--queue-depth N] [--deadline-ms MS]\n"
-      "          [--parallelism N] [--cache on|off]\n"
+      "          [--parallelism N] [--cache on|off] [--shards N]\n"
       "Serves POST /query, GET /metrics, GET /healthz until SIGINT/SIGTERM.\n"
       "--port 0 picks an ephemeral port (printed on stdout at startup).\n"
-      "--queue-depth bounds the admission queue (excess -> HTTP 503).\n",
+      "--queue-depth bounds the admission queue (excess -> HTTP 503).\n"
+      "--shards N partitions the dataset across N engine shards\n"
+      "  (scatter-gather execution; answers stay byte-identical).\n",
       argv0);
 }
 
@@ -82,6 +90,8 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       flags->parallelism = static_cast<size_t>(std::atol(value.c_str()));
     } else if (arg == "--cache") {
       flags->cache = value != "off" && value != "0" && value != "false";
+    } else if (arg == "--shards") {
+      flags->shards = static_cast<size_t>(std::atol(value.c_str()));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -117,30 +127,58 @@ int ServeMain(int argc, char** argv) {
   MoviesDataset dataset = std::move(*ds);
   if (ShutdownRequested()) return 0;
 
-  auto created = PrecisEngine::Create(&dataset.db(), &dataset.graph());
-  if (!created.ok()) {
-    std::fprintf(stderr, "engine: %s\n", created.status().ToString().c_str());
-    return 1;
-  }
-  PrecisEngine engine = std::move(*created);
-  engine.set_caches_enabled(flags.cache);
-
   PrecisService::Options service_options;
   service_options.num_workers = flags.workers;
   service_options.default_deadline_seconds = flags.deadline_ms / 1e3;
   service_options.dbgen_parallelism = flags.parallelism;
   service_options.max_queue_depth = flags.queue_depth;
-  auto service = PrecisService::Create(&engine, service_options);
-  if (!service.ok()) {
-    std::fprintf(stderr, "service: %s\n", service.status().ToString().c_str());
-    return 1;
+
+  // Either serving shape exposes the same PrecisService interface to the
+  // HTTP front end; --shards only changes how queries execute inside.
+  std::unique_ptr<PrecisEngine> engine;
+  std::unique_ptr<ShardedPrecisEngine> sharded_engine;
+  std::unique_ptr<PrecisService> service;
+  if (flags.shards > 0) {
+    auto created = ShardedPrecisEngine::Create(dataset.db(), &dataset.graph(),
+                                               flags.shards);
+    if (!created.ok()) {
+      std::fprintf(stderr, "sharded engine: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    sharded_engine = std::move(*created);
+    sharded_engine->set_caches_enabled(flags.cache);
+    auto svc =
+        ShardedPrecisService::Create(sharded_engine.get(), service_options);
+    if (!svc.ok()) {
+      std::fprintf(stderr, "service: %s\n", svc.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(*svc);
+    std::fprintf(stderr, "sharded execution: %zu shards\n",
+                 sharded_engine->num_shards());
+  } else {
+    auto created = PrecisEngine::Create(&dataset.db(), &dataset.graph());
+    if (!created.ok()) {
+      std::fprintf(stderr, "engine: %s\n",
+                   created.status().ToString().c_str());
+      return 1;
+    }
+    engine = std::make_unique<PrecisEngine>(std::move(*created));
+    engine->set_caches_enabled(flags.cache);
+    auto svc = PrecisService::Create(engine.get(), service_options);
+    if (!svc.ok()) {
+      std::fprintf(stderr, "service: %s\n", svc.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(*svc);
   }
 
   HttpServer::Options server_options;
   server_options.bind_address = flags.address;
   server_options.port = static_cast<uint16_t>(flags.port);
   server_options.io_threads = flags.io_threads;
-  auto server = HttpServer::Create({{"default", service->get()}},
+  auto server = HttpServer::Create({{"default", service.get()}},
                                    server_options);
   if (!server.ok()) {
     std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
@@ -160,8 +198,8 @@ int ServeMain(int argc, char** argv) {
   }
 
   std::fprintf(stderr, "shutting down...\n");
-  (*server)->Stop();            // stop accepting, drain in-flight responses
-  (*service)->Shutdown();       // then stop the query workers
+  (*server)->Stop();        // stop accepting, drain in-flight responses
+  service->Shutdown();      // then stop the query workers
   HttpServer::Metrics m = (*server)->metrics();
   std::fprintf(stderr,
                "served %llu requests (%llu 2xx, %llu 4xx, %llu shed, "

@@ -43,6 +43,7 @@
 #include "precis/json_export.h"
 #include "semistructured/document.h"
 #include "semistructured/shredder.h"
+#include "shard/sharded_engine.h"
 #include "storage/serialization.h"
 #include "translator/translator.h"
 
@@ -75,6 +76,10 @@ constexpr const char* kHelp = R"(commands:
   set parallelism N        intra-query parallel generation on N-way task
                            pool fan-out (1 = sequential); output is
                            byte-identical at any setting
+  set shards N             partition the dataset across N engine shards
+                           (scatter-gather execution, DESIGN.md §15);
+                           1 = single engine; answers are byte-identical
+                           at any setting
   deadline MS              per-query wall-clock deadline in ms (0 = off);
                            an expired query returns its partial answer
   budget N                 per-query access budget: max index probes + tuple
@@ -99,6 +104,8 @@ struct ShellState {
   std::unique_ptr<Database> db;
   std::unique_ptr<SchemaGraph> graph;
   std::unique_ptr<PrecisEngine> engine;
+  /// Non-null (and engine null) when 'set shards N>=2' is active.
+  std::unique_ptr<ShardedPrecisEngine> sharded_engine;
   std::unique_ptr<TemplateCatalog> catalog;  // set for the movies dataset
 
   double min_weight = 0.9;
@@ -106,6 +113,7 @@ struct ShellState {
   size_t tuples_per_relation = 5;
   SubsetStrategy strategy = SubsetStrategy::kAuto;
   size_t parallelism = 1;  // >= 2: parallel db generation (DESIGN.md §11)
+  size_t shards = 1;       // >= 2: scatter-gather engine (DESIGN.md §15)
   bool trace_sql = false;
   bool caches_enabled = false;  // token + schema + answer caches
   double deadline_ms = 0.0;     // 0 = no deadline
@@ -121,14 +129,29 @@ struct ShellState {
   std::shared_ptr<const PrecisAnswer> last_answer;
   /// The context the last query ran under (for 'stats' and 'trace').
   std::unique_ptr<ExecutionContext> last_context;
+  /// Scatter-gather telemetry of the last sharded query (for 'stats').
+  ShardQueryStats last_shard_stats;
+
+  bool HasEngine() const {
+    return engine != nullptr || sharded_engine != nullptr;
+  }
 
   Status RebuildEngine() {
     last_answer.reset();
-    auto engine_result = PrecisEngine::Create(db.get(), graph.get());
-    if (!engine_result.ok()) return engine_result.status();
-    engine = std::make_unique<PrecisEngine>(std::move(*engine_result));
-    // A fresh engine starts with empty caches; re-apply the setting.
-    engine->set_caches_enabled(caches_enabled);
+    engine.reset();
+    sharded_engine.reset();
+    if (shards >= 2) {
+      auto result = ShardedPrecisEngine::Create(*db, graph.get(), shards);
+      if (!result.ok()) return result.status();
+      sharded_engine = std::move(*result);
+      sharded_engine->set_caches_enabled(caches_enabled);
+    } else {
+      auto engine_result = PrecisEngine::Create(db.get(), graph.get());
+      if (!engine_result.ok()) return engine_result.status();
+      engine = std::make_unique<PrecisEngine>(std::move(*engine_result));
+      // A fresh engine starts with empty caches; re-apply the setting.
+      engine->set_caches_enabled(caches_enabled);
+    }
     return Status::OK();
   }
 };
@@ -318,6 +341,19 @@ Status CmdSet(ShellState* state, const std::vector<std::string>& args) {
     long n = std::atol(args[1].c_str());
     if (n < 1) return Status::InvalidArgument("parallelism must be >= 1");
     state->parallelism = static_cast<size_t>(n);
+  } else if (key == "shards" && args.size() == 2) {
+    long n = std::atol(args[1].c_str());
+    if (n < 1) return Status::InvalidArgument("shards must be >= 1");
+    state->shards = static_cast<size_t>(n);
+    if (state->db != nullptr) {
+      // Repartition now; answers stay byte-identical across shard counts.
+      PRECIS_RETURN_NOT_OK(state->RebuildEngine());
+    }
+    if (state->shards >= 2) {
+      std::printf("shards: %zu (scatter-gather execution)\n", state->shards);
+    } else {
+      std::printf("shards: 1 (single engine)\n");
+    }
   } else if (key == "trace" && args.size() == 2) {
     state->trace_sql = (args[1] == "on");
   } else if (key == "faults") {
@@ -327,6 +363,9 @@ Status CmdSet(ShellState* state, const std::vector<std::string>& args) {
     state->caches_enabled = (args[1] == "on");
     if (state->engine != nullptr) {
       state->engine->set_caches_enabled(state->caches_enabled);
+    }
+    if (state->sharded_engine != nullptr) {
+      state->sharded_engine->set_caches_enabled(state->caches_enabled);
     }
   } else if (key == "join" && args.size() == 4) {
     if (state->graph == nullptr) {
@@ -349,7 +388,7 @@ Status CmdSet(ShellState* state, const std::vector<std::string>& args) {
 }
 
 Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
-  if (state->engine == nullptr) {
+  if (!state->HasEngine()) {
     return Status::InvalidArgument("no dataset loaded; use 'dataset' first");
   }
   if (args.empty()) {
@@ -390,9 +429,17 @@ Status CmdQuery(ShellState* state, const std::vector<std::string>& args) {
   if (state->injector.armed()) ctx->SetFaultInjector(&state->injector);
 
   // AnswerShared serves from the full-answer cache when 'set cache on' is
-  // active (trace runs bypass it); otherwise it builds a fresh answer.
-  auto result = state->engine->AnswerShared(PrecisQuery{tokens}, *degree,
-                                            *cardinality, options, ctx.get());
+  // active (trace runs bypass it); otherwise it builds a fresh answer. The
+  // sharded path scatter-gathers and reports where the work landed.
+  state->last_shard_stats = ShardQueryStats();
+  auto result =
+      state->sharded_engine != nullptr
+          ? state->sharded_engine->AnswerShared(PrecisQuery{tokens}, *degree,
+                                                *cardinality, options,
+                                                ctx.get(),
+                                                &state->last_shard_stats)
+          : state->engine->AnswerShared(PrecisQuery{tokens}, *degree,
+                                        *cardinality, options, ctx.get());
   state->last_context = std::move(ctx);
   if (!result.ok()) return result.status();
   std::shared_ptr<const PrecisAnswer> answer = std::move(*result);
@@ -484,7 +531,7 @@ Status CmdStats(ShellState* state) {
                   g.sequential_scans.load(std::memory_order_relaxed)),
               static_cast<unsigned long long>(
                   g.statements.load(std::memory_order_relaxed)));
-  if (state->caches_enabled && state->engine != nullptr) {
+  if (state->caches_enabled && state->HasEngine()) {
     auto print_cache = [](const char* level, const LruCacheStats& s) {
       std::printf("cache %-7s hits=%llu misses=%llu evictions=%llu "
                   "entries=%llu bytes=%llu hit-rate=%.2f\n",
@@ -495,9 +542,46 @@ Status CmdStats(ShellState* state) {
                   static_cast<unsigned long long>(s.charge_bytes),
                   s.hit_rate());
     };
-    print_cache("token:", state->engine->token_cache_stats());
-    print_cache("schema:", state->engine->schema_cache_stats());
-    print_cache("answer:", state->engine->answer_cache_stats());
+    if (state->sharded_engine != nullptr) {
+      LruCacheStats partial_total;
+      for (size_t s = 0; s < state->sharded_engine->num_shards(); ++s) {
+        partial_total += state->sharded_engine->shard_partial_cache_stats(s);
+      }
+      print_cache("partial:", partial_total);
+      print_cache("schema:", state->sharded_engine->schema_cache_stats());
+      print_cache("answer:", state->sharded_engine->answer_cache_stats());
+    } else {
+      print_cache("token:", state->engine->token_cache_stats());
+      print_cache("schema:", state->engine->schema_cache_stats());
+      print_cache("answer:", state->engine->answer_cache_stats());
+    }
+  }
+  if (state->sharded_engine != nullptr) {
+    // Per-shard residency plus what the last query scattered to each shard
+    // (subqueries, physical charges, peak prefetch scratch — the sharded
+    // analog of the arena peak) and the shard's partial-cache hits.
+    const ShardQueryStats& sq = state->last_shard_stats;
+    for (size_t s = 0; s < state->sharded_engine->num_shards(); ++s) {
+      LruCacheStats pc = state->sharded_engine->shard_partial_cache_stats(s);
+      std::printf(
+          "shard %zu:    tuples=%llu subqueries=%llu charges=%llu "
+          "scratch-peak=%llu cache-hits=%llu\n",
+          s,
+          static_cast<unsigned long long>(
+              state->sharded_engine->shard_tuples(s)),
+          static_cast<unsigned long long>(
+              s < sq.subqueries.size() ? sq.subqueries[s] : 0),
+          static_cast<unsigned long long>(
+              s < sq.charges.size() ? sq.charges[s] : 0),
+          static_cast<unsigned long long>(
+              s < sq.scratch_bytes.size() ? sq.scratch_bytes[s] : 0),
+          static_cast<unsigned long long>(pc.hits));
+    }
+    if (sq.merge_events > 0) {
+      std::printf("shard merge: events=%llu total=%.3f ms\n",
+                  static_cast<unsigned long long>(sq.merge_events),
+                  sq.merge_seconds * 1e3);
+    }
   }
   // Data-layout footprint (DESIGN.md §13): the process-wide interner and
   // the last query's arena high-water mark.
@@ -666,12 +750,12 @@ int RunShell(std::istream& in, bool interactive) {
         std::printf("%s", state.graph->ToString().c_str());
       } else if (!args.empty() && args[0] == "settings") {
         std::printf("min-weight=%.2f max-attrs=%ld tuples=%zu strategy=%s "
-                    "parallelism=%zu trace=%s cache=%s deadline-ms=%.1f "
-                    "budget=%llu\n",
+                    "parallelism=%zu shards=%zu trace=%s cache=%s "
+                    "deadline-ms=%.1f budget=%llu\n",
                     state.min_weight, state.max_attrs,
                     state.tuples_per_relation,
                     SubsetStrategyToString(state.strategy), state.parallelism,
-                    state.trace_sql ? "on" : "off",
+                    state.shards, state.trace_sql ? "on" : "off",
                     state.caches_enabled ? "on" : "off", state.deadline_ms,
                     static_cast<unsigned long long>(state.access_budget));
         if (state.injector.armed()) {
