@@ -8,9 +8,18 @@
 //                       required cell-for-cell.
 //   * token_lookup    — InvertedIndex::Lookup over words drawn from the
 //                       indexed text (symbol-id postings path).
+//   * scan_equals     — Column::ScanEquals (SIMD-dispatched) vs the scalar
+//                       reference, tid-for-tid identical output required
+//                       (DESIGN.md §16).
+//   * batch_probe     — ColumnIndex::LookupBatch (software-prefetch
+//                       pipeline) vs sequential Lookup, result-equivalent.
+//   * phrase_lookup   — multi-word InvertedIndex::Lookup (galloping
+//                       postings intersection) over phrases drawn from the
+//                       indexed titles; every phrase must hit.
 //
 // Each kernel gates on correctness (probe results vs a sequential scan,
-// columnar cells vs row cells, every known word found); full mode
+// columnar cells vs row cells, SIMD tids vs scalar tids, batched postings
+// vs sequential, every known word and phrase found); full mode
 // additionally gates on the columnar fetch+project kernel not being slower
 // than the row path it replaced. ci.sh runs the smoke form:
 //
@@ -29,6 +38,7 @@
 
 #include "bench/bench_util.h"
 #include "common/execution_context.h"
+#include "storage/columnar.h"
 #include "storage/relation.h"
 #include "text/inverted_index.h"
 #include "text/tokenizer.h"
@@ -186,6 +196,116 @@ int Main() {
       return 1;
     }
     rows.push_back({"token_lookup", ms, words.size(), double(found)});
+
+    // --- phrase_lookup: two-word phrases from consecutive title words
+    // exercise the multi-word path — galloping intersection of the
+    // per-word postings, then the phrase-adjacency filter. Every phrase
+    // was lifted from an indexed title, so every lookup must hit.
+    std::vector<std::string> phrases;
+    for (const Value& title : *titles) {
+      std::vector<std::string> tw = TokenizeWords(title.AsString());
+      for (size_t i = 0; i + 1 < tw.size(); ++i) {
+        phrases.push_back(tw[i] + " " + tw[i + 1]);
+      }
+      if (phrases.size() >= 2000) break;
+    }
+    std::sort(phrases.begin(), phrases.end());
+    phrases.erase(std::unique(phrases.begin(), phrases.end()),
+                  phrases.end());
+    if (!phrases.empty()) {
+      uint64_t phrase_hits = 0;
+      double phrase_ms = BestOf(reps, [&] {
+        phrase_hits = 0;
+        for (const std::string& p : phrases) {
+          if (!index->Lookup(p)->empty()) ++phrase_hits;
+        }
+      });
+      if (phrase_hits != phrases.size()) {
+        std::fprintf(stderr, "phrase_lookup: %llu/%zu phrases found\n",
+                     static_cast<unsigned long long>(phrase_hits),
+                     phrases.size());
+        return 1;
+      }
+      rows.push_back({"phrase_lookup", phrase_ms, phrases.size(),
+                      double(phrase_hits)});
+    }
+  }
+
+  // --- scan_equals: the unindexed equality scan, SIMD dispatch vs the
+  // scalar reference on CAST.mid (int64 payloads). The two variants must
+  // emit the exact same tid sequence for every probed key (the §16
+  // equivalence gate); aux reports scalar_ms / simd_ms.
+  {
+    auto keys = movie.DistinctValues("mid");
+    if (!keys.ok() || keys->empty()) return 1;
+    const Column& col = cast.column(1);  // CAST{cid, mid, aid, role}
+    std::vector<uint64_t> key_bits;
+    for (const Value& key : *keys) {
+      auto bits = Column::KeyBits(key, col.type());
+      if (bits) key_bits.push_back(*bits);
+    }
+    std::vector<Tid> simd_tids;
+    std::vector<Tid> scalar_tids;
+    for (uint64_t bits : key_bits) {
+      simd_tids.clear();
+      scalar_tids.clear();
+      col.ScanEquals(bits, &simd_tids);
+      col.ScanEqualsScalar(bits, &scalar_tids);
+      if (simd_tids != scalar_tids) {
+        std::fprintf(stderr,
+                     "GATE FAILED: scan_equals SIMD tids != scalar tids\n");
+        return 1;
+      }
+    }
+    std::vector<Tid> scratch;
+    double simd_ms = BestOf(reps, [&] {
+      for (uint64_t bits : key_bits) {
+        scratch.clear();
+        col.ScanEquals(bits, &scratch);
+      }
+    });
+    double scalar_ms = BestOf(reps, [&] {
+      for (uint64_t bits : key_bits) {
+        scratch.clear();
+        col.ScanEqualsScalar(bits, &scratch);
+      }
+    });
+    rows.push_back({"scan_equals_scalar", scalar_ms, key_bits.size(), 0.0});
+    rows.push_back({"scan_equals_simd", simd_ms, key_bits.size(),
+                    scalar_ms / simd_ms});
+  }
+
+  // --- batch_probe: ColumnIndex::LookupBatch's prefetch pipeline vs n
+  // sequential Lookup calls on a freshly built CAST.mid index. Posting
+  // lists must be pointer-identical per key (same table, same probes).
+  {
+    auto keys = movie.DistinctValues("mid");
+    if (!keys.ok() || keys->empty()) return 1;
+    ColumnIndex index(DataType::kInt64);
+    const size_t attr_mid = 1;
+    for (Tid t = 0; t < cast.num_tuples(); ++t) {
+      index.Insert(cast.tuple(t)[attr_mid], t);
+    }
+    std::vector<const std::vector<Tid>*> batched(keys->size());
+    std::vector<const std::vector<Tid>*> sequential(keys->size());
+    double batch_ms = BestOf(reps, [&] {
+      index.LookupBatch(keys->data(), keys->size(), batched.data());
+    });
+    double seq_ms = BestOf(reps, [&] {
+      for (size_t i = 0; i < keys->size(); ++i) {
+        sequential[i] = &index.Lookup((*keys)[i]);
+      }
+    });
+    for (size_t i = 0; i < keys->size(); ++i) {
+      if (batched[i] != sequential[i]) {
+        std::fprintf(stderr,
+                     "GATE FAILED: batch_probe postings != sequential\n");
+        return 1;
+      }
+    }
+    rows.push_back({"index_probe_sequential", seq_ms, keys->size(), 0.0});
+    rows.push_back(
+        {"index_probe_batched", batch_ms, keys->size(), seq_ms / batch_ms});
   }
 
   std::printf("%-24s %10s %10s %14s %10s\n", "kernel", "ms", "ops",

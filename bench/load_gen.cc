@@ -10,12 +10,22 @@
 // and never slows down when the server does — the honest way to measure a
 // service under load (closed-loop clients self-throttle and flatter p99).
 //
-// Two gates (non-zero exit):
+// After the sweep, a hit/miss split pass (DESIGN.md §16) measures the
+// cache-to-wire fast path: a hit pass repeats one popular body (after the
+// first render every response is served from the memoized body cache),
+// and a miss pass gives every request a distinct fingerprint (a unique
+// tiny min_path_weight per body — far below any real edge weight, so the
+// answer bytes are unchanged but the cache key never repeats).
+//
+// Gates (non-zero exit):
 //   1. Byte identity: the body served for a fixed query must equal the
 //      in-process answer byte for byte (same parse path, same engine).
 //   2. No unexpected errors: every response is 200, 503 (deliberate
 //      shedding), or 504 (deadline partial); transport errors and other
 //      5xx fail the run.
+//   3. Full mode only: the hit-path p99 must be at least 1.5x faster than
+//      the miss-path p99 at the same offered load (smoke runs are too
+//      short to time percentiles meaningfully, so they only report).
 //
 // Env knobs: PRECIS_BENCH_TARGET (required, host:port), PRECIS_BENCH_MOVIES
 // (must match the server's --movies), PRECIS_BENCH_QPS (comma-separated
@@ -330,6 +340,36 @@ int LoadGenMain(int argc, char** argv) {
     points.push_back(std::move(r));
   }
 
+  // Hit/miss split pass at one moderate offered load. The hit pass was
+  // already primed by the byte-identity probe (same body), so virtually
+  // every 200 is served straight from the memoized render.
+  const double hm_qps = smoke ? 20 : 80;
+  const std::string hit_body = "{\"tokens\":[\"" + JsonEscape(pool[0]) +
+                               "\"],\"tuples_per_relation\":5}";
+  PointResult hit_point =
+      RunPoint(target, {hit_body}, hm_qps, duration_s, connections);
+  std::vector<std::string> miss_bodies;
+  const size_t miss_total = static_cast<size_t>(hm_qps * duration_s) + 1;
+  miss_bodies.reserve(miss_total);
+  for (size_t i = 0; i < miss_total; ++i) {
+    char weight[40];
+    std::snprintf(weight, sizeof(weight), "%.12g",
+                  1e-9 * static_cast<double>(i + 1));
+    miss_bodies.push_back("{\"tokens\":[\"" + JsonEscape(pool[0]) +
+                          "\"],\"tuples_per_relation\":5,"
+                          "\"min_path_weight\":" +
+                          weight + "}");
+  }
+  PointResult miss_point =
+      RunPoint(target, miss_bodies, hm_qps, duration_s, connections);
+  const double hit_speedup_p99 =
+      hit_point.p99_ms > 0 ? miss_point.p99_ms / hit_point.p99_ms : 0;
+  std::fprintf(stderr,
+               "hit/miss split @ %.0f qps: hit p50 %.3f ms p99 %.3f ms, "
+               "miss p50 %.3f ms p99 %.3f ms, p99 speedup %.2fx\n",
+               hm_qps, hit_point.p50_ms, hit_point.p99_ms, miss_point.p50_ms,
+               miss_point.p99_ms, hit_speedup_p99);
+
   std::ostringstream os;
   os << "{\n  \"bench\": \"server_load\",\n  \"target\": \"" << target_spec
      << "\",\n  \"movies\": " << bench::BenchMovieCount()
@@ -350,7 +390,14 @@ int LoadGenMain(int argc, char** argv) {
        << ", \"shed_rate\": " << r.shed_rate << "}"
        << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ],\n  \"hit_miss\": {\"offered_qps\": " << hm_qps
+     << ", \"hit_ok\": " << hit_point.totals.ok
+     << ", \"hit_p50_ms\": " << hit_point.p50_ms
+     << ", \"hit_p99_ms\": " << hit_point.p99_ms
+     << ", \"miss_ok\": " << miss_point.totals.ok
+     << ", \"miss_p50_ms\": " << miss_point.p50_ms
+     << ", \"miss_p99_ms\": " << miss_point.p99_ms
+     << ", \"p99_speedup\": " << hit_speedup_p99 << "}\n}\n";
   std::ofstream out(out_path);
   out << os.str();
   out.close();
@@ -364,6 +411,10 @@ int LoadGenMain(int argc, char** argv) {
     bad += r.totals.errors + r.totals.transport + r.totals.rejected;
     answered += r.totals.ok;
   }
+  bad += hit_point.totals.errors + hit_point.totals.transport +
+         hit_point.totals.rejected + miss_point.totals.errors +
+         miss_point.totals.transport + miss_point.totals.rejected;
+  answered += hit_point.totals.ok + miss_point.totals.ok;
   if (bad > 0) {
     std::fprintf(stderr,
                  "ERROR GATE FAILED: %llu unexpected outcomes (5xx, 4xx, or "
@@ -373,6 +424,16 @@ int LoadGenMain(int argc, char** argv) {
   }
   if (answered == 0) {
     std::fprintf(stderr, "ERROR GATE FAILED: no successful answers at all\n");
+    return 1;
+  }
+
+  // Gate 3: the memoized fast path must actually pay for itself. Smoke
+  // runs only report (sub-second passes make p99 a coin flip).
+  if (!smoke && hit_speedup_p99 < 1.5) {
+    std::fprintf(stderr,
+                 "HIT-PATH GATE FAILED: hit p99 only %.2fx faster than miss "
+                 "p99 (need >= 1.5x)\n",
+                 hit_speedup_p99);
     return 1;
   }
   return 0;

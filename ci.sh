@@ -13,8 +13,11 @@
 #                         throughput or any query fails under injected
 #                         faults — robustness gates, DESIGN.md §12),
 #                         bench/kernels in smoke mode (fails when a columnar
-#                         kernel disagrees with the row path — data-layout
-#                         equivalence gate, DESIGN.md §13), and
+#                         kernel disagrees with the row path, when the SIMD
+#                         ScanEquals emits different tids than the scalar
+#                         reference, or when a batched index probe differs
+#                         from sequential lookups — data-layout equivalence
+#                         gates, DESIGN.md §13 + §16), and
 #                         bench/shard_scaling in smoke mode (fails when any
 #                         sharded run emits a different database or report
 #                         than the sequential single-engine walk — shard
@@ -26,9 +29,13 @@
 #                         any transport error, unexpected 4xx/5xx, or a
 #                         served body that is not byte-identical to the
 #                         in-process single-engine answer (DESIGN.md §14 +
-#                         §15 byte-identity end-to-end); the leg then
-#                         SIGTERMs the server and requires a graceful zero
-#                         exit.
+#                         §15 byte-identity end-to-end — with --cache on by
+#                         default this also proves the memoized body cache
+#                         and zero-copy writev path serve the exact same
+#                         bytes, §16). load_gen also runs a hit/miss split
+#                         pass (reported in smoke; the 1.5x p99 gate arms
+#                         in full runs). The leg then SIGTERMs the server
+#                         and requires a graceful zero exit.
 #   4. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
 #                         PrecisService, engine concurrency, the sharded LRU,
 #                         the answer cache, the work-stealing TaskPool, the
@@ -42,8 +49,10 @@
 #                         sanitizer.
 #   5. ASan + UBSan     — the chaos smoke gate: the fault-injection suite,
 #                         the fuzz-lite chaos sweep (including its sharded
-#                         arm), the shard suite and the HTTP server suite
-#                         rebuilt under address+undefined sanitizers.
+#                         arm and the body-cache insert/query interleaving
+#                         sweep), the answer/body cache suite, the shard
+#                         suite and the HTTP server suite rebuilt under
+#                         address+undefined sanitizers.
 #                         Injected faults exercise every degradation path
 #                         (drops, failed lookups, retries, placeholders);
 #                         this leg proves those paths are memory- and
@@ -76,8 +85,9 @@ PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_fault_tolerance.json" \
   "$ROOT/build-release/bench/fault_tolerance"
-# Columnar kernels (index probe, fetch+project, token lookup) must agree
-# with the row path cell-for-cell (DESIGN.md §13).
+# Columnar kernels (index probe, fetch+project, token lookup, SIMD
+# scan-equals, batched probe, phrase intersection) must agree with their
+# scalar/sequential references cell-for-cell (DESIGN.md §13 + §16).
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_kernels.json" \
   "$ROOT/build-release/bench/kernels_bench"
@@ -152,9 +162,10 @@ cmake -B "$ROOT/build-asan-ubsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="address,undefined"
 cmake --build "$ROOT/build-asan-ubsan" -j "$JOBS" \
   --target fault_injection_test fuzz_lite_test service_test \
-           arena_test columnar_test server_test shard_test
+           arena_test columnar_test server_test shard_test \
+           answer_cache_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-asan-ubsan" --output-on-failure -j "$JOBS" \
-  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel|JsonLite|HttpParser|RequestParse|HttpServer|Shard|MergeAscendingTids'
+  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel|JsonLite|HttpParser|RequestParse|HttpServer|Shard|MergeAscendingTids|AnswerCache'
 
 echo "=== CI passed (Release + bench smokes + server smoke + $SANITIZER + asan,ubsan chaos) ==="

@@ -1,0 +1,69 @@
+// Galloping (exponential) search over sorted ranges (DESIGN.md §16).
+//
+// Intersecting a short sorted list against a long one with per-element
+// binary search costs O(n_small * log n_large) with a cold cache line per
+// probe. Galloping from a monotone cursor instead costs O(log gap) per
+// element — near O(1) when consecutive probe targets land close together,
+// which is exactly the shape of posting-list intersection where the driver
+// list is the rarest word's postings.
+
+#ifndef PRECIS_COMMON_GALLOP_H_
+#define PRECIS_COMMON_GALLOP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace precis {
+
+/// \brief Index of the first element in sorted `v[from..)` that is not less
+/// than `value` (i.e. std::lower_bound restricted to the tail), found by
+/// exponential probing followed by a binary search over the bracketed
+/// window.
+///
+/// Requires: `v` sorted ascending by `operator<` and every element before
+/// `from` less than `value` (the monotone-cursor invariant — callers pass
+/// the position returned for the previous, smaller probe value).
+template <typename T>
+size_t GallopLowerBound(const std::vector<T>& v, size_t from, const T& value) {
+  const size_t n = v.size();
+  size_t hi = from;
+  size_t step = 1;
+  // Double the stride until v[hi] >= value (or the range ends); the answer
+  // then lies in (previous hi, hi].
+  while (hi < n && v[hi] < value) {
+    from = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  if (hi > n) hi = n;
+  return static_cast<size_t>(
+      std::lower_bound(v.begin() + static_cast<ptrdiff_t>(from),
+                       v.begin() + static_cast<ptrdiff_t>(hi), value) -
+      v.begin());
+}
+
+/// \brief Monotone membership cursor over one sorted list, for intersecting
+/// it against an ascending stream of probe values. Each Contains advances
+/// the cursor with GallopLowerBound, so a full intersection pass touches
+/// the list once instead of binary-searching it from scratch per probe.
+template <typename T>
+class GallopCursor {
+ public:
+  explicit GallopCursor(const std::vector<T>* list) : list_(list) {}
+
+  /// True if `value` is present at or after the cursor. Probe values must
+  /// be non-decreasing across calls.
+  bool Contains(const T& value) {
+    pos_ = GallopLowerBound(*list_, pos_, value);
+    return pos_ < list_->size() && !(value < (*list_)[pos_]);
+  }
+
+ private:
+  const std::vector<T>* list_;
+  size_t pos_ = 0;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_COMMON_GALLOP_H_

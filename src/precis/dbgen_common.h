@@ -169,6 +169,32 @@ inline bool ForeignKeyHolds(const Database& db, const ForeignKey& fk) {
   auto child_idx = (*child)->schema().AttributeIndex(fk.child_attribute);
   auto parent_idx = (*parent)->schema().AttributeIndex(fk.parent_attribute);
   if (!child_idx.ok() || !parent_idx.ok()) return false;
+  const Column& child_col = (*child)->column(*child_idx);
+  const Column& parent_col = (*parent)->column(*parent_idx);
+  if (child_col.type() == parent_col.type()) {
+    // Same-type columns: compare canonical 64-bit key bits straight off the
+    // columnar payload instead of hashing 40-byte Values. Semantics match
+    // Value equality exactly: NULLs are skipped on the child side and
+    // contribute nothing on the parent side; a NaN child value equals
+    // nothing (CanonicalBits -> nullopt, like NaN self-inequality under
+    // Value::operator==); a NaN parent value can never be matched, so
+    // skipping its insert is unobservable; -0.0 canonicalizes to +0.0 on
+    // both sides.
+    const DataType type = child_col.type();
+    std::unordered_set<uint64_t> parent_bits;
+    parent_bits.reserve(parent_col.size());
+    for (Tid tid = 0; tid < parent_col.size(); ++tid) {
+      if (parent_col.IsNull(tid)) continue;
+      auto bits = Column::CanonicalBits(parent_col.raw_bits(tid), type);
+      if (bits) parent_bits.insert(*bits);
+    }
+    for (Tid tid = 0; tid < child_col.size(); ++tid) {
+      if (child_col.IsNull(tid)) continue;
+      auto bits = Column::CanonicalBits(child_col.raw_bits(tid), type);
+      if (!bits || parent_bits.count(*bits) == 0) return false;
+    }
+    return true;
+  }
   std::unordered_set<Value, ValueHash> parent_values;
   for (Tid tid = 0; tid < (*parent)->num_tuples(); ++tid) {
     parent_values.insert((*parent)->tuple(tid)[*parent_idx]);

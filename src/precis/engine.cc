@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "precis/json_export.h"
 
 namespace precis {
 
@@ -61,8 +65,13 @@ Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
     const CardinalityConstraint& cardinality, const DbGenOptions& options,
     ExecutionContext* ctx) const {
   // Input relations (deduplicated, in match order) and seed tuple ids.
+  // Relation dedup stays a linear std::find (a handful of entries); tid
+  // dedup uses a hash-set membership check per relation — multi-token
+  // queries over a popular relation used to pay a quadratic std::find over
+  // the accumulated seed list. Insertion order is preserved either way.
   std::vector<RelationNodeId> token_relations;
   SeedTids seeds;
+  std::unordered_map<RelationNodeId, std::unordered_set<Tid>> seen_tids;
   for (const TokenMatch& match : matches) {
     for (const TokenOccurrence& occ : match.occurrences()) {
       auto rel = graph_->RelationId(occ.relation);
@@ -72,10 +81,9 @@ Result<PrecisAnswer> PrecisEngine::AnswerFromMatches(
         token_relations.push_back(*rel);
       }
       std::vector<Tid>& tids = seeds[*rel];
+      std::unordered_set<Tid>& seen = seen_tids[*rel];
       for (Tid tid : occ.tids) {
-        if (std::find(tids.begin(), tids.end(), tid) == tids.end()) {
-          tids.push_back(tid);
-        }
+        if (seen.insert(tid).second) tids.push_back(tid);
       }
     }
   }
@@ -210,26 +218,66 @@ Result<std::shared_ptr<const PrecisAnswer>> PrecisEngine::AnswerShared(
     const PrecisQuery& query, const DegreeConstraint& degree,
     const CardinalityConstraint& cardinality, const DbGenOptions& options,
     ExecutionContext* ctx) const {
-  // Options that make answers non-reusable bypass the cache entirely:
+  return AnswerSharedImpl(query, degree, cardinality, options, ctx,
+                          /*body_out=*/nullptr);
+}
+
+Result<RenderedAnswer> PrecisEngine::AnswerSharedRendered(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx) const {
+  std::shared_ptr<const std::string> body;
+  auto answer =
+      AnswerSharedImpl(query, degree, cardinality, options, ctx, &body);
+  if (!answer.ok()) return answer.status();
+  return RenderedAnswer{std::move(*answer), std::move(body)};
+}
+
+Result<std::shared_ptr<const PrecisAnswer>> PrecisEngine::AnswerSharedImpl(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx,
+    std::shared_ptr<const std::string>* body_out) const {
+  // Options that make answers non-reusable bypass the caches entirely:
   // a traced run must re-execute to produce its SQL trace, and per-tuple
   // weight stores can change between calls without an epoch to observe.
-  const bool cacheable =
-      answer_cache_enabled_.load(std::memory_order_relaxed) &&
+  const bool reusable =
       options.tuple_weights == nullptr && !options.trace_sql;
+  const bool cacheable =
+      answer_cache_enabled_.load(std::memory_order_relaxed) && reusable;
+  const bool body_cacheable =
+      body_out != nullptr &&
+      body_cache_enabled_.load(std::memory_order_relaxed) && reusable;
 
   std::string key;
   uint64_t db_epoch = 0;
   uint64_t weight_epoch = 0;
-  if (cacheable) {
+  if (cacheable || body_cacheable) {
     // Epochs are read BEFORE the lookup/build. If a mutation lands during
     // the build, the re-read below differs and the answer is not inserted.
     db_epoch = db_->epoch();
     weight_epoch = graph_->weight_epoch();
     key = AnswerFingerprint(query, degree, cardinality, options, db_epoch,
                             weight_epoch);
+  }
+  if (cacheable) {
     ScopedSpan span(ctx, "answer_cache");
     if (std::shared_ptr<const PrecisAnswer> hit =
             caches_->answer->Get(key)) {
+      if (body_out != nullptr) {
+        // A cached answer is clean and complete by construction, so a
+        // memoized render of it (or a fresh one, inserted here) is always
+        // servable next to it.
+        std::shared_ptr<const std::string> body;
+        if (body_cacheable) body = caches_->body->Get(key);
+        if (body == nullptr) {
+          body = std::make_shared<const std::string>(AnswerToJson(*hit));
+          if (body_cacheable) {
+            caches_->body->Put(key, body, body->size() + 64);
+          }
+        }
+        *body_out = std::move(body);
+      }
       return hit;
     }
   }
@@ -238,21 +286,34 @@ Result<std::shared_ptr<const PrecisAnswer>> PrecisEngine::AnswerShared(
   if (!answer.ok()) return answer.status();
   auto shared = std::make_shared<const PrecisAnswer>(std::move(*answer));
 
-  if (cacheable &&
-      // Never cache partial answers: a deadline / budget / cancellation
-      // stop reflects this query's limits, not the data (PR 1's
-      // schema-cache rule, applied at the answer level).
-      !shared->report.partial() &&
-      (ctx == nullptr || !ctx->ShouldStop()) &&
-      // Never cache fault-tainted or degraded answers: the taint bit is
-      // set whenever the run executed with an armed injector (fingerprint-
-      // independent — the fingerprint cannot see the injector), so a cache
-      // hit always means a clean, complete answer (DESIGN.md §12).
-      !shared->report.fault_tainted && !shared->report.degraded() &&
-      // Epochs unchanged across the build: the answer saw one consistent
-      // database + weight state.
-      db_->epoch() == db_epoch && graph_->weight_epoch() == weight_epoch) {
+  // Never cache partial answers: a deadline / budget / cancellation
+  // stop reflects this query's limits, not the data (PR 1's
+  // schema-cache rule, applied at the answer level). Never cache
+  // fault-tainted or degraded answers: the taint bit is set whenever the
+  // run executed with an armed injector (fingerprint-independent — the
+  // fingerprint cannot see the injector), so a cache hit always means a
+  // clean, complete answer (DESIGN.md §12).
+  const bool clean = !shared->report.partial() &&
+                     (ctx == nullptr || !ctx->ShouldStop()) &&
+                     !shared->report.fault_tainted &&
+                     !shared->report.degraded();
+  // Epochs unchanged across the build: the answer saw one consistent
+  // database + weight state.
+  const bool epochs_stable = db_->epoch() == db_epoch &&
+                             graph_->weight_epoch() == weight_epoch;
+  if (cacheable && clean && epochs_stable) {
     caches_->answer->Put(key, shared, EstimateAnswerCharge(*shared));
+  }
+  if (body_out != nullptr) {
+    // The body is always rendered from the answer actually returned (never
+    // pulled from the cache on a rebuild), so headers derived from the
+    // answer and the served bytes can never disagree — even for partial or
+    // degraded runs, whose renders simply skip the insert.
+    auto body = std::make_shared<const std::string>(AnswerToJson(*shared));
+    if (body_cacheable && clean && epochs_stable) {
+      caches_->body->Put(key, body, body->size() + 64);
+    }
+    *body_out = std::move(body);
   }
   return shared;
 }

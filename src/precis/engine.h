@@ -77,6 +77,16 @@ struct PrecisAnswer {
 /// in the engine's full-answer cache (exposed for tests and benches).
 size_t EstimateAnswerCharge(const PrecisAnswer& answer);
 
+/// \brief An answer together with its memoized JSON rendering.
+///
+/// `body_json` is exactly `AnswerToJson(*answer)` — the serving stack can
+/// put it on the wire without re-rendering or copying. Both pointers are
+/// non-null on success and immutable.
+struct RenderedAnswer {
+  std::shared_ptr<const PrecisAnswer> answer;
+  std::shared_ptr<const std::string> body_json;
+};
+
 /// \brief The epoch-free part of the full-answer cache key: canonicalized
 /// token sequence + constraint renderings + generation options. Shared by
 /// PrecisEngine (which prefixes its database + weight epochs) and the
@@ -147,6 +157,22 @@ class PrecisEngine {
       const DbGenOptions& options = DbGenOptions(),
       ExecutionContext* ctx = nullptr) const;
 
+  /// AnswerShared() plus serialization memoization (DESIGN.md §16, cache
+  /// level 4): the returned body_json is exactly AnswerToJson(*answer),
+  /// cached under the same fingerprint and the same discipline as the
+  /// answer cache — partial, fault-tainted or degraded renders are never
+  /// inserted, and the epochs baked into the fingerprint make every cached
+  /// body unreachable after any mutation. On the steady-state hit path
+  /// this costs two LRU lookups and zero serialization work. A cached body
+  /// is only served next to a cached (hence clean) answer; whenever the
+  /// answer was rebuilt, the body is re-rendered from that very answer, so
+  /// the pair is always mutually consistent.
+  Result<RenderedAnswer> AnswerSharedRendered(
+      const PrecisQuery& query, const DegreeConstraint& degree,
+      const CardinalityConstraint& cardinality,
+      const DbGenOptions& options = DbGenOptions(),
+      ExecutionContext* ctx = nullptr) const;
+
   /// Installs a synonym table applied to every query token before lookup
   /// (§5.1's "W. Allen" == "Woody Allen"). Pass nullptr to remove. The
   /// table must outlive the engine while installed.
@@ -198,6 +224,23 @@ class PrecisEngine {
     caches_->answer = std::make_unique<AnswerCache>(bytes);
   }
 
+  /// Rendered-body caching (level 4; see AnswerSharedRendered). Off by
+  /// default.
+  void set_body_cache_enabled(bool enabled) {
+    body_cache_enabled_.store(enabled, std::memory_order_relaxed);
+    if (!enabled) ClearBodyCache();
+  }
+  bool body_cache_enabled() const {
+    return body_cache_enabled_.load(std::memory_order_relaxed);
+  }
+  void ClearBodyCache() { caches_->body->Clear(); }
+  LruCacheStats body_cache_stats() const { return caches_->body->stats(); }
+  /// Replaces the body cache with an empty one of `bytes` capacity
+  /// (counters reset). Must not race with in-flight queries.
+  void set_body_cache_capacity(size_t bytes) {
+    caches_->body = std::make_unique<BodyCache>(bytes);
+  }
+
   /// Token-occurrence caching (level 1; see InvertedIndex). Off by default.
   void set_token_cache_enabled(bool enabled) {
     index_.set_lookup_cache_enabled(enabled);
@@ -206,11 +249,12 @@ class PrecisEngine {
     return index_.lookup_cache_stats();
   }
 
-  /// Convenience: flips all three cache levels at once.
+  /// Convenience: flips all four cache levels at once.
   void set_caches_enabled(bool enabled) {
     set_token_cache_enabled(enabled);
     set_schema_cache_enabled(enabled);
     set_answer_cache_enabled(enabled);
+    set_body_cache_enabled(enabled);
   }
 
   const InvertedIndex& index() const { return index_; }
@@ -225,6 +269,8 @@ class PrecisEngine {
             o.schema_cache_enabled_.load(std::memory_order_relaxed)),
         answer_cache_enabled_(
             o.answer_cache_enabled_.load(std::memory_order_relaxed)),
+        body_cache_enabled_(
+            o.body_cache_enabled_.load(std::memory_order_relaxed)),
         caches_(std::move(o.caches_)) {}
   PrecisEngine& operator=(PrecisEngine&& o) noexcept {
     db_ = o.db_;
@@ -236,6 +282,9 @@ class PrecisEngine {
         std::memory_order_relaxed);
     answer_cache_enabled_.store(
         o.answer_cache_enabled_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    body_cache_enabled_.store(
+        o.body_cache_enabled_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
     caches_ = std::move(o.caches_);
     return *this;
@@ -267,6 +316,15 @@ class PrecisEngine {
                                 uint64_t db_epoch,
                                 uint64_t weight_epoch) const;
 
+  /// Shared implementation of AnswerShared / AnswerSharedRendered. When
+  /// `body_out` is non-null it is always filled with AnswerToJson bytes,
+  /// memoized through the body cache when permitted.
+  Result<std::shared_ptr<const PrecisAnswer>> AnswerSharedImpl(
+      const PrecisQuery& query, const DegreeConstraint& degree,
+      const CardinalityConstraint& cardinality, const DbGenOptions& options,
+      ExecutionContext* ctx,
+      std::shared_ptr<const std::string>* body_out) const;
+
   const Database* db_;
   const SchemaGraph* graph_;
   InvertedIndex index_;
@@ -274,19 +332,24 @@ class PrecisEngine {
 
   std::atomic<bool> schema_cache_enabled_{false};
   std::atomic<bool> answer_cache_enabled_{false};
+  std::atomic<bool> body_cache_enabled_{false};
 
   using SchemaCache = ShardedLruCache<std::string, ResultSchema>;
   using AnswerCache = ShardedLruCache<std::string, PrecisAnswer>;
+  using BodyCache = ShardedLruCache<std::string, std::string>;
   // Behind a unique_ptr so the engine stays movable despite the shard
   // mutexes. Capacity defaults: 8 MiB of schemas (they are small; this is
   // effectively "all schemas a realistic weight/constraint mix produces"),
   // 64 MiB of answers (a result database per entry; bounded so a long tail
   // of one-off queries evicts instead of growing forever — the fix for
-  // PR 1's unbounded schema-cache map).
+  // PR 1's unbounded schema-cache map), 32 MiB of rendered JSON bodies
+  // (cheaper per entry than answers; sized to hold the rendered form of a
+  // realistic hot set).
   struct Caches {
     SchemaCache schema{8 << 20};
     std::unique_ptr<AnswerCache> answer =
         std::make_unique<AnswerCache>(64 << 20);
+    std::unique_ptr<BodyCache> body = std::make_unique<BodyCache>(32 << 20);
   };
   std::unique_ptr<Caches> caches_ = std::make_unique<Caches>();
 };

@@ -2,47 +2,131 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <sstream>
 
 namespace precis {
 
 namespace {
 
+// The serializers below append into one pre-sized std::string instead of
+// an ostringstream: AnswerToJson sits on the serving hot path (its output
+// is what the body cache memoizes, DESIGN.md §16), and streaming through
+// ostringstream costs a locale-aware formatting layer plus a final copy
+// out of the stream. Byte-for-byte output is unchanged — integers format
+// identically via std::to_string, doubles keep their snprintf patterns.
+
+void AppendUint(std::string* out, uint64_t v) { *out += std::to_string(v); }
+
 /// Appends a JSON array of strings.
-void AppendStringArray(std::ostringstream* os,
+void AppendStringArray(std::string* out,
                        const std::vector<std::string>& items) {
-  *os << "[";
+  *out += "[";
   for (size_t i = 0; i < items.size(); ++i) {
-    if (i > 0) *os << ",";
-    *os << "\"" << JsonEscape(items[i]) << "\"";
+    if (i > 0) *out += ",";
+    *out += "\"";
+    *out += JsonEscape(items[i]);
+    *out += "\"";
   }
-  *os << "]";
+  *out += "]";
 }
 
-void AppendRelation(std::ostringstream* os, const Relation& relation) {
-  const RelationSchema& schema = relation.schema();
-  *os << "{\"name\":\"" << JsonEscape(schema.name()) << "\",\"attributes\":[";
-  for (size_t i = 0; i < schema.num_attributes(); ++i) {
-    if (i > 0) *os << ",";
-    const AttributeSchema& attr = schema.attribute(i);
-    *os << "{\"name\":\"" << JsonEscape(attr.name) << "\",\"type\":\""
-        << DataTypeToString(attr.type) << "\",\"primary_key\":"
-        << ((schema.primary_key() && *schema.primary_key() == i) ? "true"
-                                                                 : "false")
-        << "}";
+void AppendValueJson(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    *out += "null";
+    return;
   }
-  *os << "],\"tuples\":[";
+  if (v.is_int64()) {
+    *out += std::to_string(v.AsInt64());
+    return;
+  }
+  if (v.is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+    *out += buf;
+    return;
+  }
+  *out += "\"";
+  *out += JsonEscape(v.AsString());
+  *out += "\"";
+}
+
+/// Rough per-relation output size used to reserve the destination buffer
+/// up front: schema boilerplate plus a conservative per-cell estimate.
+/// Short numeric cells stay well under this; long strings overflow into
+/// the string's normal growth, so the estimate only needs to be close.
+size_t EstimateRelationJsonBytes(const Relation& relation) {
+  const size_t cells =
+      relation.num_tuples() * relation.schema().num_attributes();
+  return 96 + 64 * relation.schema().num_attributes() + 8 * cells +
+         relation.num_tuples() * 4;
+}
+
+void AppendRelation(std::string* out, const Relation& relation) {
+  const RelationSchema& schema = relation.schema();
+  *out += "{\"name\":\"";
+  *out += JsonEscape(schema.name());
+  *out += "\",\"attributes\":[";
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) *out += ",";
+    const AttributeSchema& attr = schema.attribute(i);
+    *out += "{\"name\":\"";
+    *out += JsonEscape(attr.name);
+    *out += "\",\"type\":\"";
+    *out += DataTypeToString(attr.type);
+    *out += "\",\"primary_key\":";
+    *out += (schema.primary_key() && *schema.primary_key() == i) ? "true"
+                                                                 : "false";
+    *out += "}";
+  }
+  *out += "],\"tuples\":[";
   for (Tid tid = 0; tid < relation.num_tuples(); ++tid) {
-    if (tid > 0) *os << ",";
-    *os << "[";
+    if (tid > 0) *out += ",";
+    *out += "[";
     const Tuple& tuple = relation.tuple(tid);
     for (size_t i = 0; i < tuple.size(); ++i) {
-      if (i > 0) *os << ",";
-      *os << ValueToJson(tuple[i]);
+      if (i > 0) *out += ",";
+      AppendValueJson(out, tuple[i]);
     }
-    *os << "]";
+    *out += "]";
   }
-  *os << "]}";
+  *out += "]}";
+}
+
+void AppendDatabaseJson(std::string* out, const Database& db) {
+  *out += "{\"name\":\"";
+  *out += JsonEscape(db.name());
+  *out += "\",\"relations\":[";
+  bool first = true;
+  for (const std::string& name : db.RelationNames()) {
+    auto rel = db.GetRelation(name);
+    if (!rel.ok()) continue;
+    if (!first) *out += ",";
+    first = false;
+    AppendRelation(out, **rel);
+  }
+  *out += "],\"foreign_keys\":[";
+  for (size_t i = 0; i < db.foreign_keys().size(); ++i) {
+    if (i > 0) *out += ",";
+    const ForeignKey& fk = db.foreign_keys()[i];
+    *out += "{\"child\":\"";
+    *out += JsonEscape(fk.child_relation);
+    *out += "\",\"child_attribute\":\"";
+    *out += JsonEscape(fk.child_attribute);
+    *out += "\",\"parent\":\"";
+    *out += JsonEscape(fk.parent_relation);
+    *out += "\",\"parent_attribute\":\"";
+    *out += JsonEscape(fk.parent_attribute);
+    *out += "\"}";
+  }
+  *out += "]}";
+}
+
+size_t EstimateDatabaseJsonBytes(const Database& db) {
+  size_t bytes = 64 + 96 * db.foreign_keys().size();
+  for (const std::string& name : db.RelationNames()) {
+    auto rel = db.GetRelation(name);
+    if (rel.ok()) bytes += EstimateRelationJsonBytes(**rel);
+  }
+  return bytes;
 }
 
 }  // namespace
@@ -81,125 +165,141 @@ std::string JsonEscape(const std::string& raw) {
 }
 
 std::string ValueToJson(const Value& v) {
-  if (v.is_null()) return "null";
-  if (v.is_int64()) return std::to_string(v.AsInt64());
-  if (v.is_double()) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
-    return buf;
-  }
-  return "\"" + JsonEscape(v.AsString()) + "\"";
+  std::string out;
+  AppendValueJson(&out, v);
+  return out;
 }
 
 std::string DatabaseToJson(const Database& db) {
-  std::ostringstream os;
-  os << "{\"name\":\"" << JsonEscape(db.name()) << "\",\"relations\":[";
-  bool first = true;
-  for (const std::string& name : db.RelationNames()) {
-    auto rel = db.GetRelation(name);
-    if (!rel.ok()) continue;
-    if (!first) os << ",";
-    first = false;
-    AppendRelation(&os, **rel);
-  }
-  os << "],\"foreign_keys\":[";
-  for (size_t i = 0; i < db.foreign_keys().size(); ++i) {
-    if (i > 0) os << ",";
-    const ForeignKey& fk = db.foreign_keys()[i];
-    os << "{\"child\":\"" << JsonEscape(fk.child_relation)
-       << "\",\"child_attribute\":\"" << JsonEscape(fk.child_attribute)
-       << "\",\"parent\":\"" << JsonEscape(fk.parent_relation)
-       << "\",\"parent_attribute\":\"" << JsonEscape(fk.parent_attribute)
-       << "\"}";
-  }
-  os << "]}";
-  return os.str();
+  std::string out;
+  out.reserve(EstimateDatabaseJsonBytes(db));
+  AppendDatabaseJson(&out, db);
+  return out;
 }
 
 std::string AnswerToJson(const PrecisAnswer& answer) {
-  std::ostringstream os;
-  os << "{\"matches\":[";
-  for (size_t m = 0; m < answer.matches.size(); ++m) {
-    if (m > 0) os << ",";
-    const TokenMatch& match = answer.matches[m];
-    os << "{\"token\":\"" << JsonEscape(match.token)
-       << "\",\"resolved_token\":\"" << JsonEscape(match.resolved_token)
-       << "\",\"occurrences\":[";
-    for (size_t o = 0; o < match.occurrences().size(); ++o) {
-      if (o > 0) os << ",";
-      const TokenOccurrence& occ = match.occurrences()[o];
-      os << "{\"relation\":\"" << JsonEscape(occ.relation)
-         << "\",\"attribute\":\"" << JsonEscape(occ.attribute)
-         << "\",\"tids\":[";
-      for (size_t t = 0; t < occ.tids.size(); ++t) {
-        if (t > 0) os << ",";
-        os << occ.tids[t];
+  std::string out;
+  {
+    // Size the buffer once from the answer's own counts so the append
+    // loops below almost never reallocate (satellite of DESIGN.md §16).
+    size_t estimate = 512 + EstimateDatabaseJsonBytes(answer.database);
+    for (const TokenMatch& match : answer.matches) {
+      estimate += 96 + match.token.size() + match.resolved_token.size();
+      for (const TokenOccurrence& occ : match.occurrences()) {
+        estimate += 64 + occ.relation.size() + occ.attribute.size() +
+                    8 * occ.tids.size();
       }
-      os << "]}";
     }
-    os << "]}";
+    estimate += 128 * answer.schema.relations().size() +
+                160 * answer.schema.join_edges().size() +
+                96 * answer.report.degradation.relations.size() +
+                32 * (answer.report.executed_edges.size() +
+                      answer.report.truncated_relations.size() +
+                      answer.report.dropped_foreign_keys.size());
+    out.reserve(estimate);
   }
-  os << "],\"schema\":{\"relations\":[";
+  out += "{\"matches\":[";
+  for (size_t m = 0; m < answer.matches.size(); ++m) {
+    if (m > 0) out += ",";
+    const TokenMatch& match = answer.matches[m];
+    out += "{\"token\":\"";
+    out += JsonEscape(match.token);
+    out += "\",\"resolved_token\":\"";
+    out += JsonEscape(match.resolved_token);
+    out += "\",\"occurrences\":[";
+    for (size_t o = 0; o < match.occurrences().size(); ++o) {
+      if (o > 0) out += ",";
+      const TokenOccurrence& occ = match.occurrences()[o];
+      out += "{\"relation\":\"";
+      out += JsonEscape(occ.relation);
+      out += "\",\"attribute\":\"";
+      out += JsonEscape(occ.attribute);
+      out += "\",\"tids\":[";
+      for (size_t t = 0; t < occ.tids.size(); ++t) {
+        if (t > 0) out += ",";
+        AppendUint(&out, occ.tids[t]);
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+  out += "],\"schema\":{\"relations\":[";
   const SchemaGraph& graph = answer.schema.graph();
   bool first = true;
   for (RelationNodeId rel : answer.schema.relations()) {
-    if (!first) os << ",";
+    if (!first) out += ",";
     first = false;
     const RelationSchema& rel_schema = graph.relation_schema(rel);
     bool is_token =
         std::find(answer.schema.token_relations().begin(),
                   answer.schema.token_relations().end(),
                   rel) != answer.schema.token_relations().end();
-    os << "{\"name\":\"" << JsonEscape(rel_schema.name())
-       << "\",\"token_relation\":" << (is_token ? "true" : "false")
-       << ",\"in_degree\":" << answer.schema.in_degree(rel)
-       << ",\"projected_attributes\":";
+    out += "{\"name\":\"";
+    out += JsonEscape(rel_schema.name());
+    out += "\",\"token_relation\":";
+    out += is_token ? "true" : "false";
+    out += ",\"in_degree\":";
+    AppendUint(&out, answer.schema.in_degree(rel));
+    out += ",\"projected_attributes\":";
     std::vector<std::string> attrs;
     for (uint32_t a : answer.schema.projected_attributes(rel)) {
       attrs.push_back(rel_schema.attribute(a).name);
     }
-    AppendStringArray(&os, attrs);
-    os << "}";
+    AppendStringArray(&out, attrs);
+    out += "}";
   }
-  os << "],\"join_edges\":[";
+  out += "],\"join_edges\":[";
   for (size_t i = 0; i < answer.schema.join_edges().size(); ++i) {
-    if (i > 0) os << ",";
+    if (i > 0) out += ",";
     const JoinEdge* e = answer.schema.join_edges()[i];
-    os << "{\"from\":\"" << JsonEscape(graph.relation_name(e->from))
-       << "\",\"to\":\"" << JsonEscape(graph.relation_name(e->to))
-       << "\",\"from_attribute\":\"" << JsonEscape(e->from_attribute)
-       << "\",\"to_attribute\":\"" << JsonEscape(e->to_attribute)
-       << "\",\"weight\":";
+    out += "{\"from\":\"";
+    out += JsonEscape(graph.relation_name(e->from));
+    out += "\",\"to\":\"";
+    out += JsonEscape(graph.relation_name(e->to));
+    out += "\",\"from_attribute\":\"";
+    out += JsonEscape(e->from_attribute);
+    out += "\",\"to_attribute\":\"";
+    out += JsonEscape(e->to_attribute);
+    out += "\",\"weight\":";
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%g", e->weight);
-    os << buf << "}";
+    out += buf;
+    out += "}";
   }
-  os << "]},\"database\":" << DatabaseToJson(answer.database);
-  os << ",\"report\":{\"total_tuples\":" << answer.report.total_tuples
-     << ",\"executed_edges\":";
-  AppendStringArray(&os, answer.report.executed_edges);
-  os << ",\"truncated_relations\":";
-  AppendStringArray(&os, answer.report.truncated_relations);
-  os << ",\"dropped_foreign_keys\":";
-  AppendStringArray(&os, answer.report.dropped_foreign_keys);
+  out += "]},\"database\":";
+  AppendDatabaseJson(&out, answer.database);
+  out += ",\"report\":{\"total_tuples\":";
+  AppendUint(&out, answer.report.total_tuples);
+  out += ",\"executed_edges\":";
+  AppendStringArray(&out, answer.report.executed_edges);
+  out += ",\"truncated_relations\":";
+  AppendStringArray(&out, answer.report.truncated_relations);
+  out += ",\"dropped_foreign_keys\":";
+  AppendStringArray(&out, answer.report.dropped_foreign_keys);
   // Execution outcome (DESIGN.md §12): why generation stopped early and
   // what injected faults cost the answer, per relation. A web front end
   // needs these to caption a partial or degraded précis honestly.
-  os << ",\"stop_reason\":\"" << StopReasonToString(answer.report.stop_reason)
-     << "\",\"fault_tainted\":"
-     << (answer.report.fault_tainted ? "true" : "false")
-     << ",\"degradation\":[";
+  out += ",\"stop_reason\":\"";
+  out += StopReasonToString(answer.report.stop_reason);
+  out += "\",\"fault_tainted\":";
+  out += answer.report.fault_tainted ? "true" : "false";
+  out += ",\"degradation\":[";
   bool first_entry = true;
   for (const RelationDegradation& d : answer.report.degradation.relations) {
-    if (!first_entry) os << ",";
+    if (!first_entry) out += ",";
     first_entry = false;
-    os << "{\"relation\":\"" << JsonEscape(d.relation)
-       << "\",\"dropped_tuples\":" << d.dropped_tuples
-       << ",\"failed_lookups\":" << d.failed_lookups
-       << ",\"retries\":" << d.retries << "}";
+    out += "{\"relation\":\"";
+    out += JsonEscape(d.relation);
+    out += "\",\"dropped_tuples\":";
+    AppendUint(&out, d.dropped_tuples);
+    out += ",\"failed_lookups\":";
+    AppendUint(&out, d.failed_lookups);
+    out += ",\"retries\":";
+    AppendUint(&out, d.retries);
+    out += "}";
   }
-  os << "]}}";
-  return os.str();
+  out += "]}}";
+  return out;
 }
 
 }  // namespace precis

@@ -213,10 +213,10 @@ const char* HttpReasonPhrase(int status) {
   }
 }
 
-std::string SerializeHttpResponse(const HttpResponse& response,
-                                  bool keep_alive, bool head_only) {
+std::string SerializeHttpHeaders(const HttpResponse& response,
+                                 bool keep_alive) {
   std::string out;
-  out.reserve(256 + (head_only ? 0 : response.body.size()));
+  out.reserve(256);
   out += "HTTP/1.1 ";
   out += std::to_string(response.status);
   out += ' ';
@@ -229,11 +229,17 @@ std::string SerializeHttpResponse(const HttpResponse& response,
     out += "\r\n";
   }
   out += "Server: precis\r\nContent-Length: ";
-  out += std::to_string(response.body.size());
+  out += std::to_string(response.body_ref().size());
   out += "\r\nConnection: ";
   out += keep_alive ? "keep-alive" : "close";
   out += "\r\n\r\n";
-  if (!head_only) out += response.body;
+  return out;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response,
+                                  bool keep_alive, bool head_only) {
+  std::string out = SerializeHttpHeaders(response, keep_alive);
+  if (!head_only) out += response.body_ref();
   return out;
 }
 

@@ -13,6 +13,7 @@
 #define PRECIS_SERVER_HTTP_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -92,22 +93,41 @@ class HttpRequestParser {
 };
 
 /// \brief One HTTP response to serialize.
+///
+/// The body comes in one of two forms: `body` (owned bytes, the default)
+/// or `shared_body` (an immutable shared string — e.g. the engine's
+/// memoized JSON render — that the server writes to the wire without
+/// copying, DESIGN.md §16). When `shared_body` is set it wins and `body`
+/// is ignored.
 struct HttpResponse {
   int status = 200;
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  std::shared_ptr<const std::string> shared_body;
 
   void SetHeader(const std::string& name, const std::string& value) {
     headers.emplace_back(name, value);
+  }
+
+  /// The effective body bytes, whichever form carries them.
+  const std::string& body_ref() const {
+    return shared_body != nullptr ? *shared_body : body;
   }
 };
 
 /// \brief Standard reason phrase ("OK", "Service Unavailable", ...).
 const char* HttpReasonPhrase(int status);
 
+/// \brief Serializes status line + headers only (through the trailing
+/// CRLFCRLF). Content-Length, Connection and Server headers are emitted
+/// automatically; the body travels separately (scatter-gather write path).
+std::string SerializeHttpHeaders(const HttpResponse& response,
+                                 bool keep_alive);
+
 /// \brief Serializes status line + headers + body. Content-Length,
 /// Connection and Server headers are emitted automatically; `head_only`
 /// (HEAD requests) drops the body bytes but keeps its Content-Length.
+/// Byte-for-byte SerializeHttpHeaders(...) + body_ref().
 std::string SerializeHttpResponse(const HttpResponse& response,
                                   bool keep_alive, bool head_only = false);
 

@@ -3,10 +3,13 @@
 #include <errno.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
@@ -68,9 +71,27 @@ struct Mailbox {
   std::vector<std::shared_ptr<Connection>> ready;
 };
 
+/// One pending slice of output. Either `bytes` owns the data (headers,
+/// error bodies) or `shared` aliases an immutable string held elsewhere —
+/// the engine's memoized JSON render — which the loop writes straight to
+/// the wire without ever copying it into a per-connection buffer
+/// (DESIGN.md §16). `off` tracks how much of this chunk has been written.
+struct OutChunk {
+  std::string bytes;
+  std::shared_ptr<const std::string> shared;
+  size_t off = 0;
+
+  const char* data() const {
+    return (shared != nullptr ? *shared : bytes).data() + off;
+  }
+  size_t size() const {
+    return (shared != nullptr ? *shared : bytes).size() - off;
+  }
+};
+
 /// Per-connection state machine. The owning loop thread drives all state
 /// transitions except response delivery: QueueResponse (any thread)
-/// appends to `outbuf` under `mu` and clears `in_flight`.
+/// appends chunks to `outq` under `mu` and clears `in_flight`.
 struct Connection {
   Connection(int fd_in, std::shared_ptr<Mailbox> mailbox_in,
              std::shared_ptr<ServerStats> stats_in, HttpParserLimits limits)
@@ -86,8 +107,7 @@ struct Connection {
   HttpRequestParser parser;  // loop thread only
 
   std::mutex mu;  // guards everything below
-  std::string outbuf;
-  size_t out_off = 0;
+  std::deque<OutChunk> outq;
   bool in_flight = false;
   bool close_after_write = false;
   bool closed = false;
@@ -144,23 +164,41 @@ HttpResponse BuildQueryResponse(const ServiceResponse& response) {
                  std::to_string(static_cast<uint64_t>(
                      response.latency_seconds * 1e6)));
   http.SetHeader("X-Precis-Retries", std::to_string(response.retries));
-  http.body = AnswerToJson(*response.answer);
+  if (response.body_json != nullptr) {
+    // Fast path: the service already rendered (or recalled the memoized)
+    // JSON body; share the bytes all the way to the socket.
+    http.shared_body = response.body_json;
+  } else {
+    http.body = AnswerToJson(*response.answer);
+  }
   return http;
 }
 
-/// Thread-safe response delivery: serializes, appends to the connection's
-/// output buffer, and wakes the owning poll loop. Safe to call from
-/// service worker threads, the shed path (synchronous), and the loop
-/// thread itself.
+/// Thread-safe response delivery: serializes the header block, enqueues it
+/// plus the body chunk (shared bytes alias the memoized render; owned
+/// bytes move), and wakes the owning poll loop. Safe to call from service
+/// worker threads, the shed path (synchronous), and the loop thread
+/// itself. Takes the response by value so an owned body can be moved into
+/// the queue instead of copied.
 void QueueResponse(const std::shared_ptr<Connection>& conn,
-                   const HttpResponse& response, bool keep_alive,
+                   HttpResponse response, bool keep_alive,
                    bool head_only = false) {
   conn->stats->CountResponse(response.status);
-  std::string bytes = SerializeHttpResponse(response, keep_alive, head_only);
+  OutChunk header;
+  header.bytes = SerializeHttpHeaders(response, keep_alive);
+  OutChunk body;
+  if (!head_only) {
+    if (response.shared_body != nullptr) {
+      body.shared = std::move(response.shared_body);
+    } else {
+      body.bytes = std::move(response.body);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(conn->mu);
     if (conn->closed) return;  // peer went away while the query ran
-    conn->outbuf += bytes;
+    conn->outq.push_back(std::move(header));
+    if (body.size() > 0) conn->outq.push_back(std::move(body));
     conn->in_flight = false;
     if (!keep_alive) conn->close_after_write = true;
   }
@@ -290,7 +328,7 @@ class IoLoop {
 
   short Interest(const std::shared_ptr<Connection>& conn) {
     std::lock_guard<std::mutex> lock(conn->mu);
-    if (conn->out_off < conn->outbuf.size()) return POLLOUT;
+    if (!conn->outq.empty()) return POLLOUT;
     // While a query is in flight nothing is read: pipelined bytes wait in
     // the kernel buffer — natural per-connection backpressure.
     if (!conn->in_flight && !conn->close_after_write) return POLLIN;
@@ -335,7 +373,7 @@ class IoLoop {
       {
         std::lock_guard<std::mutex> lock(conn->mu);
         if (conn->closed) return;
-        if (conn->out_off < conn->outbuf.size()) return;  // wait POLLOUT
+        if (!conn->outq.empty()) return;     // wait POLLOUT
         if (conn->close_after_write) break;               // close below
         if (conn->in_flight) return;  // wait for the service callback
       }
@@ -413,6 +451,9 @@ class IoLoop {
         std::lock_guard<std::mutex> lock(conn->mu);
         conn->in_flight = true;
       }
+      // Ask the service for the rendered body alongside the answer so a
+      // cached render is shared to the socket with zero copies.
+      parsed->request.render_body = true;
       // The callback runs on a service worker (or synchronously when
       // shed); it owns the connection via shared_ptr and re-enters the
       // loop through the mailbox only.
@@ -429,29 +470,42 @@ class IoLoop {
                   keep_alive);
   }
 
-  /// Flushes buffered bytes. Returns false if the connection was closed.
+  /// Flushes queued chunks with scatter-gather writev — header and shared
+  /// body leave in one syscall without ever being concatenated. Returns
+  /// false if the connection was closed.
   bool TryWrite(const std::shared_ptr<Connection>& conn) {
     bool dead = false;
     {
       std::lock_guard<std::mutex> lock(conn->mu);
       if (conn->closed) return false;
-      while (conn->out_off < conn->outbuf.size()) {
-        ssize_t n = write(conn->fd, conn->outbuf.data() + conn->out_off,
-                          conn->outbuf.size() - conn->out_off);
+      while (!conn->outq.empty()) {
+        constexpr size_t kMaxIov = 8;
+        iovec iov[kMaxIov];
+        size_t niov = 0;
+        for (const OutChunk& chunk : conn->outq) {
+          if (niov == kMaxIov) break;
+          iov[niov].iov_base = const_cast<char*>(chunk.data());
+          iov[niov].iov_len = chunk.size();
+          ++niov;
+        }
+        ssize_t n = writev(conn->fd, iov, static_cast<int>(niov));
         if (n > 0) {
           stats_->bytes_written.fetch_add(static_cast<uint64_t>(n),
                                           std::memory_order_relaxed);
-          conn->out_off += static_cast<size_t>(n);
+          size_t remaining = static_cast<size_t>(n);
+          while (remaining > 0) {
+            OutChunk& front = conn->outq.front();
+            size_t take = std::min(remaining, front.size());
+            front.off += take;
+            remaining -= take;
+            if (front.size() == 0) conn->outq.pop_front();
+          }
           continue;
         }
         if (n < 0 && errno == EINTR) continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         dead = true;  // EPIPE/ECONNRESET: peer is gone
         break;
-      }
-      if (conn->out_off == conn->outbuf.size()) {
-        conn->outbuf.clear();
-        conn->out_off = 0;
       }
     }
     if (dead) {
@@ -469,8 +523,7 @@ class IoLoop {
       if (conn->closed) return;
       conn->closed = true;
       CloseFd(conn->fd);
-      conn->outbuf.clear();
-      conn->out_off = 0;
+      conn->outq.clear();
     }
     stats_->connections_open.fetch_sub(1, std::memory_order_relaxed);
     connections_.erase(conn->fd);
@@ -485,7 +538,7 @@ class IoLoop {
       bool idle;
       {
         std::lock_guard<std::mutex> lock(conn->mu);
-        idle = !conn->in_flight && conn->out_off >= conn->outbuf.size();
+        idle = !conn->in_flight && conn->outq.empty();
       }
       if (!idle) continue;
       if (conn->parser.complete()) continue;  // request pending dispatch
@@ -681,6 +734,8 @@ std::string HttpServer::MetricsJson() const {
     AppendCacheStats(&os, "schema", sm.schema_cache);
     os << ",";
     AppendCacheStats(&os, "answer", sm.answer_cache);
+    os << ",";
+    AppendCacheStats(&os, "body", sm.body_cache);
     os << "},\"symbols\":{\"count\":" << sm.symbol_table.symbols
        << ",\"bytes\":" << sm.symbol_table.bytes
        << "},\"arena\":{\"peak_bytes_max\":" << sm.arena_peak_bytes_max

@@ -219,7 +219,8 @@ ServiceResponse PrecisService::RunOne(const ServiceRequest& request) {
   // full-answer cache when enabled); ShardedPrecisService overrides it to
   // scatter-gather across its shard engines.
   auto answer =
-      AnswerQuery(request, *degree, *cardinality, dbgen_options, &ctx);
+      AnswerQuery(request, *degree, *cardinality, dbgen_options, &ctx,
+                  request.render_body ? &response.body_json : nullptr);
   response.latency_seconds =
       std::chrono::duration<double>(ExecutionContext::Clock::now() - start)
           .count();
@@ -274,12 +275,21 @@ void PrecisService::RecordOutcome(const ServiceResponse& response) {
 Result<std::shared_ptr<const PrecisAnswer>> PrecisService::AnswerQuery(
     const ServiceRequest& request, const DegreeConstraint& degree,
     const CardinalityConstraint& cardinality, const DbGenOptions& options,
-    ExecutionContext* ctx) {
+    ExecutionContext* ctx, std::shared_ptr<const std::string>* body_out) {
   // AnswerShared routes through the engine's full-answer cache when that is
   // enabled (a hit shares the stored immutable answer) and degrades to a
-  // plain uncached build otherwise.
-  return engine_->AnswerShared(request.query, degree, cardinality, options,
-                               ctx);
+  // plain uncached build otherwise. A render_body request takes the
+  // rendered variant, which additionally memoizes the AnswerToJson bytes
+  // through the engine's body cache (DESIGN.md §16).
+  if (body_out == nullptr) {
+    return engine_->AnswerShared(request.query, degree, cardinality, options,
+                                 ctx);
+  }
+  auto rendered = engine_->AnswerSharedRendered(request.query, degree,
+                                                cardinality, options, ctx);
+  if (!rendered.ok()) return rendered.status();
+  *body_out = std::move(rendered->body_json);
+  return std::move(rendered->answer);
 }
 
 PrecisService::Metrics PrecisService::SnapshotCoreMetrics() const {
@@ -322,6 +332,7 @@ PrecisService::Metrics PrecisService::metrics() const {
     snapshot.token_cache = engine_->token_cache_stats();
     snapshot.schema_cache = engine_->schema_cache_stats();
     snapshot.answer_cache = engine_->answer_cache_stats();
+    snapshot.body_cache = engine_->body_cache_stats();
   }
   return snapshot;
 }

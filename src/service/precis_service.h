@@ -53,6 +53,12 @@ struct ServiceRequest {
   /// Per-request overrides of the service defaults; 0 means "use default".
   double deadline_seconds = 0.0;
   uint64_t access_budget = 0;
+
+  /// When true, the worker also produces ServiceResponse::body_json (the
+  /// memoized AnswerToJson rendering, DESIGN.md §16) so transport layers
+  /// can serve the bytes without re-rendering. Off by default: embedded
+  /// callers that only inspect the answer skip the serialization cost.
+  bool render_body = false;
 };
 
 /// \brief Outcome of one serviced query.
@@ -62,6 +68,11 @@ struct ServiceResponse {
   /// cache hit (engine cache enabled) hands every requester the same stored
   /// answer without copying its result database.
   std::shared_ptr<const PrecisAnswer> answer;
+  /// Non-null iff status.ok() and the request set render_body: exactly
+  /// AnswerToJson(*answer), shared so the transport can write it to the
+  /// wire with zero copies (memoized across requests by the engine's body
+  /// cache when enabled).
+  std::shared_ptr<const std::string> body_json;
   /// The query's own access counters (its ExecutionContext's stats).
   AccessStats stats;
   /// Why the pipeline stopped early, kNone for a complete answer.
@@ -172,6 +183,8 @@ class PrecisService {
     LruCacheStats token_cache;
     LruCacheStats schema_cache;
     LruCacheStats answer_cache;
+    /// Rendered-body (serialization) cache, level 4 (DESIGN.md §16).
+    LruCacheStats body_cache;
     /// Largest per-query arena high-water mark seen (DESIGN.md §13).
     uint64_t arena_peak_bytes_max = 0;
     /// Sum of every query's arena high-water mark.
@@ -249,13 +262,16 @@ class PrecisService {
   PrecisService(const PrecisEngine* engine, Options options);
 
   /// The one pipeline call RunOne makes. Base: the engine's cached
-  /// AnswerShared. ShardedPrecisService overrides this to scatter-gather
-  /// across its shard engines; everything else about query execution
-  /// (context setup, constraints, metrics recording) stays shared.
+  /// AnswerShared (the rendered variant when `body_out` is non-null).
+  /// ShardedPrecisService overrides this to scatter-gather across its
+  /// shard engines; everything else about query execution (context setup,
+  /// constraints, metrics recording) stays shared. `body_out` is non-null
+  /// exactly when the request asked for render_body; implementations then
+  /// fill it with the AnswerToJson bytes of the returned answer.
   virtual Result<std::shared_ptr<const PrecisAnswer>> AnswerQuery(
       const ServiceRequest& request, const DegreeConstraint& degree,
       const CardinalityConstraint& cardinality, const DbGenOptions& options,
-      ExecutionContext* ctx);
+      ExecutionContext* ctx, std::shared_ptr<const std::string>* body_out);
 
   /// Copies the aggregate counters + latency history under metrics_mutex_,
   /// then computes percentiles and the symbol-table snapshot on the copy

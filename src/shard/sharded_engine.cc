@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/task_pool.h"
+#include "precis/json_export.h"
 
 namespace precis {
 
@@ -59,6 +60,7 @@ void ShardedPrecisEngine::set_caches_enabled(bool enabled) {
   if (!enabled) {
     caches_->schema.Clear();
     caches_->answer.Clear();
+    caches_->body.Clear();
     for (auto& partial : caches_->partial) partial->Clear();
   }
   if (num_shards() == 1) {
@@ -279,19 +281,51 @@ Result<std::shared_ptr<const PrecisAnswer>> ShardedPrecisEngine::AnswerShared(
     const PrecisQuery& query, const DegreeConstraint& degree,
     const CardinalityConstraint& cardinality, const DbGenOptions& options,
     ExecutionContext* ctx, ShardQueryStats* shard_stats) const {
+  return AnswerSharedImpl(query, degree, cardinality, options, ctx,
+                          shard_stats, /*body_out=*/nullptr);
+}
+
+Result<RenderedAnswer> ShardedPrecisEngine::AnswerSharedRendered(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx, ShardQueryStats* shard_stats) const {
+  std::shared_ptr<const std::string> body;
+  auto answer = AnswerSharedImpl(query, degree, cardinality, options, ctx,
+                                 shard_stats, &body);
+  if (!answer.ok()) return answer.status();
+  return RenderedAnswer{std::move(*answer), std::move(body)};
+}
+
+Result<std::shared_ptr<const PrecisAnswer>>
+ShardedPrecisEngine::AnswerSharedImpl(
+    const PrecisQuery& query, const DegreeConstraint& degree,
+    const CardinalityConstraint& cardinality, const DbGenOptions& options,
+    ExecutionContext* ctx, ShardQueryStats* shard_stats,
+    std::shared_ptr<const std::string>* body_out) const {
   if (num_shards() == 1) {
     // One shard holds a faithful full copy (foreign keys included): the
     // plain engine pipeline is byte-equivalent and skips the mirror
     // bookkeeping entirely, so delegate — this is also what makes the
     // shards=1 arm of the scaling bench an honest single-engine baseline.
     if (shard_stats != nullptr) shard_stats->Resize(1);
-    return shard_engines_[0]->AnswerShared(query, degree, cardinality,
-                                           options, ctx);
+    if (body_out == nullptr) {
+      return shard_engines_[0]->AnswerShared(query, degree, cardinality,
+                                             options, ctx);
+    }
+    auto rendered = shard_engines_[0]->AnswerSharedRendered(
+        query, degree, cardinality, options, ctx);
+    if (!rendered.ok()) return rendered.status();
+    *body_out = std::move(rendered->body_json);
+    return std::move(rendered->answer);
   }
 
-  const bool cacheable = caches_enabled_.load(std::memory_order_relaxed) &&
-                         options.tuple_weights == nullptr &&
-                         !options.trace_sql;
+  const bool reusable =
+      options.tuple_weights == nullptr && !options.trace_sql;
+  const bool cacheable =
+      caches_enabled_.load(std::memory_order_relaxed) && reusable;
+  // Sharded caching is governed by the one caches_enabled_ switch, so the
+  // body cache participates exactly when the answer cache does.
+  const bool body_cacheable = body_out != nullptr && cacheable;
 
   std::string key;
   std::vector<uint64_t> epochs;
@@ -319,6 +353,17 @@ Result<std::shared_ptr<const PrecisAnswer>> ShardedPrecisEngine::AnswerShared(
     ScopedSpan span(ctx, "answer_cache");
     if (std::shared_ptr<const PrecisAnswer> hit = caches_->answer.Get(key)) {
       if (shard_stats != nullptr) shard_stats->Resize(num_shards());
+      if (body_out != nullptr) {
+        // A cached answer is clean and complete by construction, so its
+        // memoized render (or a fresh one, inserted here) is servable.
+        std::shared_ptr<const std::string> body;
+        if (body_cacheable) body = caches_->body.Get(key);
+        if (body == nullptr) {
+          body = std::make_shared<const std::string>(AnswerToJson(*hit));
+          if (body_cacheable) caches_->body.Put(key, body, body->size() + 64);
+        }
+        *body_out = std::move(body);
+      }
       return hit;
     }
   }
@@ -328,20 +373,30 @@ Result<std::shared_ptr<const PrecisAnswer>> ShardedPrecisEngine::AnswerShared(
   if (!answer.ok()) return answer.status();
   auto shared = std::make_shared<const PrecisAnswer>(std::move(*answer));
 
-  if (cacheable && !shared->report.partial() &&
-      (ctx == nullptr || !ctx->ShouldStop()) &&
-      !shared->report.fault_tainted && !shared->report.degraded() &&
-      graph_->weight_epoch() == weight_epoch) {
-    bool epochs_stable = true;
+  const bool clean = !shared->report.partial() &&
+                     (ctx == nullptr || !ctx->ShouldStop()) &&
+                     !shared->report.fault_tainted &&
+                     !shared->report.degraded();
+  bool epochs_stable = cacheable && graph_->weight_epoch() == weight_epoch;
+  if (epochs_stable) {
     for (size_t s = 0; s < num_shards(); ++s) {
       if (sharded_.shard_epoch(s) != epochs[s]) {
         epochs_stable = false;
         break;
       }
     }
-    if (epochs_stable) {
-      caches_->answer.Put(key, shared, EstimateAnswerCharge(*shared));
+  }
+  if (cacheable && clean && epochs_stable) {
+    caches_->answer.Put(key, shared, EstimateAnswerCharge(*shared));
+  }
+  if (body_out != nullptr) {
+    // Rendered from the answer actually returned, never the cache, so the
+    // served bytes always agree with the answer's own metadata.
+    auto body = std::make_shared<const std::string>(AnswerToJson(*shared));
+    if (body_cacheable && clean && epochs_stable) {
+      caches_->body.Put(key, body, body->size() + 64);
     }
+    *body_out = std::move(body);
   }
   return shared;
 }

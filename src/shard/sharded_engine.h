@@ -60,6 +60,18 @@ class ShardedPrecisEngine {
       ExecutionContext* ctx = nullptr,
       ShardQueryStats* shard_stats = nullptr) const;
 
+  /// Sharded analog of PrecisEngine::AnswerSharedRendered (DESIGN.md §16):
+  /// AnswerShared plus the memoized AnswerToJson body, cached under the
+  /// shard-aware fingerprint with the same clean/complete/epoch-stable
+  /// insert discipline. With one shard, delegates to the shard engine's
+  /// rendered path.
+  Result<RenderedAnswer> AnswerSharedRendered(
+      const PrecisQuery& query, const DegreeConstraint& degree,
+      const CardinalityConstraint& cardinality,
+      const DbGenOptions& options = DbGenOptions(),
+      ExecutionContext* ctx = nullptr,
+      ShardQueryStats* shard_stats = nullptr) const;
+
   /// Uncached scatter-gather answer (the sharded Answer()).
   Result<PrecisAnswer> Answer(const PrecisQuery& query,
                               const DegreeConstraint& degree,
@@ -95,6 +107,12 @@ class ShardedPrecisEngine {
 
   LruCacheStats answer_cache_stats() const { return caches_->answer.stats(); }
   LruCacheStats schema_cache_stats() const { return caches_->schema.stats(); }
+  /// Rendered-body cache counters (the shard engine's body cache when
+  /// num_shards == 1, which delegates).
+  LruCacheStats body_cache_stats() const {
+    if (num_shards() == 1) return shard_engines_[0]->body_cache_stats();
+    return caches_->body.stats();
+  }
 
   /// Per-shard partial-results cache counters (the shard engine's token
   /// cache when num_shards == 1, which delegates).
@@ -125,6 +143,14 @@ class ShardedPrecisEngine {
                                          ExecutionContext* ctx,
                                          ShardQueryStats* shard_stats) const;
 
+  /// Shared implementation of AnswerShared / AnswerSharedRendered; when
+  /// `body_out` is non-null it is always filled (memoized when permitted).
+  Result<std::shared_ptr<const PrecisAnswer>> AnswerSharedImpl(
+      const PrecisQuery& query, const DegreeConstraint& degree,
+      const CardinalityConstraint& cardinality, const DbGenOptions& options,
+      ExecutionContext* ctx, ShardQueryStats* shard_stats,
+      std::shared_ptr<const std::string>* body_out) const;
+
   ShardedDatabase sharded_;
   const SchemaGraph* graph_;
   std::vector<std::unique_ptr<PrecisEngine>> shard_engines_;
@@ -144,6 +170,9 @@ class ShardedPrecisEngine {
     ShardedLruCache<std::string, ResultSchema> schema{8 << 20};
     /// Shard-aware full-answer cache.
     ShardedLruCache<std::string, PrecisAnswer> answer{64 << 20};
+    /// Rendered-body cache (level 4): fingerprint -> AnswerToJson bytes,
+    /// same key scheme as `answer` so epoch invalidation is inherited.
+    ShardedLruCache<std::string, std::string> body{32 << 20};
     /// One partial cache per shard: translated global-tid occurrence lists
     /// keyed "shard_epoch|token", so a routed insert strands exactly the
     /// owning shard's entries.

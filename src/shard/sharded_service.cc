@@ -38,10 +38,22 @@ ShardedPrecisService::~ShardedPrecisService() {
 Result<std::shared_ptr<const PrecisAnswer>> ShardedPrecisService::AnswerQuery(
     const ServiceRequest& request, const DegreeConstraint& degree,
     const CardinalityConstraint& cardinality, const DbGenOptions& options,
-    ExecutionContext* ctx) {
+    ExecutionContext* ctx, std::shared_ptr<const std::string>* body_out) {
   ShardQueryStats stats;
-  auto answer = engine_->AnswerShared(request.query, degree, cardinality,
-                                      options, ctx, &stats);
+  Result<std::shared_ptr<const PrecisAnswer>> answer = [&] {
+    if (body_out == nullptr) {
+      return engine_->AnswerShared(request.query, degree, cardinality,
+                                   options, ctx, &stats);
+    }
+    auto rendered = engine_->AnswerSharedRendered(
+        request.query, degree, cardinality, options, ctx, &stats);
+    if (!rendered.ok()) {
+      return Result<std::shared_ptr<const PrecisAnswer>>(rendered.status());
+    }
+    *body_out = std::move(rendered->body_json);
+    return Result<std::shared_ptr<const PrecisAnswer>>(
+        std::move(rendered->answer));
+  }();
   {
     std::lock_guard<std::mutex> lock(shard_mutex_);
     // Cache hits contribute a zero-work sample (Resize zeroed the vectors):
@@ -95,6 +107,7 @@ PrecisService::Metrics ShardedPrecisService::metrics() const {
   }
   snapshot.schema_cache = engine_->schema_cache_stats();
   snapshot.answer_cache = engine_->answer_cache_stats();
+  snapshot.body_cache = engine_->body_cache_stats();
   return snapshot;
 }
 

@@ -52,7 +52,8 @@ class ShardedPrecisService : public PrecisService {
   Result<std::shared_ptr<const PrecisAnswer>> AnswerQuery(
       const ServiceRequest& request, const DegreeConstraint& degree,
       const CardinalityConstraint& cardinality, const DbGenOptions& options,
-      ExecutionContext* ctx) override;
+      ExecutionContext* ctx,
+      std::shared_ptr<const std::string>* body_out) override;
 
  private:
   ShardedPrecisService(const ShardedPrecisEngine* engine, Options options);

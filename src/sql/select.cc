@@ -77,9 +77,14 @@ Result<std::vector<Row>> FetchByJoinValues(
   const bool identity =
       IsIdentityProjection(projection, relation.schema().num_attributes());
   const bool faults = FaultsArmed(ctx);
-  for (const Value& key : keys) {
+  for (size_t k = 0; k < keys.size(); ++k) {
+    const Value& key = keys[k];
     if (rows.size() >= max_rows) break;
     if (ctx != nullptr && ctx->ShouldStop()) break;
+    // Rolling software prefetch of the index slot a few probes ahead — a
+    // pure cache hint, so truncation points and access charges are
+    // untouched (byte-identity stays intact).
+    if (k + 4 < keys.size()) relation.PrefetchEquals(attribute, keys[k + 4]);
     // The per-key lookup is one retriable unit: the join-value fault gate
     // plus the probe/scan behind it, so a transient fault on either retries
     // the whole key instead of leaving a half-consumed check sequence.
@@ -121,7 +126,12 @@ Result<PerValueScanSet> PerValueScanSet::Open(const Relation& relation,
   set.projection_ = std::move(projection);
   set.scans_.reserve(set.keys_.size());
   const bool faults = FaultsArmed(ctx);
-  for (const Value& key : set.keys_) {
+  for (size_t k = 0; k < set.keys_.size(); ++k) {
+    const Value& key = set.keys_[k];
+    // Charge-free slot prefetch a few probes ahead (see FetchByJoinValues).
+    if (k + 4 < set.keys_.size()) {
+      relation.PrefetchEquals(attribute, set.keys_[k + 4]);
+    }
     if (ctx != nullptr && ctx->ShouldStop()) {
       // Budget/deadline hit mid-open: the remaining scans open drained so
       // the set stays structurally complete (key(i) etc. remain valid).

@@ -26,11 +26,16 @@
 #ifndef PRECIS_STORAGE_COLUMNAR_H_
 #define PRECIS_STORAGE_COLUMNAR_H_
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
 #include <optional>
 #include <vector>
+
+#if defined(__AVX2__) || defined(__SSE4_2__) || defined(__SSE4_1__)
+#include <immintrin.h>
+#endif
 
 #include "storage/value.h"
 
@@ -81,6 +86,26 @@ class Column {
   /// Raw stored payload (undefined for NULL rows).
   uint64_t raw_bits(size_t row) const { return bits_[row]; }
 
+  /// Appends, in ascending order, every non-null row whose stored value
+  /// canonically equals the key with canonical bits `key_bits` (as produced
+  /// by KeyBits). Compile-time dispatch: AVX2 / SSE4.2 compare kernels when
+  /// the build enables them, otherwise the scalar loop; every variant emits
+  /// the exact tid sequence of ScanEqualsScalar (bench/kernels gates this
+  /// cell-for-cell, DESIGN.md §16).
+  void ScanEquals(uint64_t key_bits, std::vector<Tid>* out) const;
+
+  /// Scalar reference implementation of ScanEquals — always compiled, so
+  /// the SIMD-vs-scalar equivalence gate has a fixed baseline.
+  void ScanEqualsScalar(uint64_t key_bits, std::vector<Tid>* out) const {
+    const uint64_t alt = AltKeyBits(key_bits);
+    const size_t n = bits_.size();
+    for (size_t row = 0; row < n; ++row) {
+      if (IsNull(row)) continue;
+      const uint64_t raw = bits_[row];
+      if (raw == key_bits || raw == alt) out->push_back(row);
+    }
+  }
+
   /// Canonical equality-key bits of a non-null stored payload, or nullopt
   /// when the payload can never equal anything (double NaN).
   static std::optional<uint64_t> CanonicalBits(uint64_t raw, DataType type) {
@@ -114,10 +139,81 @@ class Column {
     return uint64_t{v.symbol().id};
   }
 
+  /// Second accepted bit pattern for a canonical key: -0.0 when the key is
+  /// double +0.0 (stored payloads keep their raw sign bit), otherwise the
+  /// key itself. NaN rows can never bit-equal a canonical (non-NaN) key,
+  /// so raw == key || raw == alt reproduces CanonicalBits equality without
+  /// canonicalizing each row.
+  uint64_t AltKeyBits(uint64_t key_bits) const {
+    if (type_ == DataType::kDouble &&
+        key_bits == std::bit_cast<uint64_t>(0.0)) {
+      return std::bit_cast<uint64_t>(-0.0);
+    }
+    return key_bits;
+  }
+
   DataType type_;
   std::vector<uint64_t> bits_;
   std::vector<uint64_t> nulls_;  // bitmap, one bit per row
 };
+
+// ScanEquals walks the payload array 64 rows (one null-bitmap word) at a
+// time: an all-null word is skipped with a single compare, and within a
+// word the per-lane equality masks are combined branchlessly with the
+// inverted null bits before the match positions are extracted with ctz.
+inline void Column::ScanEquals(uint64_t key_bits, std::vector<Tid>* out) const {
+#if defined(__AVX2__) || defined(__SSE4_2__) || defined(__SSE4_1__)
+  const uint64_t alt = AltKeyBits(key_bits);
+  const size_t n = bits_.size();
+#if defined(__AVX2__)
+  constexpr size_t kLanes = 4;
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key_bits));
+  const __m256i valt = _mm256_set1_epi64x(static_cast<long long>(alt));
+#else
+  constexpr size_t kLanes = 2;
+  const __m128i vkey = _mm_set1_epi64x(static_cast<long long>(key_bits));
+  const __m128i valt = _mm_set1_epi64x(static_cast<long long>(alt));
+#endif
+  const unsigned lane_mask = (1u << kLanes) - 1;
+  for (size_t word = 0; word < nulls_.size(); ++word) {
+    const uint64_t null_word = nulls_[word];
+    if (null_word == ~uint64_t{0}) continue;  // 64 null rows: nothing to emit
+    const size_t base = word << 6;
+    const size_t limit = std::min(n - base, size_t{64});
+    size_t r = 0;
+    for (; r + kLanes <= limit; r += kLanes) {
+#if defined(__AVX2__)
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(bits_.data() + base + r));
+      const __m256i eq = _mm256_or_si256(_mm256_cmpeq_epi64(v, vkey),
+                                         _mm256_cmpeq_epi64(v, valt));
+      unsigned mask = static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+#else
+      const __m128i v = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(bits_.data() + base + r));
+      const __m128i eq = _mm_or_si128(_mm_cmpeq_epi64(v, vkey),
+                                      _mm_cmpeq_epi64(v, valt));
+      unsigned mask = static_cast<unsigned>(
+          _mm_movemask_pd(_mm_castsi128_pd(eq)));
+#endif
+      mask &= ~static_cast<unsigned>(null_word >> r) & lane_mask;
+      while (mask != 0) {
+        out->push_back(base + r +
+                       static_cast<unsigned>(__builtin_ctz(mask)));
+        mask &= mask - 1;
+      }
+    }
+    for (; r < limit; ++r) {
+      if ((null_word >> r) & 1) continue;
+      const uint64_t raw = bits_[base + r];
+      if (raw == key_bits || raw == alt) out->push_back(base + r);
+    }
+  }
+#else
+  ScanEqualsScalar(key_bits, out);
+#endif
+}
 
 /// \brief Equality index from canonical key bits to posting lists of tids,
 /// as a flat open-addressing table (linear probing, power-of-two capacity,
@@ -156,6 +252,34 @@ class ColumnIndex {
   }
 
   size_t num_keys() const { return used_ + (null_tids_.empty() ? 0 : 1); }
+
+  /// Pure memory hint: prefetches the first probe slot Lookup(key) will
+  /// touch. No side effects and no access accounting, so it is safe to
+  /// issue speculatively ahead of a budgeted probe loop without changing
+  /// any observable behavior (truncation points, faults, stats).
+  void Prefetch(const Value& key) const {
+    if (slots_.empty() || key.is_null()) return;
+    auto bits = Column::KeyBits(key, type_);
+    if (!bits) return;
+    __builtin_prefetch(&slots_[Mix(*bits) & (slots_.size() - 1)]);
+  }
+
+  /// Batched probe: fills out[i] with &Lookup(keys[i]), running a
+  /// software-prefetch pipeline kPrefetchDistance keys ahead of the probe
+  /// cursor so slot cache lines are in flight before they are needed.
+  /// Result-equivalent to n sequential Lookup calls (bench/kernels gates
+  /// the equivalence, DESIGN.md §16).
+  void LookupBatch(const Value* keys, size_t n,
+                   const std::vector<Tid>** out) const {
+    const size_t warm = std::min(n, kPrefetchDistance);
+    for (size_t i = 0; i < warm; ++i) Prefetch(keys[i]);
+    for (size_t i = 0; i < n; ++i) {
+      if (i + kPrefetchDistance < n) Prefetch(keys[i + kPrefetchDistance]);
+      out[i] = &Lookup(keys[i]);
+    }
+  }
+
+  static constexpr size_t kPrefetchDistance = 8;
 
  private:
   struct Slot {

@@ -161,12 +161,15 @@ Result<std::vector<Tid>> Relation::LookupEquals(
   }
   auto key_bits = Column::KeyBits(key, col.type());
   if (!key_bits) return out;  // cross-type or NaN key: nothing can match
-  for (Tid tid = 0; tid < col.size(); ++tid) {
-    if (col.IsNull(tid)) continue;
-    auto row_bits = Column::CanonicalBits(col.raw_bits(tid), col.type());
-    if (row_bits && *row_bits == *key_bits) out.push_back(tid);
-  }
+  col.ScanEquals(*key_bits, &out);  // SIMD-dispatched, scalar-identical
   return out;
+}
+
+void Relation::PrefetchEquals(const std::string& attribute_name,
+                              const Value& key) const {
+  auto idx = schema_.AttributeIndex(attribute_name);
+  if (!idx.ok()) return;
+  if (const ColumnIndex* index = IndexAt(*idx)) index->Prefetch(key);
 }
 
 std::vector<Tid> Relation::AllTids() const {

@@ -120,6 +120,13 @@ class Relation {
                                         const Value& key,
                                         ExecutionContext* ctx = nullptr) const;
 
+  /// Pure memory hint for an upcoming LookupEquals(attribute_name, key):
+  /// prefetches the hash-index slot the probe will touch (no-op without an
+  /// index). No charges, no faults, no stats — issuing it speculatively
+  /// ahead of a budgeted probe loop changes no observable behavior.
+  void PrefetchEquals(const std::string& attribute_name,
+                      const Value& key) const;
+
   /// All tids, in heap order.
   std::vector<Tid> AllTids() const;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/gallop.h"
+
 namespace precis {
 
 namespace {
@@ -118,12 +120,20 @@ std::vector<TokenOccurrence> InvertedIndex::LookupUncached(
     }
   }
 
+  // One galloping cursor per word. The driver list (`smallest`) is sorted,
+  // so probe values ascend and each cursor sweeps its posting list at most
+  // once for the whole intersection instead of binary-searching from
+  // scratch per candidate (common/gallop.h). Duplicate query words get
+  // independent cursors over the same list, which is harmless.
+  std::vector<GallopCursor<Location>> cursors;
+  cursors.reserve(words.size());
+  for (SymbolId w : words) cursors.emplace_back(&postings_.at(w));
+
   std::vector<Location> candidates;
   for (const Location& loc : *smallest) {
     bool in_all = true;
-    for (SymbolId w : words) {
-      const std::vector<Location>& locs = postings_.at(w);
-      if (!std::binary_search(locs.begin(), locs.end(), loc)) {
+    for (GallopCursor<Location>& cursor : cursors) {
+      if (!cursor.Contains(loc)) {
         in_all = false;
         break;
       }

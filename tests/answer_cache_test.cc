@@ -62,6 +62,17 @@ class AnswerCacheTest : public ::testing::Test {
                     .ok());
   }
 
+  /// AnswerSharedRendered under the fixture's default constraints.
+  RenderedAnswer Rendered(const std::string& token,
+                          ExecutionContext* ctx = nullptr) {
+    auto d = MinPathWeight(0.9);
+    auto c = MaxTuplesPerRelation(5);
+    auto rendered = engine_->AnswerSharedRendered(PrecisQuery{{token}}, *d, *c,
+                                                  DbGenOptions(), ctx);
+    EXPECT_TRUE(rendered.ok()) << rendered.status().ToString();
+    return rendered.ok() ? *rendered : RenderedAnswer{};
+  }
+
   std::unique_ptr<MoviesDataset> dataset_;
   std::unique_ptr<PrecisEngine> engine_;
 };
@@ -200,6 +211,84 @@ TEST_F(AnswerCacheTest, CacheLevelsComposeOnARepeatedWorkload) {
   EXPECT_LE(engine_->schema_cache_stats().hits +
                 engine_->schema_cache_stats().misses,
             3u);
+}
+
+// --- Level 4, the serialization memo (DESIGN.md §16): the rendered JSON
+// body rides the same fingerprint as the answer cache.
+
+TEST_F(AnswerCacheTest, BodyCacheServesByteIdenticalMemoizedRender) {
+  engine_->set_caches_enabled(true);
+  auto first = Rendered("Woody Allen");
+  ASSERT_NE(first.answer, nullptr);
+  ASSERT_NE(first.body_json, nullptr);
+  // The memoized render is exactly the uncached serialization.
+  EXPECT_EQ(*first.body_json, FreshJson("Woody Allen"));
+  auto second = Rendered("Woody Allen");
+  ASSERT_NE(second.body_json, nullptr);
+  // A hit shares the very same stored string — zero re-serialization.
+  EXPECT_EQ(first.body_json.get(), second.body_json.get());
+  EXPECT_EQ(first.answer.get(), second.answer.get());
+  LruCacheStats stats = engine_->body_cache_stats();
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(AnswerCacheTest, InsertInvalidatesMemoizedBodies) {
+  engine_->set_caches_enabled(true);
+  auto warm = Rendered("Comedy");
+  ASSERT_NE(warm.body_json, nullptr);
+  InsertGenre(2);
+  // The database epoch moved: the rebuilt body is a new string whose
+  // bytes agree with a from-scratch render of the new state.
+  auto after = Rendered("Comedy");
+  ASSERT_NE(after.body_json, nullptr);
+  EXPECT_NE(warm.body_json.get(), after.body_json.get());
+  EXPECT_EQ(*after.body_json, FreshJson("Comedy"));
+  // And the post-insert render is itself memoized under the new epoch.
+  EXPECT_EQ(Rendered("Comedy").body_json.get(), after.body_json.get());
+}
+
+TEST_F(AnswerCacheTest, PartialAnswersNeverEnterTheBodyCache) {
+  engine_->set_caches_enabled(true);
+  {
+    ExecutionContext ctx;
+    ctx.SetDeadlineAfter(1e-9);  // expired before the pipeline starts
+    auto partial = Rendered("Woody Allen", &ctx);
+    ASSERT_NE(partial.answer, nullptr);
+    ASSERT_NE(partial.body_json, nullptr);
+    EXPECT_TRUE(partial.answer->report.partial());
+    // The body always reflects the answer actually returned...
+    EXPECT_EQ(*partial.body_json, AnswerToJson(*partial.answer));
+  }
+  // ...but the deadline-stopped render was not memoized.
+  EXPECT_EQ(engine_->body_cache_stats().inserts, 0u);
+  auto complete = Rendered("Woody Allen");
+  ASSERT_NE(complete.body_json, nullptr);
+  EXPECT_FALSE(complete.answer->report.partial());
+  EXPECT_EQ(*complete.body_json, FreshJson("Woody Allen"));
+}
+
+TEST_F(AnswerCacheTest, TraceRunsBypassTheBodyCache) {
+  engine_->set_caches_enabled(true);
+  auto d = MinPathWeight(0.9);
+  auto c = MaxTuplesPerRelation(5);
+  DbGenOptions options;
+  options.trace_sql = true;
+  auto traced = engine_->AnswerSharedRendered(PrecisQuery{{"Woody Allen"}},
+                                              *d, *c, options);
+  ASSERT_TRUE(traced.ok());
+  ASSERT_NE(traced->body_json, nullptr);
+  EXPECT_EQ(*traced->body_json, AnswerToJson(*traced->answer));
+  LruCacheStats stats = engine_->body_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u);
+}
+
+TEST_F(AnswerCacheTest, DisabledBodyCacheStillRendersOnRequest) {
+  auto rendered = Rendered("Woody Allen");
+  ASSERT_NE(rendered.body_json, nullptr);
+  EXPECT_EQ(*rendered.body_json, FreshJson("Woody Allen"));
+  LruCacheStats stats = engine_->body_cache_stats();
+  EXPECT_EQ(stats.hits + stats.misses + stats.inserts, 0u);
 }
 
 }  // namespace

@@ -264,6 +264,72 @@ TEST_P(FuzzLiteTest, ShardedChaosMatchesSingleEngineUnderFaults) {
   }
 }
 
+TEST_P(FuzzLiteTest, BodyCacheStaysCoherentUnderInsertQueryInterleavings) {
+  // Randomized interleavings of inserts (each bumps a mutation epoch) and
+  // repeated rendered queries against fully-cached engines — single and
+  // sharded. Whatever the interleaving, the served body bytes must always
+  // equal a fresh uncached render of the current database state: a stale
+  // memoized body surviving an epoch bump is exactly the bug this hunts
+  // (DESIGN.md §16).
+  MoviesConfig config;
+  config.num_movies = 120;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto cached = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(cached.ok());
+  cached->set_caches_enabled(true);
+  auto fresh = PrecisEngine::Create(&ds->db(), &ds->graph());
+  ASSERT_TRUE(fresh.ok());
+  auto sharded = ShardedPrecisEngine::Create(ds->db(), &ds->graph(), 3);
+  ASSERT_TRUE(sharded.ok());
+  (*sharded)->set_caches_enabled(true);
+
+  auto genre = ds->db().GetRelation("GENRE");
+  ASSERT_TRUE(genre.ok());
+  auto movie = ds->db().GetRelation("MOVIE");
+  ASSERT_TRUE(movie.ok());
+  ASSERT_GT((*movie)->num_tuples(), 0u);
+
+  const std::vector<std::string> tokens = {"Woody Allen", "Comedy", "Drama",
+                                           "Match Point"};
+  Rng rng(GetParam() + 7000);
+  auto degree = MinPathWeight(0.9);
+  auto cardinality = MaxTuplesPerRelation(4);
+  int64_t next_gid = 5000000 + static_cast<int64_t>(GetParam()) * 10000;
+  for (int i = 0; i < 30; ++i) {
+    if (rng.Index(3) == 0) {
+      // Mirror one insert into the source database (the single engines
+      // read it directly) and the sharded engine's partitioned copy.
+      int64_t mid = (*movie)->tuple(rng.Index((*movie)->num_tuples()))[0]
+                        .AsInt64();
+      Tuple tuple{Value(next_gid++), Value(mid), Value("fuzzwave")};
+      auto src = (*genre)->Insert(tuple);
+      ASSERT_TRUE(src.ok());
+      ASSERT_TRUE((*sharded)->Insert("GENRE", std::move(tuple)).ok());
+      continue;
+    }
+    const std::string& token = tokens[rng.Index(tokens.size())];
+    auto expect = fresh->Answer(PrecisQuery{{token}}, *degree, *cardinality);
+    ASSERT_TRUE(expect.ok());
+    const std::string expected = AnswerToJson(*expect);
+
+    auto single = cached->AnswerSharedRendered(PrecisQuery{{token}}, *degree,
+                                               *cardinality);
+    ASSERT_TRUE(single.ok());
+    ASSERT_NE(single->body_json, nullptr);
+    EXPECT_EQ(*single->body_json, expected)
+        << "single engine served stale bytes for '" << token << "' at step "
+        << i;
+    auto shard = (*sharded)->AnswerSharedRendered(PrecisQuery{{token}},
+                                                  *degree, *cardinality);
+    ASSERT_TRUE(shard.ok());
+    ASSERT_NE(shard->body_json, nullptr);
+    EXPECT_EQ(*shard->body_json, expected)
+        << "sharded engine served stale bytes for '" << token << "' at step "
+        << i;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzLiteTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 

@@ -373,6 +373,32 @@ TEST(HttpServerTest, ServedAnswerIsByteIdenticalToInProcess) {
   EXPECT_EQ(*served->FindHeader("Content-Type"), "application/json");
 }
 
+TEST(HttpServerTest, CacheHitServesIdenticalBytesToMissRender) {
+  // With the engine caches on, the first /query renders and memoizes the
+  // body; the repeat is served from the body cache through the zero-copy
+  // write path (DESIGN.md §16). The wire bytes must not change.
+  Harness h = Harness::Start();
+  h.engine->set_caches_enabled(true);
+  const std::string body =
+      "{\"tokens\":[\"Woody Allen\"],\"tuples_per_relation\":4}";
+  HttpClient client = h.Client();
+  auto miss = client.Post("/query", body);
+  ASSERT_TRUE(miss.ok()) << miss.status().ToString();
+  ASSERT_EQ(miss->status, 200);
+  auto hit = client.Post("/query", body);
+  ASSERT_TRUE(hit.ok()) << hit.status().ToString();
+  ASSERT_EQ(hit->status, 200);
+  EXPECT_EQ(hit->body, miss->body);
+  // The repeat actually came from the memoized render.
+  EXPECT_GE(h.engine->body_cache_stats().hits, 1u);
+  // And both agree with a fresh in-process render of the same request.
+  auto parsed = ParseQueryRequest(body);
+  ASSERT_TRUE(parsed.ok());
+  ServiceResponse local = h.service->Execute(std::move(parsed->request));
+  ASSERT_TRUE(local.status.ok());
+  EXPECT_EQ(hit->body, AnswerToJson(*local.answer));
+}
+
 TEST(HttpServerTest, ErrorRouting) {
   Harness h = Harness::Start();
   HttpClient client = h.Client();

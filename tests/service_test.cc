@@ -12,6 +12,7 @@
 
 #include "datagen/movies_dataset.h"
 #include "precis/engine.h"
+#include "precis/json_export.h"
 
 namespace precis {
 namespace {
@@ -66,6 +67,22 @@ TEST_F(ServiceTest, ExecuteMatchesDirectEngineAnswer) {
   EXPECT_EQ(response.answer->database.DescribeSchema(),
             direct->database.DescribeSchema());
   EXPECT_GE(response.latency_seconds, 0.0);
+}
+
+TEST_F(ServiceTest, RenderBodyReturnsSerializedAnswerOnlyWhenAsked) {
+  auto service = PrecisService::Create(engine_.get());
+  ASSERT_TRUE(service.ok());
+  // Default: embedded callers pay no serialization.
+  ServiceResponse plain = (*service)->Execute(MakeRequest("Woody Allen"));
+  ASSERT_TRUE(plain.status.ok());
+  EXPECT_EQ(plain.body_json, nullptr);
+  // render_body: the response carries the exact AnswerToJson bytes.
+  ServiceRequest request = MakeRequest("Woody Allen");
+  request.render_body = true;
+  ServiceResponse rendered = (*service)->Execute(std::move(request));
+  ASSERT_TRUE(rendered.status.ok());
+  ASSERT_NE(rendered.body_json, nullptr);
+  EXPECT_EQ(*rendered.body_json, AnswerToJson(*rendered.answer));
 }
 
 TEST_F(ServiceTest, ResponsesCarryPerStageSpans) {

@@ -480,6 +480,33 @@ TEST_F(ShardedCacheTest, InsertKeepsAnswersIdenticalToSingleEngine) {
   EXPECT_EQ(AnswerToJson(*got), AnswerToJson(*expect));
 }
 
+TEST_F(ShardedCacheTest, BodyCacheMemoizesRendersAndInvalidatesOnInsert) {
+  auto degree = MinPathWeight(0.9);
+  auto cardinality = MaxTuplesPerRelation(3);
+  auto ask = [&] {
+    auto rendered = engine_->AnswerSharedRendered(PrecisQuery{{"Woody Allen"}},
+                                                  *degree, *cardinality);
+    EXPECT_TRUE(rendered.ok());
+    return rendered.ok() ? *rendered : RenderedAnswer{};
+  };
+  auto first = ask();
+  ASSERT_NE(first.body_json, nullptr);
+  EXPECT_EQ(*first.body_json, AnswerToJson(*first.answer));
+  // A repeat serves the very same memoized string (zero serialization).
+  auto second = ask();
+  ASSERT_NE(second.body_json, nullptr);
+  EXPECT_EQ(first.body_json.get(), second.body_json.get());
+  EXPECT_EQ(engine_->body_cache_stats().hits, 1u);
+
+  // One insert moves one shard's epoch — the shard-aware key no longer
+  // matches, so the body is re-rendered from the rebuilt answer.
+  ASSERT_TRUE(engine_->Insert("GENRE", FreshGenreTuple(4000000)).ok());
+  auto after = ask();
+  ASSERT_NE(after.body_json, nullptr);
+  EXPECT_NE(after.body_json.get(), first.body_json.get());
+  EXPECT_EQ(*after.body_json, AnswerToJson(*after.answer));
+}
+
 // ---------------------------------------------------------------------------
 // ShardedPrecisService.
 

@@ -550,10 +550,12 @@ Status CmdStats(ShellState* state) {
       print_cache("partial:", partial_total);
       print_cache("schema:", state->sharded_engine->schema_cache_stats());
       print_cache("answer:", state->sharded_engine->answer_cache_stats());
+      print_cache("body:", state->sharded_engine->body_cache_stats());
     } else {
       print_cache("token:", state->engine->token_cache_stats());
       print_cache("schema:", state->engine->schema_cache_stats());
       print_cache("answer:", state->engine->answer_cache_stats());
+      print_cache("body:", state->engine->body_cache_stats());
     }
   }
   if (state->sharded_engine != nullptr) {
