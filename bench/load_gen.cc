@@ -98,6 +98,9 @@ struct WorkerStats {
   uint64_t rejected = 0;   // 400/404 (workload bug)
   uint64_t errors = 0;     // other 5xx
   uint64_t transport = 0;  // connect/read/write failures
+  /// 200s carrying X-Precis-Degraded: true (the chaos pass gates on
+  /// these — a killed shard must taint every answer it cost tuples).
+  uint64_t degraded = 0;
 };
 
 struct PointResult {
@@ -153,12 +156,15 @@ PointResult RunPoint(const Target& target, const std::vector<std::string>& bodie
           continue;  // next request reconnects
         }
         switch (response->status) {
-          case 200:
+          case 200: {
             ++s.ok;
+            const std::string* flag = response->FindHeader("X-Precis-Degraded");
+            if (flag != nullptr && *flag == "true") ++s.degraded;
             s.latencies_ms.push_back(
                 std::chrono::duration<double, std::milli>(done - scheduled)
                     .count());
             break;
+          }
           case 503:
             ++s.shed;
             break;
@@ -189,6 +195,7 @@ PointResult RunPoint(const Target& target, const std::vector<std::string>& bodie
     result.totals.rejected += s.rejected;
     result.totals.errors += s.errors;
     result.totals.transport += s.transport;
+    result.totals.degraded += s.degraded;
     result.totals.latencies_ms.insert(result.totals.latencies_ms.end(),
                                       s.latencies_ms.begin(),
                                       s.latencies_ms.end());
@@ -203,8 +210,176 @@ PointResult RunPoint(const Target& target, const std::vector<std::string>& bodie
   return result;
 }
 
+/// FNV-1a 64 over the probe body: a stable fingerprint ci.sh compares
+/// across two chaos runs with the same fault seed (the cross-process half
+/// of the determinism gate — the in-run half re-POSTs the probe).
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The chaos pass (DESIGN.md §17): the target is a precis_serve with a
+/// fault-scheduled dead shard (`--shards N --kill-shard K`). The healthy
+/// byte-identity and hit-path gates do not apply — degraded answers
+/// legitimately differ from the single-engine answer and are never cached
+/// (fault taint) — so this pass gates on what outage handling promises
+/// instead: availability (>= 99% of requests answered 200), honesty (those
+/// 200s carry X-Precis-Degraded: true), determinism (re-POSTing the probe
+/// returns byte-identical bodies), and bounded latency (p99 within 3x of
+/// the healthy baseline when PRECIS_BENCH_BASELINE_P99_MS is given).
+int ChaosRun(const Target& target, const std::string& target_spec,
+             const std::vector<std::string>& pool,
+             const std::vector<std::string>& bodies, double duration_s,
+             size_t connections, const std::vector<double>& qps_points,
+             const std::string& out_path, size_t shards) {
+  const std::string probe_body = "{\"tokens\":[\"" + JsonEscape(pool[0]) +
+                                 "\"],\"tuples_per_relation\":5}";
+  std::string probe_answer;
+  bool probe_degraded = false;
+  for (int i = 0; i < 3; ++i) {
+    auto client = HttpClient::Connect(target.host, target.port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "cannot connect to %s: %s\n", target_spec.c_str(),
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    auto served = client->Post("/query", probe_body);
+    if (!served.ok() || served->status != 200) {
+      std::fprintf(stderr, "chaos probe failed (status %d)\n",
+                   served.ok() ? served->status : -1);
+      return 1;
+    }
+    if (i == 0) {
+      probe_answer = served->body;
+      const std::string* flag = served->FindHeader("X-Precis-Degraded");
+      probe_degraded = flag != nullptr && *flag == "true";
+    } else if (served->body != probe_answer) {
+      std::fprintf(stderr,
+                   "DETERMINISM GATE FAILED: re-POSTing the probe returned a "
+                   "different body (%zu vs %zu bytes)\n",
+                   served->body.size(), probe_answer.size());
+      return 1;
+    }
+  }
+  if (!probe_degraded) {
+    std::fprintf(stderr,
+                 "DEGRADED GATE FAILED: probe answered 200 without "
+                 "X-Precis-Degraded: true (is --kill-shard active?)\n");
+    return 1;
+  }
+  const uint64_t probe_hash = Fnv1a64(probe_answer);
+  std::fprintf(stderr,
+               "chaos probe passed: %zu bytes, degraded, fingerprint "
+               "%016llx\n",
+               probe_answer.size(),
+               static_cast<unsigned long long>(probe_hash));
+
+  std::vector<PointResult> points;
+  for (double qps : qps_points) {
+    PointResult r = RunPoint(target, bodies, qps, duration_s, connections);
+    std::fprintf(stderr,
+                 "chaos %.0f qps: achieved %.1f qps, p50 %.2f ms, p99 %.2f "
+                 "ms (%llu ok / %llu degraded / %llu shed / %llu 504 / %llu "
+                 "err / %llu transport)\n",
+                 r.offered_qps, r.achieved_qps, r.p50_ms, r.p99_ms,
+                 static_cast<unsigned long long>(r.totals.ok),
+                 static_cast<unsigned long long>(r.totals.degraded),
+                 static_cast<unsigned long long>(r.totals.shed),
+                 static_cast<unsigned long long>(r.totals.deadline),
+                 static_cast<unsigned long long>(r.totals.errors),
+                 static_cast<unsigned long long>(r.totals.transport));
+    points.push_back(std::move(r));
+  }
+
+  uint64_t requests = 0, ok = 0, degraded = 0;
+  double max_p99 = 0;
+  for (const PointResult& r : points) {
+    requests += r.requests;
+    ok += r.totals.ok;
+    degraded += r.totals.degraded;
+    max_p99 = std::max(max_p99, r.p99_ms);
+  }
+  const double availability =
+      requests > 0 ? static_cast<double>(ok) / static_cast<double>(requests)
+                   : 0;
+  const double degraded_rate =
+      ok > 0 ? static_cast<double>(degraded) / static_cast<double>(ok) : 0;
+  const double baseline_p99 =
+      std::atof(bench::EnvString("PRECIS_BENCH_BASELINE_P99_MS", "0").c_str());
+  const double p99_ratio = baseline_p99 > 0 ? max_p99 / baseline_p99 : 0;
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"server_chaos\",\n  \"target\": \"" << target_spec
+     << "\",\n  \"movies\": " << bench::BenchMovieCount()
+     << ",\n  \"shards\": " << shards
+     << ",\n  \"connections\": " << connections
+     << ",\n  \"duration_seconds\": " << duration_s
+     << ",\n  \"probe_bytes\": " << probe_answer.size()
+     << ",\n  \"probe_fingerprint\": \"";
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(probe_hash));
+  os << hex << "\",\n  \"availability\": " << availability
+     << ",\n  \"degraded_rate\": " << degraded_rate
+     << ",\n  \"max_p99_ms\": " << max_p99
+     << ",\n  \"baseline_p99_ms\": " << baseline_p99
+     << ",\n  \"p99_ratio\": " << p99_ratio << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const PointResult& r = points[i];
+    os << "    {\"offered_qps\": " << r.offered_qps
+       << ", \"achieved_qps\": " << r.achieved_qps
+       << ", \"requests\": " << r.requests << ", \"ok\": " << r.totals.ok
+       << ", \"degraded\": " << r.totals.degraded
+       << ", \"shed\": " << r.totals.shed
+       << ", \"deadline_504\": " << r.totals.deadline
+       << ", \"rejected\": " << r.totals.rejected
+       << ", \"errors\": " << r.totals.errors
+       << ", \"transport_errors\": " << r.totals.transport
+       << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::ofstream out(out_path);
+  out << os.str();
+  out.close();
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  if (availability < 0.99) {
+    std::fprintf(stderr,
+                 "AVAILABILITY GATE FAILED: only %.2f%% of requests answered "
+                 "200 (need >= 99%%)\n",
+                 availability * 100);
+    return 1;
+  }
+  if (degraded_rate < 0.99) {
+    std::fprintf(stderr,
+                 "DEGRADED GATE FAILED: only %.2f%% of 200s carried "
+                 "X-Precis-Degraded: true (need >= 99%%)\n",
+                 degraded_rate * 100);
+    return 1;
+  }
+  if (baseline_p99 > 0 && max_p99 > 3.0 * baseline_p99) {
+    std::fprintf(stderr,
+                 "LATENCY GATE FAILED: chaos p99 %.2f ms is %.2fx the "
+                 "healthy baseline %.2f ms (need <= 3x)\n",
+                 max_p99, p99_ratio, baseline_p99);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "chaos gates passed: availability %.2f%%, degraded %.2f%%, "
+               "p99 %.2f ms%s\n",
+               availability * 100, degraded_rate * 100, max_p99,
+               baseline_p99 > 0 ? "" : " (no baseline given)");
+  return 0;
+}
+
 int LoadGenMain(int argc, char** argv) {
   const bool smoke = std::getenv("PRECIS_BENCH_SMOKE") != nullptr;
+  bool chaos = std::getenv("PRECIS_BENCH_CHAOS") != nullptr;
   size_t shards = bench::EnvSize("PRECIS_BENCH_SHARDS", 0);
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -212,8 +387,11 @@ int LoadGenMain(int argc, char** argv) {
       shards = static_cast<size_t>(std::atol(arg.c_str() + 9));
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else {
-      std::fprintf(stderr, "unknown flag %s (only --shards N)\n", arg.c_str());
+      std::fprintf(stderr, "unknown flag %s (--shards N, --chaos)\n",
+                   arg.c_str());
       return 2;
     }
   }
@@ -231,10 +409,14 @@ int LoadGenMain(int argc, char** argv) {
   const size_t connections = bench::EnvSize("PRECIS_BENCH_CONNECTIONS", 8);
   const std::vector<double> qps_points = ParseQpsList(bench::EnvString(
       "PRECIS_BENCH_QPS", smoke ? "5,10,20" : "10,40,160"));
-  const std::string out_path =
-      bench::EnvString("PRECIS_BENCH_OUT", "BENCH_server.json");
-  if (qps_points.size() < 3) {
+  const std::string out_path = bench::EnvString(
+      "PRECIS_BENCH_OUT", chaos ? "BENCH_chaos.json" : "BENCH_server.json");
+  if (!chaos && qps_points.size() < 3) {
     std::fprintf(stderr, "need at least 3 offered-load points\n");
+    return 2;
+  }
+  if (qps_points.empty()) {
+    std::fprintf(stderr, "need at least 1 offered-load point\n");
     return 2;
   }
 
@@ -280,6 +462,11 @@ int LoadGenMain(int argc, char** argv) {
   for (size_t i = 0; i < body_pool; ++i) {
     bodies.push_back("{\"tokens\":[\"" + JsonEscape(pool[zipf.Sample(&rng)]) +
                      "\"],\"tuples_per_relation\":5}");
+  }
+
+  if (chaos) {
+    return ChaosRun(target, target_spec, pool, bodies, duration_s,
+                    connections, qps_points, out_path, shards);
   }
 
   // Gate 1: byte identity. The served body must equal the in-process

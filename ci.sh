@@ -1,5 +1,5 @@
 #!/bin/sh
-# CI entry point: builds and tests the tree in five steps.
+# CI entry point: builds and tests the tree in six steps.
 #
 #   1. Release          — the full suite (tier-1 gate).
 #   2. Bench smokes     — bench/cache_effectiveness on a tiny dataset (fails
@@ -36,7 +36,22 @@
 #                         pass (reported in smoke; the 1.5x p99 gate arms
 #                         in full runs). The leg then SIGTERMs the server
 #                         and requires a graceful zero exit.
-#   4. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
+#   4. Chaos smoke      — tools/precis_serve restarted with --shards 4,
+#                         --kill-shard 1 (a fault-scheduled permanently dead
+#                         shard), --replicas on (hedged sub-queries) and a
+#                         seeded socket-chaos spec, then driven by
+#                         bench/load_gen --chaos. The chaos pass gates on
+#                         what outage handling promises (DESIGN.md §17):
+#                         availability (>= 99% answered 200), honesty (those
+#                         200s carry X-Precis-Degraded: true), bounded
+#                         latency (p99 <= 3x the healthy baseline scraped
+#                         from step 3's BENCH_server.json) and determinism
+#                         (re-POSTing the probe is byte-identical). The leg
+#                         runs the whole drill twice against freshly started
+#                         servers and requires the probe fingerprints of
+#                         both runs to match — same seed, same degraded
+#                         bytes, across processes.
+#   5. ThreadSanitizer  — the concurrency-sensitive tests (ExecutionContext,
 #                         PrecisService, engine concurrency, the sharded LRU,
 #                         the answer cache, the work-stealing TaskPool, the
 #                         parallel database generator, the scatter-gather
@@ -46,19 +61,25 @@
 #                         path fail the build rather than ship. The shared
 #                         pool is pinned to >= 4 threads so intra-query
 #                         parallelism really interleaves under the
-#                         sanitizer.
-#   5. ASan + UBSan     — the chaos smoke gate: the fault-injection suite,
-#                         the fuzz-lite chaos sweep (including its sharded
-#                         arm and the body-cache insert/query interleaving
-#                         sweep), the answer/body cache suite, the shard
-#                         suite and the HTTP server suite rebuilt under
-#                         address+undefined sanitizers.
+#                         sanitizer. The shard fault-domain suite (circuit
+#                         breakers, hedged sub-queries, degraded merges)
+#                         runs here too: hedging races a replica against a
+#                         stalled primary by design.
+#   6. ASan + UBSan     — the chaos sanitizer gate: the fault-injection
+#                         suite, the fuzz-lite chaos sweep (including its
+#                         sharded arm and the body-cache insert/query
+#                         interleaving sweep), the answer/body cache suite,
+#                         the shard suite (circuit breakers, hedged
+#                         sub-queries, degraded merges) and the HTTP server
+#                         suite (slowloris timeouts, drain, socket chaos)
+#                         rebuilt under address+undefined sanitizers.
 #                         Injected faults exercise every degradation path
-#                         (drops, failed lookups, retries, placeholders);
-#                         this leg proves those paths are memory- and
-#                         UB-clean, not merely green.
+#                         (drops, failed lookups, retries, placeholders,
+#                         skipped shards, short writes); this leg proves
+#                         those paths are memory- and UB-clean, not merely
+#                         green.
 #
-# PRECIS_SANITIZE=address ./ci.sh swaps the fourth configuration to ASan.
+# PRECIS_SANITIZE=address ./ci.sh swaps the fifth configuration to ASan.
 # All configurations use separate build trees and leave ./build alone.
 
 set -eu
@@ -67,12 +88,12 @@ SANITIZER="${PRECIS_SANITIZE:-thread}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 ROOT="$(cd "$(dirname "$0")" && pwd)"
 
-echo "=== [1/5] Release build + full test suite ==="
+echo "=== [1/6] Release build + full test suite ==="
 cmake -B "$ROOT/build-release" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$ROOT/build-release" -j "$JOBS"
 ctest --test-dir "$ROOT/build-release" --output-on-failure -j "$JOBS"
 
-echo "=== [2/5] Bench smokes (cache + parallel determinism + faults) ==="
+echo "=== [2/6] Bench smokes (cache + parallel determinism + faults) ==="
 PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_cache.json" \
   "$ROOT/build-release/bench/cache_effectiveness"
@@ -98,7 +119,7 @@ PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
   PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_shard.json" \
   "$ROOT/build-release/bench/shard_scaling"
 
-echo "=== [3/5] Server smoke (precis_serve + load_gen over real sockets) ==="
+echo "=== [3/6] Server smoke (precis_serve + load_gen over real sockets) ==="
 SERVE_LOG="$ROOT/build-release/precis_serve_smoke.log"
 # --shards 2 serves through the sharded scatter-gather engine; load_gen's
 # identity probe compares served bytes against an in-process SINGLE engine,
@@ -145,7 +166,79 @@ if ! wait "$SERVE_PID"; then
   exit 1
 fi
 
-echo "=== [4/5] ${SANITIZER} sanitizer build + concurrency suite ==="
+echo "=== [4/6] Chaos smoke (dead shard + socket chaos, twice, fingerprints must match) ==="
+# The latency gate compares the chaos p99 against the healthy run: scrape
+# the worst per-point p99 out of step 3's BENCH_server.json. Smoke points
+# hold only a handful of samples (p99 == max sample), so floor the baseline
+# at 2 ms to keep one scheduler hiccup from failing a 3x gate that full
+# runs apply against real percentiles.
+BASELINE_P99="$(grep -o '"p99_ms": [0-9.][0-9.]*' "$ROOT/build-release/BENCH_server.json" \
+  | sed 's/.*: //' | sort -g | tail -1)"
+BASELINE_P99="$(awk "BEGIN { b = $BASELINE_P99 + 0; print (b < 2.0) ? 2.0 : b }")"
+echo "healthy baseline p99: ${BASELINE_P99} ms"
+# Two full drills against freshly started servers. Each run kills shard 1
+# of 4 permanently (breaker opens, merges skip it), hedges against read
+# replicas, and injects seeded short writes at the socket layer; load_gen
+# gates availability/honesty/latency/determinism. The probe fingerprint
+# must match across the two processes: same seed, same degraded bytes.
+CHAOS_FP=""
+run=1
+while [ $run -le 2 ]; do
+  CHAOS_LOG="$ROOT/build-release/precis_serve_chaos_$run.log"
+  "$ROOT/build-release/tools/precis_serve" \
+    --port 0 --movies 300 --workers 2 --io-threads 2 --queue-depth 32 \
+    --shards 4 --replicas on --kill-shard 1 --fault-seed 42 \
+    --chaos 'seed=7,short=0.2' \
+    >"$CHAOS_LOG" 2>&1 &
+  CHAOS_PID=$!
+  CHAOS_PORT=""
+  i=0
+  while [ $i -lt 100 ]; do
+    CHAOS_PORT="$(sed -n 's/^precis_serve listening on 127\.0\.0\.1:\([0-9][0-9]*\)$/\1/p' "$CHAOS_LOG" 2>/dev/null || true)"
+    [ -n "$CHAOS_PORT" ] && break
+    if ! kill -0 "$CHAOS_PID" 2>/dev/null; then
+      echo "precis_serve (chaos run $run) exited before binding:" >&2
+      cat "$CHAOS_LOG" >&2
+      exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+  done
+  if [ -z "$CHAOS_PORT" ]; then
+    echo "precis_serve (chaos run $run) never reported a listening port:" >&2
+    cat "$CHAOS_LOG" >&2
+    kill "$CHAOS_PID" 2>/dev/null || true
+    exit 1
+  fi
+  PRECIS_BENCH_TARGET="127.0.0.1:$CHAOS_PORT" \
+    PRECIS_BENCH_MOVIES=300 PRECIS_BENCH_SMOKE=1 \
+    PRECIS_BENCH_BASELINE_P99_MS="$BASELINE_P99" \
+    PRECIS_BENCH_OUT="$ROOT/build-release/BENCH_chaos.json" \
+    "$ROOT/build-release/bench/load_gen" --shards 4 --chaos
+  test -s "$ROOT/build-release/BENCH_chaos.json"
+  kill -TERM "$CHAOS_PID"
+  if ! wait "$CHAOS_PID"; then
+    echo "precis_serve (chaos run $run) did not exit cleanly on SIGTERM:" >&2
+    cat "$CHAOS_LOG" >&2
+    exit 1
+  fi
+  FP="$(sed -n 's/.*"probe_fingerprint": "\([0-9a-f][0-9a-f]*\)".*/\1/p' "$ROOT/build-release/BENCH_chaos.json")"
+  if [ -z "$FP" ]; then
+    echo "BENCH_chaos.json has no probe_fingerprint" >&2
+    exit 1
+  fi
+  if [ $run -eq 1 ]; then
+    CHAOS_FP="$FP"
+  elif [ "$FP" != "$CHAOS_FP" ]; then
+    echo "CROSS-RUN DETERMINISM GATE FAILED: run 1 fingerprint $CHAOS_FP," >&2
+    echo "run 2 fingerprint $FP — degraded bytes depend on more than the seed" >&2
+    exit 1
+  fi
+  run=$((run + 1))
+done
+echo "chaos fingerprint stable across runs: $CHAOS_FP"
+
+echo "=== [5/6] ${SANITIZER} sanitizer build + concurrency suite ==="
 cmake -B "$ROOT/build-$SANITIZER" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="$SANITIZER"
 cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
@@ -155,9 +248,9 @@ cmake --build "$ROOT/build-$SANITIZER" -j "$JOBS" \
            shard_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-$SANITIZER" --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen|Arena|SymbolTable|JsonLite|HttpParser|RequestParse|HttpServer|Shard|MergeAscendingTids'
+  -R 'Concurrency|Service|ExecutionContext|LruCache|AnswerCache|TaskPool|ParallelDbGen|Arena|SymbolTable|JsonLite|HttpParser|RequestParse|HttpServer|Shard|MergeAscendingTids|CircuitBreaker|ServerChaosConfig'
 
-echo "=== [5/5] ASan+UBSan build + chaos smoke gate ==="
+echo "=== [6/6] ASan+UBSan build + chaos sanitizer gate ==="
 cmake -B "$ROOT/build-asan-ubsan" -S "$ROOT" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPRECIS_SANITIZE="address,undefined"
 cmake --build "$ROOT/build-asan-ubsan" -j "$JOBS" \
@@ -166,6 +259,6 @@ cmake --build "$ROOT/build-asan-ubsan" -j "$JOBS" \
            answer_cache_test
 PRECIS_TASK_POOL_THREADS=4 \
   ctest --test-dir "$ROOT/build-asan-ubsan" --output-on-failure -j "$JOBS" \
-  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel|JsonLite|HttpParser|RequestParse|HttpServer|Shard|MergeAscendingTids|AnswerCache'
+  -R 'FaultInjector|Retry|FaultChaos|CacheTaint|Service|FuzzLite|Arena|Column|RelationKernel|JsonLite|HttpParser|RequestParse|HttpServer|Shard|MergeAscendingTids|AnswerCache|CircuitBreaker|ServerChaosConfig'
 
-echo "=== CI passed (Release + bench smokes + server smoke + $SANITIZER + asan,ubsan chaos) ==="
+echo "=== CI passed (Release + bench smokes + server smoke + chaos drill + $SANITIZER + asan,ubsan chaos) ==="

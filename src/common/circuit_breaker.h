@@ -1,0 +1,175 @@
+// Per-shard circuit breaker (DESIGN.md §17).
+//
+// The classic three-state machine guarding calls into a fault domain:
+//
+//   kClosed    — calls flow; `failure_threshold` *consecutive* failures
+//                open the circuit.
+//   kOpen      — Allow() rejects without touching the domain. After
+//                `cooldown_rejects` rejected decisions the breaker moves to
+//                half-open (the next caller probes).
+//   kHalfOpen  — exactly one probe is admitted; its success closes the
+//                circuit, its failure re-opens it (and restarts the
+//                cooldown).
+//
+// The cooldown is measured in *rejected Allow() decisions*, not wall time:
+// a wall-clock cooldown would make "did this query skip the shard or probe
+// it?" depend on scheduler timing, while a decision-counted cooldown keeps
+// the skip/probe sequence a pure function of the call sequence — the same
+// determinism discipline as the FaultInjector (DESIGN.md §12). Under a
+// permanently dead shard the distinction never reaches the answer bytes
+// anyway (skip and probe-fail both exclude the shard), but the counters and
+// the state machine itself stay reproducible in single-threaded tests.
+//
+// Thread safety: all methods are mutex-protected; a breaker is shared by
+// every query the engine serves concurrently.
+
+#ifndef PRECIS_COMMON_CIRCUIT_BREAKER_H_
+#define PRECIS_COMMON_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+
+namespace precis {
+
+/// \brief Breaker tuning; member defaults are the serving defaults.
+struct CircuitBreakerPolicy {
+  /// Consecutive failures that open a closed circuit.
+  uint32_t failure_threshold = 3;
+  /// Rejected Allow() decisions an open circuit absorbs before admitting a
+  /// half-open probe.
+  uint32_t cooldown_rejects = 8;
+};
+
+enum class BreakerState : uint8_t { kClosed = 0, kOpen, kHalfOpen };
+
+inline const char* BreakerStateToString(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+/// \brief Counter snapshot, exported via /metrics and shell `stats`.
+struct CircuitBreakerStats {
+  BreakerState state = BreakerState::kClosed;
+  uint32_t consecutive_failures = 0;
+  uint64_t failures_total = 0;
+  uint64_t successes_total = 0;
+  /// Allow() calls rejected while the circuit was open.
+  uint64_t rejected_total = 0;
+  /// Closed -> open transitions (including half-open probes that failed).
+  uint64_t opened_total = 0;
+  /// Open -> half-open transitions (probes admitted).
+  uint64_t half_open_probes = 0;
+};
+
+/// \brief Closed / open / half-open breaker with decision-counted cooldown.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerPolicy policy = CircuitBreakerPolicy())
+      : policy_(policy) {}
+
+  /// True when the caller may contact the domain (closed, or admitted as
+  /// the half-open probe). False counts toward the cooldown; once
+  /// `cooldown_rejects` rejections have accumulated the *next* Allow()
+  /// becomes the half-open probe.
+  bool Allow() {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (state_) {
+      case BreakerState::kClosed:
+        return true;
+      case BreakerState::kHalfOpen:
+        // One probe at a time: further callers are rejected until the
+        // probe reports back.
+        if (probe_in_flight_) {
+          ++rejected_total_;
+          return false;
+        }
+        probe_in_flight_ = true;
+        return true;
+      case BreakerState::kOpen:
+        if (rejects_since_open_ >= policy_.cooldown_rejects) {
+          state_ = BreakerState::kHalfOpen;
+          ++half_open_probes_;
+          probe_in_flight_ = true;
+          return true;
+        }
+        ++rejects_since_open_;
+        ++rejected_total_;
+        return false;
+    }
+    return true;
+  }
+
+  void RecordSuccess() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++successes_total_;
+    consecutive_failures_ = 0;
+    probe_in_flight_ = false;
+    state_ = BreakerState::kClosed;
+  }
+
+  void RecordFailure() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failures_total_;
+    ++consecutive_failures_;
+    if (state_ == BreakerState::kHalfOpen) {
+      // Failed probe: straight back to open, cooldown restarts.
+      Open();
+      return;
+    }
+    if (state_ == BreakerState::kClosed &&
+        consecutive_failures_ >= policy_.failure_threshold) {
+      Open();
+    }
+  }
+
+  BreakerState state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
+
+  CircuitBreakerStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    CircuitBreakerStats s;
+    s.state = state_;
+    s.consecutive_failures = consecutive_failures_;
+    s.failures_total = failures_total_;
+    s.successes_total = successes_total_;
+    s.rejected_total = rejected_total_;
+    s.opened_total = opened_total_;
+    s.half_open_probes = half_open_probes_;
+    return s;
+  }
+
+  const CircuitBreakerPolicy& policy() const { return policy_; }
+
+ private:
+  void Open() {
+    state_ = BreakerState::kOpen;
+    rejects_since_open_ = 0;
+    probe_in_flight_ = false;
+    ++opened_total_;
+  }
+
+  CircuitBreakerPolicy policy_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  uint32_t rejects_since_open_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t failures_total_ = 0;
+  uint64_t successes_total_ = 0;
+  uint64_t rejected_total_ = 0;
+  uint64_t opened_total_ = 0;
+  uint64_t half_open_probes_ = 0;
+};
+
+}  // namespace precis
+
+#endif  // PRECIS_COMMON_CIRCUIT_BREAKER_H_

@@ -5,17 +5,20 @@
 #include <thread>
 
 namespace precis {
-namespace {
 
 // splitmix64 finalizer: a cheap, high-quality 64-bit mixer. The fault
 // decision for (seed, site, check index) is a pure function of the mixed
 // triple, which is what makes same-seed reruns byte-identical.
-uint64_t Mix(uint64_t x) {
+uint64_t FaultMix(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+namespace {
+
+uint64_t Mix(uint64_t x) { return FaultMix(x); }
 
 // Maps the mixed hash to [0, 1) with 53 bits of precision.
 double ToUnit(uint64_t h) {
@@ -36,6 +39,10 @@ const char* FaultSiteToString(FaultSite site) {
       return "relation_scan";
     case FaultSite::kTranslatorCatalog:
       return "translator_catalog";
+    case FaultSite::kShardSubquery:
+      return "shard_subquery";
+    case FaultSite::kShardTimeout:
+      return "shard_timeout";
   }
   return "unknown";
 }
@@ -52,9 +59,15 @@ Result<FaultSite> ParseFaultSite(const std::string& name) {
   if (name == "translator_catalog" || name == "catalog") {
     return FaultSite::kTranslatorCatalog;
   }
+  if (name == "shard_subquery" || name == "shard") {
+    return FaultSite::kShardSubquery;
+  }
+  if (name == "shard_timeout" || name == "stall") {
+    return FaultSite::kShardTimeout;
+  }
   return Status::InvalidArgument(
       "unknown fault site '" + name +
-      "' (expected probe|fetch|join|scan|catalog)");
+      "' (expected probe|fetch|join|scan|catalog|shard|stall)");
 }
 
 FaultSchedule FaultSchedule::Probability(double p, FaultKind kind) {
@@ -89,13 +102,24 @@ void FaultInjector::SetSchedule(FaultSite site, FaultSchedule schedule) {
   SiteState& state = sites_[static_cast<size_t>(site)];
   state.schedule = std::move(schedule);
   state.tripped.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(state.domains_mu);
+    state.domains.clear();
+  }
   RecomputeArmedMask();
 }
 
 void FaultInjector::SetAll(FaultSchedule schedule) {
-  for (SiteState& state : sites_) {
+  // Storage/translator sites only; the shard fault-domain sites
+  // (kShardSubquery, kShardTimeout) stay opt-in via SetSchedule so SetAll
+  // keeps its "storage chaos" contract (sharded == single-engine bytes).
+  for (size_t i = 0; i <= static_cast<size_t>(FaultSite::kTranslatorCatalog);
+       ++i) {
+    SiteState& state = sites_[i];
     state.schedule = schedule;
     state.tripped.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.domains_mu);
+    state.domains.clear();
   }
   RecomputeArmedMask();
 }
@@ -107,6 +131,8 @@ void FaultInjector::Reset() {
     state.injected.store(0, std::memory_order_relaxed);
     state.latency_spikes.store(0, std::memory_order_relaxed);
     state.tripped.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.domains_mu);
+    state.domains.clear();
   }
   RecomputeArmedMask();
 }
@@ -118,6 +144,8 @@ void FaultInjector::Reseed(uint64_t seed) {
     state.injected.store(0, std::memory_order_relaxed);
     state.latency_spikes.store(0, std::memory_order_relaxed);
     state.tripped.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(state.domains_mu);
+    state.domains.clear();
   }
 }
 
@@ -188,6 +216,82 @@ Status FaultInjector::CheckArmed(FaultSite site) {
       " (check #" + std::to_string(idx) + ")");
 }
 
+Status FaultInjector::CheckDomainArmed(FaultSite site, uint32_t domain,
+                                       uint64_t* stall_ns) {
+  SiteState& state = sites_[static_cast<size_t>(site)];
+  const FaultSchedule& schedule = state.schedule;
+  state.checks.fetch_add(1, std::memory_order_relaxed);
+
+  uint64_t idx;
+  bool tripped;
+  {
+    std::lock_guard<std::mutex> lock(state.domains_mu);
+    DomainState& d = state.domains[domain];
+    idx = ++d.checks;  // 1-based, per (site, domain)
+    tripped = d.tripped;
+  }
+  const std::string where = std::string(FaultSiteToString(site)) + " domain " +
+                            std::to_string(domain);
+  if (tripped) {
+    state.injected.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected permanent fault at " + where +
+                               " (domain tripped; check #" +
+                               std::to_string(idx) + ")");
+  }
+
+  // A schedule restricted to explicit domains leaves every other domain
+  // clean (its checks still advance, so the stream stays per-domain).
+  if (!schedule.domains.empty() &&
+      std::find(schedule.domains.begin(), schedule.domains.end(), domain) ==
+          schedule.domains.end()) {
+    return Status::OK();
+  }
+
+  bool fire = false;
+  switch (schedule.mode) {
+    case FaultMode::kOff:
+      break;
+    case FaultMode::kProbability: {
+      // Same mixer as CheckArmed with the domain folded in, so every domain
+      // draws from its own deterministic stream.
+      const uint64_t h =
+          Mix(seed_ ^ Mix(static_cast<uint64_t>(site) + 1) ^
+              Mix(0x5D0 + static_cast<uint64_t>(domain)) ^ Mix(idx));
+      fire = ToUnit(h) < schedule.probability;
+      break;
+    }
+    case FaultMode::kEveryNth:
+      fire = schedule.every_nth != 0 && idx % schedule.every_nth == 0;
+      break;
+    case FaultMode::kSteps:
+      fire = std::binary_search(schedule.steps.begin(), schedule.steps.end(),
+                                idx);
+      break;
+  }
+  if (!fire) return Status::OK();
+
+  if (schedule.kind == FaultKind::kLatencySpike) {
+    state.latency_spikes.fetch_add(1, std::memory_order_relaxed);
+    if (stall_ns != nullptr) {
+      *stall_ns = schedule.latency_spike_ns;
+    } else if (schedule.latency_spike_ns > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(schedule.latency_spike_ns));
+    }
+    return Status::OK();
+  }
+
+  state.injected.fetch_add(1, std::memory_order_relaxed);
+  if (schedule.kind == FaultKind::kPermanentError) {
+    std::lock_guard<std::mutex> lock(state.domains_mu);
+    state.domains[domain].tripped = true;
+    return Status::Unavailable("injected permanent fault at " + where +
+                               " (check #" + std::to_string(idx) + ")");
+  }
+  return Status::Unavailable("injected transient fault at " + where +
+                             " (check #" + std::to_string(idx) + ")");
+}
+
 FaultSiteStats FaultInjector::site_stats(FaultSite site) const {
   const SiteState& state = sites_[static_cast<size_t>(site)];
   FaultSiteStats stats;
@@ -237,6 +341,10 @@ std::string FaultInjector::DescribeSchedules() const {
       case FaultKind::kLatencySpike:
         out += " latency " + std::to_string(s.latency_spike_ns) + "ns";
         break;
+    }
+    if (!s.domains.empty()) {
+      out += " domains";
+      for (uint32_t d : s.domains) out += " " + std::to_string(d);
     }
     out += "\n";
   }

@@ -32,6 +32,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,16 +49,23 @@ enum class FaultSite : uint8_t {
   kJoinValueLookup = 2, ///< Per-join-key lookup in the sql layer.
   kRelationScan = 3,    ///< Relation::LookupEquals via sequential scan.
   kTranslatorCatalog = 4, ///< Template catalog lookup while rendering.
+  kShardSubquery = 5,   ///< One shard's sub-query (domain = shard id).
+  kShardTimeout = 6,    ///< One shard stalling (domain = shard id).
 };
 
-inline constexpr size_t kNumFaultSites = 5;
+inline constexpr size_t kNumFaultSites = 7;
 
 /// \brief "index_probe", "tuple_fetch", ... (stable, used in reports/JSON).
 const char* FaultSiteToString(FaultSite site);
 
 /// \brief Parses a site name; accepts both the canonical names above and the
-/// shell short forms (probe, fetch, join, scan, catalog).
+/// shell short forms (probe, fetch, join, scan, catalog, shard, stall).
 Result<FaultSite> ParseFaultSite(const std::string& name);
+
+/// \brief splitmix64 finalizer — the mixer every seed-derived deterministic
+/// decision in the tree shares (fault schedules, retry jitter), exposed so
+/// those decisions stay pure functions of their mixed inputs.
+uint64_t FaultMix(uint64_t x);
 
 /// \brief When a site's schedule decides to fire.
 enum class FaultMode : uint8_t {
@@ -82,6 +91,9 @@ struct FaultSchedule {
   uint64_t every_nth = 0;         ///< kEveryNth: period (>= 1).
   std::vector<uint64_t> steps;    ///< kSteps: sorted 1-based check indices.
   uint64_t latency_spike_ns = 100'000;  ///< kLatencySpike sleep.
+  /// Restricts the schedule to these fault domains (shard ids) on
+  /// CheckDomain() sites; empty = every domain. Plain Check() ignores it.
+  std::vector<uint32_t> domains;
 
   static FaultSchedule Off() { return FaultSchedule{}; }
   static FaultSchedule Probability(double p,
@@ -102,6 +114,13 @@ struct RetryPolicy {
   uint64_t initial_backoff_ns = 2'000;
   double backoff_multiplier = 2.0;
   uint64_t max_backoff_ns = 1'000'000;
+  /// Fraction of each backoff sleep that seed-derived jitter may shave off
+  /// (sleep in [(1-jitter) * backoff, backoff]), decorrelating the retry
+  /// stampede a recovering shard would otherwise see. The jitter factor is
+  /// a pure function of (injector seed, fault site, attempt) — wall-clock
+  /// only, never which attempt succeeds — so the retry decision sequence
+  /// stays bit-reproducible. 0 disables.
+  double backoff_jitter = 0.5;
 };
 
 /// \brief Counters for one site, snapshot via FaultInjector::site_stats().
@@ -118,7 +137,11 @@ class FaultInjector {
 
   /// Replaces one site's schedule. Must not race with Check().
   void SetSchedule(FaultSite site, FaultSchedule schedule);
-  /// Replaces every site's schedule with `schedule`.
+  /// Replaces every *storage/translator* site's schedule with `schedule`
+  /// (kIndexProbe through kTranslatorCatalog). The shard fault-domain sites
+  /// (kShardSubquery, kShardTimeout) are untouched: SetAll's contract is
+  /// "storage chaos", under which a sharded run stays byte-identical to the
+  /// single-engine run — shard-kill chaos is opt-in via SetSchedule.
   void SetAll(FaultSchedule schedule);
   /// All sites off, counters and permanent-failure latches cleared.
   /// The seed is preserved.
@@ -144,6 +167,26 @@ class FaultInjector {
     return CheckArmed(site);
   }
 
+  /// One fault decision on an independent per-(site, domain) check stream —
+  /// the shard-level fault primitive: domain d (a shard id) has its own
+  /// 1-based check indices and its own permanent latch, so "kill shard 3"
+  /// (a kPermanentError schedule with domains={3}) takes down exactly that
+  /// shard no matter how concurrent queries interleave their checks. When
+  /// the schedule names domains, other domains never fire (their checks
+  /// still count). A firing kLatencySpike schedule sleeps inline unless
+  /// `stall_ns` is non-null, in which case the spike is *returned* for the
+  /// caller to serve wherever it wants (the coordinator decides, the shard
+  /// task sleeps). Hot path: a single relaxed load when the site is off.
+  Status CheckDomain(FaultSite site, uint32_t domain,
+                     uint64_t* stall_ns = nullptr) {
+    if (stall_ns != nullptr) *stall_ns = 0;
+    if ((armed_mask_.load(std::memory_order_relaxed) &
+         (1u << static_cast<unsigned>(site))) == 0) {
+      return Status::OK();
+    }
+    return CheckDomainArmed(site, domain, stall_ns);
+  }
+
   FaultSiteStats site_stats(FaultSite site) const;
   uint64_t total_injected() const;
   uint64_t seed() const { return seed_; }
@@ -152,15 +195,25 @@ class FaultInjector {
   std::string DescribeSchedules() const;
 
  private:
+  struct DomainState {
+    uint64_t checks = 0;
+    bool tripped = false;  ///< per-domain kPermanentError latch
+  };
+
   struct SiteState {
     FaultSchedule schedule;
     std::atomic<uint64_t> checks{0};
     std::atomic<uint64_t> injected{0};
     std::atomic<uint64_t> latency_spikes{0};
     std::atomic<bool> tripped{false};  ///< kPermanentError latch.
+    /// Per-domain check streams (CheckDomain sites only). Mutex-guarded:
+    /// domain checks are per-query per-shard, far off the storage hot path.
+    std::mutex domains_mu;
+    std::map<uint32_t, DomainState> domains;
   };
 
   Status CheckArmed(FaultSite site);
+  Status CheckDomainArmed(FaultSite site, uint32_t domain, uint64_t* stall_ns);
   void RecomputeArmedMask();
 
   uint64_t seed_;

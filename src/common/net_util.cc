@@ -115,7 +115,10 @@ void CloseFd(int fd) {
 Status WriteAll(int fd, const void* data, size_t size) {
   const char* p = static_cast<const char*>(data);
   while (size > 0) {
-    ssize_t n = write(fd, p, size);
+    // MSG_NOSIGNAL: a peer that reset the connection must surface as EPIPE,
+    // not a process-killing SIGPIPE — test binaries never install the
+    // SIG_IGN the daemons do (InstallShutdownHandler).
+    ssize_t n = send(fd, p, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::Unavailable(Errno("write"));

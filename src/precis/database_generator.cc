@@ -78,10 +78,22 @@ Result<std::vector<Value>> JoinKeys(
 
 std::string DegradationReport::ToString() const {
   std::string out;
+  if (!shards_skipped.empty()) {
+    out += "shards_skipped=";
+    for (size_t i = 0; i < shards_skipped.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(shards_skipped[i]);
+    }
+    out += " of " + std::to_string(shards_total) + "\n";
+  }
   for (const RelationDegradation& r : relations) {
     out += r.relation + ": dropped=" + std::to_string(r.dropped_tuples) +
            " lookups_failed=" + std::to_string(r.failed_lookups) +
-           " retries=" + std::to_string(r.retries) + "\n";
+           " retries=" + std::to_string(r.retries);
+    if (r.unavailable_tuples > 0) {
+      out += " unavailable=" + std::to_string(r.unavailable_tuples);
+    }
+    out += "\n";
   }
   return out;
 }
@@ -209,6 +221,7 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
         if (!faults) return source.Get(tid, ctx);  // counted tuple fetch
         uint64_t r = 0;
         auto t = RetryWithBackoff(ctx->retry_policy(), ctx,
+                                  FaultSite::kTupleFetch,
                                   [&] { return source.Get(tid, ctx); }, &r);
         if (r > 0) degradation_for(rel).retries += r;
         return t;
@@ -384,6 +397,7 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
           if (!faults) return to_relation.Get(tid, ctx);
           uint64_t r = 0;
           auto t = RetryWithBackoff(ctx->retry_policy(), ctx,
+                                    FaultSite::kTupleFetch,
                                     [&] { return to_relation.Get(tid, ctx); },
                                     &r);
           if (r > 0) degradation_for(edge.to).retries += r;
@@ -424,6 +438,7 @@ Result<Database> ResultDatabaseGenerator::GenerateSequential(
             if (!faults) return to_relation.Get(tid, ctx);
             uint64_t r = 0;
             auto t = RetryWithBackoff(ctx->retry_policy(), ctx,
+                                      FaultSite::kTupleFetch,
                                       [&] { return to_relation.Get(tid, ctx); },
                                       &r);
             if (r > 0) degradation_for(edge.to).retries += r;

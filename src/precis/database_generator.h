@@ -132,6 +132,10 @@ struct RelationDegradation {
   uint64_t failed_lookups = 0;
   /// Retries performed for this relation's accesses (successful or not).
   uint64_t retries = 0;
+  /// Tuples of this relation resident on shards the coordinator skipped
+  /// (open circuit / exhausted retries) — an upper bound on what the shard
+  /// outage cost this relation (DESIGN.md §17).
+  uint64_t unavailable_tuples = 0;
 };
 
 /// \brief Per-relation account of what fault injection cost the answer.
@@ -141,9 +145,19 @@ struct RelationDegradation {
 struct DegradationReport {
   std::vector<RelationDegradation> relations;
 
+  /// Shards the coordinator completed the merge without (open-circuit or
+  /// retry-exhausted shard sub-queries, DESIGN.md §17); empty for a healthy
+  /// run. `shards_total` is the partition count those ids index into.
+  std::vector<uint32_t> shards_skipped;
+  uint32_t shards_total = 0;
+
   bool degraded() const {
+    if (!shards_skipped.empty()) return true;
     for (const RelationDegradation& r : relations) {
-      if (r.dropped_tuples > 0 || r.failed_lookups > 0) return true;
+      if (r.dropped_tuples > 0 || r.failed_lookups > 0 ||
+          r.unavailable_tuples > 0) {
+        return true;
+      }
     }
     return false;
   }

@@ -45,7 +45,7 @@ inline Result<std::vector<Tid>> FaultyLookup(const Relation& relation,
                                              ExecutionContext* ctx,
                                              uint64_t* retries) {
   return RetryWithBackoff(
-      ctx->retry_policy(), ctx,
+      ctx->retry_policy(), ctx, FaultSite::kJoinValueLookup,
       [&]() -> Result<std::vector<Tid>> {
         PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kJoinValueLookup));
         return relation.LookupEquals(attribute, key, ctx);

@@ -296,9 +296,28 @@ std::string AnswerToJson(const PrecisAnswer& answer) {
     AppendUint(&out, d.failed_lookups);
     out += ",\"retries\":";
     AppendUint(&out, d.retries);
+    if (d.unavailable_tuples > 0) {
+      // Only shard outages produce these; omitting the zero keeps every
+      // pre-existing report byte-identical (DESIGN.md §17 taint rules).
+      out += ",\"unavailable_tuples\":";
+      AppendUint(&out, d.unavailable_tuples);
+    }
     out += "}";
   }
-  out += "]}}";
+  out += "]";
+  if (!answer.report.degradation.shards_skipped.empty()) {
+    // Shard-outage block (DESIGN.md §17), emitted only when shards were
+    // actually skipped so clean answers keep their exact bytes.
+    out += ",\"shards_skipped\":[";
+    const auto& skipped = answer.report.degradation.shards_skipped;
+    for (size_t i = 0; i < skipped.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendUint(&out, skipped[i]);
+    }
+    out += "],\"shards_total\":";
+    AppendUint(&out, answer.report.degradation.shards_total);
+  }
+  out += "}}";
   return out;
 }
 

@@ -76,6 +76,16 @@ class HttpRequestParser {
   /// idle between requests — safe to close on shutdown).
   bool buffer_empty() const { return buffer_.empty(); }
 
+  /// True while a request is partially parsed: header bytes buffered but
+  /// the blank line not yet seen, or headers done and body bytes still
+  /// owed. This is the slowloris predicate — a connection can sit here
+  /// forever at one byte per poll tick, so the server bounds the *total*
+  /// time in this state rather than the gap between bytes.
+  bool mid_request() const {
+    return state_ == State::kBody ||
+           (state_ == State::kHeaders && !buffer_.empty());
+  }
+
  private:
   enum class State { kHeaders, kBody, kComplete, kError };
 

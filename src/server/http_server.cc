@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/symbol_table.h"
 #include "precis/json_export.h"
 #include "server/request_parse.h"
@@ -41,6 +43,18 @@ struct ServerStats {
   std::atomic<uint64_t> responses_5xx{0};
   std::atomic<uint64_t> bytes_read{0};
   std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> slow_client_timeouts{0};
+
+  /// Socket-chaos ledgers (ServerChaosConfig): per-boundary decision
+  /// counters (the deterministic FaultMix stream index) and injections.
+  std::atomic<uint64_t> chaos_accept_checks{0};
+  std::atomic<uint64_t> chaos_read_checks{0};
+  std::atomic<uint64_t> chaos_write_checks{0};
+  std::atomic<uint64_t> chaos_short_checks{0};
+  std::atomic<uint64_t> chaos_accept_errors{0};
+  std::atomic<uint64_t> chaos_read_errors{0};
+  std::atomic<uint64_t> chaos_write_errors{0};
+  std::atomic<uint64_t> chaos_short_writes{0};
 
   void CountResponse(int status) {
     if (status < 400) {
@@ -58,6 +72,18 @@ struct ServerStats {
 };
 
 struct Connection;
+
+/// One seeded chaos decision: a pure function of (seed, stream, index),
+/// the index drawn from the stream's check counter. Streams: 0 = accept,
+/// 1 = read, 2 = write, 3 = short-write.
+bool ChaosFire(const ServerChaosConfig& chaos, double probability,
+               uint64_t stream, std::atomic<uint64_t>* counter) {
+  if (probability <= 0.0) return false;
+  uint64_t idx = counter->fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t h = FaultMix(chaos.seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+                        (idx * 0xbf58476d1ce4e5b9ULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < probability;
+}
 
 /// One poll loop's inbox. Callbacks running on service worker threads
 /// reach their loop exclusively through this: push under the mutex, then
@@ -114,6 +140,11 @@ struct Connection {
   bool error_sent = false;
 
   Clock::time_point last_activity;  // loop thread only
+  /// When the currently-buffered partial request began (loop thread only).
+  /// Bounds *total* request receive time — a slowloris client trickling
+  /// bytes refreshes last_activity but never this.
+  Clock::time_point request_start;
+  bool request_started = false;
 };
 
 namespace {
@@ -214,11 +245,12 @@ void QueueResponse(const std::shared_ptr<Connection>& conn,
 class IoLoop {
  public:
   IoLoop(HttpServer* server, const std::map<std::string, PrecisService*>* services,
-         const HttpServer::Options* options,
+         const HttpServer::Options* options, const ServerChaosConfig* chaos,
          std::shared_ptr<ServerStats> stats, const std::atomic<bool>* stopping)
       : server_(server),
         services_(services),
         options_(options),
+        chaos_(chaos),
         stats_(std::move(stats)),
         stopping_(stopping),
         mailbox_(std::make_shared<Mailbox>()) {}
@@ -341,6 +373,12 @@ class IoLoop {
   }
 
   void OnReadable(const std::shared_ptr<Connection>& conn) {
+    if (ChaosFire(*chaos_, chaos_->read_error, /*stream=*/1,
+                  &stats_->chaos_read_checks)) {
+      stats_->chaos_read_errors.fetch_add(1, std::memory_order_relaxed);
+      Close(conn);  // injected recv failure: same teardown as ECONNRESET
+      return;
+    }
     char buf[16384];
     for (;;) {
       ssize_t n = read(conn->fd, buf, sizeof(buf));
@@ -349,6 +387,10 @@ class IoLoop {
                                      std::memory_order_relaxed);
         conn->last_activity = Clock::now();
         conn->parser.Feed(buf, static_cast<size_t>(n));
+        if (!conn->request_started && conn->parser.mid_request()) {
+          conn->request_started = true;
+          conn->request_start = conn->last_activity;
+        }
         if (conn->parser.complete() || conn->parser.failed()) break;
         continue;
       }
@@ -391,6 +433,10 @@ class IoLoop {
       HandleRequest(conn);
       conn->parser.ResetForNext();
       conn->last_activity = Clock::now();
+      // Pipelined surplus may already be a partial next request; restart
+      // its receive-time clock here so the slowloris bound covers it too.
+      conn->request_started = conn->parser.mid_request();
+      conn->request_start = conn->last_activity;
     }
     Close(conn);
   }
@@ -408,6 +454,17 @@ class IoLoop {
     if (req.target == "/healthz") {
       if (req.method != "GET" && !head) {
         QueueResponse(conn, JsonError(405, "use GET /healthz"), keep_alive);
+        return;
+      }
+      if (server_->draining()) {
+        // Drain mode: still serving, but tell the load balancer to pull
+        // this instance (and close so it re-resolves immediately).
+        HttpResponse response;
+        response.status = 503;
+        response.SetHeader("Content-Type", "text/plain");
+        response.SetHeader("Retry-After", "1");
+        response.body = "draining\n";
+        QueueResponse(conn, response, /*keep_alive=*/false, head);
         return;
       }
       HttpResponse response;
@@ -488,6 +545,20 @@ class IoLoop {
           iov[niov].iov_len = chunk.size();
           ++niov;
         }
+        if (ChaosFire(*chaos_, chaos_->write_error, /*stream=*/2,
+                      &stats_->chaos_write_checks)) {
+          stats_->chaos_write_errors.fetch_add(1, std::memory_order_relaxed);
+          dead = true;  // injected send failure: same teardown as EPIPE
+          break;
+        }
+        if (ChaosFire(*chaos_, chaos_->short_write, /*stream=*/3,
+                      &stats_->chaos_short_checks)) {
+          // Short write: flush only a small prefix this round, forcing the
+          // chunk-offset resume path that real sockets exercise rarely.
+          stats_->chaos_short_writes.fetch_add(1, std::memory_order_relaxed);
+          niov = 1;
+          iov[0].iov_len = std::max<size_t>(1, std::min<size_t>(iov[0].iov_len, 64));
+        }
         ssize_t n = writev(conn->fd, iov, static_cast<int>(niov));
         if (n > 0) {
           stats_->bytes_written.fetch_add(static_cast<uint64_t>(n),
@@ -544,6 +615,22 @@ class IoLoop {
       if (conn->parser.complete()) continue;  // request pending dispatch
       if (stopping) {
         to_close.push_back(conn);
+      } else if (!conn->error_sent && conn->request_started &&
+                 conn->parser.mid_request() &&
+                 options_->idle_timeout_seconds > 0 &&
+                 std::chrono::duration<double>(now - conn->request_start)
+                         .count() > options_->idle_timeout_seconds) {
+        // Slowloris defense: the request has been trickling in longer than
+        // the idle bound *in total* (per-byte activity refreshes
+        // last_activity, never request_start). Answer 431 and close.
+        conn->error_sent = true;
+        stats_->slow_client_timeouts.fetch_add(1, std::memory_order_relaxed);
+        QueueResponse(conn,
+                      JsonError(431, "request incomplete after " +
+                                         std::to_string(
+                                             options_->idle_timeout_seconds) +
+                                         "s"),
+                      /*keep_alive=*/false);
       } else if (options_->idle_timeout_seconds > 0 &&
                  std::chrono::duration<double>(now - conn->last_activity)
                          .count() > options_->idle_timeout_seconds) {
@@ -556,6 +643,7 @@ class IoLoop {
   HttpServer* const server_;
   const std::map<std::string, PrecisService*>* const services_;
   const HttpServer::Options* const options_;
+  const ServerChaosConfig* const chaos_;
   const std::shared_ptr<ServerStats> stats_;
   const std::atomic<bool>* const stopping_;
 
@@ -585,6 +673,18 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Create(
   std::unique_ptr<HttpServer> server(
       new HttpServer(std::move(services), std::move(options)));
 
+  std::string chaos_spec = server->options_.chaos_spec;
+  if (chaos_spec.empty()) {
+    if (const char* env = std::getenv("PRECIS_SERVER_CHAOS")) {
+      chaos_spec = env;
+    }
+  }
+  if (!chaos_spec.empty()) {
+    auto chaos = ServerChaosConfig::Parse(chaos_spec);
+    if (!chaos.ok()) return chaos.status();
+    server->chaos_ = *chaos;
+  }
+
   auto listen = ListenTcp(server->options_.bind_address,
                           server->options_.port);
   if (!listen.ok()) return listen.status();
@@ -596,8 +696,8 @@ Result<std::unique_ptr<HttpServer>> HttpServer::Create(
 
   for (size_t i = 0; i < server->options_.io_threads; ++i) {
     server->loops_.push_back(std::make_unique<IoLoop>(
-        server.get(), &server->services_, &server->options_, server->stats_,
-        &server->stopping_));
+        server.get(), &server->services_, &server->options_, &server->chaos_,
+        server->stats_, &server->stopping_));
   }
   for (auto& loop : server->loops_) loop->Start();
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -643,6 +743,15 @@ void HttpServer::AcceptLoop() {
         CloseFd(fd);
         continue;
       }
+      if (server_internal::ChaosFire(chaos_, chaos_.accept_error,
+                                     /*stream=*/0,
+                                     &stats_->chaos_accept_checks)) {
+        // Injected accept-path failure: drop before adoption, exactly like
+        // a peer that vanished between accept() and the first byte.
+        stats_->chaos_accept_errors.fetch_add(1, std::memory_order_relaxed);
+        CloseFd(fd);
+        continue;
+      }
       stats_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
       stats_->connections_open.fetch_add(1, std::memory_order_relaxed);
       size_t loop = next_loop_.fetch_add(1, std::memory_order_relaxed) %
@@ -650,6 +759,10 @@ void HttpServer::AcceptLoop() {
       loops_[loop]->Adopt(fd);
     }
   }
+}
+
+void HttpServer::BeginDrain() {
+  draining_.store(true, std::memory_order_relaxed);
 }
 
 void HttpServer::Stop() {
@@ -681,7 +794,67 @@ HttpServer::Metrics HttpServer::metrics() const {
   m.responses_5xx = stats_->responses_5xx.load(std::memory_order_relaxed);
   m.bytes_read = stats_->bytes_read.load(std::memory_order_relaxed);
   m.bytes_written = stats_->bytes_written.load(std::memory_order_relaxed);
+  m.slow_client_timeouts =
+      stats_->slow_client_timeouts.load(std::memory_order_relaxed);
+  m.chaos_accept_errors =
+      stats_->chaos_accept_errors.load(std::memory_order_relaxed);
+  m.chaos_read_errors =
+      stats_->chaos_read_errors.load(std::memory_order_relaxed);
+  m.chaos_write_errors =
+      stats_->chaos_write_errors.load(std::memory_order_relaxed);
+  m.chaos_short_writes =
+      stats_->chaos_short_writes.load(std::memory_order_relaxed);
   return m;
+}
+
+Result<ServerChaosConfig> ServerChaosConfig::Parse(const std::string& spec) {
+  ServerChaosConfig config;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string field = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (field.empty()) continue;
+    size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("chaos spec field '" + field +
+                                     "' is not key=value");
+    }
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    errno = 0;
+    char* end = nullptr;
+    if (key == "seed") {
+      unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (errno != 0 || end == value.c_str() || *end != '\0') {
+        return Status::InvalidArgument("chaos seed '" + value +
+                                       "' is not an unsigned integer");
+      }
+      config.seed = v;
+      continue;
+    }
+    double p = std::strtod(value.c_str(), &end);
+    if (errno != 0 || end == value.c_str() || *end != '\0') {
+      return Status::InvalidArgument("chaos probability '" + value +
+                                     "' is not a number");
+    }
+    p = std::max(0.0, std::min(1.0, p));
+    if (key == "accept") {
+      config.accept_error = p;
+    } else if (key == "read") {
+      config.read_error = p;
+    } else if (key == "write") {
+      config.write_error = p;
+    } else if (key == "short") {
+      config.short_write = p;
+    } else {
+      return Status::InvalidArgument(
+          "unknown chaos key '" + key +
+          "' (want seed, accept, read, write, short)");
+    }
+  }
+  return config;
 }
 
 namespace {
@@ -711,7 +884,14 @@ std::string HttpServer::MetricsJson() const {
      << ",\"responses_504\":" << m.responses_504
      << ",\"responses_5xx\":" << m.responses_5xx
      << ",\"bytes_read\":" << m.bytes_read
-     << ",\"bytes_written\":" << m.bytes_written << "},\"profiles\":{";
+     << ",\"bytes_written\":" << m.bytes_written
+     << ",\"slow_client_timeouts\":" << m.slow_client_timeouts
+     << ",\"draining\":" << (draining() ? "true" : "false")
+     << ",\"chaos\":{\"accept_errors\":" << m.chaos_accept_errors
+     << ",\"read_errors\":" << m.chaos_read_errors
+     << ",\"write_errors\":" << m.chaos_write_errors
+     << ",\"short_writes\":" << m.chaos_short_writes
+     << "}},\"profiles\":{";
   bool first = true;
   for (const auto& [name, service] : services_) {
     if (!first) os << ",";
@@ -747,14 +927,26 @@ std::string HttpServer::MetricsJson() const {
          << ",\"merge_p50_ms\":" << sm.shard_merge_p50_seconds * 1e3
          << ",\"merge_p99_ms\":" << sm.shard_merge_p99_seconds * 1e3
          << ",\"rebalanced_budget_total\":"
-         << sm.shard_rebalanced_budget_total << ",\"per_shard\":[";
+         << sm.shard_rebalanced_budget_total
+         // Fault-domain serving totals (DESIGN.md §17).
+         << ",\"degraded_queries\":" << sm.shard_degraded_queries
+         << ",\"shard_skips\":" << sm.shard_skips_total
+         << ",\"probe_retries\":" << sm.shard_probe_retries_total
+         << ",\"breaker_rejects\":" << sm.shard_breaker_rejects_total
+         << ",\"hedged_subqueries\":" << sm.hedged_subqueries_total
+         << ",\"hedge_wins\":" << sm.hedge_wins_total << ",\"per_shard\":[";
       for (size_t s = 0; s < sm.shards.size(); ++s) {
         if (s > 0) os << ",";
         const PrecisService::ShardMetricsEntry& shard = sm.shards[s];
         os << "{\"subqueries\":" << shard.subqueries
            << ",\"charges\":" << shard.charges
            << ",\"tuples\":" << shard.tuples
-           << ",\"scratch_peak_bytes\":" << shard.scratch_peak_bytes << ",";
+           << ",\"scratch_peak_bytes\":" << shard.scratch_peak_bytes
+           << ",\"breaker\":{\"state\":\"" << shard.breaker_state
+           << "\",\"opened\":" << shard.breaker_opened
+           << ",\"rejected\":" << shard.breaker_rejected
+           << ",\"half_open_probes\":" << shard.breaker_half_open_probes
+           << ",\"failures\":" << shard.breaker_failures << "},";
         AppendCacheStats(&os, "partial_cache", shard.token_cache);
         os << "}";
       }

@@ -41,6 +41,35 @@ class IoLoop;
 struct ServerStats;
 }  // namespace server_internal
 
+/// \brief Seeded socket-level chaos (DESIGN.md §17): deterministic
+/// error/short-write injection at the accept/read/write boundaries, for
+/// drilling the server's connection teardown and partial-write resume
+/// paths. Decisions are a pure function of (seed, stream, check index) —
+/// the same FaultMix stream discipline as FaultInjector — so a chaos run
+/// replays exactly under the same seed and arrival order.
+struct ServerChaosConfig {
+  uint64_t seed = 0;
+  /// Probability an accepted connection is dropped before adoption.
+  double accept_error = 0.0;
+  /// Probability a readable connection is reset instead of read.
+  double read_error = 0.0;
+  /// Probability a flush attempt resets the connection instead.
+  double write_error = 0.0;
+  /// Probability a flush writes only a small prefix (short write),
+  /// exercising the writev resume path.
+  double short_write = 0.0;
+
+  bool enabled() const {
+    return accept_error > 0.0 || read_error > 0.0 || write_error > 0.0 ||
+           short_write > 0.0;
+  }
+
+  /// Parses "seed=7,accept=0.01,read=0.02,write=0.02,short=0.25" (any
+  /// subset of keys, comma-separated). Probabilities are clamped to
+  /// [0, 1]; unknown keys are an error. Empty spec = all off.
+  static Result<ServerChaosConfig> Parse(const std::string& spec);
+};
+
 class HttpServer {
  public:
   struct Options {
@@ -57,11 +86,18 @@ class HttpServer {
     /// Header/body size caps (413/431 beyond them).
     HttpParserLimits parser_limits;
     /// Connections idle (no request in flight, nothing buffered) longer
-    /// than this are closed. 0 disables.
+    /// than this are closed. The same bound caps how long a *partially
+    /// received* request may take in total (measured from its first byte,
+    /// so a slowloris client trickling one byte per tick cannot reset it);
+    /// exceeding it mid-request answers 431 and closes. 0 disables both.
     double idle_timeout_seconds = 60.0;
     /// Stop() waits this long for in-flight responses to flush before
     /// force-closing.
     double drain_timeout_seconds = 5.0;
+    /// Socket-level chaos spec (ServerChaosConfig::Parse format). When
+    /// empty, the PRECIS_SERVER_CHAOS environment variable is consulted
+    /// instead; a malformed spec fails Create.
+    std::string chaos_spec;
   };
 
   /// Connection/request counters (snapshot; all monotonic except
@@ -79,6 +115,14 @@ class HttpServer {
     uint64_t responses_5xx = 0;  // other server-side failures
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
+    /// Mid-request connections closed with 431 for exceeding the
+    /// request-completion bound (slowloris defense).
+    uint64_t slow_client_timeouts = 0;
+    /// Injected socket chaos (ServerChaosConfig), by boundary.
+    uint64_t chaos_accept_errors = 0;
+    uint64_t chaos_read_errors = 0;
+    uint64_t chaos_write_errors = 0;
+    uint64_t chaos_short_writes = 0;
   };
 
   /// `services` maps weight-profile names to the PrecisService serving
@@ -106,6 +150,17 @@ class HttpServer {
   /// down *after* this returns (in-flight queries still need workers).
   void Stop();
 
+  /// Enters drain mode without stopping: the server keeps serving, but
+  /// /healthz flips to 503 "draining" with Connection: close so load
+  /// balancers pull the instance out of rotation while in-flight and
+  /// straggler requests finish. Idempotent; Stop() is the actual
+  /// shutdown. Callers (precis_serve) poll metrics().connections_open to
+  /// log drain progress.
+  void BeginDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
   Metrics metrics() const;
 
   /// The /metrics response body (exposed for tools/tests).
@@ -118,6 +173,9 @@ class HttpServer {
 
   std::map<std::string, PrecisService*> services_;
   Options options_;
+  /// Parsed from Options::chaos_spec / PRECIS_SERVER_CHAOS at Create;
+  /// immutable afterwards (the check counters live in ServerStats).
+  ServerChaosConfig chaos_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
 
@@ -125,6 +183,7 @@ class HttpServer {
   std::vector<std::unique_ptr<server_internal::IoLoop>> loops_;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
   WakeupPipe stop_pipe_;
   std::thread accept_thread_;
   std::atomic<size_t> next_loop_{0};

@@ -153,6 +153,15 @@ class PrecisService {
     uint64_t scratch_peak_bytes = 0;
     /// The shard's partial-results (token occurrence) cache counters.
     LruCacheStats token_cache;
+    /// The shard's circuit-breaker snapshot (DESIGN.md §17): state string
+    /// ("closed"/"open"/"half_open") plus lifetime transition counters.
+    /// All-default for an unsharded service or a one-shard engine (shard
+    /// fault domains only exist at num_shards >= 2).
+    std::string breaker_state = "closed";
+    uint64_t breaker_opened = 0;
+    uint64_t breaker_rejected = 0;
+    uint64_t breaker_half_open_probes = 0;
+    uint64_t breaker_failures = 0;
   };
 
   /// Aggregate counters across every query the service has finished.
@@ -201,6 +210,17 @@ class PrecisService {
     /// Total charges that exceeded the even per-shard budget slice —
     /// budget effectively rebalanced toward hot shards.
     uint64_t shard_rebalanced_budget_total = 0;
+    /// Fault-domain serving totals (DESIGN.md §17), all queries combined:
+    /// queries whose merge completed without at least one shard, individual
+    /// shard exclusions, kShardSubquery probe retries, breaker fast-fails
+    /// (skips without probing), hedged sub-queries launched, and hedges
+    /// whose replica beat the primary.
+    uint64_t shard_degraded_queries = 0;
+    uint64_t shard_skips_total = 0;
+    uint64_t shard_probe_retries_total = 0;
+    uint64_t shard_breaker_rejects_total = 0;
+    uint64_t hedged_subqueries_total = 0;
+    uint64_t hedge_wins_total = 0;
   };
 
   /// `engine` must outlive the service. Workers start immediately.

@@ -69,6 +69,18 @@ Result<std::vector<Tid>> ShardedRelation::ShardLookupGlobal(
   return out;
 }
 
+Result<std::vector<Tid>> ShardedRelation::ReplicaLookupGlobal(
+    size_t shard, const std::string& attribute_name, const Value& key) const {
+  auto locals =
+      replica_rel_[shard]->LookupEquals(attribute_name, key, nullptr);
+  if (!locals.ok()) return locals.status();
+  std::vector<Tid> out;
+  out.reserve(locals->size());
+  const std::vector<Tid>& map = local_to_global_[shard];
+  for (Tid local : *locals) out.push_back(map[local]);
+  return out;
+}
+
 Result<std::vector<Tid>> ShardedRelation::LookupEquals(
     const std::string& attribute_name, const Value& key,
     ExecutionContext* ctx) const {
@@ -142,7 +154,8 @@ void ShardedRelation::CountStatement(ExecutionContext* ctx) const {
 }
 
 Result<ShardedDatabase> ShardedDatabase::Partition(const Database& source,
-                                                   size_t num_shards) {
+                                                   size_t num_shards,
+                                                   bool with_replicas) {
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -152,6 +165,14 @@ Result<ShardedDatabase> ShardedDatabase::Partition(const Database& source,
     sharded.shards_.push_back(
         std::make_unique<Database>(source.name() + "_shard" +
                                    std::to_string(s)));
+  }
+  if (with_replicas) {
+    sharded.replicas_.reserve(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      sharded.replicas_.push_back(
+          std::make_unique<Database>(source.name() + "_shard" +
+                                     std::to_string(s) + "_replica"));
+    }
   }
 
   for (const std::string& name : source.RelationNames()) {
@@ -166,16 +187,26 @@ Result<ShardedDatabase> ShardedDatabase::Partition(const Database& source,
     for (size_t s = 0; s < num_shards; ++s) {
       PRECIS_RETURN_NOT_OK(
           sharded.shards_[s]->CreateRelation(rel.schema()));
+      if (with_replicas) {
+        PRECIS_RETURN_NOT_OK(
+            sharded.replicas_[s]->CreateRelation(rel.schema()));
+      }
     }
 
     auto view = std::unique_ptr<ShardedRelation>(new ShardedRelation(
         rel.schema(), ShardRouter::RelationSeed(name),
         sharded.stats_.get()));
     view->shard_rel_.resize(num_shards, nullptr);
+    if (with_replicas) view->replica_rel_.resize(num_shards, nullptr);
     for (size_t s = 0; s < num_shards; ++s) {
       auto shard_rel = sharded.shards_[s]->GetRelation(name);
       if (!shard_rel.ok()) return shard_rel.status();
       view->shard_rel_[s] = *shard_rel;
+      if (with_replicas) {
+        auto replica_rel = sharded.replicas_[s]->GetRelation(name);
+        if (!replica_rel.ok()) return replica_rel.status();
+        view->replica_rel_[s] = *replica_rel;
+      }
     }
     view->local_to_global_.resize(num_shards);
 
@@ -188,6 +219,12 @@ Result<ShardedDatabase> ShardedDatabase::Partition(const Database& source,
       size_t s = sharded.router_.ShardOf(view->seed_, g);
       auto local = view->shard_rel_[s]->Insert(rel.tuple(g));
       if (!local.ok()) return local.status();
+      if (with_replicas) {
+        // Same tuple, same routed order: the replica's local tids line up
+        // with the primary's, so local_to_global_ serves both copies.
+        auto replica_local = view->replica_rel_[s]->Insert(rel.tuple(g));
+        if (!replica_local.ok()) return replica_local.status();
+      }
       view->owner_.push_back(static_cast<uint32_t>(s));
       view->local_of_.push_back(*local);
       view->local_to_global_[s].push_back(g);
@@ -198,6 +235,9 @@ Result<ShardedDatabase> ShardedDatabase::Partition(const Database& source,
     for (const std::string& attr : rel.IndexedAttributes()) {
       for (size_t s = 0; s < num_shards; ++s) {
         PRECIS_RETURN_NOT_OK(view->shard_rel_[s]->CreateIndex(attr));
+        if (with_replicas) {
+          PRECIS_RETURN_NOT_OK(view->replica_rel_[s]->CreateIndex(attr));
+        }
       }
     }
     sharded.views_.emplace(name, std::move(view));
@@ -265,8 +305,17 @@ Result<Tid> ShardedDatabase::Insert(const std::string& relation, Tuple tuple) {
     }
   }
 
-  auto local = view.shard_rel_[owner]->Insert(std::move(tuple));
+  auto local = view.has_replicas()
+                   ? view.shard_rel_[owner]->Insert(tuple)
+                   : view.shard_rel_[owner]->Insert(std::move(tuple));
   if (!local.ok()) return local.status();
+  if (view.has_replicas()) {
+    // Primary accepted (all constraint checks passed on identical data), so
+    // the replica insert cannot fail differently; applying it keeps the two
+    // copies in lockstep — same tuple, same local tid.
+    auto replica_local = view.replica_rel_[owner]->Insert(std::move(tuple));
+    if (!replica_local.ok()) return replica_local.status();
+  }
   view.owner_.push_back(static_cast<uint32_t>(owner));
   view.local_of_.push_back(*local);
   view.local_to_global_[owner].push_back(global);

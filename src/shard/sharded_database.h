@@ -102,6 +102,18 @@ class ShardedRelation {
                                              const std::string& attribute_name,
                                              const Value& key) const;
 
+  /// True when this relation carries a read replica for every shard
+  /// (ShardedDatabase::Partition with replicas, DESIGN.md §17).
+  bool has_replicas() const { return !replica_rel_.empty(); }
+
+  /// ShardLookupGlobal against shard `shard`'s *replica*. Replicas hold
+  /// byte-identical tuples at identical local tids, so the result is the
+  /// same tid list the primary would return — which is what lets hedged
+  /// sub-queries pick whichever copy answers first without changing the
+  /// answer (DESIGN.md §17). Only valid when has_replicas().
+  Result<std::vector<Tid>> ReplicaLookupGlobal(
+      size_t shard, const std::string& attribute_name, const Value& key) const;
+
   /// Full instrumented lookup: MirrorLookupCharges + sequential gather over
   /// all shards + ascending merge. Byte-identical results (and coordinator
   /// charges) to the single-engine Relation::LookupEquals.
@@ -144,6 +156,7 @@ class ShardedRelation {
   uint64_t seed_;              // ShardRouter::RelationSeed(name())
   AccessStats* stats_;         // the owning ShardedDatabase's counters
   std::vector<Relation*> shard_rel_;            // [num_shards]
+  std::vector<Relation*> replica_rel_;          // [num_shards] or empty
   std::vector<uint32_t> owner_;                 // global tid -> shard
   std::vector<Tid> local_of_;                   // global tid -> local tid
   std::vector<std::vector<Tid>> local_to_global_;  // per shard, ascending
@@ -161,8 +174,16 @@ class ShardedDatabase {
   /// and its parent may live on different shards); with a single shard they
   /// are additionally declared on the shard so it is a faithful standalone
   /// copy of the source.
+  ///
+  /// With `with_replicas` every shard additionally gets a read replica — a
+  /// second Database holding byte-identical tuples at identical local tids
+  /// (populated by the same routed insert loop and kept in lockstep by
+  /// Insert). Replicas are the hedged-sub-query target (DESIGN.md §17):
+  /// because they are exact copies, serving a sub-query from the replica
+  /// instead of the primary can never change the merged answer.
   static Result<ShardedDatabase> Partition(const Database& source,
-                                           size_t num_shards);
+                                           size_t num_shards,
+                                           bool with_replicas = false);
 
   ShardedDatabase(ShardedDatabase&&) = default;
   ShardedDatabase& operator=(ShardedDatabase&&) = default;
@@ -172,6 +193,10 @@ class ShardedDatabase {
   size_t num_shards() const { return shards_.size(); }
   const Database& shard(size_t i) const { return *shards_[i]; }
   Database& mutable_shard(size_t i) { return *shards_[i]; }
+
+  /// True when Partition was asked for read replicas.
+  bool has_replicas() const { return !replicas_.empty(); }
+  const Database& replica(size_t i) const { return *replicas_[i]; }
 
   /// The shard's mutation epoch — the shard-aware cache key component: an
   /// insert routed to shard i moves only epoch i (DESIGN.md §15).
@@ -212,6 +237,7 @@ class ShardedDatabase {
 
   ShardRouter router_;
   std::vector<std::unique_ptr<Database>> shards_;
+  std::vector<std::unique_ptr<Database>> replicas_;  // empty or [num_shards]
   std::map<std::string, std::unique_ptr<ShardedRelation>> views_;
   std::vector<ForeignKey> foreign_keys_;
   std::unique_ptr<AccessStats> stats_ = std::make_unique<AccessStats>();

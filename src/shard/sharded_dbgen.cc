@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -237,7 +238,8 @@ Result<std::vector<Value>> PlanJoinKeys(
 Result<Database> ShardedResultDatabaseGenerator::Generate(
     const ResultSchema& schema, const SeedTids& seeds,
     const CardinalityConstraint& c, const DbGenOptions& options,
-    ExecutionContext* ctx, ShardQueryStats* shard_stats) {
+    ExecutionContext* ctx, ShardQueryStats* shard_stats,
+    const ShardQueryFaultPlan* fault_plan) {
   last_report_ = DbGenReport{};
   const SchemaGraph& graph = schema.graph();
   const size_t num_shards = sharded_->num_shards();
@@ -341,6 +343,28 @@ Result<Database> ShardedResultDatabaseGenerator::Generate(
     ++degradation_for(rel).dropped_tuples;
     return false;
   };
+
+  // Shard-outage accounting (DESIGN.md §17): shards the query's fault plan
+  // excluded are recorded up front — the skip happened before any edge ran
+  // — along with each relation's tuples resident on them (an upper bound on
+  // what the outage can cost that relation). Entry order is the schema's
+  // relation order, deterministic for a fixed plan.
+  if (fault_plan != nullptr && fault_plan->any_skipped()) {
+    last_report_.degradation.shards_skipped = fault_plan->skipped;
+    last_report_.degradation.shards_total =
+        static_cast<uint32_t>(num_shards);
+    for (RelationNodeId rel : schema.relations()) {
+      uint64_t unavailable = 0;
+      for (uint32_t s : fault_plan->skipped) {
+        unavailable += views[rel]->shard_tuples(s);
+      }
+      if (unavailable > 0) {
+        degradation_for(rel).unavailable_tuples += unavailable;
+      }
+    }
+  }
+  uint64_t hedged_total = 0;
+  uint64_t hedge_wins_total = 0;
 
   // Chunk spawner: identical boundaries to parallel_dbgen.cc (a pure
   // function of the accepted sequence), but materialization scatters each
@@ -523,25 +547,147 @@ Result<Database> ShardedResultDatabaseGenerator::Generate(
     Status prefetch_status = Status::OK();
     {
       const auto merge_start = std::chrono::steady_clock::now();
+      const bool hedging = fault_plan != nullptr && fault_plan->use_replicas &&
+                           fault_plan->health != nullptr &&
+                           to_view.has_replicas();
+      ShardHealthTracker* health =
+          fault_plan != nullptr ? fault_plan->health : nullptr;
+
+      // Per-shard hedged fetch state: the primary and the (optional) hedged
+      // replica sub-query race for the winner CAS; the loser's buffers are
+      // never read. A stalled primary sleeps in ~1ms slices and checks
+      // cancel_primary so a replica win unblocks the pool thread quickly.
+      struct ShardFetch {
+        std::vector<std::vector<Tid>> primary;
+        std::vector<std::vector<Tid>> replica;
+        Status primary_status;
+        Status replica_status;
+        std::atomic<int> winner{-1};  // -1 pending, 0 primary, 1 replica
+        std::atomic<bool> cancel_primary{false};
+      };
+      std::unique_ptr<ShardFetch[]> fetches(new ShardFetch[num_shards]);
+      std::mutex done_mu;
+      std::condition_variable done_cv;
+      std::vector<uint8_t> done(num_shards, 0);
+      auto mark_done = [&](size_t s) {
+        {
+          std::lock_guard<std::mutex> lock(done_mu);
+          done[s] = 1;
+        }
+        done_cv.notify_all();
+      };
+
       std::vector<std::vector<std::vector<Tid>>> per_shard(num_shards);
       std::vector<Status> shard_status(num_shards, Status::OK());
       TaskPool::Group prefetch(pool);
       for (size_t s = 0; s < num_shards; ++s) {
         per_shard[s].resize(keys->size());
-        prefetch.Run([&, s] {
+        if (fault_plan != nullptr && fault_plan->live[s] == 0) {
+          continue;  // skipped shard: empty postings, no sub-query
+        }
+        const uint64_t stall =
+            fault_plan != nullptr ? fault_plan->stall_ns[s] : 0;
+        ShardFetch* fetch = &fetches[s];
+        prefetch.Run([&, s, stall, fetch] {
+          if (stall > 0) {
+            uint64_t slept = 0;
+            while (slept < stall) {
+              if (fetch->cancel_primary.load(std::memory_order_acquire)) {
+                return;  // lost the hedge; buffers never read
+              }
+              const uint64_t slice =
+                  std::min<uint64_t>(1'000'000, stall - slept);
+              std::this_thread::sleep_for(std::chrono::nanoseconds(slice));
+              slept += slice;
+            }
+          }
+          fetch->primary.resize(keys->size());
           for (size_t k = 0; k < keys->size(); ++k) {
             auto r =
                 to_view.ShardLookupGlobal(s, edge.to_attribute, (*keys)[k]);
             if (!r.ok()) {
-              shard_status[s] = r.status();
-              return;
+              fetch->primary_status = r.status();
+              break;
             }
-            per_shard[s][k] = std::move(*r);
+            fetch->primary[k] = std::move(*r);
+          }
+          int expected = -1;
+          if (fetch->winner.compare_exchange_strong(
+                  expected, 0, std::memory_order_acq_rel)) {
+            if (health != nullptr) {
+              health->RecordLatency(
+                  s, static_cast<uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - merge_start)
+                             .count()));
+            }
+            mark_done(s);
           }
         });
       }
-      prefetch.Wait();
+
+      // Gather, shard by shard: a live shard that outlives its hedging
+      // delay gets the identical sub-query re-issued against its replica
+      // (exact copy: same bytes either way), first response wins.
       for (size_t s = 0; s < num_shards; ++s) {
+        if (fault_plan != nullptr && fault_plan->live[s] == 0) continue;
+        ShardFetch* fetch = &fetches[s];
+        std::unique_lock<std::mutex> lock(done_mu);
+        if (hedging && !done[s]) {
+          const uint64_t delay = health->HedgeDelayNs(s);
+          const bool finished =
+              done_cv.wait_for(lock, std::chrono::nanoseconds(delay),
+                               [&] { return done[s] != 0; });
+          if (!finished) {
+            lock.unlock();
+            ++hedged_total;
+            health->hedged_subqueries.fetch_add(1, std::memory_order_relaxed);
+            prefetch.Run([&, s, fetch] {
+              fetch->replica.resize(keys->size());
+              for (size_t k = 0; k < keys->size(); ++k) {
+                auto r = to_view.ReplicaLookupGlobal(s, edge.to_attribute,
+                                                     (*keys)[k]);
+                if (!r.ok()) {
+                  fetch->replica_status = r.status();
+                  break;
+                }
+                fetch->replica[k] = std::move(*r);
+              }
+              int expected = -1;
+              if (fetch->winner.compare_exchange_strong(
+                      expected, 1, std::memory_order_acq_rel)) {
+                fetch->cancel_primary.store(true, std::memory_order_release);
+                if (health != nullptr) {
+                  health->RecordLatency(
+                      s,
+                      static_cast<uint64_t>(
+                          std::chrono::duration_cast<
+                              std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - merge_start)
+                              .count()));
+                }
+                mark_done(s);
+              }
+            });
+            lock.lock();
+          }
+        }
+        done_cv.wait(lock, [&] { return done[s] != 0; });
+        lock.unlock();
+        if (fetch->winner.load(std::memory_order_acquire) == 1) {
+          ++hedge_wins_total;
+          health->hedge_wins.fetch_add(1, std::memory_order_relaxed);
+          per_shard[s] = std::move(fetch->replica);
+          shard_status[s] = fetch->replica_status;
+        } else {
+          per_shard[s] = std::move(fetch->primary);
+          shard_status[s] = fetch->primary_status;
+        }
+      }
+      prefetch.Wait();  // drains hedged losers (cancel unblocks stalls)
+
+      for (size_t s = 0; s < num_shards; ++s) {
+        if (fault_plan != nullptr && fault_plan->live[s] == 0) continue;
         shard_lookups[s] += keys->size();
         shard_subqueries[s] += 1;
         uint64_t bytes = 0;
@@ -593,7 +739,7 @@ Result<Database> ShardedResultDatabaseGenerator::Generate(
         return std::move(merged[ki]);
       }
       return RetryWithBackoff(
-          ctx->retry_policy(), ctx,
+          ctx->retry_policy(), ctx, FaultSite::kJoinValueLookup,
           [&]() -> Result<std::vector<Tid>> {
             PRECIS_RETURN_NOT_OK(ctx->CheckFault(FaultSite::kJoinValueLookup));
             PRECIS_RETURN_NOT_OK(
@@ -872,6 +1018,13 @@ Result<Database> ShardedResultDatabaseGenerator::Generate(
     shard_stats->Resize(num_shards);
     shard_stats->merge_seconds = merge_seconds;
     shard_stats->merge_events = merge_events;
+    if (fault_plan != nullptr) {
+      shard_stats->shards_skipped = fault_plan->skipped;
+      shard_stats->shard_probe_retries = fault_plan->probe_retries;
+      shard_stats->breaker_rejects = fault_plan->breaker_rejects;
+    }
+    shard_stats->hedged_subqueries = hedged_total;
+    shard_stats->hedge_wins = hedge_wins_total;
     shard_stats->budget_total = budget;
     shard_stats->budget_slice = num_shards > 0 ? budget / num_shards : 0;
     shard_stats->rebalanced_charges = 0;

@@ -21,6 +21,7 @@
 #include "common/result.h"
 #include "precis/database_generator.h"
 #include "precis/result_schema.h"
+#include "shard/shard_health.h"
 #include "shard/sharded_database.h"
 
 namespace precis {
@@ -51,10 +52,24 @@ struct ShardQueryStats {
   /// much of the budget effectively rebalanced toward hot shards.
   uint64_t rebalanced_charges = 0;
 
+  /// Fault-domain telemetry (DESIGN.md §17): shards this query's merge
+  /// completed without, probe retries spent deciding that, shards skipped
+  /// on an open breaker without probing, and the hedged sub-query ledger.
+  std::vector<uint32_t> shards_skipped;
+  uint64_t shard_probe_retries = 0;
+  uint64_t breaker_rejects = 0;
+  uint64_t hedged_subqueries = 0;
+  uint64_t hedge_wins = 0;
+
   void Resize(size_t num_shards) {
     subqueries.assign(num_shards, 0);
     charges.assign(num_shards, 0);
     scratch_bytes.assign(num_shards, 0);
+    shards_skipped.clear();
+    shard_probe_retries = 0;
+    breaker_rejects = 0;
+    hedged_subqueries = 0;
+    hedge_wins = 0;
   }
 };
 
@@ -69,11 +84,22 @@ class ShardedResultDatabaseGenerator {
   /// stop reason) is byte-identical to
   /// ResultDatabaseGenerator::Generate over the unpartitioned source.
   /// `shard_stats`, when given, receives the scatter-gather telemetry.
+  ///
+  /// `fault_plan`, when given, applies the query's fault-domain decisions
+  /// (DESIGN.md §17): shards the plan skipped contribute nothing to any
+  /// prefetch (their tuples are reported per relation as
+  /// unavailable_tuples and the report carries shards_skipped), live
+  /// shards serve their injected stall inside their prefetch task, and —
+  /// when the plan allows replicas — a sub-query that exceeds the shard's
+  /// hedging delay is re-issued against the shard's replica, first
+  /// response wins. Because replicas are exact copies, hedging can change
+  /// telemetry but never answer bytes.
   Result<Database> Generate(const ResultSchema& schema, const SeedTids& seeds,
                             const CardinalityConstraint& c,
                             const DbGenOptions& options,
                             ExecutionContext* ctx = nullptr,
-                            ShardQueryStats* shard_stats = nullptr);
+                            ShardQueryStats* shard_stats = nullptr,
+                            const ShardQueryFaultPlan* fault_plan = nullptr);
 
   const DbGenReport& last_report() const { return last_report_; }
 

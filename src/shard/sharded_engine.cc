@@ -23,14 +23,16 @@ size_t EstimateSchemaCharge(const ResultSchema& schema) {
 }  // namespace
 
 Result<std::unique_ptr<ShardedPrecisEngine>> ShardedPrecisEngine::Create(
-    const Database& source, const SchemaGraph* graph, size_t num_shards) {
+    const Database& source, const SchemaGraph* graph, size_t num_shards,
+    bool with_replicas) {
   if (graph == nullptr) {
     return Status::InvalidArgument("graph must be non-null");
   }
-  auto sharded = ShardedDatabase::Partition(source, num_shards);
+  auto sharded = ShardedDatabase::Partition(source, num_shards, with_replicas);
   if (!sharded.ok()) return sharded.status();
   auto engine = std::unique_ptr<ShardedPrecisEngine>(
       new ShardedPrecisEngine(std::move(*sharded), graph));
+  engine->health_ = std::make_unique<ShardHealthTracker>(num_shards);
   for (size_t s = 0; s < engine->sharded_.num_shards(); ++s) {
     auto shard_engine = PrecisEngine::Create(&engine->sharded_.shard(s), graph);
     if (!shard_engine.ok()) return shard_engine.status();
@@ -115,9 +117,11 @@ ShardedPrecisEngine::ShardOccurrences(size_t shard,
 }
 
 std::vector<TokenMatch> ShardedPrecisEngine::MatchTokens(
-    const PrecisQuery& query) const {
+    const PrecisQuery& query, const ShardQueryFaultPlan* plan) const {
   const size_t num_tokens = query.tokens.size();
   const size_t shards = num_shards();
+  static const auto kNoOccurrences =
+      std::make_shared<const std::vector<TokenOccurrence>>();
 
   std::vector<std::string> resolved(num_tokens);
   for (size_t t = 0; t < num_tokens; ++t) {
@@ -135,6 +139,14 @@ std::vector<TokenMatch> ShardedPrecisEngine::MatchTokens(
   for (auto& row : per_token) row.resize(shards);
   TaskPool::Group scatter(TaskPool::Shared());
   for (size_t s = 0; s < shards; ++s) {
+    if (plan != nullptr && plan->live[s] == 0) {
+      // Skipped shard (open circuit / failed probe): it contributes no
+      // occurrences; the merge completes without it (DESIGN.md §17).
+      for (size_t t = 0; t < num_tokens; ++t) {
+        per_token[t][s] = kNoOccurrences;
+      }
+      continue;
+    }
     scatter.Run([&, s] {
       for (size_t t = 0; t < num_tokens; ++t) {
         per_token[t][s] = ShardOccurrences(s, resolved[t]);
@@ -186,7 +198,8 @@ std::vector<TokenMatch> ShardedPrecisEngine::MatchTokens(
 Result<PrecisAnswer> ShardedPrecisEngine::AnswerFromMatches(
     std::vector<TokenMatch> matches, const DegreeConstraint& degree,
     const CardinalityConstraint& cardinality, const DbGenOptions& options,
-    ExecutionContext* ctx, ShardQueryStats* shard_stats) const {
+    ExecutionContext* ctx, ShardQueryStats* shard_stats,
+    const ShardQueryFaultPlan* plan) const {
   // Input relations (deduplicated, in match order) and seed tuple ids —
   // identical discipline to PrecisEngine::AnswerFromMatches.
   std::vector<RelationNodeId> token_relations;
@@ -256,7 +269,7 @@ Result<PrecisAnswer> ShardedPrecisEngine::AnswerFromMatches(
   Result<Database> database = [&] {
     ScopedSpan span(ctx, "db_gen");
     return db_generator.Generate(*schema, seeds, cardinality, options, ctx,
-                                 shard_stats);
+                                 shard_stats, plan);
   }();
   if (!database.ok()) return database.status();
 
@@ -268,13 +281,24 @@ Result<PrecisAnswer> ShardedPrecisEngine::Answer(
     const PrecisQuery& query, const DegreeConstraint& degree,
     const CardinalityConstraint& cardinality, const DbGenOptions& options,
     ExecutionContext* ctx, ShardQueryStats* shard_stats) const {
+  // The query's fault-domain decision, made once up front on this thread:
+  // which shards participate, which stall, whether hedging can fire
+  // (DESIGN.md §17). Shard fault domains need >= 2 shards — the one-shard
+  // configuration is served by the delegating cached path, which never has
+  // a second fault domain to fail over from.
+  std::optional<ShardQueryFaultPlan> plan;
+  if (num_shards() >= 2) {
+    plan = DecideShardFaultPlan(num_shards(), health_.get(), ctx,
+                                sharded_.has_replicas());
+  }
+  const ShardQueryFaultPlan* plan_ptr = plan ? &*plan : nullptr;
   std::vector<TokenMatch> matches;
   {
     ScopedSpan span(ctx, "match_tokens");
-    matches = MatchTokens(query);
+    matches = MatchTokens(query, plan_ptr);
   }
   return AnswerFromMatches(std::move(matches), degree, cardinality, options,
-                           ctx, shard_stats);
+                           ctx, shard_stats, plan_ptr);
 }
 
 Result<std::shared_ptr<const PrecisAnswer>> ShardedPrecisEngine::AnswerShared(

@@ -26,11 +26,13 @@
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/execution_context.h"
 #include "common/lru_cache.h"
 #include "common/result.h"
 #include "graph/schema_graph.h"
 #include "precis/engine.h"
+#include "shard/shard_health.h"
 #include "shard/sharded_database.h"
 #include "shard/sharded_dbgen.h"
 #include "text/synonyms.h"
@@ -43,8 +45,14 @@ class ShardedPrecisEngine {
   /// Partitions `source` across `num_shards` shards and builds one
   /// PrecisEngine (with its own inverted index) per shard. `source` is
   /// copied into the shards; `graph` must outlive the engine.
+  ///
+  /// With `with_replicas`, every shard also gets a read replica (an exact
+  /// copy, see ShardedDatabase::Partition) and sub-queries that outlive the
+  /// shard's hedging delay are re-issued against it, first response wins
+  /// (DESIGN.md §17). Replicas double partition memory, so they are opt-in.
   static Result<std::unique_ptr<ShardedPrecisEngine>> Create(
-      const Database& source, const SchemaGraph* graph, size_t num_shards);
+      const Database& source, const SchemaGraph* graph, size_t num_shards,
+      bool with_replicas = false);
 
   ShardedPrecisEngine(const ShardedPrecisEngine&) = delete;
   ShardedPrecisEngine& operator=(const ShardedPrecisEngine&) = delete;
@@ -123,25 +131,36 @@ class ShardedPrecisEngine {
     return sharded_.shard(shard).TotalTuples();
   }
 
+  /// Per-shard fault-domain health: circuit breakers, hedge-delay windows,
+  /// lifetime hedge/skip counters (DESIGN.md §17). Shard fault domains only
+  /// exist at num_shards >= 2 — the one-shard configuration delegates whole
+  /// queries to its shard engine and never consults this state.
+  const ShardHealthTracker& health() const { return *health_; }
+  CircuitBreakerStats breaker_stats(size_t shard) const {
+    return health_->breaker(shard).stats();
+  }
+
  private:
   ShardedPrecisEngine(ShardedDatabase sharded, const SchemaGraph* graph);
 
   /// Token lookup scattered across shards: per-shard (partial-cached)
   /// occurrence lists, local tids translated to global, merged into the
   /// single-engine (relation, attribute) group order with ascending tids.
-  std::vector<TokenMatch> MatchTokens(const PrecisQuery& query) const;
+  /// Shards the fault plan skipped contribute no occurrences — their seed
+  /// tuples are part of what the outage costs the answer (DESIGN.md §17).
+  std::vector<TokenMatch> MatchTokens(const PrecisQuery& query,
+                                      const ShardQueryFaultPlan* plan) const;
 
   /// One shard's translated occurrences for a resolved token, through the
   /// shard's partial cache when enabled.
   std::shared_ptr<const std::vector<TokenOccurrence>> ShardOccurrences(
       size_t shard, const std::string& resolved) const;
 
-  Result<PrecisAnswer> AnswerFromMatches(std::vector<TokenMatch> matches,
-                                         const DegreeConstraint& degree,
-                                         const CardinalityConstraint& c,
-                                         const DbGenOptions& options,
-                                         ExecutionContext* ctx,
-                                         ShardQueryStats* shard_stats) const;
+  Result<PrecisAnswer> AnswerFromMatches(
+      std::vector<TokenMatch> matches, const DegreeConstraint& degree,
+      const CardinalityConstraint& c, const DbGenOptions& options,
+      ExecutionContext* ctx, ShardQueryStats* shard_stats,
+      const ShardQueryFaultPlan* plan) const;
 
   /// Shared implementation of AnswerShared / AnswerSharedRendered; when
   /// `body_out` is non-null it is always filled (memoized when permitted).
@@ -154,6 +173,9 @@ class ShardedPrecisEngine {
   ShardedDatabase sharded_;
   const SchemaGraph* graph_;
   std::vector<std::unique_ptr<PrecisEngine>> shard_engines_;
+  /// Fault-domain health; internally synchronized, so const query paths
+  /// share it freely (DESIGN.md §17).
+  std::unique_ptr<ShardHealthTracker> health_;
   /// Sorted relation name -> enumeration index; the cross-shard occurrence
   /// merge keys groups on it so group order matches InvertedIndex's sorted
   /// relation_names_ enumeration.

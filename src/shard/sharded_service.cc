@@ -66,6 +66,10 @@ Result<std::shared_ptr<const PrecisAnswer>> ShardedPrecisService::AnswerQuery(
       scratch_peak_[s] = std::max(scratch_peak_[s], stats.scratch_bytes[s]);
     }
     rebalanced_total_ += stats.rebalanced_charges;
+    if (!stats.shards_skipped.empty()) ++degraded_queries_;
+    skips_total_ += stats.shards_skipped.size();
+    probe_retries_total_ += stats.shard_probe_retries;
+    breaker_rejects_total_ += stats.breaker_rejects;
   }
   return answer;
 }
@@ -84,6 +88,10 @@ PrecisService::Metrics ShardedPrecisService::metrics() const {
       snapshot.shards[s].scratch_peak_bytes = scratch_peak_[s];
     }
     snapshot.shard_rebalanced_budget_total = rebalanced_total_;
+    snapshot.shard_degraded_queries = degraded_queries_;
+    snapshot.shard_skips_total = skips_total_;
+    snapshot.shard_probe_retries_total = probe_retries_total_;
+    snapshot.shard_breaker_rejects_total = breaker_rejects_total_;
   }
   // Sort outside the lock — same no-stall discipline as the base latency
   // percentiles (satellite fix this subclass inherits by construction).
@@ -104,6 +112,21 @@ PrecisService::Metrics ShardedPrecisService::metrics() const {
     snapshot.shards[s].tuples = engine_->shard_tuples(s);
     snapshot.shards[s].token_cache = engine_->shard_partial_cache_stats(s);
     snapshot.token_cache += snapshot.shards[s].token_cache;
+    if (engine_->num_shards() >= 2) {
+      CircuitBreakerStats breaker = engine_->breaker_stats(s);
+      snapshot.shards[s].breaker_state = BreakerStateToString(breaker.state);
+      snapshot.shards[s].breaker_opened = breaker.opened_total;
+      snapshot.shards[s].breaker_rejected = breaker.rejected_total;
+      snapshot.shards[s].breaker_half_open_probes = breaker.half_open_probes;
+      snapshot.shards[s].breaker_failures = breaker.failures_total;
+    }
+  }
+  if (engine_->num_shards() >= 2) {
+    const ShardHealthTracker& health = engine_->health();
+    snapshot.hedged_subqueries_total =
+        health.hedged_subqueries.load(std::memory_order_relaxed);
+    snapshot.hedge_wins_total =
+        health.hedge_wins.load(std::memory_order_relaxed);
   }
   snapshot.schema_cache = engine_->schema_cache_stats();
   snapshot.answer_cache = engine_->answer_cache_stats();

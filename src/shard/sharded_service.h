@@ -69,6 +69,13 @@ class ShardedPrecisService : public PrecisService {
   std::vector<uint64_t> charges_;
   std::vector<uint64_t> scratch_peak_;
   uint64_t rebalanced_total_ = 0;
+  /// Fault-domain serving totals (DESIGN.md §17), folded from each query's
+  /// ShardQueryStats. Per-shard breaker snapshots come straight from the
+  /// engine's ShardHealthTracker at metrics() time instead.
+  uint64_t degraded_queries_ = 0;
+  uint64_t skips_total_ = 0;
+  uint64_t probe_retries_total_ = 0;
+  uint64_t breaker_rejects_total_ = 0;
 };
 
 }  // namespace precis

@@ -54,6 +54,7 @@ Result<std::vector<Row>> FetchByTids(const Relation& relation,
     if (rows.size() >= max_rows) break;
     if (ctx != nullptr && ctx->ShouldStop()) break;
     auto tuple = faults ? RetryWithBackoff(ctx->retry_policy(), ctx,
+                                           FaultSite::kTupleFetch,
                                            [&] { return relation.Get(tid, ctx); })
                         : relation.Get(tid, ctx);
     if (!tuple.ok()) return tuple.status();
@@ -90,7 +91,7 @@ Result<std::vector<Row>> FetchByJoinValues(
     // the whole key instead of leaving a half-consumed check sequence.
     auto tids = faults
                     ? RetryWithBackoff(
-                          ctx->retry_policy(), ctx,
+                          ctx->retry_policy(), ctx, FaultSite::kJoinValueLookup,
                           [&]() -> Result<std::vector<Tid>> {
                             PRECIS_RETURN_NOT_OK(
                                 ctx->CheckFault(FaultSite::kJoinValueLookup));
@@ -103,6 +104,7 @@ Result<std::vector<Row>> FetchByJoinValues(
       if (ctx != nullptr && ctx->ShouldStop()) break;
       auto tuple =
           faults ? RetryWithBackoff(ctx->retry_policy(), ctx,
+                                    FaultSite::kTupleFetch,
                                     [&] { return relation.Get(tid, ctx); })
                  : relation.Get(tid, ctx);
       if (!tuple.ok()) return tuple.status();
@@ -142,7 +144,7 @@ Result<PerValueScanSet> PerValueScanSet::Open(const Relation& relation,
     relation.CountStatement(ctx);
     auto tids =
         faults ? RetryWithBackoff(
-                     ctx->retry_policy(), ctx,
+                     ctx->retry_policy(), ctx, FaultSite::kJoinValueLookup,
                      [&]() -> Result<std::vector<Tid>> {
                        PRECIS_RETURN_NOT_OK(
                            ctx->CheckFault(FaultSite::kJoinValueLookup));
@@ -177,6 +179,7 @@ std::optional<Row> PerValueScanSet::Next(size_t i) {
   Tid tid = scans_[i][positions_[i]++];
   auto tuple = FaultsArmed(ctx_)
                    ? RetryWithBackoff(ctx_->retry_policy(), ctx_,
+                                      FaultSite::kTupleFetch,
                                       [&] { return relation_->Get(tid, ctx_); },
                                       &retries_)
                    : relation_->Get(tid, ctx_);

@@ -313,6 +313,17 @@ Result<std::string> Translator::Render(const PrecisAnswer& answer,
                                        ExecutionContext* ctx) const {
   ScopedSpan span(ctx, "translate");
   std::string out;
+  const DegradationReport& degradation = answer.report.degradation;
+  if (!degradation.shards_skipped.empty()) {
+    // The answer was assembled without some partitions (DESIGN.md §17);
+    // say so up front — the paper's stance is that a less complete answer
+    // must still be an honest one.
+    const uint32_t total = degradation.shards_total;
+    const uint32_t reached =
+        total - static_cast<uint32_t>(degradation.shards_skipped.size());
+    out += "[answers from " + std::to_string(reached) + " of " +
+           std::to_string(total) + " partitions]";
+  }
   for (const TokenMatch& match : answer.matches) {
     for (const TokenOccurrence& occurrence : match.occurrences()) {
       if (ctx != nullptr && ctx->ShouldStop()) return out;

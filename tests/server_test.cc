@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -587,6 +588,140 @@ TEST(HttpServerTest, StopWhileClientsConnectedIsGraceful) {
   ASSERT_TRUE(response.ok());
   h.server->Stop();  // must not hang on the idle connection
   EXPECT_EQ(h.server->metrics().connections_open, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Slowloris defense, drain mode, and socket chaos (DESIGN.md §17).
+
+TEST(HttpServerTest, SlowlorisTrickleGets431MidHeader) {
+  HttpServer::Options server_options;
+  server_options.idle_timeout_seconds = 0.8;
+  Harness h = Harness::Start(PrecisService::Options(), server_options);
+  HttpClient client = h.Client();
+  ASSERT_TRUE(client.SendRaw("POST /query HTTP/1.1\r\n").ok());
+  // Trickle header bytes: every write refreshes the *idle* clock, but the
+  // request-completion clock started at the first partial byte and is never
+  // reset — the classic slowloris hold-open must still be cut off. The
+  // trickle ends well before the bound so no write races the server's
+  // close (a late write would RST away the buffered 431).
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(client.SendRaw("X").ok()) << i;
+  }
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 431);
+  EXPECT_FALSE(client.connected());
+  EXPECT_GE(h.server->metrics().slow_client_timeouts, 1u);
+}
+
+TEST(HttpServerTest, MidBodyStallGets431) {
+  HttpServer::Options server_options;
+  server_options.idle_timeout_seconds = 0.3;
+  Harness h = Harness::Start(PrecisService::Options(), server_options);
+  HttpClient client = h.Client();
+  // Complete headers, Content-Length promising more body than ever comes.
+  ASSERT_TRUE(client
+                  .SendRaw("POST /query HTTP/1.1\r\n"
+                           "Content-Type: application/json\r\n"
+                           "Content-Length: 64\r\n"
+                           "\r\n"
+                           "{\"tokens\":[\"Wood")
+                  .ok());
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 431);
+  EXPECT_FALSE(client.connected());
+  EXPECT_GE(h.server->metrics().slow_client_timeouts, 1u);
+}
+
+TEST(HttpServerTest, DrainFlipsHealthzTo503ButKeepsServing) {
+  Harness h = Harness::Start();
+  EXPECT_FALSE(h.server->draining());
+  h.server->BeginDrain();
+  EXPECT_TRUE(h.server->draining());
+
+  // The load balancer's probe sees 503 + Connection: close...
+  HttpClient probe = h.Client();
+  auto health = probe.Get("/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 503);
+  EXPECT_EQ(health->body, "draining\n");
+  ASSERT_NE(health->FindHeader("Retry-After"), nullptr);
+  ASSERT_NE(health->FindHeader("Connection"), nullptr);
+  EXPECT_EQ(*health->FindHeader("Connection"), "close");
+
+  // ...while queries and metrics keep serving until the actual Stop().
+  HttpClient client = h.Client();
+  auto served = client.Post("/query", "{\"tokens\":[\"Comedy\"]}");
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(served->status, 200);
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("\"draining\":true"), std::string::npos);
+}
+
+TEST(ServerChaosConfigTest, ParsesSpecsClampsAndRejectsGarbage) {
+  auto off = ServerChaosConfig::Parse("");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->enabled());
+
+  auto full = ServerChaosConfig::Parse(
+      "seed=7,accept=0.01,read=0.02,write=0.03,short=0.25");
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->seed, 7u);
+  EXPECT_DOUBLE_EQ(full->accept_error, 0.01);
+  EXPECT_DOUBLE_EQ(full->read_error, 0.02);
+  EXPECT_DOUBLE_EQ(full->write_error, 0.03);
+  EXPECT_DOUBLE_EQ(full->short_write, 0.25);
+  EXPECT_TRUE(full->enabled());
+
+  auto clamped = ServerChaosConfig::Parse("read=7.5");
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_DOUBLE_EQ(clamped->read_error, 1.0);
+
+  EXPECT_FALSE(ServerChaosConfig::Parse("bogus=1").ok());
+  EXPECT_FALSE(ServerChaosConfig::Parse("read").ok());
+  EXPECT_FALSE(ServerChaosConfig::Parse("seed=abc").ok());
+  EXPECT_FALSE(ServerChaosConfig::Parse("read=x").ok());
+}
+
+TEST(HttpServerTest, ChaosShortWritesStillServeExactBytes) {
+  // Every flush truncated to a tiny prefix: the writev resume path must
+  // still deliver byte-perfect responses, just in more rounds.
+  HttpServer::Options server_options;
+  server_options.chaos_spec = "seed=1,short=1.0";
+  Harness h = Harness::Start(PrecisService::Options(), server_options);
+
+  const std::string body =
+      "{\"tokens\":[\"Woody Allen\"],\"tuples_per_relation\":4}";
+  auto parsed = ParseQueryRequest(body);
+  ASSERT_TRUE(parsed.ok());
+  ServiceResponse local = h.service->Execute(std::move(parsed->request));
+  ASSERT_TRUE(local.status.ok());
+  const std::string expected = AnswerToJson(*local.answer);
+
+  HttpClient client = h.Client();
+  for (int i = 0; i < 3; ++i) {
+    auto served = client.Post("/query", body);
+    ASSERT_TRUE(served.ok()) << i << ": " << served.status().ToString();
+    EXPECT_EQ(served->status, 200);
+    EXPECT_EQ(served->body, expected) << i;
+  }
+  EXPECT_GT(h.server->metrics().chaos_short_writes, 0u);
+}
+
+TEST(HttpServerTest, ChaosReadErrorsResetConnections) {
+  HttpServer::Options server_options;
+  server_options.chaos_spec = "seed=2,read=1.0";
+  Harness h = Harness::Start(PrecisService::Options(), server_options);
+  HttpClient client = h.Client();
+  ASSERT_TRUE(client.SendRaw("GET /healthz HTTP/1.1\r\n\r\n").ok());
+  // The injected read fault resets the connection before any response.
+  auto response = client.ReadResponse();
+  EXPECT_FALSE(response.ok());
+  EXPECT_GE(h.server->metrics().chaos_read_errors, 1u);
 }
 
 }  // namespace

@@ -12,17 +12,21 @@
 #include <string>
 #include <vector>
 
+#include "common/circuit_breaker.h"
 #include "common/execution_context.h"
 #include "common/fault_injection.h"
 #include "datagen/movies_dataset.h"
+#include "datagen/movies_templates.h"
 #include "precis/engine.h"
 #include "precis/json_export.h"
 #include "service/precis_service.h"
+#include "shard/shard_health.h"
 #include "shard/shard_router.h"
 #include "shard/sharded_database.h"
 #include "shard/sharded_engine.h"
 #include "shard/sharded_service.h"
 #include "storage/serialization.h"
+#include "translator/translator.h"
 
 namespace precis {
 namespace {
@@ -578,6 +582,393 @@ TEST(ShardedServiceTest, SingleShardDelegatesAndStillServes) {
   PrecisService::Metrics metrics = (*service)->metrics();
   ASSERT_EQ(metrics.shards.size(), 1u);
   EXPECT_EQ(metrics.shards[0].tuples, ds->db().TotalTuples());
+  (*service)->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker state machine (DESIGN.md §17).
+
+TEST(CircuitBreakerTest, OnlyConsecutiveFailuresOpenTheCircuit) {
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 3;
+  policy.cooldown_rejects = 2;
+  CircuitBreaker breaker(policy);
+
+  // A success in between resets the consecutive count: still closed.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+
+  breaker.RecordFailure();  // third consecutive
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  CircuitBreakerStats stats = breaker.stats();
+  EXPECT_EQ(stats.opened_total, 1u);
+  EXPECT_EQ(stats.failures_total, 5u);
+  EXPECT_EQ(stats.successes_total, 1u);
+}
+
+TEST(CircuitBreakerTest, CooldownAdmitsOneProbeWhoseOutcomeDecides) {
+  CircuitBreakerPolicy policy;
+  policy.failure_threshold = 1;
+  policy.cooldown_rejects = 2;
+  CircuitBreaker breaker(policy);
+
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+
+  // The decision-counted cooldown: two rejections, then the next caller is
+  // admitted as the half-open probe.
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  // One probe at a time: concurrent callers are rejected meanwhile.
+  EXPECT_FALSE(breaker.Allow());
+
+  // A failed probe goes straight back to open and restarts the cooldown.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+
+  // A successful probe closes the circuit for good.
+  EXPECT_TRUE(breaker.Allow());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+
+  CircuitBreakerStats stats = breaker.stats();
+  EXPECT_EQ(stats.opened_total, 2u);
+  EXPECT_EQ(stats.half_open_probes, 2u);
+  EXPECT_EQ(stats.rejected_total, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Shard fault domains: degradation, byte-identity, breakers, hedging
+// (DESIGN.md §17).
+
+class ShardFaultDomainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MoviesConfig config;
+    config.num_movies = 120;
+    auto ds = MoviesDataset::Create(config);
+    ASSERT_TRUE(ds.ok());
+    dataset_ = std::make_unique<MoviesDataset>(std::move(*ds));
+  }
+
+  std::unique_ptr<ShardedPrecisEngine> MakeEngine(size_t shards,
+                                                  bool replicas = false) {
+    auto engine = ShardedPrecisEngine::Create(dataset_->db(),
+                                              &dataset_->graph(), shards,
+                                              replicas);
+    EXPECT_TRUE(engine.ok());
+    return engine.ok() ? std::move(*engine) : nullptr;
+  }
+
+  /// Latches `shard` permanently dead: the first kShardSubquery check in
+  /// its domain fires a permanent error, so every later probe fails too.
+  static void ScheduleDeadShard(FaultInjector* injector, uint32_t shard) {
+    FaultSchedule dead = FaultSchedule::Steps({1}, FaultKind::kPermanentError);
+    dead.domains = {shard};
+    injector->SetSchedule(FaultSite::kShardSubquery, dead);
+  }
+
+  static void AttachInjector(ExecutionContext* ctx, FaultInjector* injector) {
+    ctx->SetFaultInjector(injector);
+    RetryPolicy policy;
+    policy.initial_backoff_ns = 0;  // fast tests; decisions are unaffected
+    ctx->set_retry_policy(policy);
+  }
+
+  struct Digest {
+    std::string answer_json;
+    std::string degradation;
+    std::string db_bytes;
+  };
+
+  /// One query against `engine` with `dead_shard` latched dead under
+  /// `seed`, using a fresh injector per run so the latch/check streams
+  /// restart identically.
+  Digest RunDead(const ShardedPrecisEngine& engine, uint32_t dead_shard,
+                 uint64_t seed, size_t parallelism) {
+    FaultInjector injector(seed);
+    ScheduleDeadShard(&injector, dead_shard);
+    ExecutionContext ctx;
+    AttachInjector(&ctx, &injector);
+    DbGenOptions options;
+    options.strategy = SubsetStrategy::kRoundRobin;
+    options.parallelism = parallelism;
+    auto answer =
+        engine.Answer(PrecisQuery{{"Woody Allen"}}, *MinPathWeight(0.8),
+                      *MaxTuplesPerRelation(4), options, &ctx);
+    EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+    Digest digest;
+    if (!answer.ok()) return digest;
+    digest.answer_json = AnswerToJson(*answer);
+    digest.degradation = answer->report.degradation.ToString();
+    std::ostringstream os;
+    EXPECT_TRUE(SaveDatabase(answer->database, &os).ok());
+    digest.db_bytes = os.str();
+    return digest;
+  }
+
+  std::unique_ptr<MoviesDataset> dataset_;
+};
+
+TEST_F(ShardFaultDomainTest, KilledShardAnswersDegradedWithHonestReport) {
+  auto engine = MakeEngine(4);
+  ASSERT_NE(engine, nullptr);
+  FaultInjector injector(5);
+  ScheduleDeadShard(&injector, 2);
+  ExecutionContext ctx;
+  AttachInjector(&ctx, &injector);
+  ShardQueryStats stats;
+  auto answer = engine->Answer(PrecisQuery{{"Woody Allen"}},
+                               *MinPathWeight(0.8), *MaxTuplesPerRelation(4),
+                               DbGenOptions(), &ctx, &stats);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+
+  // The merge completed without shard 2 and the report says so.
+  const DegradationReport& degradation = answer->report.degradation;
+  EXPECT_TRUE(degradation.degraded());
+  EXPECT_EQ(degradation.shards_skipped, (std::vector<uint32_t>{2}));
+  EXPECT_EQ(degradation.shards_total, 4u);
+  uint64_t unavailable = 0;
+  for (const RelationDegradation& r : degradation.relations) {
+    unavailable += r.unavailable_tuples;
+  }
+  EXPECT_GT(unavailable, 0u) << "the dead shard's resident result tuples "
+                                "must be accounted as unavailable";
+
+  // The telemetry agrees and the exported JSON carries the block.
+  EXPECT_EQ(stats.shards_skipped, (std::vector<uint32_t>{2}));
+  const std::string json = AnswerToJson(*answer);
+  EXPECT_NE(json.find("\"shards_skipped\":[2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shards_total\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"unavailable_tuples\""), std::string::npos);
+}
+
+TEST_F(ShardFaultDomainTest, DegradedAnswersByteIdenticalAcrossReruns) {
+  // The determinism invariant: with the same seed and the same dead shard,
+  // reruns are byte-identical at any shard count and dbgen parallelism —
+  // including reruns where the breaker (opened by earlier queries) skips
+  // the shard without probing instead of probing and failing.
+  for (size_t shards : {2u, 4u, 8u}) {
+    auto engine = MakeEngine(shards);
+    ASSERT_NE(engine, nullptr);
+    const uint32_t dead = static_cast<uint32_t>(shards - 1);
+    for (uint64_t seed : {1u, 23u}) {
+      Digest expect = RunDead(*engine, dead, seed, 1);
+      ASSERT_NE(expect.degradation.find("shards_skipped"), std::string::npos)
+          << expect.degradation;
+      for (int rerun = 0; rerun < 2; ++rerun) {
+        for (size_t parallelism : {1u, 4u}) {
+          Digest got = RunDead(*engine, dead, seed, parallelism);
+          const std::string label =
+              "shards=" + std::to_string(shards) + " seed=" +
+              std::to_string(seed) + " parallelism=" +
+              std::to_string(parallelism);
+          EXPECT_EQ(got.answer_json, expect.answer_json) << label;
+          EXPECT_EQ(got.degradation, expect.degradation) << label;
+          EXPECT_EQ(got.db_bytes, expect.db_bytes) << label;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ShardFaultDomainTest, TranslatorLeadsWithThePartitionNotice) {
+  auto engine = MakeEngine(4);
+  ASSERT_NE(engine, nullptr);
+  FaultInjector injector(9);
+  ScheduleDeadShard(&injector, 1);
+  ExecutionContext ctx;
+  AttachInjector(&ctx, &injector);
+  auto answer = engine->Answer(PrecisQuery{{"Woody Allen"}},
+                               *MinPathWeight(0.8), *MaxTuplesPerRelation(4),
+                               DbGenOptions(), &ctx);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_FALSE(answer->report.degradation.shards_skipped.empty());
+
+  auto catalog = BuildMoviesTemplateCatalog();
+  ASSERT_TRUE(catalog.ok());
+  Translator translator(&*catalog);
+  auto text = translator.Render(*answer);
+  ASSERT_TRUE(text.ok());
+  // An honest answer leads with what it is missing.
+  EXPECT_EQ(text->rfind("[answers from 3 of 4 partitions]", 0), 0u) << *text;
+}
+
+TEST_F(ShardFaultDomainTest, DegradedAnswersAreNeverCached) {
+  auto engine = MakeEngine(4);
+  ASSERT_NE(engine, nullptr);
+  engine->set_caches_enabled(true);
+  FaultInjector injector(3);
+  ScheduleDeadShard(&injector, 1);
+  auto ask = [&](ExecutionContext* ctx) {
+    return engine->AnswerShared(PrecisQuery{{"Woody Allen"}},
+                                *MinPathWeight(0.9), *MaxTuplesPerRelation(3),
+                                DbGenOptions(), ctx);
+  };
+
+  // Two degraded runs (below the breaker's failure threshold of 3, so the
+  // later fault-free queries are not themselves skipped by an open
+  // breaker): none may be served from (or admitted to) the cache.
+  for (int i = 0; i < 2; ++i) {
+    ExecutionContext ctx;
+    AttachInjector(&ctx, &injector);
+    auto answer = ask(&ctx);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_TRUE((*answer)->report.degradation.degraded()) << i;
+  }
+  EXPECT_EQ(engine->answer_cache_stats().hits, 0u);
+
+  // The same query without the fault domain caches normally, proving the
+  // misses above were taint, not a broken cache.
+  auto first = ask(nullptr);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE((*first)->report.degradation.degraded());
+  auto second = ask(nullptr);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine->answer_cache_stats().hits, 1u);
+}
+
+TEST_F(ShardFaultDomainTest, BreakerOpensOnDeadShardThenHalfOpenProbes) {
+  auto engine = MakeEngine(4);
+  ASSERT_NE(engine, nullptr);
+  FaultInjector injector(7);
+  ScheduleDeadShard(&injector, 1);
+
+  // Serve a run of queries against the permanently dead shard. With the
+  // default policy (threshold 3, cooldown 8) the breaker opens after three
+  // probed failures, then cycles reject/half-open-probe/reopen — every
+  // query still answers, always without shard 1.
+  uint64_t breaker_rejects_seen = 0;
+  for (int i = 0; i < 30; ++i) {
+    ExecutionContext ctx;
+    AttachInjector(&ctx, &injector);
+    ShardQueryStats stats;
+    auto answer = engine->Answer(PrecisQuery{{"Comedy"}}, *MinPathWeight(0.9),
+                                 *MaxTuplesPerRelation(3), DbGenOptions(),
+                                 &ctx, &stats);
+    ASSERT_TRUE(answer.ok()) << i;
+    EXPECT_EQ(stats.shards_skipped, (std::vector<uint32_t>{1})) << i;
+    breaker_rejects_seen += stats.breaker_rejects;
+  }
+
+  CircuitBreakerStats breaker = engine->breaker_stats(1);
+  EXPECT_EQ(breaker.state, BreakerState::kOpen);
+  EXPECT_GE(breaker.opened_total, 2u);  // initial open + >= 1 failed probe
+  EXPECT_GE(breaker.half_open_probes, 1u);
+  EXPECT_GT(breaker.rejected_total, 0u);
+  EXPECT_EQ(breaker.successes_total, 0u);
+  EXPECT_GT(breaker_rejects_seen, 0u);
+
+  // Healthy shards' breakers stayed closed, accumulating successes.
+  for (size_t s : {0u, 2u, 3u}) {
+    CircuitBreakerStats healthy = engine->breaker_stats(s);
+    EXPECT_EQ(healthy.state, BreakerState::kClosed) << s;
+    EXPECT_EQ(healthy.failures_total, 0u) << s;
+    EXPECT_GT(healthy.successes_total, 0u) << s;
+  }
+  EXPECT_GE(engine->health().shard_skips.load(std::memory_order_relaxed),
+            30u);
+}
+
+TEST_F(ShardFaultDomainTest, HedgedSubqueriesNeverChangeAnswerBytes) {
+  auto engine = MakeEngine(4, /*with_replicas=*/true);
+  ASSERT_NE(engine, nullptr);
+  auto run = [&](uint64_t stall_ns, ShardQueryStats* stats) {
+    FaultInjector injector(11);
+    FaultSchedule stall =
+        FaultSchedule::Probability(1.0, FaultKind::kLatencySpike);
+    stall.latency_spike_ns = stall_ns;
+    stall.domains = {2};
+    injector.SetSchedule(FaultSite::kShardTimeout, stall);
+    ExecutionContext ctx;
+    AttachInjector(&ctx, &injector);
+    DbGenOptions options;
+    options.strategy = SubsetStrategy::kRoundRobin;
+    auto answer =
+        engine->Answer(PrecisQuery{{"Woody Allen"}}, *MinPathWeight(0.8),
+                       *MaxTuplesPerRelation(4), options, &ctx, stats);
+    EXPECT_TRUE(answer.ok());
+    return answer.ok() ? AnswerToJson(*answer) : std::string();
+  };
+  // Reference: the same armed schedule with a 1 ns stall — far below the
+  // 2 ms hedging delay, so no hedge fires (and the run is fault-tainted
+  // exactly like the hedged one, keeping the reports comparable).
+  const std::string expect = run(1, nullptr);
+
+  // Stall shard 2's sub-queries well past the default 2 ms hedging delay:
+  // the coordinator re-issues them against the replica, the replica wins,
+  // and — replicas being exact copies — the bytes cannot change.
+  ShardQueryStats stats;
+  const std::string got = run(8'000'000, &stats);  // 8 ms
+
+  EXPECT_EQ(got, expect);
+  EXPECT_TRUE(stats.shards_skipped.empty());
+  EXPECT_GT(stats.hedged_subqueries, 0u);
+  EXPECT_GT(stats.hedge_wins, 0u) << "the unstalled replica must beat an "
+                                     "8 ms primary stall";
+  EXPECT_LE(stats.hedge_wins, stats.hedged_subqueries);
+  const ShardHealthTracker& health = engine->health();
+  EXPECT_GE(health.hedged_subqueries.load(std::memory_order_relaxed),
+            stats.hedged_subqueries);
+  EXPECT_GE(health.hedge_wins.load(std::memory_order_relaxed),
+            stats.hedge_wins);
+}
+
+TEST(ShardedServiceTest, KilledShardServesDegradedAndExportsBreakers) {
+  MoviesConfig config;
+  config.num_movies = 120;
+  auto ds = MoviesDataset::Create(config);
+  ASSERT_TRUE(ds.ok());
+  auto sharded = ShardedPrecisEngine::Create(ds->db(), &ds->graph(), 4);
+  ASSERT_TRUE(sharded.ok());
+
+  FaultInjector injector(42);
+  FaultSchedule dead = FaultSchedule::Steps({1}, FaultKind::kPermanentError);
+  dead.domains = {1};
+  injector.SetSchedule(FaultSite::kShardSubquery, dead);
+
+  PrecisService::Options options;
+  options.num_workers = 2;
+  options.fault_injector = &injector;
+  options.retry_policy.initial_backoff_ns = 0;
+  auto service = ShardedPrecisService::Create(sharded->get(), options);
+  ASSERT_TRUE(service.ok());
+
+  for (int i = 0; i < 5; ++i) {
+    ServiceRequest request;
+    request.query = PrecisQuery{{"Woody Allen"}};
+    request.min_path_weight = 0.8;
+    request.tuples_per_relation = 5;
+    ServiceResponse response = (*service)->Execute(std::move(request));
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_NE(response.answer, nullptr);
+    EXPECT_TRUE(response.answer->report.degradation.degraded()) << i;
+  }
+
+  PrecisService::Metrics metrics = (*service)->metrics();
+  EXPECT_EQ(metrics.shard_degraded_queries, 5u);
+  EXPECT_EQ(metrics.shard_skips_total, 5u);
+  EXPECT_GT(metrics.shard_probe_retries_total, 0u);
+  ASSERT_EQ(metrics.shards.size(), 4u);
+  // Threshold 3: the dead shard's breaker opened during the run and the
+  // later queries fast-failed it without probing.
+  EXPECT_EQ(metrics.shards[1].breaker_state, "open");
+  EXPECT_GE(metrics.shards[1].breaker_failures, 3u);
+  EXPECT_GE(metrics.shards[1].breaker_opened, 1u);
+  EXPECT_GT(metrics.shard_breaker_rejects_total, 0u);
+  for (size_t s : {0u, 2u, 3u}) {
+    EXPECT_EQ(metrics.shards[s].breaker_state, "closed") << s;
+  }
   (*service)->Shutdown();
 }
 

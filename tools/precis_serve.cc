@@ -14,8 +14,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/net_util.h"
 #include "common/task_pool.h"
 #include "datagen/movies_dataset.h"
@@ -42,6 +44,16 @@ struct ServeFlags {
   /// shards behind a ShardedPrecisService (DESIGN.md §15). Answers are
   /// byte-identical either way.
   size_t shards = 0;
+  /// Give every shard a read replica (hedged sub-queries, DESIGN.md §17).
+  bool replicas = false;
+  /// >= 0: that shard is fault-scheduled permanently dead (latched
+  /// kShardSubquery fault) — the chaos-drill shape ci.sh gates on.
+  int kill_shard = -1;
+  /// Seed for the fault injector backing --kill-shard.
+  uint64_t fault_seed = 42;
+  /// Socket-level chaos spec, forwarded to HttpServer (the
+  /// PRECIS_SERVER_CHAOS environment variable also works).
+  std::string chaos;
 };
 
 void Usage(const char* argv0) {
@@ -50,11 +62,18 @@ void Usage(const char* argv0) {
       "usage: %s [--address A] [--port N] [--movies N] [--workers N]\n"
       "          [--io-threads N] [--queue-depth N] [--deadline-ms MS]\n"
       "          [--parallelism N] [--cache on|off] [--shards N]\n"
+      "          [--replicas on|off] [--kill-shard N] [--fault-seed N]\n"
+      "          [--chaos SPEC]\n"
       "Serves POST /query, GET /metrics, GET /healthz until SIGINT/SIGTERM.\n"
       "--port 0 picks an ephemeral port (printed on stdout at startup).\n"
       "--queue-depth bounds the admission queue (excess -> HTTP 503).\n"
       "--shards N partitions the dataset across N engine shards\n"
-      "  (scatter-gather execution; answers stay byte-identical).\n",
+      "  (scatter-gather execution; answers stay byte-identical).\n"
+      "--replicas on gives each shard a read replica (hedged sub-queries).\n"
+      "--kill-shard N fault-schedules shard N permanently dead: queries\n"
+      "  answer degraded from the surviving shards (needs --shards >= 2).\n"
+      "--chaos 'seed=7,read=0.01,write=0.01,short=0.2' injects seeded\n"
+      "  socket-level errors (PRECIS_SERVER_CHAOS works too).\n",
       argv0);
 }
 
@@ -92,6 +111,15 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       flags->cache = value != "off" && value != "0" && value != "false";
     } else if (arg == "--shards") {
       flags->shards = static_cast<size_t>(std::atol(value.c_str()));
+    } else if (arg == "--replicas") {
+      flags->replicas = value != "off" && value != "0" && value != "false";
+    } else if (arg == "--kill-shard") {
+      flags->kill_shard = std::atoi(value.c_str());
+    } else if (arg == "--fault-seed") {
+      flags->fault_seed =
+          static_cast<uint64_t>(std::strtoull(value.c_str(), nullptr, 10));
+    } else if (arg == "--chaos") {
+      flags->chaos = value;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -99,6 +127,13 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
   }
   if (flags->port < 0 || flags->port > 65535) {
     std::fprintf(stderr, "--port must be in [0, 65535]\n");
+    return false;
+  }
+  if (flags->kill_shard >= 0 &&
+      (flags->shards < 2 ||
+       static_cast<size_t>(flags->kill_shard) >= flags->shards)) {
+    std::fprintf(stderr,
+                 "--kill-shard needs --shards >= 2 and a shard id < N\n");
     return false;
   }
   return true;
@@ -133,6 +168,24 @@ int ServeMain(int argc, char** argv) {
   service_options.dbgen_parallelism = flags.parallelism;
   service_options.max_queue_depth = flags.queue_depth;
 
+  // --kill-shard: a latched permanent kShardSubquery fault scoped to the
+  // one shard's domain. Every query's fault plan then excludes that shard
+  // and the coordinator merges the survivors (DESIGN.md §17) — the drill
+  // ci.sh's chaos leg gates on.
+  std::unique_ptr<FaultInjector> injector;
+  if (flags.kill_shard >= 0) {
+    injector = std::make_unique<FaultInjector>(flags.fault_seed);
+    FaultSchedule dead =
+        FaultSchedule::Steps({1}, FaultKind::kPermanentError);
+    dead.domains = {static_cast<uint32_t>(flags.kill_shard)};
+    injector->SetSchedule(FaultSite::kShardSubquery, dead);
+    service_options.fault_injector = injector.get();
+    std::fprintf(stderr,
+                 "fault schedule: shard %d permanently dead (seed %llu)\n",
+                 flags.kill_shard,
+                 static_cast<unsigned long long>(flags.fault_seed));
+  }
+
   // Either serving shape exposes the same PrecisService interface to the
   // HTTP front end; --shards only changes how queries execute inside.
   std::unique_ptr<PrecisEngine> engine;
@@ -140,7 +193,7 @@ int ServeMain(int argc, char** argv) {
   std::unique_ptr<PrecisService> service;
   if (flags.shards > 0) {
     auto created = ShardedPrecisEngine::Create(dataset.db(), &dataset.graph(),
-                                               flags.shards);
+                                               flags.shards, flags.replicas);
     if (!created.ok()) {
       std::fprintf(stderr, "sharded engine: %s\n",
                    created.status().ToString().c_str());
@@ -155,8 +208,9 @@ int ServeMain(int argc, char** argv) {
       return 1;
     }
     service = std::move(*svc);
-    std::fprintf(stderr, "sharded execution: %zu shards\n",
-                 sharded_engine->num_shards());
+    std::fprintf(stderr, "sharded execution: %zu shards%s\n",
+                 sharded_engine->num_shards(),
+                 flags.replicas ? " (with read replicas)" : "");
   } else {
     auto created = PrecisEngine::Create(&dataset.db(), &dataset.graph());
     if (!created.ok()) {
@@ -178,6 +232,7 @@ int ServeMain(int argc, char** argv) {
   server_options.bind_address = flags.address;
   server_options.port = static_cast<uint16_t>(flags.port);
   server_options.io_threads = flags.io_threads;
+  server_options.chaos_spec = flags.chaos;
   auto server = HttpServer::Create({{"default", service.get()}},
                                    server_options);
   if (!server.ok()) {
@@ -197,6 +252,18 @@ int ServeMain(int argc, char** argv) {
     (void)poll(&pfd, 1, -1);
   }
 
+  // Graceful drain first: /healthz flips to 503 + Connection: close so a
+  // load balancer pulls the instance, then we log progress while the open
+  // connections run dry (briefly — Stop() force-drains stragglers anyway).
+  std::fprintf(stderr, "draining (healthz now 503)...\n");
+  (*server)->BeginDrain();
+  for (int tick = 0; tick < 10; ++tick) {
+    uint64_t open = (*server)->metrics().connections_open;
+    std::fprintf(stderr, "drain: %llu connections open\n",
+                 static_cast<unsigned long long>(open));
+    if (open == 0) break;
+    (void)poll(nullptr, 0, 50);
+  }
   std::fprintf(stderr, "shutting down...\n");
   (*server)->Stop();        // stop accepting, drain in-flight responses
   service->Shutdown();      // then stop the query workers

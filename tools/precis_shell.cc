@@ -584,6 +584,35 @@ Status CmdStats(ShellState* state) {
                   static_cast<unsigned long long>(sq.merge_events),
                   sq.merge_seconds * 1e3);
     }
+    // Fault-domain health (DESIGN.md §17): per-shard breaker snapshot and
+    // the engine-lifetime hedge/skip ledger.
+    for (size_t s = 0; s < state->sharded_engine->num_shards(); ++s) {
+      CircuitBreakerStats b = state->sharded_engine->breaker_stats(s);
+      std::printf(
+          "breaker %zu:  state=%s failures=%llu opened=%llu rejected=%llu "
+          "half-open-probes=%llu\n",
+          s, BreakerStateToString(b.state),
+          static_cast<unsigned long long>(b.failures_total),
+          static_cast<unsigned long long>(b.opened_total),
+          static_cast<unsigned long long>(b.rejected_total),
+          static_cast<unsigned long long>(b.half_open_probes));
+    }
+    const ShardHealthTracker& health = state->sharded_engine->health();
+    std::printf(
+        "health:     hedged=%llu hedge-wins=%llu shard-skips=%llu\n",
+        static_cast<unsigned long long>(
+            health.hedged_subqueries.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            health.hedge_wins.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            health.shard_skips.load(std::memory_order_relaxed)));
+    if (!sq.shards_skipped.empty()) {
+      std::printf("last query: skipped shards");
+      for (uint32_t s : sq.shards_skipped) std::printf(" %u", s);
+      std::printf(" (probe-retries=%llu breaker-rejects=%llu)\n",
+                  static_cast<unsigned long long>(sq.shard_probe_retries),
+                  static_cast<unsigned long long>(sq.breaker_rejects));
+    }
   }
   // Data-layout footprint (DESIGN.md §13): the process-wide interner and
   // the last query's arena high-water mark.
